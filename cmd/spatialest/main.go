@@ -1,0 +1,202 @@
+// Command spatialest builds spatial sketches from coordinate files (the
+// spatialgen format: one object per line, 2*dims tab-separated lo/hi
+// columns) and estimates join or range-query cardinalities, optionally
+// comparing against the exact answer.
+//
+// Usage:
+//
+//	spatialest -left r.tsv -right s.tsv -dims 2 -domain 16384 -words 8192
+//	spatialest -left r.tsv -dims 1 -domain 16384 -range 100:5000
+//	spatialest -left r.tsv -right s.tsv ... -exact
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/exact"
+)
+
+func main() {
+	var (
+		leftPath  = flag.String("left", "", "left input file (required)")
+		rightPath = flag.String("right", "", "right input file (join mode)")
+		dims      = flag.Int("dims", 2, "dimensionality")
+		domain    = flag.Uint64("domain", 1<<14, "per-dimension domain size")
+		words     = flag.Int("words", 8192, "synopsis budget in words")
+		seed      = flag.Uint64("seed", 1, "sketch seed")
+		rangeQ    = flag.String("range", "", "range query as lo:hi[,lo:hi...] per dim (range mode)")
+		withExact = flag.Bool("exact", false, "also compute the exact answer")
+	)
+	flag.Parse()
+	if *leftPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	left, err := readRects(*leftPath, *dims)
+	fatalIf(err)
+
+	switch {
+	case *rangeQ != "":
+		q, err := parseRange(*rangeQ, *dims)
+		fatalIf(err)
+		re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+			Dims: *dims, DomainSize: *domain,
+			Sizing: spatial.Sizing{MemoryWords: *words},
+			Seed:   *seed,
+		})
+		fatalIf(err)
+		fatalIf(re.InsertBulk(left))
+		est, err := re.Estimate(q)
+		fatalIf(err)
+		fmt.Printf("objects:   %d\n", re.Count())
+		fmt.Printf("query:     %v\n", q)
+		fmt.Printf("estimate:  %.1f\n", est.Clamped())
+		fmt.Printf("std_error: %.1f\n", est.StdErr())
+		warnIfNoisy(est)
+		if *withExact {
+			ex := exact.RangeCount(left, q)
+			fmt.Printf("exact:     %d\n", ex)
+			fmt.Printf("rel_error: %.4f\n", relErr(est.Clamped(), float64(ex)))
+		}
+	case *rightPath != "":
+		right, err := readRects(*rightPath, *dims)
+		fatalIf(err)
+		est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+			Dims: *dims, DomainSize: *domain,
+			Sizing: spatial.Sizing{MemoryWords: *words},
+			Seed:   *seed,
+		})
+		fatalIf(err)
+		fatalIf(est.InsertLeftBulk(left))
+		fatalIf(est.InsertRightBulk(right))
+		card, err := est.Cardinality()
+		fatalIf(err)
+		sel, err := est.Selectivity()
+		fatalIf(err)
+		fmt.Printf("|R|:         %d\n", est.LeftCount())
+		fmt.Printf("|S|:         %d\n", est.RightCount())
+		fmt.Printf("space:       %d words (%d instances)\n", est.SpaceWords(), est.Instances())
+		fmt.Printf("estimate:    %.1f\n", card.Clamped())
+		fmt.Printf("std_error:   %.1f\n", card.StdErr())
+		fmt.Printf("selectivity: %.3g\n", sel)
+		warnIfNoisy(card)
+		if *withExact {
+			ex := exact.JoinCount(left, right)
+			fmt.Printf("exact:       %d\n", ex)
+			fmt.Printf("rel_error:   %.4f\n", relErr(card.Clamped(), float64(ex)))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "spatialest: need -right (join mode) or -range (range mode)")
+		os.Exit(2)
+	}
+}
+
+// warnIfNoisy flags estimates whose per-group standard error rivals the
+// estimate itself: the synopsis is too small for this workload (the
+// paper's Section 7.4 caveat - large self-join sizes relative to the
+// result size need more space).
+func warnIfNoisy(est spatial.Estimate) {
+	if se := est.StdErr(); se > est.Clamped()/2 {
+		fmt.Fprintf(os.Stderr,
+			"warning: standard error %.1f rivals the estimate; increase -words for this workload\n", se)
+	}
+}
+
+func relErr(est, ex float64) float64 {
+	if ex == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := est - ex
+	if d < 0 {
+		d = -d
+	}
+	return d / ex
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// readRects parses the spatialgen format.
+func readRects(path string, dims int) ([]geo.HyperRect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []geo.HyperRect
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cols := strings.Fields(line)
+		if len(cols) != 2*dims {
+			return nil, fmt.Errorf("%s:%d: got %d columns, want %d", path, lineNo, len(cols), 2*dims)
+		}
+		h := make(geo.HyperRect, dims)
+		for i := 0; i < dims; i++ {
+			lo, err := strconv.ParseUint(cols[2*i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			hi, err := strconv.ParseUint(cols[2*i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			iv, err := geo.MakeInterval(lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			h[i] = iv
+		}
+		out = append(out, h)
+	}
+	return out, sc.Err()
+}
+
+// parseRange parses "lo:hi[,lo:hi...]".
+func parseRange(s string, dims int) (geo.HyperRect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		return nil, fmt.Errorf("range has %d dims, want %d", len(parts), dims)
+	}
+	q := make(geo.HyperRect, dims)
+	for i, p := range parts {
+		lohi := strings.SplitN(p, ":", 2)
+		if len(lohi) != 2 {
+			return nil, fmt.Errorf("bad range component %q", p)
+		}
+		lo, err := strconv.ParseUint(lohi[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := strconv.ParseUint(lohi[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		iv, err := geo.MakeInterval(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		q[i] = iv
+	}
+	return q, nil
+}

@@ -1,0 +1,99 @@
+// Command spatialgen generates synthetic spatial workloads as
+// tab-separated coordinate files consumable by cmd/spatialest: one object
+// per line, 2*dims columns (lo/hi per dimension; points repeat the
+// coordinate).
+//
+// Usage:
+//
+//	spatialgen -n 10000 -dims 2 -domain 16384 -zipf 0 > rects.tsv
+//	spatialgen -land LANDO -scale 0.25 > lando.tsv
+//	spatialgen -points -n 5000 -dims 2 -domain 1024 > points.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "number of objects")
+		dims    = flag.Int("dims", 2, "dimensionality")
+		domain  = flag.Uint64("domain", 1<<14, "per-dimension domain size")
+		zipf    = flag.Float64("zipf", 0, "position skew (0 = uniform)")
+		meanLen = flag.Float64("meanlen", 0, "mean side length (default sqrt(domain))")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		points  = flag.Bool("points", false, "generate points instead of rectangles")
+		land    = flag.String("land", "", "generate a land-use analog: LANDO, LANDC or SOIL")
+		scale   = flag.Float64("scale", 1, "land preset scale in (0, 1]")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *land != "" {
+		var d datagen.LandDataset
+		switch strings.ToUpper(*land) {
+		case "LANDO":
+			d = datagen.Lando(*seed, *scale)
+		case "LANDC":
+			d = datagen.Landc(*seed, *scale)
+		case "SOIL":
+			d = datagen.Soil(*seed, *scale)
+		default:
+			fmt.Fprintf(os.Stderr, "spatialgen: unknown land preset %q\n", *land)
+			os.Exit(2)
+		}
+		fmt.Fprintf(w, "# %s: %d objects, domain %d\n", d.Name, len(d.Rects), d.Domain)
+		writeRects(w, d.Rects)
+		return
+	}
+
+	spec := datagen.Spec{N: *n, Dims: *dims, Domain: *domain, Zipf: *zipf, Seed: *seed}
+	if *meanLen > 0 {
+		spec.MeanLen = make([]float64, *dims)
+		for i := range spec.MeanLen {
+			spec.MeanLen[i] = *meanLen
+		}
+	}
+	if *points {
+		pts, err := datagen.Points(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "# %d points, dims %d, domain %d\n", len(pts), *dims, *domain)
+		for _, p := range pts {
+			cols := make([]string, 0, 2*len(p))
+			for _, x := range p {
+				cols = append(cols, fmt.Sprint(x), fmt.Sprint(x))
+			}
+			fmt.Fprintln(w, strings.Join(cols, "\t"))
+		}
+		return
+	}
+	rects, err := datagen.Rects(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "# %d rects, dims %d, domain %d, zipf %g\n", len(rects), *dims, *domain, *zipf)
+	writeRects(w, rects)
+}
+
+func writeRects(w *bufio.Writer, rects []geo.HyperRect) {
+	for _, r := range rects {
+		cols := make([]string, 0, 2*len(r))
+		for _, iv := range r {
+			cols = append(cols, fmt.Sprint(iv.Lo), fmt.Sprint(iv.Hi))
+		}
+		fmt.Fprintln(w, strings.Join(cols, "\t"))
+	}
+}

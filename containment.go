@@ -1,0 +1,159 @@
+package spatial
+
+import (
+	"fmt"
+
+	"repro/geo"
+	"repro/internal/core"
+)
+
+// ContainmentConfig configures a containment-join estimator
+// (Appendix B.2): count pairs (a, b) with the "inner" object a fully
+// contained in the "outer" object b (closed containment in every
+// dimension).
+type ContainmentConfig struct {
+	// Dims is the object dimensionality. Internally the estimator works in
+	// 2*Dims dimensions (the B.2 reduction), so keep Dims <= 4.
+	Dims int
+	// DomainSize is the per-dimension coordinate domain.
+	DomainSize uint64
+	// Sizing picks the number of atomic instances. Note the reduction
+	// doubles the dimensionality used for sizing.
+	Sizing Sizing
+	// MaxLevel caps the dyadic level (Section 6.5). Positive values are
+	// explicit; 0 picks an adaptive default from the domain size;
+	// MaxLevelUncapped disables the cap.
+	MaxLevel int
+	// Seed makes the synopsis deterministic.
+	Seed uint64
+}
+
+// ContainmentEstimator estimates containment-join cardinalities via the
+// paper's reduction: a d-dimensional object a = prod [l_i, u_i] is
+// contained in b iff the 2d-dimensional point (l_1, u_1, ..., l_d, u_d)
+// lies in the box prod [l(b_i), u(b_i)]^2, estimated with the Lemma 8
+// point-in-box sketches. Shared endpoints are fine: containment is closed.
+//
+// A ContainmentEstimator is not safe for concurrent use.
+type ContainmentEstimator struct {
+	cfg   ContainmentConfig
+	plan  *core.Plan
+	inner *core.PointSketch
+	outer *core.BoxSketch
+}
+
+// NewContainmentEstimator validates the configuration and allocates the
+// synopsis.
+func NewContainmentEstimator(cfg ContainmentConfig) (*ContainmentEstimator, error) {
+	if cfg.Dims < 1 || 2*cfg.Dims > core.MaxDims {
+		return nil, fmt.Errorf("spatial: dims %d outside [1, %d] (the reduction doubles it)", cfg.Dims, core.MaxDims/2)
+	}
+	if cfg.DomainSize < 2 {
+		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
+	}
+	rdims := 2 * cfg.Dims
+	instances, groups, err := cfg.Sizing.resolve(rdims)
+	if err != nil {
+		return nil, err
+	}
+	h := maxInt(log2ceil(cfg.DomainSize), 1)
+	logDom := make([]int, rdims)
+	for i := range logDom {
+		logDom[i] = h
+	}
+	ml := resolveMaxLevel(cfg.MaxLevel, cfg.DomainSize)
+	var maxLevel []int
+	if ml > 0 {
+		maxLevel = make([]int, rdims)
+		for i := range maxLevel {
+			maxLevel[i] = ml
+		}
+	}
+	plan, err := core.NewPlan(core.Config{
+		Dims: rdims, LogDomain: logDom, MaxLevel: maxLevel,
+		Instances: instances, Groups: groups, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ContainmentEstimator{
+		cfg: cfg, plan: plan,
+		inner: plan.NewPointSketch(), outer: plan.NewBoxSketch(),
+	}, nil
+}
+
+// Config returns the estimator's configuration.
+func (e *ContainmentEstimator) Config() ContainmentConfig { return e.cfg }
+
+func (e *ContainmentEstimator) check(r geo.HyperRect) error {
+	if len(r) != e.cfg.Dims {
+		return fmt.Errorf("spatial: dimensionality %d, want %d", len(r), e.cfg.Dims)
+	}
+	for i, iv := range r {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("spatial: invalid interval [%d, %d] in dim %d", iv.Lo, iv.Hi, i)
+		}
+		if iv.Hi >= e.cfg.DomainSize {
+			return fmt.Errorf("spatial: coordinate %d outside domain %d in dim %d", iv.Hi, e.cfg.DomainSize, i)
+		}
+	}
+	return nil
+}
+
+// InsertInner adds an object to the contained ("inner") side.
+func (e *ContainmentEstimator) InsertInner(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.inner.Insert(core.ContainmentPoint(r))
+}
+
+// DeleteInner removes a previously inserted inner object.
+func (e *ContainmentEstimator) DeleteInner(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.inner.Delete(core.ContainmentPoint(r))
+}
+
+// InsertOuter adds an object to the containing ("outer") side.
+func (e *ContainmentEstimator) InsertOuter(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.outer.Insert(core.ContainmentBox(r))
+}
+
+// DeleteOuter removes a previously inserted outer object.
+func (e *ContainmentEstimator) DeleteOuter(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.outer.Delete(core.ContainmentBox(r))
+}
+
+// InnerCount returns the inner-side cardinality.
+func (e *ContainmentEstimator) InnerCount() int64 { return e.inner.Count() }
+
+// OuterCount returns the outer-side cardinality.
+func (e *ContainmentEstimator) OuterCount() int64 { return e.outer.Count() }
+
+// Cardinality estimates the number of (inner, outer) pairs with the inner
+// object contained in the outer one.
+func (e *ContainmentEstimator) Cardinality() (Estimate, error) {
+	est, err := core.EstimatePointInBox(e.inner, e.outer)
+	return fromCore(est), err
+}
+
+// Selectivity estimates Cardinality / (|inner| * |outer|).
+func (e *ContainmentEstimator) Selectivity() (float64, error) {
+	ni, no := e.InnerCount(), e.OuterCount()
+	if ni <= 0 || no <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", ni, no)
+	}
+	est, err := e.Cardinality()
+	if err != nil {
+		return 0, err
+	}
+	return est.Clamped() / (float64(ni) * float64(no)), nil
+}

@@ -1,0 +1,99 @@
+package spatial_test
+
+import (
+	"fmt"
+
+	spatial "repro"
+	"repro/geo"
+)
+
+// ExampleNewJoinEstimator sketches two tiny rectangle relations and
+// estimates their join cardinality. With a generous synopsis relative to
+// the data, the estimate recovers the exact count.
+func ExampleNewJoinEstimator() {
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims:       2,
+		DomainSize: 64,
+		Sizing:     spatial.Sizing{Instances: 8192, Groups: 8},
+		Seed:       7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// R: two rectangles; S: one rectangle overlapping both.
+	for _, r := range []geo.HyperRect{geo.Rect(0, 10, 0, 10), geo.Rect(20, 30, 20, 30)} {
+		if err := est.InsertLeft(r); err != nil {
+			panic(err)
+		}
+	}
+	if err := est.InsertRight(geo.Rect(5, 25, 5, 25)); err != nil {
+		panic(err)
+	}
+	card, err := est.Cardinality()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimated pairs: %.0f\n", card.Clamped())
+	// Output:
+	// estimated pairs: 2
+}
+
+// ExampleNewRangeEstimator estimates how many stored intervals a window
+// selects.
+func ExampleNewRangeEstimator() {
+	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims:       1,
+		DomainSize: 64,
+		Sizing:     spatial.Sizing{Instances: 8192, Groups: 8},
+		Seed:       3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []geo.HyperRect{
+		geo.Span1D(0, 10), geo.Span1D(8, 20), geo.Span1D(40, 50),
+	} {
+		if err := re.Insert(r); err != nil {
+			panic(err)
+		}
+	}
+	est, err := re.Estimate(geo.Span1D(5, 15)) // overlaps the first two
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("selected: %.0f of %d\n", est.Clamped(), re.Count())
+	// Output:
+	// selected: 2 of 3
+}
+
+// ExampleNewEpsJoinEstimator counts point pairs within L-infinity
+// distance 2.
+func ExampleNewEpsJoinEstimator() {
+	est, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+		Dims:       2,
+		DomainSize: 64,
+		Eps:        2,
+		Sizing:     spatial.Sizing{Instances: 8192, Groups: 8},
+		Seed:       5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []geo.Point{{10, 10}, {40, 40}} {
+		if err := est.InsertLeft(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, p := range []geo.Point{{11, 11}, {30, 10}} {
+		if err := est.InsertRight(p); err != nil {
+			panic(err)
+		}
+	}
+	card, err := est.Cardinality()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pairs within 2: %.0f\n", card.Clamped())
+	// Output:
+	// pairs within 2: 1
+}

@@ -1,0 +1,367 @@
+// Package geo provides the geometric substrate of the spatial sketch
+// library: closed integer intervals, rectangles, d-dimensional
+// hyper-rectangles and points over discrete coordinate domains, together
+// with the overlap predicates and spatial-relationship classification used
+// throughout Das, Gehrke and Riedewald, "Approximation Techniques for
+// Spatial Data" (SIGMOD 2004).
+//
+// All coordinates are unsigned integers in a finite domain {0, ..., n-1}
+// (paper Section 2.1). Real-valued data is mapped onto such a grid with a
+// Quantizer (paper Section 5.1).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi] over a discrete coordinate domain.
+// A degenerate interval with Lo == Hi represents a point.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// NewInterval returns the closed interval [lo, hi]. It panics if lo > hi;
+// use MakeInterval for a checked constructor.
+func NewInterval(lo, hi uint64) Interval {
+	iv, err := MakeInterval(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// MakeInterval returns the closed interval [lo, hi], or an error if lo > hi.
+func MakeInterval(lo, hi uint64) (Interval, error) {
+	if lo > hi {
+		return Interval{}, fmt.Errorf("geo: invalid interval [%d, %d]: lower endpoint exceeds upper", lo, hi)
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// Length returns the number of integer coordinates covered by the interval.
+func (iv Interval) Length() uint64 { return iv.Hi - iv.Lo + 1 }
+
+// IsPoint reports whether the interval is degenerate (covers one coordinate).
+func (iv Interval) IsPoint() bool { return iv.Lo == iv.Hi }
+
+// ContainsPoint reports whether x lies in the closed interval.
+func (iv Interval) ContainsPoint(x uint64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Contains reports whether o is fully contained in iv (closed containment,
+// c <= a <= b <= d as in the containment join of Appendix B.2).
+func (iv Interval) Contains(o Interval) bool { return iv.Lo <= o.Lo && o.Hi <= iv.Hi }
+
+// Overlaps implements the paper's Definition 1 restricted to one dimension:
+// two intervals overlap iff their intersection has positive extent, i.e.
+// they share more than a single boundary point. Intervals that merely
+// "meet" at an endpoint (case 2 of Figure 3) do not overlap; identical
+// intervals (case 6) do.
+//
+// Degenerate (point) intervals never overlap anything under this
+// predicate. The paper's join machinery assumes non-degenerate inputs
+// ("the data sets do not contain any degenerate objects", Section 4.1);
+// for point data use the epsilon-join or range-query operators instead.
+func (iv Interval) Overlaps(o Interval) bool {
+	return max(iv.Lo, o.Lo) < min(iv.Hi, o.Hi)
+}
+
+// OverlapsExt implements the extended overlap+ of Definition 4 in one
+// dimension: intervals that meet at a boundary point also count.
+func (iv Interval) OverlapsExt(o Interval) bool {
+	return max(iv.Lo, o.Lo) <= min(iv.Hi, o.Hi)
+}
+
+// Intersect returns the intersection of the two closed intervals and whether
+// it is non-empty.
+func (iv Interval) Intersect(o Interval) (Interval, bool) {
+	lo, hi := max(iv.Lo, o.Lo), min(iv.Hi, o.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}
+
+// Rel is the spatial relationship between two intervals r and s, numbered
+// after Figure 3 of the paper.
+type Rel uint8
+
+// Spatial relationships between an interval r and an interval s
+// (cases obtained by swapping r and s map to the same case number,
+// mirroring the paper's figure).
+const (
+	RelDisjunct    Rel = 1 // no common coordinate
+	RelMeet        Rel = 2 // share exactly one boundary coordinate, no interior intersection
+	RelOverlap     Rel = 3 // proper partial overlap, no shared endpoints
+	RelContain     Rel = 4 // one strictly inside the other, no shared endpoints
+	RelContainMeet Rel = 5 // containment sharing exactly one endpoint
+	RelIdentical   Rel = 6 // equal intervals
+)
+
+// String returns the paper's name for the relationship.
+func (r Rel) String() string {
+	switch r {
+	case RelDisjunct:
+		return "disjunct"
+	case RelMeet:
+		return "meet"
+	case RelOverlap:
+		return "overlap"
+	case RelContain:
+		return "contain"
+	case RelContainMeet:
+		return "contain+meet"
+	case RelIdentical:
+		return "identical"
+	}
+	return fmt.Sprintf("Rel(%d)", uint8(r))
+}
+
+// CountsAsOverlap reports whether the relationship is counted by the spatial
+// join of Definition 1 (cases 3-6 of Figure 3).
+func (r Rel) CountsAsOverlap() bool { return r >= RelOverlap }
+
+// Relationship classifies the spatial relationship between r and s per
+// Figure 3 of the paper. The classification is symmetric in r and s.
+func Relationship(r, s Interval) Rel {
+	switch {
+	case r == s:
+		return RelIdentical
+	case r.Hi < s.Lo || s.Hi < r.Lo:
+		return RelDisjunct
+	case r.Hi == s.Lo || s.Hi == r.Lo:
+		return RelMeet
+	case r.Contains(s) || s.Contains(r):
+		if r.Lo == s.Lo || r.Hi == s.Hi {
+			return RelContainMeet
+		}
+		return RelContain
+	default:
+		return RelOverlap
+	}
+}
+
+// HyperRect is a d-dimensional hyper-rectangle: the cross product of one
+// closed interval per dimension (paper Section 2.1). Points, lines and
+// rectangles are special cases.
+type HyperRect []Interval
+
+// Dims returns the dimensionality of the hyper-rectangle.
+func (h HyperRect) Dims() int { return len(h) }
+
+// Overlaps implements Definition 1: the hyper-rectangles overlap iff their
+// projections overlap in every dimension. It panics if dimensionalities
+// differ.
+func (h HyperRect) Overlaps(o HyperRect) bool {
+	mustSameDims(h, o)
+	for i := range h {
+		if !h[i].Overlaps(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapsExt implements the extended overlap+ of Definition 4: a non-empty
+// d- or lower-dimensional intersection suffices.
+func (h HyperRect) OverlapsExt(o HyperRect) bool {
+	mustSameDims(h, o)
+	for i := range h {
+		if !h[i].OverlapsExt(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o is fully contained in h in every dimension
+// (closed containment, the predicate of the containment join).
+func (h HyperRect) Contains(o HyperRect) bool {
+	mustSameDims(h, o)
+	for i := range h {
+		if !h[i].Contains(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether point p lies in the closed hyper-rectangle.
+func (h HyperRect) ContainsPoint(p Point) bool {
+	if len(h) != len(p) {
+		panic(fmt.Sprintf("geo: dimensionality mismatch: %d vs %d", len(h), len(p)))
+	}
+	for i := range h {
+		if !h[i].ContainsPoint(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Relationships returns the d-tuple of per-dimension spatial relationships
+// between h and o, as used for rectangles in Figure 4 of the paper.
+func (h HyperRect) Relationships(o HyperRect) []Rel {
+	mustSameDims(h, o)
+	rels := make([]Rel, len(h))
+	for i := range h {
+		rels[i] = Relationship(h[i], o[i])
+	}
+	return rels
+}
+
+// Clone returns a deep copy of the hyper-rectangle.
+func (h HyperRect) Clone() HyperRect {
+	c := make(HyperRect, len(h))
+	copy(c, h)
+	return c
+}
+
+// Rect returns a 2-dimensional hyper-rectangle [xlo,xhi] x [ylo,yhi].
+func Rect(xlo, xhi, ylo, yhi uint64) HyperRect {
+	return HyperRect{NewInterval(xlo, xhi), NewInterval(ylo, yhi)}
+}
+
+// Span1D returns a 1-dimensional hyper-rectangle (an interval).
+func Span1D(lo, hi uint64) HyperRect {
+	return HyperRect{NewInterval(lo, hi)}
+}
+
+func mustSameDims(a, b HyperRect) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("geo: dimensionality mismatch: %d vs %d", len(a), len(b)))
+	}
+}
+
+// Point is a point in a d-dimensional discrete space.
+type Point []uint64
+
+// Dims returns the dimensionality of the point.
+func (p Point) Dims() int { return len(p) }
+
+// AsRect returns the degenerate hyper-rectangle covering exactly p.
+func (p Point) AsRect() HyperRect {
+	h := make(HyperRect, len(p))
+	for i, x := range p {
+		h[i] = Interval{Lo: x, Hi: x}
+	}
+	return h
+}
+
+// DistLInf returns the L-infinity (Chebyshev) distance between two points,
+// the metric used by the paper's epsilon-join construction (Section 6.3).
+func DistLInf(a, b Point) uint64 {
+	mustSamePointDims(a, b)
+	var d uint64
+	for i := range a {
+		d = max(d, absDiff(a[i], b[i]))
+	}
+	return d
+}
+
+// DistL1 returns the L1 (Manhattan) distance between two points.
+func DistL1(a, b Point) uint64 {
+	mustSamePointDims(a, b)
+	var d uint64
+	for i := range a {
+		d += absDiff(a[i], b[i])
+	}
+	return d
+}
+
+// DistL2Sq returns the squared Euclidean distance between two points.
+// Returning the square avoids floating point in the common "dist <= eps"
+// test (compare against eps*eps).
+func DistL2Sq(a, b Point) uint64 {
+	mustSamePointDims(a, b)
+	var d uint64
+	for i := range a {
+		x := absDiff(a[i], b[i])
+		d += x * x
+	}
+	return d
+}
+
+func mustSamePointDims(a, b Point) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("geo: dimensionality mismatch: %d vs %d", len(a), len(b)))
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Ball returns the L-infinity ball of radius eps around p, clipped to the
+// domain [0, domainSize-1] in every dimension. This is the hyper-cube b' of
+// side length 2*eps used by the epsilon-join reduction (Section 6.3).
+func Ball(p Point, eps, domainSize uint64) HyperRect {
+	h := make(HyperRect, len(p))
+	for i, x := range p {
+		lo := uint64(0)
+		if x > eps {
+			lo = x - eps
+		}
+		hi := x + eps
+		if hi > domainSize-1 || hi < x { // clip, guarding against wraparound
+			hi = domainSize - 1
+		}
+		h[i] = Interval{Lo: lo, Hi: hi}
+	}
+	return h
+}
+
+// Quantizer maps real-valued coordinates in [Min, Max) onto the discrete
+// grid {0, ..., Cells-1}, implementing the finite-domain reduction of
+// Section 5.1: spatial applications store coordinates with bounded
+// precision, so a grid of 2^k cells loses no information that matters.
+type Quantizer struct {
+	Min, Max float64 // half-open real range covered
+	Cells    uint64  // number of grid cells (the discrete domain size)
+}
+
+// NewQuantizer returns a quantizer over [min, max) with the given number of
+// grid cells. It returns an error if the range is empty or cells is zero.
+func NewQuantizer(min, max float64, cells uint64) (*Quantizer, error) {
+	if !(min < max) {
+		return nil, fmt.Errorf("geo: invalid quantizer range [%g, %g)", min, max)
+	}
+	if cells == 0 {
+		return nil, fmt.Errorf("geo: quantizer needs at least one cell")
+	}
+	return &Quantizer{Min: min, Max: max, Cells: cells}, nil
+}
+
+// Quantize maps a real coordinate to its grid cell, clamping values outside
+// the configured range to the boundary cells.
+func (q *Quantizer) Quantize(x float64) uint64 {
+	if x <= q.Min {
+		return 0
+	}
+	if x >= q.Max {
+		return q.Cells - 1
+	}
+	c := uint64(math.Floor((x - q.Min) / (q.Max - q.Min) * float64(q.Cells)))
+	if c >= q.Cells {
+		c = q.Cells - 1
+	}
+	return c
+}
+
+// Dequantize returns the real midpoint of grid cell c.
+func (q *Quantizer) Dequantize(c uint64) float64 {
+	w := (q.Max - q.Min) / float64(q.Cells)
+	return q.Min + (float64(c)+0.5)*w
+}
+
+// QuantizeInterval maps a real interval [lo, hi] to the grid.
+func (q *Quantizer) QuantizeInterval(lo, hi float64) Interval {
+	a, b := q.Quantize(lo), q.Quantize(hi)
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}

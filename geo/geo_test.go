@@ -1,0 +1,325 @@
+package geo
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeInterval(t *testing.T) {
+	iv, err := MakeInterval(3, 9)
+	if err != nil {
+		t.Fatalf("MakeInterval(3,9): %v", err)
+	}
+	if iv.Lo != 3 || iv.Hi != 9 {
+		t.Fatalf("got %+v", iv)
+	}
+	if _, err := MakeInterval(9, 3); err == nil {
+		t.Fatal("MakeInterval(9,3) should fail")
+	}
+}
+
+func TestNewIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInterval(5,1) should panic")
+		}
+	}()
+	NewInterval(5, 1)
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(2, 5)
+	if got := iv.Length(); got != 4 {
+		t.Errorf("Length = %d, want 4", got)
+	}
+	if iv.IsPoint() {
+		t.Error("IsPoint on non-point")
+	}
+	if !NewInterval(3, 3).IsPoint() {
+		t.Error("point interval not recognized")
+	}
+	for _, x := range []uint64{2, 3, 5} {
+		if !iv.ContainsPoint(x) {
+			t.Errorf("ContainsPoint(%d) = false", x)
+		}
+	}
+	for _, x := range []uint64{0, 1, 6, 100} {
+		if iv.ContainsPoint(x) {
+			t.Errorf("ContainsPoint(%d) = true", x)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	outer := NewInterval(2, 10)
+	cases := []struct {
+		inner Interval
+		want  bool
+	}{
+		{NewInterval(2, 10), true},
+		{NewInterval(3, 9), true},
+		{NewInterval(2, 2), true},
+		{NewInterval(1, 5), false},
+		{NewInterval(5, 11), false},
+		{NewInterval(0, 1), false},
+	}
+	for _, c := range cases {
+		if got := outer.Contains(c.inner); got != c.want {
+			t.Errorf("[2,10].Contains(%v) = %v, want %v", c.inner, got, c.want)
+		}
+	}
+}
+
+// TestRelationshipCases exercises every case of Figure 3.
+func TestRelationshipCases(t *testing.T) {
+	r := NewInterval(10, 20)
+	cases := []struct {
+		s    Interval
+		want Rel
+	}{
+		{NewInterval(30, 40), RelDisjunct},    // (1) right of r
+		{NewInterval(0, 5), RelDisjunct},      // (1) left of r
+		{NewInterval(20, 25), RelMeet},        // (2) touch at u(r)
+		{NewInterval(5, 10), RelMeet},         // (2) touch at l(r)
+		{NewInterval(15, 30), RelOverlap},     // (3)
+		{NewInterval(5, 15), RelOverlap},      // (3) mirrored
+		{NewInterval(12, 18), RelContain},     // (4) s inside r
+		{NewInterval(5, 25), RelContain},      // (4) r inside s
+		{NewInterval(10, 15), RelContainMeet}, // (5) share lower endpoint
+		{NewInterval(15, 20), RelContainMeet}, // (5) share upper endpoint
+		{NewInterval(10, 25), RelContainMeet}, // (5) r inside s sharing lower
+		{NewInterval(10, 20), RelIdentical},   // (6)
+	}
+	for _, c := range cases {
+		if got := Relationship(r, c.s); got != c.want {
+			t.Errorf("Relationship([10,20], %v) = %v, want %v", c.s, got, c.want)
+		}
+		if got := Relationship(c.s, r); got != c.want {
+			t.Errorf("Relationship(%v, [10,20]) = %v, want %v (symmetry)", c.s, got, c.want)
+		}
+	}
+}
+
+// TestOverlapMatchesRelationship: Definition 1 counts exactly cases 3-6
+// (for the non-degenerate intervals the paper's joins assume).
+func TestOverlapMatchesRelationship(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for i := 0; i < 5000; i++ {
+		r := randNonDegen(rng, 32)
+		s := randNonDegen(rng, 32)
+		rel := Relationship(r, s)
+		if got, want := r.Overlaps(s), rel.CountsAsOverlap(); got != want {
+			t.Fatalf("Overlaps(%v, %v) = %v, rel = %v", r, s, got, rel)
+		}
+		if got, want := r.OverlapsExt(s), rel >= RelMeet; got != want {
+			t.Fatalf("OverlapsExt(%v, %v) = %v, rel = %v", r, s, got, rel)
+		}
+	}
+}
+
+// TestOverlapViaIntersection: overlap <=> intersection has length > 1
+// (shares more than a boundary point); overlap+ <=> non-empty intersection.
+func TestOverlapViaIntersection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 5000; i++ {
+		r := randNonDegen(rng, 24)
+		s := randNonDegen(rng, 24)
+		inter, ok := r.Intersect(s)
+		wantOverlap := ok && inter.Length() > 1
+		if got := r.Overlaps(s); got != wantOverlap {
+			t.Fatalf("Overlaps(%v, %v) = %v, intersection %v ok=%v", r, s, got, inter, ok)
+		}
+		if got := r.OverlapsExt(s); got != ok {
+			t.Fatalf("OverlapsExt(%v, %v) = %v, want %v", r, s, got, ok)
+		}
+	}
+}
+
+func TestRelationshipExhaustiveSmallDomain(t *testing.T) {
+	// Enumerate every interval pair over a domain of 8 coordinates and
+	// check the classification is total and consistent.
+	var ivs []Interval
+	for lo := uint64(0); lo < 8; lo++ {
+		for hi := lo; hi < 8; hi++ {
+			ivs = append(ivs, Interval{lo, hi})
+		}
+	}
+	for _, r := range ivs {
+		for _, s := range ivs {
+			rel := Relationship(r, s)
+			if rel < RelDisjunct || rel > RelIdentical {
+				t.Fatalf("Relationship(%v, %v) = %v out of range", r, s, rel)
+			}
+			if rel != Relationship(s, r) {
+				t.Fatalf("asymmetric classification for %v, %v", r, s)
+			}
+		}
+	}
+}
+
+func TestHyperRectOverlaps(t *testing.T) {
+	a := Rect(0, 10, 0, 10)
+	cases := []struct {
+		b       HyperRect
+		overlap bool
+		ext     bool
+	}{
+		{Rect(5, 15, 5, 15), true, true},
+		{Rect(10, 20, 0, 10), false, true}, // meet in x
+		{Rect(11, 20, 0, 10), false, false},
+		{Rect(2, 8, 2, 8), true, true},
+		{Rect(0, 10, 10, 20), false, true}, // meet in y
+		{Rect(0, 10, 0, 10), true, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("Overlaps(%v) = %v, want %v", c.b, got, c.overlap)
+		}
+		if got := a.OverlapsExt(c.b); got != c.ext {
+			t.Errorf("OverlapsExt(%v) = %v, want %v", c.b, got, c.ext)
+		}
+	}
+}
+
+func TestHyperRectOverlapIsPerDimension(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 3000; i++ {
+		a := HyperRect{randInterval(rng, 16), randInterval(rng, 16), randInterval(rng, 16)}
+		b := HyperRect{randInterval(rng, 16), randInterval(rng, 16), randInterval(rng, 16)}
+		want := true
+		for j := range a {
+			if !a[j].Overlaps(b[j]) {
+				want = false
+			}
+		}
+		if got := a.Overlaps(b); got != want {
+			t.Fatalf("Overlaps(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestHyperRectContainsAndPoints(t *testing.T) {
+	a := Rect(0, 10, 5, 15)
+	if !a.Contains(Rect(0, 5, 5, 10)) {
+		t.Error("contained rect reported as not contained")
+	}
+	if a.Contains(Rect(0, 11, 5, 10)) {
+		t.Error("non-contained rect reported as contained")
+	}
+	if !a.ContainsPoint(Point{10, 15}) {
+		t.Error("corner point should be contained")
+	}
+	if a.ContainsPoint(Point{11, 5}) {
+		t.Error("outside point reported as contained")
+	}
+}
+
+func TestRelationshipsTuple(t *testing.T) {
+	a := Rect(10, 20, 10, 20)
+	b := Rect(20, 30, 15, 25)
+	rels := a.Relationships(b)
+	if rels[0] != RelMeet || rels[1] != RelOverlap {
+		t.Fatalf("Relationships = %v, want [meet overlap] (the (2,3) case of Figure 4)", rels)
+	}
+	// Per Figure 4: overlap iff every dim in {3,4,5,6}.
+	if a.Overlaps(b) {
+		t.Error("(2,3) must not overlap")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := Point{0, 3}
+	b := Point{4, 0}
+	if got := DistLInf(a, b); got != 4 {
+		t.Errorf("LInf = %d, want 4", got)
+	}
+	if got := DistL1(a, b); got != 7 {
+		t.Errorf("L1 = %d, want 7", got)
+	}
+	if got := DistL2Sq(a, b); got != 25 {
+		t.Errorf("L2Sq = %d, want 25", got)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry and identity, property-based.
+	f := func(ax, ay, bx, by uint16) bool {
+		a := Point{uint64(ax), uint64(ay)}
+		b := Point{uint64(bx), uint64(by)}
+		return DistLInf(a, b) == DistLInf(b, a) &&
+			DistL1(a, b) == DistL1(b, a) &&
+			DistL2Sq(a, b) == DistL2Sq(b, a) &&
+			DistLInf(a, a) == 0 &&
+			DistLInf(a, b) <= DistL1(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBall(t *testing.T) {
+	b := Ball(Point{5, 5}, 3, 64)
+	want := Rect(2, 8, 2, 8)
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("Ball = %v, want %v", b, want)
+		}
+	}
+	// Clipping at both domain edges.
+	b = Ball(Point{1, 62}, 3, 64)
+	if b[0].Lo != 0 || b[0].Hi != 4 || b[1].Lo != 59 || b[1].Hi != 63 {
+		t.Fatalf("clipped Ball = %v", b)
+	}
+}
+
+func TestBallMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	const dom = 40
+	for i := 0; i < 4000; i++ {
+		p := Point{rng.Uint64N(dom), rng.Uint64N(dom)}
+		q := Point{rng.Uint64N(dom), rng.Uint64N(dom)}
+		eps := rng.Uint64N(10)
+		want := DistLInf(p, q) <= eps
+		if got := Ball(q, eps, dom).ContainsPoint(p); got != want {
+			t.Fatalf("Ball containment mismatch: p=%v q=%v eps=%d", p, q, eps)
+		}
+	}
+}
+
+func TestPointAsRect(t *testing.T) {
+	p := Point{3, 7}
+	r := p.AsRect()
+	if !r[0].IsPoint() || !r[1].IsPoint() || r[0].Lo != 3 || r[1].Lo != 7 {
+		t.Fatalf("AsRect = %v", r)
+	}
+}
+
+func TestRelStrings(t *testing.T) {
+	names := map[Rel]string{
+		RelDisjunct: "disjunct", RelMeet: "meet", RelOverlap: "overlap",
+		RelContain: "contain", RelContainMeet: "contain+meet", RelIdentical: "identical",
+	}
+	for rel, want := range names {
+		if rel.String() != want {
+			t.Errorf("%d.String() = %q, want %q", rel, rel.String(), want)
+		}
+	}
+	if Rel(99).String() == "" {
+		t.Error("unknown Rel should stringify")
+	}
+}
+
+func randInterval(rng *rand.Rand, dom uint64) Interval {
+	a, b := rng.Uint64N(dom), rng.Uint64N(dom)
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+func randNonDegen(rng *rand.Rand, dom uint64) Interval {
+	a := rng.Uint64N(dom - 1)
+	b := a + 1 + rng.Uint64N(dom-a-1)
+	return Interval{Lo: a, Hi: b}
+}

@@ -1,0 +1,62 @@
+package geo
+
+// Endpoint transformation (paper Section 5.2).
+//
+// The join estimators of Section 4 assume that no interval of R shares an
+// endpoint coordinate with any interval of S (Assumption 1). The paper makes
+// the assumption hold for arbitrary data by extending the domain
+// N = {0, ..., n-1} with two fresh coordinates i+ and (i+1)- between every
+// pair of consecutive values, and shrinking every S-interval "a little":
+// l(s') = l(s)+ and u(s') = u(s)-. The transformation never changes which
+// pairs overlap, and it grows the domain by at most a factor of three.
+//
+// We realize the augmented domain M as {0, ..., 3n-1} with the embedding
+// x -> 3x; then x+ = 3x+1 and x- = 3x-1.
+
+// TransformFactor is the domain growth factor of the endpoint
+// transformation.
+const TransformFactor = 3
+
+// TransformCoord embeds a coordinate of the original domain into the
+// endpoint-transformed domain (x -> 3x).
+func TransformCoord(x uint64) uint64 { return TransformFactor * x }
+
+// TransformDomain returns the size of the endpoint-transformed domain for an
+// original domain of the given size.
+func TransformDomain(n uint64) uint64 { return TransformFactor * n }
+
+// TransformKeep embeds an interval into the transformed domain without
+// shrinking it (the R side of the join).
+func TransformKeep(iv Interval) Interval {
+	return Interval{Lo: TransformFactor * iv.Lo, Hi: TransformFactor * iv.Hi}
+}
+
+// TransformShrink embeds an interval into the transformed domain and shrinks
+// it by one augmented step at each end (the S side of the join):
+// [l, u] -> [l+, u-] = [3l+1, 3u-1]. Degenerate (point) intervals collapse
+// onto their embedded coordinate so they keep representing a single point.
+func TransformShrink(iv Interval) Interval {
+	if iv.IsPoint() {
+		c := TransformFactor * iv.Lo
+		return Interval{Lo: c, Hi: c}
+	}
+	return Interval{Lo: TransformFactor*iv.Lo + 1, Hi: TransformFactor*iv.Hi - 1}
+}
+
+// TransformKeepRect applies TransformKeep in every dimension.
+func TransformKeepRect(h HyperRect) HyperRect {
+	t := make(HyperRect, len(h))
+	for i, iv := range h {
+		t[i] = TransformKeep(iv)
+	}
+	return t
+}
+
+// TransformShrinkRect applies TransformShrink in every dimension.
+func TransformShrinkRect(h HyperRect) HyperRect {
+	t := make(HyperRect, len(h))
+	for i, iv := range h {
+		t[i] = TransformShrink(iv)
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package geo
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestTransformPreservesOverlap verifies the Section 5.2 claim: for every
+// pair (r, s), overlap(r, s) <=> overlap(keep(r), shrink(s)).
+func TestTransformPreservesOverlap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 2))
+	const dom = 32
+	for i := 0; i < 20000; i++ {
+		r := randNonDegenerate(rng, dom)
+		s := randNonDegenerate(rng, dom)
+		want := r.Overlaps(s)
+		got := TransformKeep(r).Overlaps(TransformShrink(s))
+		if got != want {
+			t.Fatalf("overlap changed by transform: r=%v s=%v (rel %v): want %v got %v",
+				r, s, Relationship(r, s), want, got)
+		}
+	}
+}
+
+// TestTransformExhaustive checks overlap preservation for every
+// non-degenerate interval pair over a small domain (covers all six
+// relationship cases deterministically).
+func TestTransformExhaustive(t *testing.T) {
+	var ivs []Interval
+	const dom = 9
+	for lo := uint64(0); lo < dom; lo++ {
+		for hi := lo + 1; hi < dom; hi++ {
+			ivs = append(ivs, Interval{lo, hi})
+		}
+	}
+	for _, r := range ivs {
+		for _, s := range ivs {
+			want := r.Overlaps(s)
+			if got := TransformKeep(r).Overlaps(TransformShrink(s)); got != want {
+				t.Fatalf("r=%v s=%v: want %v got %v", r, s, want, got)
+			}
+		}
+	}
+}
+
+// TestTransformRemovesSharedEndpoints verifies Assumption 1 holds after the
+// transformation: no endpoint of keep(r) coincides with an endpoint of
+// shrink(s).
+func TestTransformRemovesSharedEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 20000; i++ {
+		r := TransformKeep(randNonDegenerate(rng, 64))
+		s := TransformShrink(randNonDegenerate(rng, 64))
+		if r.Lo == s.Lo || r.Lo == s.Hi || r.Hi == s.Lo || r.Hi == s.Hi {
+			t.Fatalf("shared endpoint after transform: r=%v s=%v", r, s)
+		}
+	}
+}
+
+func TestTransformShrinkPoint(t *testing.T) {
+	p := Interval{5, 5}
+	got := TransformShrink(p)
+	if got.Lo != 15 || got.Hi != 15 {
+		t.Fatalf("TransformShrink(point) = %v, want [15,15]", got)
+	}
+}
+
+func TestTransformDomain(t *testing.T) {
+	if TransformDomain(100) != 300 {
+		t.Fatal("TransformDomain(100) != 300")
+	}
+	if TransformCoord(7) != 21 {
+		t.Fatal("TransformCoord(7) != 21")
+	}
+}
+
+func TestTransformRects(t *testing.T) {
+	r := Rect(1, 4, 2, 6)
+	kept := TransformKeepRect(r)
+	shrunk := TransformShrinkRect(r)
+	if kept[0] != (Interval{3, 12}) || kept[1] != (Interval{6, 18}) {
+		t.Fatalf("TransformKeepRect = %v", kept)
+	}
+	if shrunk[0] != (Interval{4, 11}) || shrunk[1] != (Interval{7, 17}) {
+		t.Fatalf("TransformShrinkRect = %v", shrunk)
+	}
+}
+
+// TestTransformPreservesOverlap2D: the per-dimension transform preserves
+// rectangle overlap too.
+func TestTransformPreservesOverlap2D(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 1))
+	for i := 0; i < 10000; i++ {
+		r := HyperRect{randNonDegenerate(rng, 24), randNonDegenerate(rng, 24)}
+		s := HyperRect{randNonDegenerate(rng, 24), randNonDegenerate(rng, 24)}
+		want := r.Overlaps(s)
+		if got := TransformKeepRect(r).Overlaps(TransformShrinkRect(s)); got != want {
+			t.Fatalf("2d overlap changed by transform: r=%v s=%v", r, s)
+		}
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	q, err := NewQuantizer(-100, 100, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Quantize(-100); got != 0 {
+		t.Errorf("Quantize(min) = %d", got)
+	}
+	if got := q.Quantize(-200); got != 0 {
+		t.Errorf("Quantize(below min) = %d", got)
+	}
+	if got := q.Quantize(100); got != 1023 {
+		t.Errorf("Quantize(max) = %d", got)
+	}
+	if got := q.Quantize(99.999); got != 1023 {
+		t.Errorf("Quantize(just below max) = %d", got)
+	}
+	mid := q.Quantize(0)
+	if mid != 512 {
+		t.Errorf("Quantize(0) = %d, want 512", mid)
+	}
+	// Dequantize returns a value that re-quantizes to the same cell.
+	for _, c := range []uint64{0, 1, 511, 512, 1023} {
+		if got := q.Quantize(q.Dequantize(c)); got != c {
+			t.Errorf("round trip cell %d -> %d", c, got)
+		}
+	}
+	iv := q.QuantizeInterval(-50, 50)
+	if iv.Lo >= iv.Hi {
+		t.Errorf("QuantizeInterval = %v", iv)
+	}
+	if _, err := NewQuantizer(5, 5, 10); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewQuantizer(0, 1, 0); err == nil {
+		t.Error("zero cells should fail")
+	}
+}
+
+// TestQuantizerMonotone: quantization preserves order.
+func TestQuantizerMonotone(t *testing.T) {
+	q, _ := NewQuantizer(0, 1, 256)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 5000; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		if q.Quantize(a) > q.Quantize(b) {
+			t.Fatalf("quantizer not monotone at %g, %g", a, b)
+		}
+	}
+}
+
+func randNonDegenerate(rng *rand.Rand, dom uint64) Interval {
+	a := rng.Uint64N(dom - 1)
+	b := a + 1 + rng.Uint64N(dom-a-1)
+	return Interval{Lo: a, Hi: b}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Estimate is a boosted estimate with diagnostics (Section 2.3, Figure 1):
+// the median over Groups of the means over Instances/Groups atomic
+// estimator instances.
+type Estimate struct {
+	// Value is the boosted estimate (median of group means).
+	Value float64
+	// Mean is the grand mean over all instances (unbiased but un-boosted).
+	Mean float64
+	// GroupMeans are the per-group means whose median is Value.
+	GroupMeans []float64
+	// SampleVariance is the sample variance of the individual instances,
+	// an empirical stand-in for Var[Z].
+	SampleVariance float64
+	// Instances is the number of atomic instances combined.
+	Instances int
+}
+
+// Clamped returns the estimate clamped to be non-negative (cardinalities
+// cannot be negative; individual instances can be).
+func (e Estimate) Clamped() float64 {
+	if e.Value < 0 {
+		return 0
+	}
+	return e.Value
+}
+
+// StdErr returns the estimated standard error of one group mean,
+// sqrt(SampleVariance / (Instances/len(GroupMeans))).
+func (e Estimate) StdErr() float64 {
+	if len(e.GroupMeans) == 0 || e.Instances == 0 {
+		return math.NaN()
+	}
+	perGroup := float64(e.Instances) / float64(len(e.GroupMeans))
+	if perGroup <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(e.SampleVariance / perGroup)
+}
+
+// boost combines per-instance estimates zs into the median of group means.
+// groups must divide len(zs); group g owns the contiguous instance range
+// [g*k1, (g+1)*k1).
+func boost(zs []float64, groups int) Estimate {
+	n := len(zs)
+	k1 := n / groups
+	est := Estimate{
+		GroupMeans: make([]float64, groups),
+		Instances:  n,
+	}
+	var grand float64
+	for g := 0; g < groups; g++ {
+		var sum float64
+		for i := g * k1; i < (g+1)*k1; i++ {
+			sum += zs[i]
+		}
+		est.GroupMeans[g] = sum / float64(k1)
+		grand += sum
+	}
+	est.Mean = grand / float64(n)
+	var varSum float64
+	for _, z := range zs {
+		d := z - est.Mean
+		varSum += d * d
+	}
+	if n > 1 {
+		est.SampleVariance = varSum / float64(n-1)
+	}
+	est.Value = median(append([]float64(nil), est.GroupMeans...))
+	return est
+}
+
+// median returns the median of xs, averaging the two central elements for
+// even lengths. It sorts xs in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2}, 1.5},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-1, -5, 2, 0}, -0.5},
+	}
+	for _, c := range cases {
+		if got := median(append([]float64(nil), c.in...)); got != c.want {
+			t.Errorf("median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Error("median(nil) should be NaN")
+	}
+}
+
+func TestBoostLayout(t *testing.T) {
+	// 6 instances, 3 groups of 2: means (1.5, 3.5, 5.5), median 3.5.
+	zs := []float64{1, 2, 3, 4, 5, 6}
+	est := boost(zs, 3)
+	if est.Value != 3.5 {
+		t.Errorf("Value = %g, want 3.5", est.Value)
+	}
+	if est.Mean != 3.5 {
+		t.Errorf("Mean = %g, want 3.5", est.Mean)
+	}
+	if len(est.GroupMeans) != 3 || est.GroupMeans[0] != 1.5 || est.GroupMeans[2] != 5.5 {
+		t.Errorf("GroupMeans = %v", est.GroupMeans)
+	}
+	if est.Instances != 6 {
+		t.Errorf("Instances = %d", est.Instances)
+	}
+	// Sample variance of 1..6 = 3.5.
+	if math.Abs(est.SampleVariance-3.5) > 1e-12 {
+		t.Errorf("SampleVariance = %g, want 3.5", est.SampleVariance)
+	}
+}
+
+// TestBoostMedianRobustness: the median ignores a wildly corrupted group -
+// the whole point of the median step (Section 2.3).
+func TestBoostMedianRobustness(t *testing.T) {
+	zs := []float64{10, 10, 10, 10, 1e9, 1e9} // 3 groups of 2, one insane
+	est := boost(zs, 3)
+	if est.Value != 10 {
+		t.Errorf("median value = %g, want 10", est.Value)
+	}
+	if est.Mean < 1e8 {
+		t.Errorf("grand mean should be dragged by the outlier, got %g", est.Mean)
+	}
+}
+
+func TestBoostQuickInvariants(t *testing.T) {
+	f := func(raw []float64, gRaw uint8) bool {
+		// Build a well-formed instance vector.
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		groups := int(gRaw)%4 + 1
+		n := (len(raw) / groups) * groups
+		if n == 0 {
+			return true
+		}
+		zs := raw[:n]
+		est := boost(zs, groups)
+		// The boosted value lies between min and max group mean.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, m := range est.GroupMeans {
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		return est.Value >= lo-1e-9 && est.Value <= hi+1e-9 && est.Instances == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateClamped(t *testing.T) {
+	if (Estimate{Value: -5}).Clamped() != 0 {
+		t.Error("negative estimate should clamp to 0")
+	}
+	if (Estimate{Value: 7}).Clamped() != 7 {
+		t.Error("positive estimate should pass through")
+	}
+}
+
+func TestEstimateStdErr(t *testing.T) {
+	e := Estimate{SampleVariance: 100, Instances: 25, GroupMeans: make([]float64, 5)}
+	// Per-group size 5; stderr = sqrt(100/5).
+	want := math.Sqrt(20)
+	if got := e.StdErr(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdErr = %g, want %g", got, want)
+	}
+	if !math.IsNaN((Estimate{}).StdErr()) {
+		t.Error("empty estimate StdErr should be NaN")
+	}
+}

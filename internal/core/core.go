@@ -1,0 +1,262 @@
+// Package core implements the paper's contribution: atomic spatial sketches
+// over dyadic domains and the boosted cardinality estimators built from
+// them (Das, Gehrke, Riedewald, "Approximation Techniques for Spatial
+// Data", SIGMOD 2004).
+//
+// The package provides, for d-dimensional hyper-rectangle data:
+//
+//   - JoinSketch: the {I,E}^d atomic sketch set of Sections 3.1-3.2 with
+//     the join estimators of Theorems 1-3 (strict overlap, Assumption 1 or
+//     endpoint-transformed inputs);
+//   - CESketch: the {I,E,L,U}^d sketch set of Appendices B.1/C that handles
+//     common endpoints explicitly, with both the strict (Lemma 13) and
+//     extended (Definition 4) join estimators;
+//   - PointSketch/BoxSketch: the two-sketch estimator of Lemmas 7-8 for
+//     epsilon-joins and containment joins;
+//   - RangeSketch: the optimized range-query estimator of Lemma 9;
+//   - boosting (median of means, Section 2.3) and the Theorem 1 sizing
+//     rules (Plan*, Words*).
+//
+// All sketches support inserts and deletes, are buildable in one pass, and
+// are deterministic in their configuration seed.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/geo"
+	"repro/internal/dyadic"
+	"repro/internal/xi"
+)
+
+// MaxDims bounds the supported dimensionality. The estimators enumerate
+// 2^d (or 4^d) atomic sketches per instance, so very high d is not useful
+// (the paper's curse-of-dimensionality discussion, Section 6.1); the bound
+// exists to catch configuration mistakes.
+const MaxDims = 8
+
+// Config describes a sketch plan: domain geometry, adaptivity, and the
+// boosting layout.
+type Config struct {
+	// Dims is the data dimensionality (1 = intervals, 2 = rectangles, ...).
+	Dims int
+	// LogDomain[i] is log2 of the coordinate domain size of dimension i.
+	// Coordinates inserted into sketches must be < 2^LogDomain[i]. When the
+	// endpoint transformation of Section 5.2 is in use, this is the log of
+	// the transformed (tripled, padded) domain.
+	LogDomain []int
+	// MaxLevel[i] caps the dyadic level used by covers in dimension i
+	// (Section 6.5). Negative or >= LogDomain[i] means uncapped;
+	// 0 degenerates to the standard (non-dyadic) sketches of Section 3.1.
+	// A nil slice means uncapped in every dimension.
+	MaxLevel []int
+	// Instances is the total number of i.i.d. atomic estimator instances
+	// (k1*k2 in Section 2.3).
+	Instances int
+	// Groups is the number of median groups (k2). It must divide Instances.
+	Groups int
+	// Seed determines every xi-family deterministically.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Dims < 1 || c.Dims > MaxDims {
+		return fmt.Errorf("core: dims %d outside [1, %d]", c.Dims, MaxDims)
+	}
+	if len(c.LogDomain) != c.Dims {
+		return fmt.Errorf("core: got %d log-domain entries for %d dims", len(c.LogDomain), c.Dims)
+	}
+	for i, h := range c.LogDomain {
+		if h < 1 || h > dyadic.MaxLog {
+			return fmt.Errorf("core: log domain %d of dim %d outside [1, %d]", h, i, dyadic.MaxLog)
+		}
+	}
+	if c.MaxLevel != nil && len(c.MaxLevel) != c.Dims {
+		return fmt.Errorf("core: got %d maxLevel entries for %d dims", len(c.MaxLevel), c.Dims)
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("core: instances must be >= 1, got %d", c.Instances)
+	}
+	if c.Groups < 1 || c.Instances%c.Groups != 0 {
+		return fmt.Errorf("core: groups %d must be >= 1 and divide instances %d", c.Groups, c.Instances)
+	}
+	return nil
+}
+
+// Plan fixes the random bits of a sketch family: one independent xi-family
+// per (instance, dimension). Sketches of the two join inputs must be built
+// from the same plan - the estimators correlate X- and Y-sketches through
+// shared families, exactly as the paper requires.
+type Plan struct {
+	cfg      Config
+	doms     []dyadic.Domain
+	maxLevel []int
+	fams     [][]*xi.Family // [instance][dim]
+}
+
+// NewPlan validates the configuration and derives all xi-families from the
+// seed.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{cfg: cfg}
+	p.doms = make([]dyadic.Domain, cfg.Dims)
+	p.maxLevel = make([]int, cfg.Dims)
+	for i := 0; i < cfg.Dims; i++ {
+		dom, err := dyadic.New(cfg.LogDomain[i])
+		if err != nil {
+			return nil, err
+		}
+		p.doms[i] = dom
+		if cfg.MaxLevel == nil {
+			p.maxLevel[i] = cfg.LogDomain[i]
+		} else {
+			ml := cfg.MaxLevel[i]
+			if ml < 0 || ml > cfg.LogDomain[i] {
+				ml = cfg.LogDomain[i]
+			}
+			p.maxLevel[i] = ml
+		}
+	}
+	p.fams = make([][]*xi.Family, cfg.Instances)
+	for inst := range p.fams {
+		p.fams[inst] = make([]*xi.Family, cfg.Dims)
+		for dim := range p.fams[inst] {
+			p.fams[inst][dim] = xi.New(famSeed(cfg.Seed, inst, dim))
+		}
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan, panicking on error. For tests and examples.
+func MustPlan(cfg Config) *Plan {
+	p, err := NewPlan(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// famSeed mixes the master seed with the instance and dimension indices.
+func famSeed(seed uint64, inst, dim int) uint64 {
+	z := seed ^ (uint64(inst)+1)*0x9e3779b97f4a7c15 ^ (uint64(dim)+1)*0xc2b2ae3d27d4eb4f
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Domains returns the dyadic domain of each dimension.
+func (p *Plan) Domains() []dyadic.Domain { return p.doms }
+
+// MaxLevels returns the effective per-dimension level caps.
+func (p *Plan) MaxLevels() []int { return p.maxLevel }
+
+// Instances returns the total number of atomic estimator instances.
+func (p *Plan) Instances() int { return p.cfg.Instances }
+
+// Groups returns the number of median groups (k2).
+func (p *Plan) Groups() int { return p.cfg.Groups }
+
+// Materialize precomputes sign tables for every family (an optional
+// speed/space trade-off; see xi.Family.Materialize). The extra memory is
+// Instances * Dims * IDSpace bytes.
+func (p *Plan) Materialize() {
+	for _, fams := range p.fams {
+		for dim, f := range fams {
+			f.Materialize(p.doms[dim].IDSpace())
+		}
+	}
+}
+
+// coverBuf holds scratch cover id lists for one object, reused across
+// instances so covers are computed once per object (they do not depend on
+// the instance).
+type coverBuf struct {
+	cover [][]uint64 // canonical interval cover per dim
+	ptLo  [][]uint64 // point cover of the lower endpoint per dim
+	ptHi  [][]uint64 // point cover of the upper endpoint per dim
+}
+
+func newCoverBuf(d int) *coverBuf {
+	return &coverBuf{
+		cover: make([][]uint64, d),
+		ptLo:  make([][]uint64, d),
+		ptHi:  make([][]uint64, d),
+	}
+}
+
+// load computes the covers of rect into the buffer.
+func (b *coverBuf) load(p *Plan, rect geo.HyperRect) {
+	for i, iv := range rect {
+		b.cover[i] = p.doms[i].CoverMax(iv.Lo, iv.Hi, p.maxLevel[i], b.cover[i][:0])
+		b.ptLo[i] = p.doms[i].PointCoverMax(iv.Lo, p.maxLevel[i], b.ptLo[i][:0])
+		b.ptHi[i] = p.doms[i].PointCoverMax(iv.Hi, p.maxLevel[i], b.ptHi[i][:0])
+	}
+}
+
+// checkRect validates a hyper-rectangle against the plan's domains.
+func (p *Plan) checkRect(rect geo.HyperRect) error {
+	if len(rect) != p.cfg.Dims {
+		return fmt.Errorf("core: object dimensionality %d, want %d", len(rect), p.cfg.Dims)
+	}
+	for i, iv := range rect {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("core: invalid interval [%d, %d] in dim %d", iv.Lo, iv.Hi, i)
+		}
+		if iv.Hi >= p.doms[i].Size() {
+			return fmt.Errorf("core: coordinate %d outside domain of size %d in dim %d", iv.Hi, p.doms[i].Size(), i)
+		}
+	}
+	return nil
+}
+
+// checkPoint validates a point against the plan's domains.
+func (p *Plan) checkPoint(pt geo.Point) error {
+	if len(pt) != p.cfg.Dims {
+		return fmt.Errorf("core: point dimensionality %d, want %d", len(pt), p.cfg.Dims)
+	}
+	for i, x := range pt {
+		if x >= p.doms[i].Size() {
+			return fmt.Errorf("core: coordinate %d outside domain of size %d in dim %d", x, p.doms[i].Size(), i)
+		}
+	}
+	return nil
+}
+
+// log2ceil returns ceil(log2(x)) for x >= 1.
+func log2ceil(x uint64) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len64(x - 1)
+}
+
+// samePlan reports whether two plans are interchangeable for estimation:
+// either the same object, or value-identical configurations (which derive
+// identical xi-families). This makes sketches serialized on one machine and
+// rebuilt on another estimable against local ones.
+func samePlan(a, b *Plan) bool {
+	if a == b {
+		return true
+	}
+	ca, cb := a.cfg, b.cfg
+	if ca.Dims != cb.Dims || ca.Instances != cb.Instances || ca.Groups != cb.Groups || ca.Seed != cb.Seed {
+		return false
+	}
+	for i := range ca.LogDomain {
+		if ca.LogDomain[i] != cb.LogDomain[i] {
+			return false
+		}
+	}
+	for i := range a.maxLevel {
+		if a.maxLevel[i] != b.maxLevel[i] {
+			return false
+		}
+	}
+	return true
+}

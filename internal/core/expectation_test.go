@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/geo"
+	"repro/internal/datagen"
+	"repro/internal/dyadic"
+	"repro/internal/exact"
+)
+
+// Algebraic expectation tests.
+//
+// Every estimator in this package is a sum of products of counter values,
+// and every counter is a linear combination of xi-variables with
+// deterministic integer coefficients (the cover multiplicities). Since
+// E[xi_a xi_b] = [a == b] under pairwise independence and the per-dimension
+// families are independent, the exact expected value of each estimator is a
+// polynomial in cover-id multiset inner products - computable with NO
+// sampling. These tests evaluate that algebra and compare against the exact
+// query answers, pinning the estimator formulas (scales, signs, pairings)
+// to machine precision. The statistical tests elsewhere then only need to
+// tie the running implementation to the same formulas.
+
+// innerProd returns sum over ids of mult_a(id) * mult_b(id): the exact
+// expectation E[(sum_a xi)(sum_b xi)] for id lists with multiplicity.
+func innerProd(a, b []uint64) float64 {
+	counts := make(map[uint64]int64, len(a))
+	for _, id := range a {
+		counts[id]++
+	}
+	var s int64
+	for _, id := range b {
+		s += counts[id]
+	}
+	return float64(s)
+}
+
+// letter lists per dimension.
+type dimLists struct {
+	cover []uint64 // I: canonical interval cover
+	ept   []uint64 // E: both endpoint point covers concatenated
+	ptHi  []uint64 // upper endpoint point cover (range sketch letter U)
+	leafL []uint64 // L: lower endpoint leaf
+	leafU []uint64 // U: upper endpoint leaf
+}
+
+func listsFor(dom dyadic.Domain, ml int, iv geo.Interval) dimLists {
+	var l dimLists
+	l.cover = dom.CoverMax(iv.Lo, iv.Hi, ml, nil)
+	l.ept = dom.PointCoverMax(iv.Lo, ml, nil)
+	l.ept = dom.PointCoverMax(iv.Hi, ml, l.ept)
+	l.ptHi = dom.PointCoverMax(iv.Hi, ml, nil)
+	l.leafL = []uint64{dom.LeafID(iv.Lo)}
+	l.leafU = []uint64{dom.LeafID(iv.Hi)}
+	return l
+}
+
+// expectedJoin computes E[Z] of the {I,E}^d join estimator exactly:
+// E[Z] = 2^-d * sum_{r,s} prod_dim (ip(I_r, E_s) + ip(E_r, I_s)).
+func expectedJoin(doms []dyadic.Domain, ml []int, r, s []geo.HyperRect) float64 {
+	d := len(doms)
+	var total float64
+	for _, a := range r {
+		la := make([]dimLists, d)
+		for i := 0; i < d; i++ {
+			la[i] = listsFor(doms[i], ml[i], a[i])
+		}
+		for _, b := range s {
+			prod := 1.0
+			for i := 0; i < d; i++ {
+				lb := listsFor(doms[i], ml[i], b[i])
+				prod *= innerProd(la[i].cover, lb.ept) + innerProd(la[i].ept, lb.cover)
+			}
+			total += prod
+		}
+	}
+	return total / math.Pow(2, float64(d))
+}
+
+// expectedCE computes E[Z] of the common-endpoint estimators exactly via
+// the per-dimension pairing factor.
+func expectedCE(doms []dyadic.Domain, ml []int, r, s []geo.HyperRect, strict bool) float64 {
+	d := len(doms)
+	var total float64
+	for _, a := range r {
+		la := make([]dimLists, d)
+		for i := 0; i < d; i++ {
+			la[i] = listsFor(doms[i], ml[i], a[i])
+		}
+		for _, b := range s {
+			prod := 1.0
+			for i := 0; i < d; i++ {
+				lb := listsFor(doms[i], ml[i], b[i])
+				f := innerProd(la[i].cover, lb.ept) + innerProd(la[i].ept, lb.cover) -
+					innerProd(la[i].leafL, lb.leafL) - innerProd(la[i].leafU, lb.leafU)
+				if strict {
+					f -= 2 * (innerProd(la[i].leafL, lb.leafU) + innerProd(la[i].leafU, lb.leafL))
+				}
+				prod *= f
+			}
+			total += prod
+		}
+	}
+	return total / math.Pow(2, float64(d))
+}
+
+// expectedPointBox computes E[X_E * Y_I] exactly.
+func expectedPointBox(doms []dyadic.Domain, ml []int, pts []geo.Point, boxes []geo.HyperRect) float64 {
+	d := len(doms)
+	var total float64
+	for _, p := range pts {
+		pcov := make([][]uint64, d)
+		for i := 0; i < d; i++ {
+			pcov[i] = doms[i].PointCoverMax(p[i], ml[i], nil)
+		}
+		for _, b := range boxes {
+			prod := 1.0
+			for i := 0; i < d; i++ {
+				prod *= innerProd(pcov[i], doms[i].CoverMax(b[i].Lo, b[i].Hi, ml[i], nil))
+			}
+			total += prod
+		}
+	}
+	return total
+}
+
+// expectedRange computes E[Z] of the Lemma 9 range estimator exactly.
+func expectedRange(doms []dyadic.Domain, ml []int, r []geo.HyperRect, q geo.HyperRect) float64 {
+	d := len(doms)
+	var total float64
+	lq := make([]dimLists, d)
+	for i := 0; i < d; i++ {
+		lq[i] = listsFor(doms[i], ml[i], q[i])
+	}
+	for _, a := range r {
+		prod := 1.0
+		for i := 0; i < d; i++ {
+			la := listsFor(doms[i], ml[i], a[i])
+			prod *= innerProd(lq[i].cover, la.ptHi) + innerProd(lq[i].ptHi, la.cover)
+		}
+		total += prod
+	}
+	return total
+}
+
+func domsFor(dims, h int) ([]dyadic.Domain, []int) {
+	doms := make([]dyadic.Domain, dims)
+	ml := make([]int, dims)
+	for i := range doms {
+		doms[i] = dyadic.MustNew(h)
+		ml[i] = h
+	}
+	return doms, ml
+}
+
+func requireEq(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("%s: algebraic E[Z] = %v, exact = %v", name, got, want)
+	}
+}
+
+// TestExpectedJoinExact: the {I,E}^d estimator is exactly unbiased for
+// strict joins on endpoint-transformed inputs, in 1, 2 and 3 dimensions.
+func TestExpectedJoinExact(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		const dom = 16
+		mean := make([]float64, dims)
+		for i := range mean {
+			mean[i] = 5
+		}
+		r := datagen.MustRects(datagen.Spec{N: 25, Dims: dims, Domain: dom, Seed: uint64(500 + dims), MeanLen: mean})
+		s := datagen.MustRects(datagen.Spec{N: 25, Dims: dims, Domain: dom, Seed: uint64(600 + dims), MeanLen: mean})
+		want := float64(exact.JoinCountBrute(r, s))
+		tr, ts := transformPair(r, s)
+		doms, ml := domsFor(dims, log2ceil(geo.TransformDomain(dom)))
+		requireEq(t, "join", expectedJoin(doms, ml, tr, ts), want)
+	}
+}
+
+// TestExpectedJoinSharedEndpointsDense: exhaustively over all interval
+// pairs of a small domain (every Figure 3 case appears many times), the
+// transform keeps the estimator exactly unbiased.
+func TestExpectedJoinSharedEndpointsDense(t *testing.T) {
+	var all []geo.HyperRect
+	const dom = 7
+	for lo := uint64(0); lo < dom; lo++ {
+		for hi := lo + 1; hi < dom; hi++ {
+			all = append(all, geo.Span1D(lo, hi))
+		}
+	}
+	want := float64(exact.JoinCountBrute(all, all))
+	tr, ts := transformPair(all, all)
+	doms, ml := domsFor(1, log2ceil(geo.TransformDomain(dom)))
+	requireEq(t, "join-dense", expectedJoin(doms, ml, tr, ts), want)
+}
+
+// TestExpectedJoinMaxLevel: level capping preserves exact unbiasedness
+// (Section 6.5), including maxLevel 0 = standard sketches.
+func TestExpectedJoinMaxLevel(t *testing.T) {
+	const dom = 16
+	r := datagen.MustRects(datagen.Spec{N: 30, Dims: 1, Domain: dom, Seed: 43, MeanLen: []float64{5}})
+	s := datagen.MustRects(datagen.Spec{N: 30, Dims: 1, Domain: dom, Seed: 44, MeanLen: []float64{5}})
+	want := float64(exact.JoinCountBrute(r, s))
+	tr, ts := transformPair(r, s)
+	h := log2ceil(geo.TransformDomain(dom))
+	for _, ml := range []int{0, 1, 2, 3, h} {
+		doms, _ := domsFor(1, h)
+		requireEq(t, "join-maxlevel", expectedJoin(doms, []int{ml}, tr, ts), want)
+	}
+}
+
+// TestExpectedCEExact: Lemma 13 (strict) and the Appendix C extended
+// estimator are exactly unbiased WITHOUT transformation, on raw data dense
+// with shared endpoints, in 1, 2 and 3 dimensions.
+func TestExpectedCEExact(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		const dom = 8
+		gen := func(seed uint64, n int) []geo.HyperRect {
+			out := make([]geo.HyperRect, 0, n)
+			raw := denseIntervals(seed, n*dims, dom)
+			for i := 0; i < n; i++ {
+				h := make(geo.HyperRect, dims)
+				for j := 0; j < dims; j++ {
+					h[j] = raw[i*dims+j][0]
+				}
+				out = append(out, h)
+			}
+			return out
+		}
+		r := gen(uint64(700+dims), 20)
+		s := gen(uint64(800+dims), 20)
+		doms, ml := domsFor(dims, 3)
+		wantStrict := float64(exact.JoinCountBrute(r, s))
+		wantExt := float64(exact.JoinCountExtBrute(r, s))
+		requireEq(t, "ce-strict", expectedCE(doms, ml, r, s, true), wantStrict)
+		requireEq(t, "ce-ext", expectedCE(doms, ml, r, s, false), wantExt)
+	}
+}
+
+// TestExpectedCEDenseExhaustive: all interval pairs over a small domain,
+// raw (no transform) - the hardest shared-endpoint workload.
+func TestExpectedCEDenseExhaustive(t *testing.T) {
+	var all []geo.HyperRect
+	const dom = 8
+	for lo := uint64(0); lo < dom; lo++ {
+		for hi := lo + 1; hi < dom; hi++ {
+			all = append(all, geo.Span1D(lo, hi))
+		}
+	}
+	doms, ml := domsFor(1, 3)
+	requireEq(t, "ce-strict-exhaustive", expectedCE(doms, ml, all, all, true),
+		float64(exact.JoinCountBrute(all, all)))
+	requireEq(t, "ce-ext-exhaustive", expectedCE(doms, ml, all, all, false),
+		float64(exact.JoinCountExtBrute(all, all)))
+}
+
+// TestExpectedEpsJoinExact: the Section 6.3 ball reduction is exactly
+// unbiased for L-infinity epsilon-joins, with and without the Section 6.5
+// level cap on the point/box covers.
+func TestExpectedEpsJoinExact(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		const dom = 16
+		a := datagen.MustPoints(datagen.Spec{N: 30, Dims: dims, Domain: dom, Seed: uint64(900 + dims)})
+		b := datagen.MustPoints(datagen.Spec{N: 30, Dims: dims, Domain: dom, Seed: uint64(950 + dims)})
+		for _, cap := range []int{1, 2, 4} {
+			doms, ml := domsFor(dims, 4)
+			for i := range ml {
+				ml[i] = cap
+			}
+			for _, eps := range []uint64{0, 1, 3} {
+				want := float64(exact.EpsJoinCount(a, b, eps, exact.LInf))
+				balls := make([]geo.HyperRect, len(b))
+				for i, q := range b {
+					balls[i] = geo.Ball(q, eps, dom)
+				}
+				requireEq(t, "epsjoin", expectedPointBox(doms, ml, a, balls), want)
+			}
+		}
+	}
+}
+
+// TestExpectedContainmentExact: the Appendix B.2 reduction is exactly
+// unbiased for containment joins, shared endpoints included.
+func TestExpectedContainmentExact(t *testing.T) {
+	const dom = 16
+	r := denseIntervals(21, 40, dom)
+	s := denseIntervals(22, 40, dom)
+	want := float64(exact.ContainmentCount(r, s))
+	doms, ml := domsFor(2, 4)
+	pts := make([]geo.Point, len(r))
+	for i, a := range r {
+		pts[i] = ContainmentPoint(a)
+	}
+	boxes := make([]geo.HyperRect, len(s))
+	for i, b := range s {
+		boxes[i] = ContainmentBox(b)
+	}
+	requireEq(t, "containment", expectedPointBox(doms, ml, pts, boxes), want)
+}
+
+// TestExpectedRangeExact: Lemma 9's two-event decomposition is exactly
+// unbiased over transformed data/query pairs, for many queries.
+func TestExpectedRangeExact(t *testing.T) {
+	const dom = 16
+	rects := datagen.MustRects(datagen.Spec{N: 40, Dims: 1, Domain: dom, Seed: 71, MeanLen: []float64{5}})
+	h := log2ceil(geo.TransformDomain(dom))
+	doms, ml := domsFor(1, h)
+	tr := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		tr[i] = geo.TransformKeepRect(r)
+	}
+	for lo := uint64(0); lo < dom-1; lo += 2 {
+		for hi := lo + 1; hi < dom; hi += 3 {
+			q := geo.Span1D(lo, hi)
+			want := float64(exact.RangeCount(rects, q))
+			tq := geo.TransformShrinkRect(q.Clone())
+			requireEq(t, "range", expectedRange(doms, ml, tr, tq), want)
+		}
+	}
+}
+
+// TestExpectedRange2DExact: the d-dimensional range generalization.
+func TestExpectedRange2DExact(t *testing.T) {
+	const dom = 8
+	rects := datagen.MustRects(datagen.Spec{N: 30, Dims: 2, Domain: dom, Seed: 72, MeanLen: []float64{3, 3}})
+	h := log2ceil(geo.TransformDomain(dom))
+	doms, ml := domsFor(2, h)
+	tr := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		tr[i] = geo.TransformKeepRect(r)
+	}
+	for _, q := range []geo.HyperRect{
+		geo.Rect(1, 4, 2, 6), geo.Rect(0, 7, 0, 7), geo.Rect(3, 5, 3, 5),
+	} {
+		want := float64(exact.RangeCount(rects, q))
+		requireEq(t, "range2d", expectedRange(doms, ml, tr, geo.TransformShrinkRect(q)), want)
+	}
+}

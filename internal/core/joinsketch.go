@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/geo"
+)
+
+// JoinSketch is the synopsis of one relation under the {I,E}^d dyadic
+// atomic sketch set of Sections 3.1-3.2: per instance, 2^d integer counters
+// X_w indexed by the bitmask of the letter string w (bit i set = letter E
+// in dimension i; bit clear = letter I). For d = 1 these are (X_I, X_E) of
+// Equation 4; for d = 2 they are (X_II, X_IE, X_EI, X_EE).
+//
+// The estimators assume Assumption 1 (no endpoints in common between the
+// joined relations). Callers that cannot guarantee the assumption should
+// apply the endpoint transformation of Section 5.2 (geo.TransformKeepRect /
+// geo.TransformShrinkRect) before inserting, as the public spatial package
+// does, or use CESketch.
+//
+// A JoinSketch is not safe for concurrent mutation; InsertAll parallelizes
+// a bulk load internally.
+type JoinSketch struct {
+	plan     *Plan
+	counters []int64 // [instance * 2^d + w]
+	count    int64   // current object cardinality
+	buf      *coverBuf
+}
+
+// NewJoinSketch returns an empty sketch of the plan's relation shape.
+func (p *Plan) NewJoinSketch() *JoinSketch {
+	return &JoinSketch{
+		plan:     p,
+		counters: make([]int64, p.cfg.Instances<<uint(p.cfg.Dims)),
+		buf:      newCoverBuf(p.cfg.Dims),
+	}
+}
+
+// Plan returns the plan the sketch was built from.
+func (s *JoinSketch) Plan() *Plan { return s.plan }
+
+// Count returns the current number of objects summarized (inserts minus
+// deletes), the denominator of selectivity.
+func (s *JoinSketch) Count() int64 { return s.count }
+
+// Insert adds a hyper-rectangle to the sketch.
+func (s *JoinSketch) Insert(rect geo.HyperRect) error { return s.update(rect, +1) }
+
+// Delete removes a previously inserted hyper-rectangle from the sketch
+// (sketches are linear projections, so deletion is exact: Section 4.1.5).
+func (s *JoinSketch) Delete(rect geo.HyperRect) error { return s.update(rect, -1) }
+
+func (s *JoinSketch) update(rect geo.HyperRect, sign int64) error {
+	if err := s.plan.checkRect(rect); err != nil {
+		return err
+	}
+	s.buf.load(s.plan, rect)
+	s.applyCovers(s.buf, 0, s.plan.cfg.Instances, sign)
+	s.count += sign
+	return nil
+}
+
+// applyCovers folds one object's covers into the counters of instances
+// [from, to).
+func (s *JoinSketch) applyCovers(buf *coverBuf, from, to int, sign int64) {
+	d := s.plan.cfg.Dims
+	nw := 1 << uint(d)
+	var sums [MaxDims][2]int64 // [dim][0]=I sum, [dim][1]=E sum
+	for inst := from; inst < to; inst++ {
+		fams := s.plan.fams[inst]
+		for i := 0; i < d; i++ {
+			f := fams[i]
+			sums[i][0] = f.SumSigns(buf.cover[i])
+			sums[i][1] = f.SumSigns(buf.ptLo[i]) + f.SumSigns(buf.ptHi[i])
+		}
+		base := inst * nw
+		for w := 0; w < nw; w++ {
+			prod := sign
+			for i := 0; i < d; i++ {
+				prod *= sums[i][(w>>uint(i))&1]
+			}
+			s.counters[base+w] += prod
+		}
+	}
+}
+
+// InsertAll bulk-loads a slice of hyper-rectangles, validating all of them
+// first and parallelizing the counter updates across instances. It is the
+// fast path for building a sketch from stored data; the resulting sketch is
+// identical to one built by repeated Insert calls.
+func (s *JoinSketch) InsertAll(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := s.plan.checkRect(r); err != nil {
+			return err
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	inst := s.plan.cfg.Instances
+	if workers > inst {
+		workers = inst
+	}
+	if workers <= 1 || len(rects) < 64 {
+		for _, r := range rects {
+			s.buf.load(s.plan, r)
+			s.applyCovers(s.buf, 0, inst, +1)
+		}
+		s.count += int64(len(rects))
+		return nil
+	}
+
+	const batch = 256
+	bufs := make([]*coverBuf, batch)
+	for i := range bufs {
+		bufs[i] = newCoverBuf(s.plan.cfg.Dims)
+	}
+	var wg sync.WaitGroup
+	for start := 0; start < len(rects); start += batch {
+		end := min(start+batch, len(rects))
+		n := end - start
+		// Covers are instance-independent: compute once per object, then
+		// fan the counter updates out across disjoint instance ranges.
+		for i := 0; i < n; i++ {
+			bufs[i].load(s.plan, rects[start+i])
+		}
+		per := (inst + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, min((w+1)*per, inst)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					s.applyCovers(bufs[i], lo, hi, +1)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	s.count += int64(len(rects))
+	return nil
+}
+
+// Reset zeroes the sketch in place.
+func (s *JoinSketch) Reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+	s.count = 0
+}
+
+// Clone returns an independent deep copy sharing the (immutable) plan.
+func (s *JoinSketch) Clone() *JoinSketch {
+	c := s.plan.NewJoinSketch()
+	copy(c.counters, s.counters)
+	c.count = s.count
+	return c
+}
+
+// Merge adds the counters of other into s. Both sketches must come from the
+// same plan. Merging the sketches of two disjoint streams is equivalent to
+// sketching their union - the linearity that makes sketches distributable.
+func (s *JoinSketch) Merge(other *JoinSketch) error {
+	if !samePlan(s.plan, other.plan) {
+		return fmt.Errorf("core: cannot merge sketches from different plans")
+	}
+	for i, v := range other.counters {
+		s.counters[i] += v
+	}
+	s.count += other.count
+	return nil
+}
+
+// Counter returns the X_w counter of one instance (w is the E-letter
+// bitmask). Exposed for tests and diagnostics.
+func (s *JoinSketch) Counter(instance, w int) int64 {
+	d := s.plan.cfg.Dims
+	return s.counters[instance<<uint(d)+w]
+}
+
+// EstimateJoin estimates |R join_o S| from the sketches of R and S per
+// Theorems 1-3: each instance contributes Z = 2^-d * sum_w X_w * Y_w-bar,
+// and instances are boosted by the median-of-means of Section 2.3.
+// Both sketches must come from the same plan.
+func EstimateJoin(x, y *JoinSketch) (Estimate, error) {
+	if !samePlan(x.plan, y.plan) {
+		return Estimate{}, fmt.Errorf("core: sketches come from different plans")
+	}
+	p := x.plan
+	d := p.cfg.Dims
+	nw := 1 << uint(d)
+	mask := nw - 1
+	scale := 1.0 / float64(int64(1)<<uint(d))
+	zs := make([]float64, p.cfg.Instances)
+	for inst := range zs {
+		base := inst * nw
+		var z float64
+		for w := 0; w < nw; w++ {
+			z += float64(x.counters[base+w]) * float64(y.counters[base+(w^mask)])
+		}
+		zs[inst] = z * scale
+	}
+	return boost(zs, p.cfg.Groups), nil
+}
+
+// EstimateSelfJoin estimates SJ(R) = sum_w SJ(X_w) from the sketch's own
+// counters: E[X_w^2] = SJ(X_w) - the original self-join-size use of AMS
+// sketches (Section 2.2) turned inward. This lets a deployment feed the
+// Theorem 1 planner without any offline pass over the data: the synopsis
+// estimates its own variance budget.
+func (s *JoinSketch) EstimateSelfJoin() Estimate {
+	p := s.plan
+	nw := 1 << uint(p.cfg.Dims)
+	zs := make([]float64, p.cfg.Instances)
+	for inst := range zs {
+		base := inst * nw
+		var z float64
+		for w := 0; w < nw; w++ {
+			v := float64(s.counters[base+w])
+			z += v * v
+		}
+		zs[inst] = z
+	}
+	return boost(zs, p.cfg.Groups)
+}
+
+// SelfJoinUpperBound returns a cheap upper bound on SJ(R) =
+// sum_w SJ(X_w) derived from the triangle inequality: each inserted object
+// contributes at most (prod_i |cover_i| for the I letters) * ... per w, so
+// SJ(X_w) <= (sum over objects of its cover-product for w)^2. The bound is
+// loose but needs no extra state; exact values come from
+// internal/exact.SelfJoinSizes.
+func (s *JoinSketch) SelfJoinUpperBound() float64 {
+	// With only counters available the best generic bound is
+	// (sum_w max-cover-product * count)^2; keep it simple and documented.
+	d := s.plan.cfg.Dims
+	perObj := 1.0
+	for i := 0; i < d; i++ {
+		h := float64(s.plan.maxLevel[i])
+		c := 2*h + 2 // interval cover + slack
+		e := 2 * (h + 1)
+		perObj *= c + e
+	}
+	n := float64(s.count)
+	return perObj * perObj * n * n
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of sketches. A sketch is fully determined by its
+// configuration (the xi-families derive deterministically from the seed)
+// and its counters, so synopses can be shipped between processes - e.g.
+// built at the edge of a stream and merged or queried centrally - at a cost
+// of a few bytes per counter.
+
+const (
+	marshalMagic   = 0x53504b31 // "SPK1"
+	kindJoinSketch = 1
+	kindCESketch   = 2
+	kindPoint      = 3
+	kindBox        = 4
+	kindRange      = 5
+)
+
+func marshalConfig(w *bytes.Buffer, c Config) {
+	binary.Write(w, binary.LittleEndian, uint32(c.Dims))
+	for _, h := range c.LogDomain {
+		binary.Write(w, binary.LittleEndian, int32(h))
+	}
+	hasML := uint32(0)
+	if c.MaxLevel != nil {
+		hasML = 1
+	}
+	binary.Write(w, binary.LittleEndian, hasML)
+	if c.MaxLevel != nil {
+		for _, ml := range c.MaxLevel {
+			binary.Write(w, binary.LittleEndian, int32(ml))
+		}
+	}
+	binary.Write(w, binary.LittleEndian, uint64(c.Instances))
+	binary.Write(w, binary.LittleEndian, uint64(c.Groups))
+	binary.Write(w, binary.LittleEndian, c.Seed)
+}
+
+func unmarshalConfig(r *bytes.Reader) (Config, error) {
+	var c Config
+	var dims uint32
+	if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
+		return c, err
+	}
+	if dims == 0 || dims > MaxDims {
+		return c, fmt.Errorf("core: bad dims %d in serialized sketch", dims)
+	}
+	c.Dims = int(dims)
+	c.LogDomain = make([]int, c.Dims)
+	for i := range c.LogDomain {
+		var h int32
+		if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+			return c, err
+		}
+		c.LogDomain[i] = int(h)
+	}
+	var hasML uint32
+	if err := binary.Read(r, binary.LittleEndian, &hasML); err != nil {
+		return c, err
+	}
+	if hasML == 1 {
+		c.MaxLevel = make([]int, c.Dims)
+		for i := range c.MaxLevel {
+			var ml int32
+			if err := binary.Read(r, binary.LittleEndian, &ml); err != nil {
+				return c, err
+			}
+			c.MaxLevel[i] = int(ml)
+		}
+	}
+	var inst, groups uint64
+	if err := binary.Read(r, binary.LittleEndian, &inst); err != nil {
+		return c, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &groups); err != nil {
+		return c, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &c.Seed); err != nil {
+		return c, err
+	}
+	c.Instances, c.Groups = int(inst), int(groups)
+	return c, nil
+}
+
+func marshalSketch(kind uint32, cfg Config, count int64, counters []int64) ([]byte, error) {
+	var w bytes.Buffer
+	binary.Write(&w, binary.LittleEndian, uint32(marshalMagic))
+	binary.Write(&w, binary.LittleEndian, kind)
+	marshalConfig(&w, cfg)
+	binary.Write(&w, binary.LittleEndian, count)
+	binary.Write(&w, binary.LittleEndian, uint64(len(counters)))
+	for _, c := range counters {
+		binary.Write(&w, binary.LittleEndian, c)
+	}
+	return w.Bytes(), nil
+}
+
+func unmarshalSketch(kind uint32, data []byte) (Config, int64, []int64, error) {
+	r := bytes.NewReader(data)
+	var magic, gotKind uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return Config{}, 0, nil, err
+	}
+	if magic != marshalMagic {
+		return Config{}, 0, nil, fmt.Errorf("core: bad sketch magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &gotKind); err != nil {
+		return Config{}, 0, nil, err
+	}
+	if gotKind != kind {
+		return Config{}, 0, nil, fmt.Errorf("core: sketch kind %d, want %d", gotKind, kind)
+	}
+	cfg, err := unmarshalConfig(r)
+	if err != nil {
+		return Config{}, 0, nil, err
+	}
+	var count int64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return Config{}, 0, nil, err
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Config{}, 0, nil, err
+	}
+	if n > uint64(r.Len()/8) {
+		return Config{}, 0, nil, fmt.Errorf("core: truncated sketch: %d counters declared, %d bytes left", n, r.Len())
+	}
+	counters := make([]int64, n)
+	for i := range counters {
+		if err := binary.Read(r, binary.LittleEndian, &counters[i]); err != nil {
+			return Config{}, 0, nil, err
+		}
+	}
+	return cfg, count, counters, nil
+}
+
+// MarshalBinary serializes the sketch together with its configuration.
+func (s *JoinSketch) MarshalBinary() ([]byte, error) {
+	return marshalSketch(kindJoinSketch, s.plan.cfg, s.count, s.counters)
+}
+
+// UnmarshalJoinSketch reconstructs a JoinSketch (and its plan) from
+// MarshalBinary output.
+func UnmarshalJoinSketch(data []byte) (*JoinSketch, error) {
+	cfg, count, counters, err := unmarshalSketch(kindJoinSketch, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := p.NewJoinSketch()
+	if len(counters) != len(s.counters) {
+		return nil, fmt.Errorf("core: counter count %d does not match config (%d)", len(counters), len(s.counters))
+	}
+	copy(s.counters, counters)
+	s.count = count
+	return s, nil
+}
+
+// MarshalBinary serializes the sketch together with its configuration.
+func (s *CESketch) MarshalBinary() ([]byte, error) {
+	return marshalSketch(kindCESketch, s.plan.cfg, s.count, s.counters)
+}
+
+// UnmarshalCESketch reconstructs a CESketch from MarshalBinary output.
+func UnmarshalCESketch(data []byte) (*CESketch, error) {
+	cfg, count, counters, err := unmarshalSketch(kindCESketch, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := p.NewCESketch()
+	if len(counters) != len(s.counters) {
+		return nil, fmt.Errorf("core: counter count %d does not match config (%d)", len(counters), len(s.counters))
+	}
+	copy(s.counters, counters)
+	s.count = count
+	return s, nil
+}
+
+// MarshalBinary serializes the sketch together with its configuration.
+func (s *PointSketch) MarshalBinary() ([]byte, error) {
+	return marshalSketch(kindPoint, s.plan.cfg, s.count, s.counters)
+}
+
+// UnmarshalPointSketch reconstructs a PointSketch from MarshalBinary output.
+func UnmarshalPointSketch(data []byte) (*PointSketch, error) {
+	cfg, count, counters, err := unmarshalSketch(kindPoint, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := p.NewPointSketch()
+	if len(counters) != len(s.counters) {
+		return nil, fmt.Errorf("core: counter count mismatch")
+	}
+	copy(s.counters, counters)
+	s.count = count
+	return s, nil
+}
+
+// MarshalBinary serializes the sketch together with its configuration.
+func (s *BoxSketch) MarshalBinary() ([]byte, error) {
+	return marshalSketch(kindBox, s.plan.cfg, s.count, s.counters)
+}
+
+// UnmarshalBoxSketch reconstructs a BoxSketch from MarshalBinary output.
+func UnmarshalBoxSketch(data []byte) (*BoxSketch, error) {
+	cfg, count, counters, err := unmarshalSketch(kindBox, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := p.NewBoxSketch()
+	if len(counters) != len(s.counters) {
+		return nil, fmt.Errorf("core: counter count mismatch")
+	}
+	copy(s.counters, counters)
+	s.count = count
+	return s, nil
+}
+
+// MarshalBinary serializes the sketch together with its configuration.
+func (s *RangeSketch) MarshalBinary() ([]byte, error) {
+	return marshalSketch(kindRange, s.plan.cfg, s.count, s.counters)
+}
+
+// UnmarshalRangeSketch reconstructs a RangeSketch from MarshalBinary output.
+func UnmarshalRangeSketch(data []byte) (*RangeSketch, error) {
+	cfg, count, counters, err := unmarshalSketch(kindRange, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := p.NewRangeSketch()
+	if len(counters) != len(s.counters) {
+		return nil, fmt.Errorf("core: counter count mismatch")
+	}
+	copy(s.counters, counters)
+	s.count = count
+	return s, nil
+}

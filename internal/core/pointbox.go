@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/geo"
+)
+
+// PointSketch and BoxSketch implement the two-sketch estimator of
+// Section 6.3 (Lemmas 7 and 8): the point sketch is
+// X_E = sum over points of prod_i xi-bar[a_i], the box sketch is
+// Y_I = sum over hyper-rectangles of prod_i xi-bar[l_i, u_i], and
+// Z = X_E * Y_I is an unbiased estimator of the number of (point, box)
+// pairs with the point inside the box (closed containment).
+//
+// Two query types reduce to this estimator:
+//
+//   - epsilon-joins (Definition 2, L-infinity metric): expand each point of
+//     B into the hyper-cube of side 2*eps around it (geo.Ball) and insert
+//     the cubes into the BoxSketch;
+//   - containment joins (Appendix B.2): a d-dim interval containment
+//     r inside s becomes a 2d-dim point-in-box test with point
+//     (l(r_1), u(r_1), ..., l(r_d), u(r_d)) and box
+//     prod_j [l(s_j), u(s_j)]^2.
+//
+// No endpoint transformation is needed: closed containment is exactly the
+// predicate both reductions want.
+
+// PointSketch summarizes a set of points: one counter per instance.
+type PointSketch struct {
+	plan     *Plan
+	counters []int64 // [instance]
+	count    int64
+	ptBuf    [][]uint64
+}
+
+// NewPointSketch returns an empty point sketch.
+func (p *Plan) NewPointSketch() *PointSketch {
+	return &PointSketch{
+		plan:     p,
+		counters: make([]int64, p.cfg.Instances),
+		ptBuf:    make([][]uint64, p.cfg.Dims),
+	}
+}
+
+// Plan returns the plan the sketch was built from.
+func (s *PointSketch) Plan() *Plan { return s.plan }
+
+// Count returns the number of points summarized.
+func (s *PointSketch) Count() int64 { return s.count }
+
+// Insert adds a point.
+func (s *PointSketch) Insert(pt geo.Point) error { return s.update(pt, +1) }
+
+// Delete removes a previously inserted point.
+func (s *PointSketch) Delete(pt geo.Point) error { return s.update(pt, -1) }
+
+func (s *PointSketch) update(pt geo.Point, sign int64) error {
+	p := s.plan
+	if err := p.checkPoint(pt); err != nil {
+		return err
+	}
+	d := p.cfg.Dims
+	for i := 0; i < d; i++ {
+		s.ptBuf[i] = p.doms[i].PointCoverMax(pt[i], p.maxLevel[i], s.ptBuf[i][:0])
+	}
+	for inst := 0; inst < p.cfg.Instances; inst++ {
+		fams := p.fams[inst]
+		prod := sign
+		for i := 0; i < d; i++ {
+			prod *= fams[i].SumSigns(s.ptBuf[i])
+		}
+		s.counters[inst] += prod
+	}
+	s.count += sign
+	return nil
+}
+
+// InsertAll bulk-loads points.
+func (s *PointSketch) InsertAll(pts []geo.Point) error {
+	for _, pt := range pts {
+		if err := s.Insert(pt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BoxSketch summarizes a set of hyper-rectangles with pure interval covers:
+// one counter per instance.
+type BoxSketch struct {
+	plan     *Plan
+	counters []int64 // [instance]
+	count    int64
+	covBuf   [][]uint64
+}
+
+// NewBoxSketch returns an empty box sketch.
+func (p *Plan) NewBoxSketch() *BoxSketch {
+	return &BoxSketch{
+		plan:     p,
+		counters: make([]int64, p.cfg.Instances),
+		covBuf:   make([][]uint64, p.cfg.Dims),
+	}
+}
+
+// Plan returns the plan the sketch was built from.
+func (s *BoxSketch) Plan() *Plan { return s.plan }
+
+// Count returns the number of boxes summarized.
+func (s *BoxSketch) Count() int64 { return s.count }
+
+// Insert adds a hyper-rectangle.
+func (s *BoxSketch) Insert(rect geo.HyperRect) error { return s.update(rect, +1) }
+
+// Delete removes a previously inserted hyper-rectangle.
+func (s *BoxSketch) Delete(rect geo.HyperRect) error { return s.update(rect, -1) }
+
+func (s *BoxSketch) update(rect geo.HyperRect, sign int64) error {
+	p := s.plan
+	if err := p.checkRect(rect); err != nil {
+		return err
+	}
+	d := p.cfg.Dims
+	for i := 0; i < d; i++ {
+		s.covBuf[i] = p.doms[i].CoverMax(rect[i].Lo, rect[i].Hi, p.maxLevel[i], s.covBuf[i][:0])
+	}
+	for inst := 0; inst < p.cfg.Instances; inst++ {
+		fams := p.fams[inst]
+		prod := sign
+		for i := 0; i < d; i++ {
+			prod *= fams[i].SumSigns(s.covBuf[i])
+		}
+		s.counters[inst] += prod
+	}
+	s.count += sign
+	return nil
+}
+
+// InsertAll bulk-loads hyper-rectangles.
+func (s *BoxSketch) InsertAll(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := s.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstimatePointInBox estimates the number of (point, box) pairs with the
+// point inside the box: Z = X_E * Y_I per instance, boosted (Lemmas 7-8).
+// Both sketches must come from the same plan.
+func EstimatePointInBox(pts *PointSketch, boxes *BoxSketch) (Estimate, error) {
+	if !samePlan(pts.plan, boxes.plan) {
+		return Estimate{}, fmt.Errorf("core: sketches come from different plans")
+	}
+	zs := make([]float64, pts.plan.cfg.Instances)
+	for inst := range zs {
+		zs[inst] = float64(pts.counters[inst]) * float64(boxes.counters[inst])
+	}
+	return boost(zs, pts.plan.cfg.Groups), nil
+}
+
+// ContainmentPoint maps a d-dim hyper-rectangle r to the 2d-dim point
+// (l(r_1), u(r_1), ..., l(r_d), u(r_d)) of the Appendix B.2 reduction.
+func ContainmentPoint(r geo.HyperRect) geo.Point {
+	pt := make(geo.Point, 2*len(r))
+	for i, iv := range r {
+		pt[2*i] = iv.Lo
+		pt[2*i+1] = iv.Hi
+	}
+	return pt
+}
+
+// ContainmentBox maps a d-dim hyper-rectangle s to the 2d-dim box
+// prod_j [l(s_j), u(s_j)]^2 of the Appendix B.2 reduction: r is contained
+// in s iff ContainmentPoint(r) lies in ContainmentBox(s).
+func ContainmentBox(s geo.HyperRect) geo.HyperRect {
+	box := make(geo.HyperRect, 2*len(s))
+	for i, iv := range s {
+		box[2*i] = iv
+		box[2*i+1] = iv
+	}
+	return box
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/geo"
+)
+
+// RangeSketch implements the optimized range-query estimator of Section 6.4
+// (Lemma 9). In one dimension the data-side sketches are X_I (interval
+// covers) and X_U (upper-endpoint covers); for a query q = [u, v],
+// Z = xi-bar[u,v] * X_U + xi-bar[v] * X_I: an interval [a, b] is selected
+// iff its upper endpoint lies in [u, v] XOR v lies in [a, b] - mutually
+// exclusive and exhaustive events under Assumption 1. The d-dimensional
+// generalization keeps one counter per letter string w in {I, U}^d (bit
+// set = U) and pairs data letter U with the query's interval cover and
+// data letter I with the point cover of the query's upper endpoint.
+//
+// As with JoinSketch, callers that cannot guarantee Assumption 1 against
+// their query workload apply the endpoint transformation: data inserted
+// with geo.TransformKeepRect, queries shrunk with geo.TransformShrinkRect
+// (the public spatial package's default).
+type RangeSketch struct {
+	plan     *Plan
+	counters []int64 // [instance * 2^d + w]
+	count    int64
+	buf      *coverBuf
+}
+
+// NewRangeSketch returns an empty range-query sketch.
+func (p *Plan) NewRangeSketch() *RangeSketch {
+	return &RangeSketch{
+		plan:     p,
+		counters: make([]int64, p.cfg.Instances<<uint(p.cfg.Dims)),
+		buf:      newCoverBuf(p.cfg.Dims),
+	}
+}
+
+// Plan returns the plan the sketch was built from.
+func (s *RangeSketch) Plan() *Plan { return s.plan }
+
+// Count returns the number of objects summarized.
+func (s *RangeSketch) Count() int64 { return s.count }
+
+// Insert adds a hyper-rectangle to the sketch.
+func (s *RangeSketch) Insert(rect geo.HyperRect) error { return s.update(rect, +1) }
+
+// Delete removes a previously inserted hyper-rectangle.
+func (s *RangeSketch) Delete(rect geo.HyperRect) error { return s.update(rect, -1) }
+
+func (s *RangeSketch) update(rect geo.HyperRect, sign int64) error {
+	p := s.plan
+	if err := p.checkRect(rect); err != nil {
+		return err
+	}
+	d := p.cfg.Dims
+	nw := 1 << uint(d)
+	s.buf.load(p, rect)
+	var sums [MaxDims][2]int64 // [dim][0]=I, [dim][1]=U (upper endpoint)
+	for inst := 0; inst < p.cfg.Instances; inst++ {
+		fams := p.fams[inst]
+		for i := 0; i < d; i++ {
+			f := fams[i]
+			sums[i][0] = f.SumSigns(s.buf.cover[i])
+			sums[i][1] = f.SumSigns(s.buf.ptHi[i])
+		}
+		base := inst * nw
+		for w := 0; w < nw; w++ {
+			prod := sign
+			for i := 0; i < d; i++ {
+				prod *= sums[i][(w>>uint(i))&1]
+			}
+			s.counters[base+w] += prod
+		}
+	}
+	s.count += sign
+	return nil
+}
+
+// InsertAll bulk-loads hyper-rectangles.
+func (s *RangeSketch) InsertAll(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := s.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstimateRange estimates |Q(q, R)|, the number of summarized objects
+// overlapping the query hyper-rectangle q (Definition 3), per Lemma 9 and
+// its d-dimensional generalization. The query must live in the same
+// (possibly transformed) domain as the inserted data.
+func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
+	p := s.plan
+	if err := p.checkRect(q); err != nil {
+		return Estimate{}, fmt.Errorf("core: bad range query: %w", err)
+	}
+	d := p.cfg.Dims
+	nw := 1 << uint(d)
+	// Query-side values per dimension: the interval cover of q (pairs with
+	// data letter U) and the point cover of q's upper endpoint (pairs with
+	// data letter I).
+	qb := newCoverBuf(d)
+	qb.load(p, q)
+	zs := make([]float64, p.cfg.Instances)
+	var qv [MaxDims][2]int64
+	for inst := range zs {
+		fams := p.fams[inst]
+		for i := 0; i < d; i++ {
+			f := fams[i]
+			qv[i][0] = f.SumSigns(qb.ptHi[i])  // pairs with data I
+			qv[i][1] = f.SumSigns(qb.cover[i]) // pairs with data U
+		}
+		base := inst * nw
+		var z float64
+		for w := 0; w < nw; w++ {
+			prod := int64(1)
+			for i := 0; i < d; i++ {
+				prod *= qv[i][(w>>uint(i))&1]
+			}
+			z += float64(prod) * float64(s.counters[base+w])
+		}
+		zs[inst] = z
+	}
+	return boost(zs, p.cfg.Groups), nil
+}

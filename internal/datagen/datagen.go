@@ -1,0 +1,175 @@
+// Package datagen generates the workloads of the paper's evaluation
+// (Section 7): uniform and Zipf-skewed rectangle sets ("intervals along
+// each dimension generated independently according to a Zipfian
+// distribution", Section 7.1), point sets for epsilon-joins, and synthetic
+// analogs of the three Wyoming land-use datasets of Section 7.3 (LANDO,
+// LANDC, SOIL), which are not redistributable; see DESIGN.md Section 3.5
+// for the substitution rationale.
+//
+// All generators are deterministic in their seed (PCG-based), so every
+// experiment and test is reproducible bit-for-bit.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/geo"
+)
+
+// Spec describes a synthetic rectangle workload.
+type Spec struct {
+	N       int       // number of hyper-rectangles
+	Dims    int       // dimensionality
+	Domain  uint64    // per-dimension domain size (coordinates in [0, Domain))
+	Zipf    float64   // skew of lower-endpoint placement per dim; 0 = uniform
+	MeanLen []float64 // mean side length per dim; nil = sqrt(Domain) (the paper's default)
+	Seed    uint64    // RNG seed
+}
+
+func (s Spec) validate() error {
+	if s.N < 0 {
+		return fmt.Errorf("datagen: negative N %d", s.N)
+	}
+	if s.Dims < 1 {
+		return fmt.Errorf("datagen: dims must be >= 1, got %d", s.Dims)
+	}
+	if s.Domain < 4 {
+		return fmt.Errorf("datagen: domain must be >= 4, got %d", s.Domain)
+	}
+	if s.Zipf < 0 {
+		return fmt.Errorf("datagen: negative zipf parameter %g", s.Zipf)
+	}
+	if s.MeanLen != nil && len(s.MeanLen) != s.Dims {
+		return fmt.Errorf("datagen: got %d mean lengths for %d dims", len(s.MeanLen), s.Dims)
+	}
+	return nil
+}
+
+// Rects generates N hyper-rectangles per the spec. Side lengths are
+// exponentially distributed around the per-dimension mean (minimum 2, so
+// objects are never degenerate, as the joins of Section 4 require), capped
+// at a quarter of the domain; lower endpoints are placed by a Zipf(z)
+// position distribution over the feasible range.
+func Rects(spec Spec) ([]geo.HyperRect, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x5851f42d4c957f2d))
+	mean := spec.MeanLen
+	if mean == nil {
+		mean = make([]float64, spec.Dims)
+		for i := range mean {
+			mean[i] = math.Sqrt(float64(spec.Domain))
+		}
+	}
+	zipf := newZipfSampler(spec.Domain, spec.Zipf)
+	out := make([]geo.HyperRect, spec.N)
+	for k := range out {
+		h := make(geo.HyperRect, spec.Dims)
+		for i := 0; i < spec.Dims; i++ {
+			h[i] = randInterval(rng, zipf, spec.Domain, mean[i])
+		}
+		out[k] = h
+	}
+	return out, nil
+}
+
+// MustRects is Rects, panicking on invalid specs. For tests and examples.
+func MustRects(spec Spec) []geo.HyperRect {
+	r, err := Rects(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func randInterval(rng *rand.Rand, zipf *zipfSampler, domain uint64, meanLen float64) geo.Interval {
+	length := uint64(rng.ExpFloat64() * meanLen)
+	if length < 2 {
+		length = 2
+	}
+	if maxLen := domain / 4; length > maxLen && maxLen >= 2 {
+		length = maxLen
+	}
+	span := domain - length // lower endpoint in [0, span]
+	lo := zipf.sample(rng, span+1)
+	return geo.Interval{Lo: lo, Hi: lo + length - 1}
+}
+
+// Points generates N points with Zipf-skewed per-dimension coordinates.
+func Points(spec Spec) ([]geo.Point, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x9e3779b97f4a7c15))
+	zipf := newZipfSampler(spec.Domain, spec.Zipf)
+	out := make([]geo.Point, spec.N)
+	for k := range out {
+		p := make(geo.Point, spec.Dims)
+		for i := range p {
+			p[i] = zipf.sample(rng, spec.Domain)
+		}
+		out[k] = p
+	}
+	return out, nil
+}
+
+// MustPoints is Points, panicking on invalid specs.
+func MustPoints(spec Spec) []geo.Point {
+	p, err := Points(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// zipfSampler draws positions in [0, m) with P(k) proportional to
+// 1/(k+1)^z via inverse-CDF sampling over a precomputed cumulative table.
+// z = 0 degenerates to the uniform distribution (no table).
+type zipfSampler struct {
+	z   float64
+	cum []float64 // cumulative weights over the full configured range
+}
+
+func newZipfSampler(rangeMax uint64, z float64) *zipfSampler {
+	s := &zipfSampler{z: z}
+	if z == 0 {
+		return s
+	}
+	cum := make([]float64, rangeMax)
+	var total float64
+	for k := range cum {
+		total += math.Pow(float64(k+1), -z)
+		cum[k] = total
+	}
+	s.cum = cum
+	return s
+}
+
+// sample draws a position in [0, limit), limit <= configured range.
+func (s *zipfSampler) sample(rng *rand.Rand, limit uint64) uint64 {
+	if limit == 0 {
+		return 0
+	}
+	if s.z == 0 {
+		return rng.Uint64N(limit)
+	}
+	n := int(limit)
+	if n > len(s.cum) {
+		n = len(s.cum)
+	}
+	u := rng.Float64() * s.cum[n-1]
+	// Binary search the cumulative table.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}

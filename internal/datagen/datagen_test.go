@@ -1,0 +1,261 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectsBasics(t *testing.T) {
+	spec := Spec{N: 500, Dims: 2, Domain: 1024, Seed: 1}
+	rects := MustRects(spec)
+	if len(rects) != 500 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	for _, r := range rects {
+		if r.Dims() != 2 {
+			t.Fatalf("dims = %d", r.Dims())
+		}
+		for _, iv := range r {
+			if iv.Lo > iv.Hi || iv.Hi >= 1024 {
+				t.Fatalf("interval %v outside domain", iv)
+			}
+			if iv.IsPoint() {
+				t.Fatalf("degenerate interval generated: %v", iv)
+			}
+		}
+	}
+}
+
+func TestRectsDeterministic(t *testing.T) {
+	a := MustRects(Spec{N: 100, Dims: 2, Domain: 512, Seed: 9})
+	b := MustRects(Spec{N: 100, Dims: 2, Domain: 512, Seed: 9})
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed produced different data at %d", i)
+			}
+		}
+	}
+	c := MustRects(Spec{N: 100, Dims: 2, Domain: 512, Seed: 10})
+	same := 0
+	for i := range a {
+		if a[i][0] == c[i][0] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRectsValidation(t *testing.T) {
+	bad := []Spec{
+		{N: -1, Dims: 1, Domain: 64},
+		{N: 1, Dims: 0, Domain: 64},
+		{N: 1, Dims: 1, Domain: 2},
+		{N: 1, Dims: 1, Domain: 64, Zipf: -1},
+		{N: 1, Dims: 2, Domain: 64, MeanLen: []float64{4}},
+	}
+	for i, spec := range bad {
+		if _, err := Rects(spec); err == nil {
+			t.Errorf("spec %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+func TestMeanLengthRespected(t *testing.T) {
+	spec := Spec{N: 4000, Dims: 1, Domain: 1 << 16, Seed: 4, MeanLen: []float64{100}}
+	rects := MustRects(spec)
+	var sum float64
+	for _, r := range rects {
+		sum += float64(r[0].Length())
+	}
+	mean := sum / float64(len(rects))
+	// Exponential with mean 100, min 2: expect mean within [80, 130].
+	if mean < 80 || mean > 130 {
+		t.Fatalf("mean length %g outside [80, 130]", mean)
+	}
+}
+
+// TestZipfSkew: higher z concentrates lower endpoints near zero.
+func TestZipfSkew(t *testing.T) {
+	frac := func(z float64) float64 {
+		rects := MustRects(Spec{N: 5000, Dims: 1, Domain: 4096, Seed: 21, Zipf: z})
+		count := 0
+		for _, r := range rects {
+			if r[0].Lo < 256 {
+				count++
+			}
+		}
+		return float64(count) / float64(len(rects))
+	}
+	f0, f1, f2 := frac(0), frac(1), frac(2)
+	if !(f0 < f1 && f1 < f2) {
+		t.Fatalf("skew not increasing: z=0:%g z=1:%g z=2:%g", f0, f1, f2)
+	}
+	if f0 > 0.12 {
+		t.Fatalf("uniform fraction in first 1/16: %g", f0)
+	}
+	if f2 < 0.5 {
+		t.Fatalf("z=2 should concentrate mass near origin, got %g", f2)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	pts := MustPoints(Spec{N: 300, Dims: 3, Domain: 128, Seed: 2})
+	if len(pts) != 300 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Dims() != 3 {
+			t.Fatalf("dims = %d", p.Dims())
+		}
+		for _, x := range p {
+			if x >= 128 {
+				t.Fatalf("coordinate %d outside domain", x)
+			}
+		}
+	}
+}
+
+func TestZipfSamplerUniformShortcut(t *testing.T) {
+	s := newZipfSampler(100, 0)
+	if s.cum != nil {
+		t.Fatal("z=0 should not build a table")
+	}
+}
+
+func TestLandPresets(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(uint64, float64) LandDataset
+		n    int
+	}{
+		{"LANDO", Lando, 33860},
+		{"LANDC", Landc, 14731},
+		{"SOIL", Soil, 29662},
+	} {
+		full := tc.gen(1, 1.0)
+		if full.Name != tc.name {
+			t.Errorf("name = %q, want %q", full.Name, tc.name)
+		}
+		if len(full.Rects) != tc.n {
+			t.Errorf("%s: %d objects, want %d (paper counts)", tc.name, len(full.Rects), tc.n)
+		}
+		scaledDown := tc.gen(1, 0.1)
+		if len(scaledDown.Rects) != tc.n/10 {
+			t.Errorf("%s scaled: %d objects, want %d", tc.name, len(scaledDown.Rects), tc.n/10)
+		}
+		if full.Domain != LandDomain() {
+			t.Errorf("%s: full-scale domain %d, want %d", tc.name, full.Domain, LandDomain())
+		}
+		if scaledDown.Domain >= full.Domain {
+			t.Errorf("%s: scaled domain %d should shrink (density preservation)", tc.name, scaledDown.Domain)
+		}
+		for _, r := range full.Rects[:100] {
+			for _, iv := range r {
+				if iv.Hi >= full.Domain || iv.Lo > iv.Hi || iv.IsPoint() {
+					t.Fatalf("%s: bad rect %v", tc.name, r)
+				}
+			}
+		}
+		for _, r := range scaledDown.Rects {
+			for _, iv := range r {
+				if iv.Hi >= scaledDown.Domain {
+					t.Fatalf("%s scaled: rect %v outside domain %d", tc.name, r, scaledDown.Domain)
+				}
+			}
+		}
+	}
+}
+
+// TestLandClustering: the land analogs must be spatially skewed - a large
+// share of objects concentrated in a small share of the area (what makes
+// EH/GH/SKETCH diverge in Figures 9-11).
+func TestLandClustering(t *testing.T) {
+	d := Lando(7, 1.0)
+	const cells = 16
+	counts := make([]int, cells*cells)
+	cw := float64(LandDomain()) / cells
+	for _, r := range d.Rects {
+		cx := int(float64(r[0].Lo) / cw)
+		cy := int(float64(r[1].Lo) / cw)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		counts[cy*cells+cx]++
+	}
+	// Compute the share held by the densest 10% of cells.
+	sorted := append([]int(nil), counts...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	top := 0
+	for i := 0; i < len(sorted)/10; i++ {
+		top += sorted[i]
+	}
+	share := float64(top) / float64(len(d.Rects))
+	if share < 0.3 {
+		t.Fatalf("top-10%% cells hold only %.0f%% of objects - not clustered", share*100)
+	}
+}
+
+func TestLandDeterministic(t *testing.T) {
+	a := Soil(3, 0.2)
+	b := Soil(3, 0.2)
+	for i := range a.Rects {
+		for j := range a.Rects[i] {
+			if a.Rects[i][j] != b.Rects[i][j] {
+				t.Fatal("land generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestLandValidation(t *testing.T) {
+	if _, err := Land(LandSpec{N: -1, Clusters: 1, Domain: 64}); err == nil {
+		t.Error("negative N should fail")
+	}
+	if _, err := Land(LandSpec{N: 1, Clusters: 0, Domain: 64}); err == nil {
+		t.Error("zero clusters should fail")
+	}
+	if _, err := Land(LandSpec{N: 1, Clusters: 1, Domain: 4}); err == nil {
+		t.Error("tiny domain should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(100, 0) != 100 || scaled(100, 1) != 100 || scaled(100, 2) != 100 {
+		t.Error("out-of-range scales should return n")
+	}
+	if scaled(100, 0.25) != 25 {
+		t.Error("scaled(100, .25) != 25")
+	}
+	if scaled(3, 0.01) != 1 {
+		t.Error("scaled should floor at 1")
+	}
+}
+
+func TestZipfSamplerDistribution(t *testing.T) {
+	// The Zipf(1) sampler over m items should put P(0) ~ 1/H(m) of the
+	// mass on position 0.
+	rects := MustRects(Spec{N: 20000, Dims: 1, Domain: 256, Seed: 5, Zipf: 1, MeanLen: []float64{4}})
+	zero := 0
+	for _, r := range rects {
+		if r[0].Lo == 0 {
+			zero++
+		}
+	}
+	// Positions range over ~250 slots; H(250) ~ 6.1, so P(0) ~ 0.164.
+	got := float64(zero) / float64(len(rects))
+	if math.Abs(got-0.164) > 0.03 {
+		t.Fatalf("P(pos=0) = %g, want ~0.164", got)
+	}
+}

@@ -1,0 +1,182 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/geo"
+)
+
+// Synthetic analogs of the Wyoming land-use datasets of Section 7.3.
+//
+// The originals (1:10^6-scale GIS layers; LANDO: land ownership, 33860
+// objects; LANDC: land cover, 14731 objects; SOIL: soils, 29662 objects)
+// are not redistributable, so we substitute clustered rectangle generators
+// with matched object counts. Real GIS bounding boxes are spatially
+// correlated (objects cluster along geographic features) with heavy-tailed
+// sizes; the generator reproduces both properties: Gaussian clusters with
+// power-law cluster popularity and log-normal object extents. These are
+// exactly the distributional features that separate EH, GH and SKETCH in
+// Figures 9-11 (skew and local density), so the substitution preserves the
+// comparison the figures make. See DESIGN.md Section 3.5.
+
+// LandSpec describes a clustered "land-use layer" workload.
+type LandSpec struct {
+	Name       string  // dataset label
+	N          int     // number of objects
+	Domain     uint64  // per-dimension domain size
+	Clusters   int     // number of Gaussian clusters
+	Spread     float64 // cluster standard deviation, as a fraction of the domain
+	SizeMedian float64 // median object side length, absolute coordinates
+	SizeSigma  float64 // log-normal sigma of object side lengths
+	Seed       uint64
+}
+
+// LandDataset is a generated land-use analog.
+type LandDataset struct {
+	Name   string
+	Domain uint64 // per-dimension coordinate domain of the layer
+	Rects  []geo.HyperRect
+}
+
+// Land generates a clustered rectangle layer per the spec.
+func Land(spec LandSpec) (LandDataset, error) {
+	if spec.N < 0 || spec.Clusters < 1 || spec.Domain < 16 {
+		return LandDataset{}, fmt.Errorf("datagen: invalid land spec %+v", spec)
+	}
+	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x2545f4914f6cdd1d))
+	type cluster struct {
+		cx, cy float64
+		weight float64
+	}
+	clusters := make([]cluster, spec.Clusters)
+	var totalW float64
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx:     rng.Float64() * float64(spec.Domain),
+			cy:     rng.Float64() * float64(spec.Domain),
+			weight: math.Pow(float64(i+1), -0.8), // popular features dominate
+		}
+		totalW += clusters[i].weight
+	}
+	pick := func() cluster {
+		u := rng.Float64() * totalW
+		for _, c := range clusters {
+			if u < c.weight {
+				return c
+			}
+			u -= c.weight
+		}
+		return clusters[len(clusters)-1]
+	}
+
+	spread := spec.Spread * float64(spec.Domain)
+	dmax := float64(spec.Domain - 1)
+	clamp := func(x float64) uint64 {
+		if x < 0 {
+			return 0
+		}
+		if x > dmax {
+			return uint64(dmax)
+		}
+		return uint64(x)
+	}
+	sideLen := func() float64 {
+		// Log-normal around the median.
+		return spec.SizeMedian * math.Exp(rng.NormFloat64()*spec.SizeSigma)
+	}
+
+	rects := make([]geo.HyperRect, spec.N)
+	for k := range rects {
+		c := pick()
+		px := c.cx + rng.NormFloat64()*spread
+		py := c.cy + rng.NormFloat64()*spread
+		wx, wy := sideLen(), sideLen()
+		lox, loy := clamp(px-wx/2), clamp(py-wy/2)
+		hix, hiy := clamp(px+wx/2), clamp(py+wy/2)
+		if hix <= lox {
+			hix = min(lox+2, uint64(dmax))
+			if hix <= lox { // pinned to the domain edge
+				lox = hix - 2
+			}
+		}
+		if hiy <= loy {
+			hiy = min(loy+2, uint64(dmax))
+			if hiy <= loy {
+				loy = hiy - 2
+			}
+		}
+		rects[k] = geo.Rect(lox, hix, loy, hiy)
+	}
+	return LandDataset{Name: spec.Name, Domain: spec.Domain, Rects: rects}, nil
+}
+
+// landDomain is the domain of the land-analog presets at scale 1.
+const landDomain = 1 << 14
+
+// landPresetDomain shrinks the domain with the square root of the object
+// scale so the layer's object DENSITY matches the full-size original -
+// the quantity the estimators' relative error regimes depend on (see
+// EXPERIMENTS.md on scaling).
+func landPresetDomain(scale float64) uint64 {
+	if scale <= 0 || scale >= 1 {
+		return landDomain
+	}
+	d := float64(landDomain) * math.Sqrt(scale)
+	h := math.Round(math.Log2(d))
+	out := uint64(1) << uint(math.Max(h, 10))
+	if out > landDomain {
+		out = landDomain
+	}
+	return out
+}
+
+// Lando returns the LANDO analog (land ownership, 33860 objects at
+// scale 1.0). Scale shrinks the object count (and the domain, preserving
+// density) for fast experiment runs.
+func Lando(seed uint64, scale float64) LandDataset {
+	return mustLand(LandSpec{
+		Name: "LANDO", N: scaled(33860, scale), Domain: landPresetDomain(scale),
+		Clusters: 60, Spread: 0.05, SizeMedian: 180, SizeSigma: 0.9, Seed: seed ^ 0xa11ce,
+	})
+}
+
+// Landc returns the LANDC analog (land cover, 14731 objects at scale 1.0).
+func Landc(seed uint64, scale float64) LandDataset {
+	return mustLand(LandSpec{
+		Name: "LANDC", N: scaled(14731, scale), Domain: landPresetDomain(scale),
+		Clusters: 35, Spread: 0.08, SizeMedian: 260, SizeSigma: 1.0, Seed: seed ^ 0xbeef1,
+	})
+}
+
+// Soil returns the SOIL analog (soil polygons, 29662 objects at scale 1.0).
+func Soil(seed uint64, scale float64) LandDataset {
+	return mustLand(LandSpec{
+		Name: "SOIL", N: scaled(29662, scale), Domain: landPresetDomain(scale),
+		Clusters: 120, Spread: 0.04, SizeMedian: 140, SizeSigma: 0.8, Seed: seed ^ 0x50112,
+	})
+}
+
+// LandDomain returns the coordinate domain size of the land presets at
+// scale 1.
+func LandDomain() uint64 { return landDomain }
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 || scale >= 1 {
+		return n
+	}
+	s := int(float64(n) * scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func mustLand(spec LandSpec) LandDataset {
+	d, err := Land(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

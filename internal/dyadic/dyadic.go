@@ -1,0 +1,205 @@
+// Package dyadic implements the dyadic interval machinery of the spatial
+// sketch framework (paper Section 3.1): for a power-of-two domain
+// N = {0, ..., n-1}, the 2n-1 dyadic intervals of all levels, canonical
+// interval covers (Lemma 2: at most 2*log2(n) intervals), point covers
+// (Lemma 3: exactly log2(n)+1 intervals), and the maxLevel-capped adaptive
+// covers of Section 6.5.
+//
+// Dyadic intervals are numbered as binary-heap nodes: id 1 is the whole
+// domain (level h), the children of node v are 2v and 2v+1, and the leaf
+// covering coordinate a has id n+a (level 0). Ids therefore lie in
+// [1, 2n-1] and index directly into a single xi-family.
+package dyadic
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLog is the largest supported log2 domain size. Ids must stay below
+// 2^62 so they remain valid xi-family indices (below the field prime).
+const MaxLog = 60
+
+// Domain is a power-of-two coordinate domain {0, ..., 2^h - 1} together
+// with its dyadic interval structure.
+type Domain struct {
+	h int    // log2 of the domain size
+	n uint64 // domain size, 2^h
+}
+
+// New returns the dyadic domain of size 2^h.
+func New(h int) (Domain, error) {
+	if h < 0 || h > MaxLog {
+		return Domain{}, fmt.Errorf("dyadic: log domain size %d out of range [0, %d]", h, MaxLog)
+	}
+	return Domain{h: h, n: 1 << uint(h)}, nil
+}
+
+// MustNew is New, panicking on error. Intended for constants and tests.
+func MustNew(h int) Domain {
+	d, err := New(h)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ForSize returns the smallest dyadic domain covering at least size
+// coordinates (the paper pads non-power-of-two domains, footnote 1).
+func ForSize(size uint64) (Domain, error) {
+	if size == 0 {
+		return Domain{}, fmt.Errorf("dyadic: domain size must be positive")
+	}
+	h := bits.Len64(size - 1)
+	return New(h)
+}
+
+// Size returns the number of coordinates in the domain (2^h).
+func (d Domain) Size() uint64 { return d.n }
+
+// Log returns h = log2 of the domain size (the number of non-leaf levels).
+func (d Domain) Log() int { return d.h }
+
+// NumNodes returns the number of dyadic intervals over the domain, 2n-1.
+// Node ids are in [1, NumNodes()].
+func (d Domain) NumNodes() uint64 { return 2*d.n - 1 }
+
+// IDSpace returns an exclusive upper bound on node ids (NumNodes()+1),
+// sized for indexing arrays by id.
+func (d Domain) IDSpace() uint64 { return 2 * d.n }
+
+// LeafID returns the id of the level-0 dyadic interval covering coordinate a.
+func (d Domain) LeafID(a uint64) uint64 {
+	d.checkCoord(a)
+	return d.n + a
+}
+
+// Level returns the level of node id: level 0 intervals are single
+// coordinates, level h is the whole domain.
+func (d Domain) Level(id uint64) int {
+	d.checkID(id)
+	return d.h - (bits.Len64(id) - 1)
+}
+
+// NodeInterval returns the coordinate range [lo, hi] covered by node id.
+func (d Domain) NodeInterval(id uint64) (lo, hi uint64) {
+	d.checkID(id)
+	level := uint(d.Level(id))
+	size := uint64(1) << level
+	first := uint64(1) << uint(d.h-int(level)) // first id on this level
+	lo = (id - first) * size
+	return lo, lo + size - 1
+}
+
+// PointCover appends to buf the ids of all dyadic intervals containing
+// coordinate a - the root-to-leaf path, exactly h+1 ids (Lemma 3) - and
+// returns the extended slice.
+func (d Domain) PointCover(a uint64, buf []uint64) []uint64 {
+	return d.PointCoverMax(a, d.h, buf)
+}
+
+// PointCoverMax is PointCover restricted to dyadic intervals of level at
+// most maxLevel (Section 6.5): the path from the leaf up to level maxLevel,
+// maxLevel+1 ids. maxLevel = 0 yields just the leaf (the standard,
+// non-dyadic sketch of Section 3.1).
+func (d Domain) PointCoverMax(a uint64, maxLevel int, buf []uint64) []uint64 {
+	d.checkCoord(a)
+	maxLevel = d.clampLevel(maxLevel)
+	id := d.n + a
+	for l := 0; l <= maxLevel; l++ {
+		buf = append(buf, id)
+		id >>= 1
+	}
+	return buf
+}
+
+// Cover appends to buf the canonical dyadic cover of the closed interval
+// [lo, hi]: the unique minimal set of disjoint dyadic intervals whose union
+// is exactly [lo, hi], at most 2h ids (Lemma 2), and returns the extended
+// slice.
+func (d Domain) Cover(lo, hi uint64, buf []uint64) []uint64 {
+	d.checkCoord(lo)
+	d.checkCoord(hi)
+	if lo > hi {
+		panic(fmt.Sprintf("dyadic: invalid interval [%d, %d]", lo, hi))
+	}
+	// Standard segment-tree decomposition over half-open [l, r).
+	l, r := d.n+lo, d.n+hi+1
+	for l < r {
+		if l&1 == 1 {
+			buf = append(buf, l)
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			buf = append(buf, r)
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return buf
+}
+
+// CoverMax is Cover restricted to dyadic intervals of level at most
+// maxLevel (Section 6.5): every canonical cover node above maxLevel is
+// replaced by its level-maxLevel descendants. The result is still a
+// disjoint, exact cover of [lo, hi]. maxLevel = 0 yields one leaf per
+// coordinate (the standard sketch; cost O(hi-lo+1)).
+func (d Domain) CoverMax(lo, hi uint64, maxLevel int, buf []uint64) []uint64 {
+	maxLevel = d.clampLevel(maxLevel)
+	if maxLevel == d.h {
+		return d.Cover(lo, hi, buf)
+	}
+	// Compute the canonical cover into scratch space (it cannot share the
+	// output buffer: expansion below grows the list while reading it).
+	var scratch [2 * MaxLog]uint64
+	canonical := d.Cover(lo, hi, scratch[:0])
+	for _, id := range canonical {
+		level := d.h - (bits.Len64(id) - 1)
+		if level <= maxLevel {
+			buf = append(buf, id)
+			continue
+		}
+		// Replace the node by its level-maxLevel descendants (consecutive
+		// ids), preserving disjointness and coverage.
+		shift := uint(level - maxLevel)
+		first := id << shift
+		for k := uint64(0); k < 1<<shift; k++ {
+			buf = append(buf, first+k)
+		}
+	}
+	return buf
+}
+
+// CoverSizeBound returns the maximum number of ids CoverMax can produce for
+// an interval of the given length, used for pre-sizing buffers.
+func (d Domain) CoverSizeBound(length uint64, maxLevel int) int {
+	maxLevel = d.clampLevel(maxLevel)
+	if maxLevel >= d.h {
+		if d.h == 0 {
+			return 1
+		}
+		return 2 * d.h
+	}
+	// At most 2*maxLevel ragged nodes plus the aligned middle blocks.
+	return 2*maxLevel + int(length>>uint(maxLevel)) + 2
+}
+
+func (d Domain) clampLevel(maxLevel int) int {
+	if maxLevel < 0 || maxLevel > d.h {
+		return d.h
+	}
+	return maxLevel
+}
+
+func (d Domain) checkCoord(a uint64) {
+	if a >= d.n {
+		panic(fmt.Sprintf("dyadic: coordinate %d outside domain of size %d", a, d.n))
+	}
+}
+
+func (d Domain) checkID(id uint64) {
+	if id == 0 || id >= 2*d.n {
+		panic(fmt.Sprintf("dyadic: node id %d outside [1, %d]", id, 2*d.n-1))
+	}
+}

@@ -1,0 +1,381 @@
+package dyadic
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative log should fail")
+	}
+	if _, err := New(MaxLog + 1); err == nil {
+		t.Error("oversized log should fail")
+	}
+	d, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 16 || d.Log() != 4 || d.NumNodes() != 31 || d.IDSpace() != 32 {
+		t.Fatalf("domain basics wrong: %+v", d)
+	}
+}
+
+func TestForSize(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want uint64
+	}{{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024}, {1025, 2048}}
+	for _, c := range cases {
+		d, err := ForSize(c.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Size() != c.want {
+			t.Errorf("ForSize(%d).Size() = %d, want %d", c.size, d.Size(), c.want)
+		}
+	}
+	if _, err := ForSize(0); err == nil {
+		t.Error("ForSize(0) should fail")
+	}
+}
+
+// TestPaperFigure2Numbering verifies our heap numbering matches the paper's
+// delta numbering in Figure 2 (domain of 4 coordinates): delta_1 = whole
+// domain, delta_2/delta_3 the halves, delta_4..delta_7 the points; and the
+// covers of r = [0,2], s = [1,3] match the figure exactly.
+func TestPaperFigure2Numbering(t *testing.T) {
+	d := MustNew(2)
+	wantIntervals := map[uint64][2]uint64{
+		1: {0, 3}, 2: {0, 1}, 3: {2, 3}, 4: {0, 0}, 5: {1, 1}, 6: {2, 2}, 7: {3, 3},
+	}
+	for id, want := range wantIntervals {
+		lo, hi := d.NodeInterval(id)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("node %d = [%d,%d], want %v", id, lo, hi, want)
+		}
+	}
+	// D(r) for r = [0,2] is {delta_2, delta_6}.
+	checkSet(t, "D(r)", d.Cover(0, 2, nil), []uint64{2, 6})
+	// D(l(r)) = D(0) = {delta_4, delta_2, delta_1}.
+	checkSet(t, "D(l(r))", d.PointCover(0, nil), []uint64{4, 2, 1})
+	// D(u(r)) = D(2) = {delta_6, delta_3, delta_1}.
+	checkSet(t, "D(u(r))", d.PointCover(2, nil), []uint64{6, 3, 1})
+	// D(s) for s = [1,3] is {delta_5, delta_3}.
+	checkSet(t, "D(s)", d.Cover(1, 3, nil), []uint64{5, 3})
+	// D(l(s)) = D(1) = {delta_5, delta_2, delta_1}.
+	checkSet(t, "D(l(s))", d.PointCover(1, nil), []uint64{5, 2, 1})
+	// D(u(s)) = D(3) = {delta_7, delta_3, delta_1}.
+	checkSet(t, "D(u(s))", d.PointCover(3, nil), []uint64{7, 3, 1})
+}
+
+func checkSet(t *testing.T, name string, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+	seen := map[uint64]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestLevelAndLeaf(t *testing.T) {
+	d := MustNew(5)
+	if d.Level(1) != 5 {
+		t.Errorf("root level = %d", d.Level(1))
+	}
+	for a := uint64(0); a < d.Size(); a++ {
+		id := d.LeafID(a)
+		if d.Level(id) != 0 {
+			t.Errorf("leaf level = %d", d.Level(id))
+		}
+		lo, hi := d.NodeInterval(id)
+		if lo != a || hi != a {
+			t.Errorf("leaf %d covers [%d,%d]", a, lo, hi)
+		}
+	}
+}
+
+// TestCoverLemma2 verifies the canonical cover is a disjoint exact cover
+// with at most 2*log2(n) intervals (Lemma 2).
+func TestCoverLemma2(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 5, 8} {
+		d := MustNew(h)
+		n := d.Size()
+		rng := rand.New(rand.NewPCG(uint64(h), 99))
+		iter := 2000
+		if n <= 32 {
+			iter = 0 // exhaustive below
+			for lo := uint64(0); lo < n; lo++ {
+				for hi := lo; hi < n; hi++ {
+					verifyCover(t, d, lo, hi, d.Cover(lo, hi, nil), 2*h)
+				}
+			}
+		}
+		for i := 0; i < iter; i++ {
+			lo := rng.Uint64N(n)
+			hi := lo + rng.Uint64N(n-lo)
+			verifyCover(t, d, lo, hi, d.Cover(lo, hi, nil), 2*h)
+		}
+	}
+}
+
+// verifyCover checks disjointness, exact coverage of [lo,hi], and the size
+// bound.
+func verifyCover(t *testing.T, d Domain, lo, hi uint64, cover []uint64, maxSize int) {
+	t.Helper()
+	if maxSize > 0 && len(cover) > maxSize {
+		t.Fatalf("cover of [%d,%d] has %d nodes, bound %d", lo, hi, len(cover), maxSize)
+	}
+	covered := make(map[uint64]int)
+	for _, id := range cover {
+		a, b := d.NodeInterval(id)
+		for x := a; x <= b; x++ {
+			covered[x]++
+		}
+	}
+	for x := lo; x <= hi; x++ {
+		if covered[x] != 1 {
+			t.Fatalf("cover of [%d,%d]: coordinate %d covered %d times", lo, hi, x, covered[x])
+		}
+	}
+	if uint64(len(covered)) != hi-lo+1 {
+		t.Fatalf("cover of [%d,%d] spills outside: %d coordinates covered", lo, hi, len(covered))
+	}
+}
+
+// TestPointCoverLemma3: exactly log2(n)+1 intervals, one per level, all
+// containing the point.
+func TestPointCoverLemma3(t *testing.T) {
+	for _, h := range []int{0, 1, 3, 6} {
+		d := MustNew(h)
+		for a := uint64(0); a < d.Size(); a++ {
+			pc := d.PointCover(a, nil)
+			if len(pc) != h+1 {
+				t.Fatalf("h=%d: point cover of %d has %d nodes", h, a, len(pc))
+			}
+			levels := map[int]bool{}
+			for _, id := range pc {
+				lo, hi := d.NodeInterval(id)
+				if a < lo || a > hi {
+					t.Fatalf("h=%d: node %d does not contain %d", h, id, a)
+				}
+				lv := d.Level(id)
+				if levels[lv] {
+					t.Fatalf("h=%d: duplicate level %d in point cover", h, lv)
+				}
+				levels[lv] = true
+			}
+		}
+	}
+}
+
+// TestLemma4UniqueCommonNode: a point c lies in [a,b] iff the point cover
+// of c and the canonical cover of [a,b] share exactly one node.
+func TestLemma4UniqueCommonNode(t *testing.T) {
+	d := MustNew(5)
+	n := d.Size()
+	for a := uint64(0); a < n; a++ {
+		for b := a; b < n; b++ {
+			cover := d.Cover(a, b, nil)
+			inCover := map[uint64]bool{}
+			for _, id := range cover {
+				inCover[id] = true
+			}
+			for c := uint64(0); c < n; c++ {
+				common := 0
+				for _, id := range d.PointCover(c, nil) {
+					if inCover[id] {
+						common++
+					}
+				}
+				want := 0
+				if a <= c && c <= b {
+					want = 1
+				}
+				if common != want {
+					t.Fatalf("[%d,%d] vs point %d: %d common nodes, want %d", a, b, c, common, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCoverMax: capped covers are still disjoint exact covers using only
+// levels <= maxLevel, and maxLevel = 0 yields one leaf per coordinate (the
+// standard sketch degeneration of Section 6.5).
+func TestCoverMax(t *testing.T) {
+	d := MustNew(6)
+	n := d.Size()
+	rng := rand.New(rand.NewPCG(6, 6))
+	for _, ml := range []int{0, 1, 2, 3, 6} {
+		for i := 0; i < 1500; i++ {
+			lo := rng.Uint64N(n)
+			hi := lo + rng.Uint64N(n-lo)
+			cover := d.CoverMax(lo, hi, ml, nil)
+			verifyCover(t, d, lo, hi, cover, 0)
+			for _, id := range cover {
+				if lv := d.Level(id); lv > ml {
+					t.Fatalf("maxLevel=%d: node at level %d in cover", ml, lv)
+				}
+			}
+			if bound := d.CoverSizeBound(hi-lo+1, ml); len(cover) > bound {
+				t.Fatalf("maxLevel=%d: cover size %d exceeds bound %d for len %d", ml, len(cover), bound, hi-lo+1)
+			}
+		}
+	}
+	// maxLevel=0 cover of [a,b] is exactly the leaves a..b.
+	cover := d.CoverMax(3, 9, 0, nil)
+	if len(cover) != 7 {
+		t.Fatalf("maxLevel=0 cover size = %d, want 7", len(cover))
+	}
+	for i, id := range cover {
+		if d.Level(id) != 0 {
+			t.Fatalf("maxLevel=0 cover contains non-leaf %d at %d", id, i)
+		}
+	}
+}
+
+// TestPointCoverMax: capped point covers stop at maxLevel.
+func TestPointCoverMax(t *testing.T) {
+	d := MustNew(6)
+	for _, ml := range []int{0, 2, 6} {
+		pc := d.PointCoverMax(13, ml, nil)
+		if len(pc) != ml+1 {
+			t.Fatalf("maxLevel=%d: point cover size %d", ml, len(pc))
+		}
+		for _, id := range pc {
+			lo, hi := d.NodeInterval(id)
+			if 13 < lo || 13 > hi {
+				t.Fatalf("node %d does not contain 13", id)
+			}
+		}
+	}
+	// Negative / oversized maxLevel means uncapped.
+	if got := len(d.PointCoverMax(13, -1, nil)); got != 7 {
+		t.Fatalf("uncapped point cover size %d", got)
+	}
+}
+
+// TestLemma4WithMaxLevel: the unique-common-node property survives level
+// capping (what keeps the adaptive sketches of Section 6.5 unbiased).
+func TestLemma4WithMaxLevel(t *testing.T) {
+	d := MustNew(4)
+	n := d.Size()
+	for _, ml := range []int{0, 1, 2, 4} {
+		for a := uint64(0); a < n; a++ {
+			for b := a; b < n; b++ {
+				inCover := map[uint64]bool{}
+				for _, id := range d.CoverMax(a, b, ml, nil) {
+					inCover[id] = true
+				}
+				for c := uint64(0); c < n; c++ {
+					common := 0
+					for _, id := range d.PointCoverMax(c, ml, nil) {
+						if inCover[id] {
+							common++
+						}
+					}
+					want := 0
+					if a <= c && c <= b {
+						want = 1
+					}
+					if common != want {
+						t.Fatalf("ml=%d [%d,%d] point %d: %d common, want %d", ml, a, b, c, common, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoverQuick: property-based check across random domains.
+func TestCoverQuick(t *testing.T) {
+	f := func(hRaw uint8, loRaw, hiRaw uint16) bool {
+		h := int(hRaw%9) + 1
+		d := MustNew(h)
+		n := d.Size()
+		lo := uint64(loRaw) % n
+		hi := lo + uint64(hiRaw)%(n-lo)
+		cover := d.Cover(lo, hi, nil)
+		if len(cover) > 2*h {
+			return false
+		}
+		var total uint64
+		for _, id := range cover {
+			a, b := d.NodeInterval(id)
+			if a < lo || b > hi {
+				return false
+			}
+			total += b - a + 1
+		}
+		return total == hi-lo+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeIntervalRoundTrip(t *testing.T) {
+	d := MustNew(7)
+	for id := uint64(1); id < d.IDSpace(); id++ {
+		lo, hi := d.NodeInterval(id)
+		lv := d.Level(id)
+		if hi-lo+1 != uint64(1)<<uint(lv) {
+			t.Fatalf("node %d: size %d != 2^%d", id, hi-lo+1, lv)
+		}
+		if lo%(uint64(1)<<uint(lv)) != 0 {
+			t.Fatalf("node %d not aligned: lo=%d level=%d", id, lo, lv)
+		}
+		if bits.Len64(id)-1 != d.Log()-lv {
+			t.Fatalf("node %d depth mismatch", id)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	d := MustNew(3)
+	for _, fn := range []func(){
+		func() { d.LeafID(8) },
+		func() { d.PointCover(9, nil) },
+		func() { d.Cover(5, 3, nil) },
+		func() { d.Cover(0, 8, nil) },
+		func() { d.NodeInterval(0) },
+		func() { d.NodeInterval(16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCover(b *testing.B) {
+	d := MustNew(20)
+	buf := make([]uint64, 0, 64)
+	for i := 0; i < b.N; i++ {
+		buf = d.Cover(12345, 901234, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkPointCover(b *testing.B) {
+	d := MustNew(20)
+	buf := make([]uint64, 0, 32)
+	for i := 0; i < b.N; i++ {
+		buf = d.PointCover(555555, buf[:0])
+	}
+	_ = buf
+}

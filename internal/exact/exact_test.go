@@ -1,0 +1,199 @@
+package exact
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+func randRects(seed uint64, n, dims int, dom uint64) []geo.HyperRect {
+	return datagen.MustRects(datagen.Spec{
+		N: n, Dims: dims, Domain: dom, Seed: seed, MeanLen: meanLens(dims, float64(dom)/6),
+	})
+}
+
+func meanLens(dims int, v float64) []float64 {
+	m := make([]float64, dims)
+	for i := range m {
+		m[i] = v
+	}
+	return m
+}
+
+func TestIntervalJoinAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r := randRects(seed, 150, 1, 256)
+		s := randRects(seed+100, 170, 1, 256)
+		want := JoinCountBrute(r, s)
+		if got := IntervalJoinCount(r, s); got != want {
+			t.Fatalf("seed %d: IntervalJoinCount = %d, want %d", seed, got, want)
+		}
+		if got := JoinCount(r, s); got != want {
+			t.Fatalf("seed %d: JoinCount(1d) = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestIntervalJoinSharedEndpoints(t *testing.T) {
+	// Dense small domain forces many shared endpoints and touching pairs.
+	rng := rand.New(rand.NewPCG(11, 13))
+	mk := func(n int) []geo.HyperRect {
+		out := make([]geo.HyperRect, n)
+		for i := range out {
+			lo := rng.Uint64N(14)
+			hi := lo + 1 + rng.Uint64N(15-lo)
+			out[i] = geo.Span1D(lo, hi)
+		}
+		return out
+	}
+	for trial := 0; trial < 30; trial++ {
+		r, s := mk(60), mk(60)
+		if got, want := IntervalJoinCount(r, s), JoinCountBrute(r, s); got != want {
+			t.Fatalf("trial %d: strict join = %d, want %d", trial, got, want)
+		}
+		if got, want := IntervalJoinCountExt(r, s), JoinCountExtBrute(r, s); got != want {
+			t.Fatalf("trial %d: extended join = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestIntervalJoinDegenerate(t *testing.T) {
+	r := []geo.HyperRect{geo.Span1D(5, 5), geo.Span1D(1, 9)}
+	s := []geo.HyperRect{geo.Span1D(4, 6), geo.Span1D(5, 5)}
+	// Points never overlap under Definition 1: only [1,9] vs [4,6] counts.
+	if got := IntervalJoinCount(r, s); got != 1 {
+		t.Fatalf("degenerate join = %d, want 1", got)
+	}
+	if got := JoinCountBrute(r, s); got != 1 {
+		t.Fatalf("brute degenerate join = %d, want 1", got)
+	}
+	// Extended join counts the touching point pairs too: [5,5] in [4,6],
+	// [5,5] meets [5,5], [1,9] with both.
+	if got := IntervalJoinCountExt(r, s); got != JoinCountExtBrute(r, s) {
+		t.Fatalf("extended degenerate mismatch")
+	}
+}
+
+func TestRectJoinAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		r := randRects(seed, 120, 2, 128)
+		s := randRects(seed+77, 140, 2, 128)
+		want := JoinCountBrute(r, s)
+		if got := RectJoinCount(r, s); got != want {
+			t.Fatalf("seed %d: RectJoinCount = %d, want %d", seed, got, want)
+		}
+		if got := JoinCount(r, s); got != want {
+			t.Fatalf("seed %d: JoinCount(2d) = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestRectJoinSharedEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 2))
+	mk := func(n int) []geo.HyperRect {
+		out := make([]geo.HyperRect, n)
+		for i := range out {
+			xlo := rng.Uint64N(8)
+			ylo := rng.Uint64N(8)
+			out[i] = geo.Rect(xlo, xlo+1+rng.Uint64N(9-xlo), ylo, ylo+1+rng.Uint64N(9-ylo))
+		}
+		return out
+	}
+	for trial := 0; trial < 25; trial++ {
+		r, s := mk(50), mk(55)
+		if got, want := RectJoinCount(r, s), JoinCountBrute(r, s); got != want {
+			t.Fatalf("trial %d: rect join = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestRectJoinDegenerate(t *testing.T) {
+	r := []geo.HyperRect{geo.Rect(0, 5, 3, 3)} // degenerate in y
+	s := []geo.HyperRect{geo.Rect(0, 5, 0, 5)}
+	if got := RectJoinCount(r, s); got != 0 {
+		t.Fatalf("degenerate rect join = %d, want 0", got)
+	}
+}
+
+func TestRectJoinEmpty(t *testing.T) {
+	if got := RectJoinCount(nil, nil); got != 0 {
+		t.Fatalf("empty join = %d", got)
+	}
+	if got := JoinCount(nil, randRects(1, 5, 2, 64)); got != 0 {
+		t.Fatalf("empty R join = %d", got)
+	}
+}
+
+func Test3DJoinAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		r := randRects(seed, 80, 3, 64)
+		s := randRects(seed+13, 90, 3, 64)
+		want := JoinCountBrute(r, s)
+		if got := JoinCount(r, s); got != want {
+			t.Fatalf("seed %d: JoinCount(3d) = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestContainmentAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r := randRects(seed, 120, 1, 128)
+		s := randRects(seed+5, 150, 1, 128)
+		want := ContainmentCountBrute(r, s)
+		if got := ContainmentCount(r, s); got != want {
+			t.Fatalf("seed %d: ContainmentCount = %d, want %d", seed, got, want)
+		}
+	}
+	// 2-d falls back to brute force.
+	r2 := randRects(3, 40, 2, 64)
+	s2 := randRects(4, 40, 2, 64)
+	if got, want := ContainmentCount(r2, s2), ContainmentCountBrute(r2, s2); got != want {
+		t.Fatalf("2d containment = %d, want %d", got, want)
+	}
+}
+
+func TestContainmentSharedEndpoints(t *testing.T) {
+	r := []geo.HyperRect{geo.Span1D(2, 5), geo.Span1D(2, 5), geo.Span1D(0, 9)}
+	s := []geo.HyperRect{geo.Span1D(2, 5), geo.Span1D(0, 9)}
+	// [2,5] contained in [2,5] (closed) and in [0,9]; [0,9] in [0,9].
+	if got := ContainmentCount(r, s); got != 5 {
+		t.Fatalf("containment = %d, want 5", got)
+	}
+}
+
+func TestEpsJoinAgainstBrute(t *testing.T) {
+	for _, metric := range []Metric{LInf, L1, L2} {
+		for seed := uint64(0); seed < 5; seed++ {
+			a := datagen.MustPoints(datagen.Spec{N: 150, Dims: 2, Domain: 128, Seed: seed})
+			b := datagen.MustPoints(datagen.Spec{N: 160, Dims: 2, Domain: 128, Seed: seed + 50})
+			for _, eps := range []uint64{0, 1, 5, 20} {
+				want := EpsJoinCountBrute(a, b, eps, metric)
+				if got := EpsJoinCount(a, b, eps, metric); got != want {
+					t.Fatalf("metric %d seed %d eps %d: %d, want %d", metric, seed, eps, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEpsJoinEmpty(t *testing.T) {
+	if got := EpsJoinCount(nil, nil, 5, LInf); got != 0 {
+		t.Fatalf("empty eps join = %d", got)
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	r := randRects(9, 300, 2, 256)
+	q := geo.Rect(30, 90, 100, 200)
+	var want uint64
+	for _, a := range r {
+		if a.Overlaps(q) {
+			want++
+		}
+	}
+	if got := RangeCount(r, q); got != want {
+		t.Fatalf("RangeCount = %d, want %d", got, want)
+	}
+}

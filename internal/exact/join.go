@@ -1,0 +1,380 @@
+// Package exact computes exact answers to the spatial queries the sketches
+// estimate: spatial joins of intervals and hyper-rectangles (Definition 1),
+// extended joins (Definition 4), epsilon-joins (Definition 2), containment
+// joins, range queries (Definition 3), and the exact self-join sizes SJ(R)
+// that drive the Theorem 1 sketch sizing. These evaluators provide the
+// ground truth for every experiment in Section 7 and for the test suite.
+package exact
+
+import (
+	"sort"
+
+	"repro/geo"
+	"repro/internal/fenwick"
+)
+
+// IntervalJoinCount returns |R join_o S| for two sets of 1-dimensional
+// hyper-rectangles under the strict overlap of Definition 1. Degenerate
+// (point) intervals never overlap anything under Definition 1 and are
+// skipped. Runs in O((|R|+|S|) log |S|).
+func IntervalJoinCount(r, s []geo.HyperRect) uint64 {
+	los := make([]uint64, 0, len(s))
+	his := make([]uint64, 0, len(s))
+	for _, sv := range s {
+		iv := sv[0]
+		if iv.IsPoint() {
+			continue
+		}
+		los = append(los, iv.Lo)
+		his = append(his, iv.Hi)
+	}
+	sortU64(los)
+	sortU64(his)
+	var count uint64
+	for _, rv := range r {
+		iv := rv[0]
+		if iv.IsPoint() {
+			continue
+		}
+		// overlap <=> l(s) < u(r) && u(s) > l(r); the complement events
+		// l(s) >= u(r) and u(s) <= l(r) are disjoint for non-degenerate s.
+		notLeft := countLE(his, iv.Lo)  // u(s) <= l(r)
+		notRight := countGE(los, iv.Hi) // l(s) >= u(r)
+		count += uint64(len(los)) - notLeft - notRight
+	}
+	return count
+}
+
+// IntervalJoinCountExt returns |R join+_o S| for 1-dimensional inputs under
+// the extended overlap of Definition 4 (meeting at a point counts).
+// Degenerate intervals participate.
+func IntervalJoinCountExt(r, s []geo.HyperRect) uint64 {
+	los := make([]uint64, 0, len(s))
+	his := make([]uint64, 0, len(s))
+	for _, sv := range s {
+		los = append(los, sv[0].Lo)
+		his = append(his, sv[0].Hi)
+	}
+	sortU64(los)
+	sortU64(his)
+	var count uint64
+	for _, rv := range r {
+		iv := rv[0]
+		// overlap+ <=> l(s) <= u(r) && u(s) >= l(r).
+		notLeft := countLT(his, iv.Lo)  // u(s) < l(r)
+		notRight := countGT(los, iv.Hi) // l(s) > u(r)
+		count += uint64(len(los)) - notLeft - notRight
+	}
+	return count
+}
+
+// RectJoinCount returns |R join_o S| for two sets of 2-dimensional
+// rectangles under Definition 1, via a plane sweep over the x-axis with
+// Fenwick trees over y-endpoints. Rectangles degenerate in either dimension
+// are skipped (they cannot overlap under Definition 1). Runs in
+// O((|R|+|S|) log(|R|+|S|)).
+func RectJoinCount(r, s []geo.HyperRect) uint64 {
+	type event struct {
+		x     uint64
+		start bool // false = end (processed first at equal x)
+		fromR bool
+		yLo   uint64
+		yHi   uint64
+	}
+	events := make([]event, 0, 2*(len(r)+len(s)))
+	ycoords := make([]uint64, 0, 2*(len(r)+len(s)))
+	addRect := func(h geo.HyperRect, fromR bool) {
+		if h[0].IsPoint() || h[1].IsPoint() {
+			return
+		}
+		events = append(events,
+			event{x: h[0].Lo, start: true, fromR: fromR, yLo: h[1].Lo, yHi: h[1].Hi},
+			event{x: h[0].Hi, start: false, fromR: fromR, yLo: h[1].Lo, yHi: h[1].Hi})
+		ycoords = append(ycoords, h[1].Lo, h[1].Hi)
+	}
+	for _, h := range r {
+		addRect(h, true)
+	}
+	for _, h := range s {
+		addRect(h, false)
+	}
+	if len(events) == 0 {
+		return 0
+	}
+	sortU64(ycoords)
+	ycoords = dedupU64(ycoords)
+	rank := func(y uint64) int {
+		return sort.Search(len(ycoords), func(i int) bool { return ycoords[i] >= y })
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		// Ends strictly before starts: x-intervals touching at a coordinate
+		// do not overlap under Definition 1.
+		return !events[i].start && events[j].start
+	})
+
+	// Two trees per input: multiplicities of active lower and upper
+	// y-endpoints. The number of active partners with y-overlap is
+	// active - #(yLo >= yHi(q)) - #(yHi <= yLo(q)).
+	m := len(ycoords)
+	rLo, rHi := fenwick.New(m), fenwick.New(m)
+	sLo, sHi := fenwick.New(m), fenwick.New(m)
+	var count uint64
+	for _, ev := range events {
+		lo, hi := rank(ev.yLo), rank(ev.yHi)
+		if !ev.start {
+			if ev.fromR {
+				rLo.Add(lo, -1)
+				rHi.Add(hi, -1)
+			} else {
+				sLo.Add(lo, -1)
+				sHi.Add(hi, -1)
+			}
+			continue
+		}
+		var otherLo, otherHi *fenwick.Tree
+		if ev.fromR {
+			otherLo, otherHi = sLo, sHi
+		} else {
+			otherLo, otherHi = rLo, rHi
+		}
+		active := otherLo.Total()
+		notAbove := otherLo.SuffixSum(hi) // partner yLo >= this yHi
+		notBelow := otherHi.PrefixSum(lo) // partner yHi <= this yLo
+		count += uint64(active - notAbove - notBelow)
+		if ev.fromR {
+			rLo.Add(lo, 1)
+			rHi.Add(hi, 1)
+		} else {
+			sLo.Add(lo, 1)
+			sHi.Add(hi, 1)
+		}
+	}
+	return count
+}
+
+// JoinCount returns |R join_o S| for d-dimensional inputs. Dimensions 1 and
+// 2 use the specialized sort/sweep counters; higher dimensions use an
+// x-sweep with per-candidate verification of the remaining dimensions.
+func JoinCount(r, s []geo.HyperRect) uint64 {
+	if len(r) == 0 || len(s) == 0 {
+		return 0
+	}
+	switch r[0].Dims() {
+	case 1:
+		return IntervalJoinCount(r, s)
+	case 2:
+		return RectJoinCount(r, s)
+	default:
+		return sweepJoinCount(r, s)
+	}
+}
+
+// sweepJoinCount counts d-dimensional overlap joins (d >= 3) by sweeping
+// dimension 0 and verifying the remaining dimensions per candidate pair.
+func sweepJoinCount(r, s []geo.HyperRect) uint64 {
+	type event struct {
+		x     uint64
+		start bool
+		fromR bool
+		rect  geo.HyperRect
+	}
+	degenerate := func(h geo.HyperRect) bool {
+		for _, iv := range h {
+			if iv.IsPoint() {
+				return true
+			}
+		}
+		return false
+	}
+	events := make([]event, 0, 2*(len(r)+len(s)))
+	for _, h := range r {
+		if !degenerate(h) {
+			events = append(events, event{h[0].Lo, true, true, h}, event{h[0].Hi, false, true, h})
+		}
+	}
+	for _, h := range s {
+		if !degenerate(h) {
+			events = append(events, event{h[0].Lo, true, false, h}, event{h[0].Hi, false, false, h})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		return !events[i].start && events[j].start
+	})
+	activeR := map[*geo.Interval]geo.HyperRect{}
+	activeS := map[*geo.Interval]geo.HyperRect{}
+	var count uint64
+	overlapsRest := func(a, b geo.HyperRect) bool {
+		for i := 1; i < len(a); i++ {
+			if !a[i].Overlaps(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, ev := range events {
+		key := &ev.rect[0]
+		if !ev.start {
+			if ev.fromR {
+				delete(activeR, key)
+			} else {
+				delete(activeS, key)
+			}
+			continue
+		}
+		if ev.fromR {
+			for _, other := range activeS {
+				if overlapsRest(ev.rect, other) {
+					count++
+				}
+			}
+			activeR[key] = ev.rect
+		} else {
+			for _, other := range activeR {
+				if overlapsRest(ev.rect, other) {
+					count++
+				}
+			}
+			activeS[key] = ev.rect
+		}
+	}
+	return count
+}
+
+// JoinCountBrute is the O(|R|*|S|) reference join counter used to validate
+// the sweep implementations in tests.
+func JoinCountBrute(r, s []geo.HyperRect) uint64 {
+	var count uint64
+	for _, a := range r {
+		for _, b := range s {
+			if a.Overlaps(b) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// JoinCountExtBrute is the O(|R|*|S|) reference counter for the extended
+// join of Definition 4.
+func JoinCountExtBrute(r, s []geo.HyperRect) uint64 {
+	var count uint64
+	for _, a := range r {
+		for _, b := range s {
+			if a.OverlapsExt(b) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ContainmentCount returns the number of pairs (a, b), a in R, b in S, with
+// a fully contained in b (closed containment in every dimension). The
+// 1-dimensional case runs in O((|R|+|S|) log); higher dimensions fall back
+// to the brute-force counter.
+func ContainmentCount(r, s []geo.HyperRect) uint64 {
+	if len(r) == 0 || len(s) == 0 {
+		return 0
+	}
+	if r[0].Dims() != 1 {
+		return ContainmentCountBrute(r, s)
+	}
+	// a=[alo,ahi] contained in b=[blo,bhi] <=> blo <= alo && ahi <= bhi.
+	// Sweep alo ascending, inserting b by blo, counting bhi >= ahi.
+	coords := make([]uint64, 0, len(s))
+	for _, b := range s {
+		coords = append(coords, b[0].Hi)
+	}
+	sortU64(coords)
+	coords = dedupU64(coords)
+	rank := func(y uint64) int {
+		return sort.Search(len(coords), func(i int) bool { return coords[i] >= y })
+	}
+	sortedS := make([]geo.Interval, len(s))
+	for i, b := range s {
+		sortedS[i] = b[0]
+	}
+	sort.Slice(sortedS, func(i, j int) bool { return sortedS[i].Lo < sortedS[j].Lo })
+	sortedR := make([]geo.Interval, len(r))
+	for i, a := range r {
+		sortedR[i] = a[0]
+	}
+	sort.Slice(sortedR, func(i, j int) bool { return sortedR[i].Lo < sortedR[j].Lo })
+
+	tree := fenwick.New(len(coords))
+	var count uint64
+	j := 0
+	for _, a := range sortedR {
+		for j < len(sortedS) && sortedS[j].Lo <= a.Lo {
+			tree.Add(rank(sortedS[j].Hi), 1)
+			j++
+		}
+		count += uint64(tree.SuffixSum(rank(a.Hi)))
+	}
+	return count
+}
+
+// ContainmentCountBrute is the O(|R|*|S|) reference containment counter.
+func ContainmentCountBrute(r, s []geo.HyperRect) uint64 {
+	var count uint64
+	for _, a := range r {
+		for _, b := range s {
+			if b.Contains(a) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// RangeCount returns |Q(q, R)|, the number of hyper-rectangles of R
+// overlapping the query hyper-rectangle q (Definition 3).
+func RangeCount(r []geo.HyperRect, q geo.HyperRect) uint64 {
+	var count uint64
+	for _, a := range r {
+		if a.Overlaps(q) {
+			count++
+		}
+	}
+	return count
+}
+
+func sortU64(a []uint64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+func dedupU64(a []uint64) []uint64 {
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != a[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// countLE returns |{x in sorted : x <= v}|.
+func countLE(sorted []uint64, v uint64) uint64 {
+	return uint64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > v }))
+}
+
+// countLT returns |{x in sorted : x < v}|.
+func countLT(sorted []uint64, v uint64) uint64 {
+	return uint64(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v }))
+}
+
+// countGE returns |{x in sorted : x >= v}|.
+func countGE(sorted []uint64, v uint64) uint64 {
+	return uint64(len(sorted)) - countLT(sorted, v)
+}
+
+// countGT returns |{x in sorted : x > v}|.
+func countGT(sorted []uint64, v uint64) uint64 {
+	return uint64(len(sorted)) - countLE(sorted, v)
+}

@@ -1,0 +1,159 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/geo"
+	"repro/internal/dyadic"
+)
+
+// Self-join sizes (paper Sections 3.1, 3.2 and 4.1.4).
+//
+// For an atomic sketch Xw the self-join size is SJ(Xw) = sum over dyadic
+// hyper-rectangles of f_w(.)^2, where f_w counts how many input objects'
+// w-cover contains that dyadic hyper-rectangle. SJ(R) = sum over all
+// w in {I,E}^d of SJ(Xw) controls the variance bound Var[Z] <=
+// c * SJ(R) * SJ(S) and hence the Theorem 1 sketch sizing. These exact
+// computations are offline planning utilities (they use memory linear in
+// the number of distinct cover entries); the sketches themselves never need
+// them.
+
+// SelfJoin holds the exact self-join sizes of a relation under the
+// {I,E}^d dyadic sketch set.
+type SelfJoin struct {
+	// PerW[w] is SJ(Xw); w is the bitmask with bit i set iff letter i is E.
+	PerW []float64
+	// Total is the sum over all w, the SJ(R) of the variance bounds.
+	Total float64
+}
+
+// SelfJoinSizes computes the exact self-join sizes of rects under dyadic
+// covers capped at maxLevel per dimension (maxLevel[i] < 0 means uncapped).
+// All rects must share the dimensionality of dom.
+func SelfJoinSizes(dom []dyadic.Domain, maxLevel []int, rects []geo.HyperRect) (SelfJoin, error) {
+	d := len(dom)
+	if d == 0 {
+		return SelfJoin{}, fmt.Errorf("exact: no domains given")
+	}
+	if len(maxLevel) != d {
+		return SelfJoin{}, fmt.Errorf("exact: got %d maxLevel entries for %d dims", len(maxLevel), d)
+	}
+	// Keys pack one dyadic id per dimension into a uint64.
+	shift := make([]uint, d)
+	var totalBits uint
+	for i, dm := range dom {
+		shift[i] = uint(bits.Len64(dm.IDSpace()))
+		totalBits += shift[i]
+	}
+	if totalBits > 64 {
+		return SelfJoin{}, fmt.Errorf("exact: self-join key needs %d bits (> 64); use smaller domains or fewer dims", totalBits)
+	}
+
+	nw := 1 << d
+	freqs := make([]map[uint64]int64, nw)
+	for w := range freqs {
+		freqs[w] = make(map[uint64]int64)
+	}
+	covers := make([][]uint64, d) // interval covers per dim
+	points := make([][]uint64, d) // endpoint covers per dim
+	for _, rect := range rects {
+		if len(rect) != d {
+			return SelfJoin{}, fmt.Errorf("exact: rect dimensionality %d, want %d", len(rect), d)
+		}
+		for i, iv := range rect {
+			covers[i] = dom[i].CoverMax(iv.Lo, iv.Hi, maxLevel[i], covers[i][:0])
+			points[i] = dom[i].PointCoverMax(iv.Lo, maxLevel[i], points[i][:0])
+			points[i] = dom[i].PointCoverMax(iv.Hi, maxLevel[i], points[i])
+		}
+		for w := 0; w < nw; w++ {
+			lists := make([][]uint64, d)
+			for i := 0; i < d; i++ {
+				if w&(1<<i) != 0 {
+					lists[i] = points[i]
+				} else {
+					lists[i] = covers[i]
+				}
+			}
+			accumulateCross(freqs[w], lists, shift)
+		}
+	}
+
+	sj := SelfJoin{PerW: make([]float64, nw)}
+	for w, m := range freqs {
+		var s float64
+		for _, f := range m {
+			s += float64(f) * float64(f)
+		}
+		sj.PerW[w] = s
+		sj.Total += s
+	}
+	return sj, nil
+}
+
+// accumulateCross adds 1 to freq for every element of the cross product of
+// the per-dimension id lists. Point covers may contain an id twice (both
+// endpoints share ancestors), which correctly contributes multiplicity 2.
+func accumulateCross(freq map[uint64]int64, lists [][]uint64, shift []uint) {
+	var rec func(dim int, key uint64)
+	rec = func(dim int, key uint64) {
+		if dim == len(lists) {
+			freq[key]++
+			return
+		}
+		for _, id := range lists[dim] {
+			rec(dim+1, key<<shift[dim]|id)
+		}
+	}
+	rec(0, 0)
+}
+
+// PointSelfJoin computes SJ(X_E) for a set of points under the pure
+// endpoint (point-cover product) sketch used by epsilon-joins and
+// containment joins (Lemma 8).
+func PointSelfJoin(dom []dyadic.Domain, maxLevel []int, pts []geo.Point) (float64, error) {
+	rects := make([]geo.HyperRect, len(pts))
+	for i, p := range pts {
+		rects[i] = p.AsRect()
+	}
+	return singleCoverSelfJoin(dom, maxLevel, rects, true)
+}
+
+// BoxSelfJoin computes SJ(Y_I) for a set of hyper-rectangles under the pure
+// interval-cover product sketch used by epsilon-joins (Lemma 8).
+func BoxSelfJoin(dom []dyadic.Domain, maxLevel []int, rects []geo.HyperRect) (float64, error) {
+	return singleCoverSelfJoin(dom, maxLevel, rects, false)
+}
+
+func singleCoverSelfJoin(dom []dyadic.Domain, maxLevel []int, rects []geo.HyperRect, pointCover bool) (float64, error) {
+	d := len(dom)
+	shift := make([]uint, d)
+	var totalBits uint
+	for i, dm := range dom {
+		shift[i] = uint(bits.Len64(dm.IDSpace()))
+		totalBits += shift[i]
+	}
+	if totalBits > 64 {
+		return 0, fmt.Errorf("exact: self-join key needs %d bits (> 64)", totalBits)
+	}
+	freq := make(map[uint64]int64)
+	lists := make([][]uint64, d)
+	for _, rect := range rects {
+		if len(rect) != d {
+			return 0, fmt.Errorf("exact: rect dimensionality %d, want %d", len(rect), d)
+		}
+		for i, iv := range rect {
+			if pointCover {
+				lists[i] = dom[i].PointCoverMax(iv.Lo, maxLevel[i], lists[i][:0])
+			} else {
+				lists[i] = dom[i].CoverMax(iv.Lo, iv.Hi, maxLevel[i], lists[i][:0])
+			}
+		}
+		accumulateCross(freq, lists, shift)
+	}
+	var s float64
+	for _, f := range freq {
+		s += float64(f) * float64(f)
+	}
+	return s, nil
+}

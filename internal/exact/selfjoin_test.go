@@ -1,0 +1,178 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/geo"
+	"repro/internal/datagen"
+	"repro/internal/dyadic"
+)
+
+// sjBrute computes SJ(Xw) by explicitly building the frequency vectors
+// f_w over dyadic hyper-rectangles, for 1-d inputs.
+func sj1DBrute(dom dyadic.Domain, maxLevel int, rects []geo.HyperRect) (sjI, sjE float64) {
+	fI := map[uint64]float64{}
+	fE := map[uint64]float64{}
+	for _, r := range rects {
+		for _, id := range dom.CoverMax(r[0].Lo, r[0].Hi, maxLevel, nil) {
+			fI[id]++
+		}
+		for _, id := range dom.PointCoverMax(r[0].Lo, maxLevel, nil) {
+			fE[id]++
+		}
+		for _, id := range dom.PointCoverMax(r[0].Hi, maxLevel, nil) {
+			fE[id]++
+		}
+	}
+	for _, f := range fI {
+		sjI += f * f
+	}
+	for _, f := range fE {
+		sjE += f * f
+	}
+	return sjI, sjE
+}
+
+func TestSelfJoin1D(t *testing.T) {
+	dom := dyadic.MustNew(8)
+	rects := datagen.MustRects(datagen.Spec{N: 120, Dims: 1, Domain: 256, Seed: 5})
+	for _, ml := range []int{-1, 0, 3, 8} {
+		sj, err := SelfJoinSizes([]dyadic.Domain{dom}, []int{ml}, rects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		effML := ml
+		if ml < 0 {
+			effML = 8
+		}
+		wantI, wantE := sj1DBrute(dom, effML, rects)
+		if sj.PerW[0] != wantI {
+			t.Fatalf("ml=%d: SJ(X_I) = %g, want %g", ml, sj.PerW[0], wantI)
+		}
+		if sj.PerW[1] != wantE {
+			t.Fatalf("ml=%d: SJ(X_E) = %g, want %g", ml, sj.PerW[1], wantE)
+		}
+		if sj.Total != wantI+wantE {
+			t.Fatalf("ml=%d: total = %g, want %g", ml, sj.Total, wantI+wantE)
+		}
+	}
+}
+
+// TestSelfJoin2DWorkedExample checks the 2-d frequencies on a hand-computed
+// case: one rectangle over domain 4x4.
+func TestSelfJoin2DWorkedExample(t *testing.T) {
+	dom := dyadic.MustNew(2)
+	// r = [0,2] x [1,1]: x-cover {2,6} (2 nodes), x-endpoints covers
+	// {4,2,1} + {6,3,1} (6 ids), y-cover of [1,1] = {5} wait - canonical
+	// cover of a point is its leaf {5} (1 node), y-endpoint covers
+	// {5,2,1} twice (6 ids, each ancestor with multiplicity 2).
+	rects := []geo.HyperRect{{geo.Interval{Lo: 0, Hi: 2}, geo.Interval{Lo: 1, Hi: 1}}}
+	sj, err := SelfJoinSizes([]dyadic.Domain{dom, dom}, []int{-1, -1}, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w encoding: bit0 = dim0 letter (E if set), bit1 = dim1 letter.
+	// SJ(X_II): 2 x-cover nodes * 1 y-cover node, all f=1 -> 2.
+	if sj.PerW[0] != 2 {
+		t.Errorf("SJ(X_II) = %g, want 2", sj.PerW[0])
+	}
+	// SJ(X_EI): 6 x-endpoint ids (all distinct: 4,2,1,6,3,1 - id 1 twice!)
+	// times 1 y-cover node. f values: id1 has multiplicity 2 -> 4; ids
+	// 4,2,6,3 -> 1 each. Total 4+4 = 8.
+	if sj.PerW[1] != 8 {
+		t.Errorf("SJ(X_EI) = %g, want 8", sj.PerW[1])
+	}
+	// SJ(X_IE): 2 x-cover nodes times y-endpoint ids {5,2,1}x2 (each with
+	// multiplicity 2 -> f=2, squared 4, three ids) -> 2 * 12 = 24.
+	if sj.PerW[2] != 24 {
+		t.Errorf("SJ(X_IE) = %g, want 24", sj.PerW[2])
+	}
+	// SJ(X_EE): x-endpoint f: {4:1,2:1,1:2,6:1,3:1}, y-endpoint f:
+	// {5:2,2:2,1:2}. Cross product f = fx*fy; sum of squares =
+	// (sum fx^2)(sum fy^2) = (1+1+4+1+1)*(4+4+4) = 8*12 = 96.
+	if sj.PerW[3] != 96 {
+		t.Errorf("SJ(X_EE) = %g, want 96", sj.PerW[3])
+	}
+}
+
+func TestSelfJoinValidation(t *testing.T) {
+	dom := dyadic.MustNew(4)
+	if _, err := SelfJoinSizes(nil, nil, nil); err == nil {
+		t.Error("no domains should fail")
+	}
+	if _, err := SelfJoinSizes([]dyadic.Domain{dom}, []int{1, 2}, nil); err == nil {
+		t.Error("mismatched maxLevel should fail")
+	}
+	bad := []geo.HyperRect{geo.Rect(0, 1, 0, 1)}
+	if _, err := SelfJoinSizes([]dyadic.Domain{dom}, []int{-1}, bad); err == nil {
+		t.Error("dimensionality mismatch should fail")
+	}
+}
+
+func TestPointAndBoxSelfJoin(t *testing.T) {
+	dom := dyadic.MustNew(6)
+	doms := []dyadic.Domain{dom, dom}
+	ml := []int{-1, -1}
+	pts := datagen.MustPoints(datagen.Spec{N: 50, Dims: 2, Domain: 64, Seed: 3})
+	sjP, err := PointSelfJoin(doms, ml, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: product point covers.
+	freq := map[[2]uint64]float64{}
+	for _, p := range pts {
+		for _, id1 := range dom.PointCover(p[0], nil) {
+			for _, id2 := range dom.PointCover(p[1], nil) {
+				freq[[2]uint64{id1, id2}]++
+			}
+		}
+	}
+	var want float64
+	for _, f := range freq {
+		want += f * f
+	}
+	if sjP != want {
+		t.Fatalf("PointSelfJoin = %g, want %g", sjP, want)
+	}
+
+	boxes := datagen.MustRects(datagen.Spec{N: 40, Dims: 2, Domain: 64, Seed: 8})
+	sjB, err := BoxSelfJoin(doms, ml, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqB := map[[2]uint64]float64{}
+	for _, b := range boxes {
+		for _, id1 := range dom.Cover(b[0].Lo, b[0].Hi, nil) {
+			for _, id2 := range dom.Cover(b[1].Lo, b[1].Hi, nil) {
+				freqB[[2]uint64{id1, id2}]++
+			}
+		}
+	}
+	var wantB float64
+	for _, f := range freqB {
+		wantB += f * f
+	}
+	if sjB != wantB {
+		t.Fatalf("BoxSelfJoin = %g, want %g", sjB, wantB)
+	}
+}
+
+// TestSelfJoinGrowth: SJ grows roughly quadratically in object count for a
+// fixed distribution - the property that keeps the Theorem 1 space
+// requirement constant as datasets grow (Figure 8).
+func TestSelfJoinGrowth(t *testing.T) {
+	dom := dyadic.MustNew(10)
+	sjAt := func(n int) float64 {
+		rects := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: 1024, Seed: 77})
+		sj, err := SelfJoinSizes([]dyadic.Domain{dom}, []int{-1}, rects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sj.Total
+	}
+	sj1, sj2 := sjAt(200), sjAt(400)
+	ratio := sj2 / sj1
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("SJ growth ratio %g outside quadratic-ish band [2.5, 6]", ratio)
+	}
+}

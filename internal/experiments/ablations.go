@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/datagen"
+	"repro/internal/exact"
+)
+
+// Ablations and extension studies beyond the paper's figures, indexed in
+// DESIGN.md Section 4.
+
+// AblationMaxLevel sweeps the Section 6.5 level cap on a short-interval
+// workload: low caps shrink the endpoint self-join size (fewer shared
+// high-level dyadic nodes) but lengthen interval covers; the sweet spot
+// tracks the object length distribution.
+func AblationMaxLevel(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	const domain = 1 << 12
+	n := int(60000 * opt.Scale)
+	if n < 300 {
+		n = 300
+	}
+	// Mostly short intervals (mean 8 on a 4096 domain).
+	r := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: domain, Seed: opt.Seed, MeanLen: []float64{8}})
+	s := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: domain, Seed: opt.Seed + 5, MeanLen: []float64{8}})
+	exactVal := float64(exact.IntervalJoinCount(r, s))
+	tab := Table{
+		Name:   "maxlevel",
+		Title:  "Section 6.5 ablation: relative error vs maxLevel cap, short intervals, fixed space",
+		Header: []string{"max_level", "relerr_sketch", fmt.Sprintf("(n=%d exact=%d)", n, uint64(exactVal))},
+	}
+	for _, ml := range []int{1, 3, 5, 7, 9, 11, 14} {
+		var sum float64
+		for run := 0; run < opt.Runs; run++ {
+			est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+				Dims: 1, DomainSize: domain,
+				Sizing:   spatial.Sizing{Instances: 1024, Groups: 8},
+				MaxLevel: ml,
+				Seed:     opt.Seed + uint64(run)*31 + uint64(ml),
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			if err := est.InsertLeftBulk(r); err != nil {
+				return Table{}, err
+			}
+			if err := est.InsertRightBulk(s); err != nil {
+				return Table{}, err
+			}
+			card, err := est.Cardinality()
+			if err != nil {
+				return Table{}, err
+			}
+			sum += relErr(card.Clamped(), exactVal)
+		}
+		tab.Rows = append(tab.Rows, []string{fmt.Sprint(ml), f(sum / float64(opt.Runs)), ""})
+	}
+	return tab, nil
+}
+
+// AblationStandardVsDyadic compares the standard sketch (maxLevel 0: one
+// xi per coordinate, Section 3.1) with the dyadic sketch on short vs long
+// interval workloads - the trade-off Section 6.5 describes.
+func AblationStandardVsDyadic(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	const domain = 1 << 10
+	n := int(40000 * opt.Scale)
+	if n < 300 {
+		n = 300
+	}
+	tab := Table{
+		Name:   "standard",
+		Title:  "Section 6.5 ablation: standard (maxLevel 0) vs dyadic sketches by interval length",
+		Header: []string{"mean_len", "relerr_standard", "relerr_dyadic"},
+	}
+	for _, meanLen := range []float64{2, 8, 32, 128} {
+		r := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: domain, Seed: opt.Seed + uint64(meanLen), MeanLen: []float64{meanLen}})
+		s := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: domain, Seed: opt.Seed + uint64(meanLen) + 3, MeanLen: []float64{meanLen}})
+		exactVal := float64(exact.IntervalJoinCount(r, s))
+		if exactVal == 0 {
+			continue
+		}
+		errAt := func(ml int) (float64, error) {
+			var sum float64
+			for run := 0; run < opt.Runs; run++ {
+				est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+					Dims: 1, DomainSize: domain,
+					Sizing:   spatial.Sizing{Instances: 1024, Groups: 8},
+					MaxLevel: ml,
+					Seed:     opt.Seed + uint64(run)*101 + uint64(ml)*7,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if err := est.InsertLeftBulk(r); err != nil {
+					return 0, err
+				}
+				if err := est.InsertRightBulk(s); err != nil {
+					return 0, err
+				}
+				card, err := est.Cardinality()
+				if err != nil {
+					return 0, err
+				}
+				sum += relErr(card.Clamped(), exactVal)
+			}
+			return sum / float64(opt.Runs), nil
+		}
+		// MaxLevel is clamped to >= 1 by the facade (0 means uncapped), so
+		// "standard" uses cap 1: per-coordinate leaves plus one level.
+		stdErr, err := errAt(1)
+		if err != nil {
+			return Table{}, err
+		}
+		dyErr, err := errAt(-1)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{fi(meanLen), f(stdErr), f(dyErr)})
+	}
+	return tab, nil
+}
+
+// AblationDomainGrowth reproduces the Section 7.1 discussion: doubling the
+// coordinate domain (without changing the data) hurts grid histograms -
+// their cells coarsen - while the sketch error is unchanged when the level
+// cap is held fixed.
+func AblationDomainGrowth(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	n := int(50000 * opt.Scale)
+	if n < 300 {
+		n = 300
+	}
+	tab := Table{
+		Name:   "domaingrowth",
+		Title:  "Section 7.1 ablation: same data, conceptually growing domain; fixed space",
+		Header: []string{"domain", "relerr_sketch", "relerr_eh", "relerr_gh"},
+	}
+	baseDomain := uint64(1 << 12)
+	// Fixed data, generated on the base domain.
+	r := datagen.MustRects(datagen.Spec{N: n, Dims: 2, Domain: baseDomain, Seed: opt.Seed + 1})
+	s := datagen.MustRects(datagen.Spec{N: n, Dims: 2, Domain: baseDomain, Seed: opt.Seed + 2})
+	exactVal := float64(exact.RectJoinCount(r, s))
+	budget := 2209 // EH level 4
+	ml := autoMaxLevel(math.Sqrt(float64(baseDomain)))
+	for _, factor := range []uint64{1, 2, 4, 8} {
+		domain := baseDomain * factor
+		skErr, err := sketchJoinErr(r, s, domain, budget, ml, exactVal, opt)
+		if err != nil {
+			return Table{}, err
+		}
+		ghErr, ehErr, err := histogramJoinErrs(r, s, domain,
+			ghLevelForWords(budget), ehLevelForWords(budget), exactVal)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{fmt.Sprint(domain), f(skErr), f(ehErr), f(ghErr)})
+	}
+	return tab, nil
+}
+
+// EpsJoinStudy measures epsilon-join estimation error vs epsilon
+// (Section 6.3).
+func EpsJoinStudy(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	const domain = 1 << 10
+	n := int(40000 * opt.Scale)
+	if n < 300 {
+		n = 300
+	}
+	a := datagen.MustPoints(datagen.Spec{N: n, Dims: 2, Domain: domain, Seed: opt.Seed + 11})
+	b := datagen.MustPoints(datagen.Spec{N: n, Dims: 2, Domain: domain, Seed: opt.Seed + 12})
+	tab := Table{
+		Name:   "epsjoin",
+		Title:  "Section 6.3: epsilon-join estimation error vs epsilon (L-infinity)",
+		Header: []string{"eps", "exact", "estimate", "relerr"},
+	}
+	for _, eps := range []uint64{8, 16, 32, 64} {
+		exactVal := float64(exact.EpsJoinCount(a, b, eps, exact.LInf))
+		if exactVal == 0 {
+			continue
+		}
+		var sum float64
+		for run := 0; run < opt.Runs; run++ {
+			est, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+				Dims: 2, DomainSize: domain, Eps: eps,
+				Sizing: spatial.Sizing{Instances: 4096, Groups: 8},
+				Seed:   opt.Seed + uint64(run)*17 + eps,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			for _, p := range a {
+				if err := est.InsertLeft(p); err != nil {
+					return Table{}, err
+				}
+			}
+			for _, p := range b {
+				if err := est.InsertRight(p); err != nil {
+					return Table{}, err
+				}
+			}
+			card, err := est.Cardinality()
+			if err != nil {
+				return Table{}, err
+			}
+			sum += card.Clamped()
+		}
+		avg := sum / float64(opt.Runs)
+		tab.Rows = append(tab.Rows, []string{fmt.Sprint(eps), fi(exactVal), fi(avg), f(relErr(avg, exactVal))})
+	}
+	return tab, nil
+}
+
+// RangeQueryStudy measures range-query estimation error vs query
+// selectivity (Section 6.4).
+func RangeQueryStudy(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	const domain = 1 << 12
+	n := int(60000 * opt.Scale)
+	if n < 300 {
+		n = 300
+	}
+	rects := datagen.MustRects(datagen.Spec{N: n, Dims: 1, Domain: domain, Seed: opt.Seed + 21})
+	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: domain,
+		Sizing: spatial.Sizing{Instances: 4096, Groups: 8},
+		Seed:   opt.Seed + 22,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	if err := re.InsertBulk(rects); err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		Name:   "rangequery",
+		Title:  "Section 6.4: range query estimation across query widths",
+		Header: []string{"query", "exact", "estimate", "relerr"},
+	}
+	for _, q := range []geo.HyperRect{
+		geo.Span1D(100, 200), geo.Span1D(0, 1023), geo.Span1D(1500, 3500), geo.Span1D(2000, 2100),
+	} {
+		exactVal := float64(exact.RangeCount(rects, q))
+		est, err := re.Estimate(q)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("[%d,%d]", q[0].Lo, q[0].Hi), fi(exactVal), fi(est.Clamped()), f(relErr(est.Clamped(), exactVal)),
+		})
+	}
+	return tab, nil
+}
+
+// Dim3Study measures 3-d hyper-rectangle join estimation (Section 6.1):
+// the curse of dimensionality shows as larger error at equal space.
+func Dim3Study(opt Options) (Table, error) {
+	opt = opt.withDefaults()
+	const domain = 1 << 8
+	n := int(20000 * opt.Scale)
+	if n < 200 {
+		n = 200
+	}
+	tab := Table{
+		Name:   "dim3",
+		Title:  "Section 6.1: join error vs dimensionality at equal space",
+		Header: []string{"dims", "exact", "relerr_sketch"},
+	}
+	for _, dims := range []int{1, 2, 3} {
+		mean := make([]float64, dims)
+		for i := range mean {
+			mean[i] = float64(domain) / 4
+		}
+		r := datagen.MustRects(datagen.Spec{N: n, Dims: dims, Domain: domain, Seed: opt.Seed + uint64(dims), MeanLen: mean})
+		s := datagen.MustRects(datagen.Spec{N: n, Dims: dims, Domain: domain, Seed: opt.Seed + uint64(dims) + 9, MeanLen: mean})
+		exactVal := float64(exact.JoinCount(r, s))
+		if exactVal == 0 {
+			continue
+		}
+		var sum float64
+		for run := 0; run < opt.Runs; run++ {
+			est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+				Dims: dims, DomainSize: domain,
+				Sizing: spatial.Sizing{MemoryWords: 4096, Groups: 8},
+				Seed:   opt.Seed + uint64(run)*71 + uint64(dims),
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			if err := est.InsertLeftBulk(r); err != nil {
+				return Table{}, err
+			}
+			if err := est.InsertRightBulk(s); err != nil {
+				return Table{}, err
+			}
+			card, err := est.Cardinality()
+			if err != nil {
+				return Table{}, err
+			}
+			sum += relErr(card.Clamped(), exactVal)
+		}
+		tab.Rows = append(tab.Rows, []string{fmt.Sprint(dims), fi(exactVal), f(sum / float64(opt.Runs))})
+	}
+	return tab, nil
+}

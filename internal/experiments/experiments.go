@@ -1,0 +1,206 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 7) plus the ablations DESIGN.md calls out. It is shared by
+// cmd/spatialbench and the repository benchmarks.
+//
+// The paper's headline runs use up to 500K objects and ~36K-word synopses;
+// the Options.Scale knob shrinks object counts and synopsis budgets
+// proportionally so a full regeneration runs in minutes on a laptop while
+// preserving the comparisons the figures make (who wins, by what factor,
+// and where behaviour changes). Scale = 1 reproduces the paper's setup.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/histogram"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale in (0, 1] shrinks dataset sizes and synopsis budgets from the
+	// paper's setup. The default (0) means 0.04 - minutes, not hours.
+	Scale float64
+	// Seed drives all data generation and sketching.
+	Seed uint64
+	// Runs averages the randomized SKETCH error over this many
+	// independently seeded runs (the paper averages over multiple runs);
+	// default 3.
+	Runs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 0.04
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 20040613 // SIGMOD 2004
+	}
+	return o
+}
+
+// Table is a printable experiment result: one row per x-axis point of the
+// corresponding figure.
+type Table struct {
+	Name   string // e.g. "fig5"
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table as aligned columns.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", t.Name, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// relErr is the relative error metric of Section 7.
+func relErr(est, exactVal float64) float64 {
+	if exactVal == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-exactVal) / exactVal
+}
+
+// autoMaxLevel picks the Section 6.5 level cap from the mean object length
+// (raw coordinates; the transform triples it). The cap trades the two
+// self-join contributions: capped interval covers cost
+// SJ(X_I) ~ N^2 len^2 / (n 2^ml) while endpoint covers cost
+// SJ(X_E) ~ 8 N^2 2^ml / n, minimized at 2^ml = len / sqrt(8) - notably
+// independent of the domain size, which is why the sketch error is
+// domain-growth invariant (Section 7.1 discussion).
+func autoMaxLevel(meanLen float64) int {
+	ml := int(math.Round(math.Log2(3*meanLen) - 1.5))
+	if ml < 1 {
+		ml = 1
+	}
+	return ml
+}
+
+// ghLevelForWords returns the largest GH level whose 4^(L+1) words fit the
+// budget (level 0 as the floor).
+func ghLevelForWords(words int) int {
+	level := 0
+	for l := 1; l <= 12; l++ {
+		if 4*(1<<uint(2*l)) <= words {
+			level = l
+		}
+	}
+	return level
+}
+
+// ehLevelForWords returns the largest EH level whose 9*4^L - 6*2^L + 1
+// words fit the budget.
+func ehLevelForWords(words int) int {
+	level := 0
+	for l := 1; l <= 12; l++ {
+		g := 1 << uint(l)
+		if 9*g*g-6*g+1 <= words {
+			level = l
+		}
+	}
+	return level
+}
+
+// sketchJoinErr builds the SKETCH estimator for a 2-d join under a word
+// budget and returns the relative error averaged over opt.Runs seeds.
+func sketchJoinErr(r, s []geo.HyperRect, domain uint64, budgetWords int, maxLevel int, exactVal float64, opt Options) (float64, error) {
+	var sum float64
+	for run := 0; run < opt.Runs; run++ {
+		est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+			Dims: 2, DomainSize: domain,
+			Sizing:   spatial.Sizing{MemoryWords: budgetWords, Groups: 8},
+			MaxLevel: maxLevel,
+			Seed:     opt.Seed + uint64(run)*7919,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := est.InsertLeftBulk(r); err != nil {
+			return 0, err
+		}
+		if err := est.InsertRightBulk(s); err != nil {
+			return 0, err
+		}
+		card, err := est.Cardinality()
+		if err != nil {
+			return 0, err
+		}
+		sum += relErr(card.Clamped(), exactVal)
+	}
+	return sum / float64(opt.Runs), nil
+}
+
+// histogramJoinErrs builds GH and EH at the given levels and returns their
+// relative errors.
+func histogramJoinErrs(r, s []geo.HyperRect, domain uint64, ghLevel, ehLevel int, exactVal float64) (ghErr, ehErr float64, err error) {
+	gh1, err := histogram.NewGH(ghLevel, domain)
+	if err != nil {
+		return 0, 0, err
+	}
+	gh2, _ := histogram.NewGH(ghLevel, domain)
+	eh1, err := histogram.NewEH(ehLevel, domain)
+	if err != nil {
+		return 0, 0, err
+	}
+	eh2, _ := histogram.NewEH(ehLevel, domain)
+	for _, x := range r {
+		if err := gh1.Insert(x); err != nil {
+			return 0, 0, err
+		}
+		if err := eh1.Insert(x); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, x := range s {
+		if err := gh2.Insert(x); err != nil {
+			return 0, 0, err
+		}
+		if err := eh2.Insert(x); err != nil {
+			return 0, 0, err
+		}
+	}
+	ghEst, err := histogram.GHJoinEstimate(gh1, gh2)
+	if err != nil {
+		return 0, 0, err
+	}
+	ehEst, err := histogram.EHJoinEstimate(eh1, eh2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return relErr(ghEst, exactVal), relErr(ehEst, exactVal), nil
+}
+
+func f(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func fi(v float64) string { return fmt.Sprintf("%.0f", v) }

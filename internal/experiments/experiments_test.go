@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// tinyOpt keeps experiment smoke tests fast.
+func tinyOpt() Options {
+	return Options{Scale: 0.004, Seed: 99, Runs: 1}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := Table{
+		Name: "x", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if out == "" || !bytes.Contains(buf.Bytes(), []byte("333")) {
+		t.Fatalf("bad table output: %q", out)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if relErr(90, 100) != 0.1 {
+		t.Fatal("relErr(90,100)")
+	}
+	if relErr(0, 0) != 0 {
+		t.Fatal("relErr(0,0)")
+	}
+	if got := relErr(5, 0); got <= 1e18 {
+		t.Fatal("relErr(x,0) should be +inf")
+	}
+}
+
+func TestLevelFitters(t *testing.T) {
+	// GH level 4 uses 4^5 = 1024 words.
+	if got := ghLevelForWords(1024); got != 4 {
+		t.Fatalf("ghLevelForWords(1024) = %d", got)
+	}
+	if got := ghLevelForWords(1023); got != 3 {
+		t.Fatalf("ghLevelForWords(1023) = %d", got)
+	}
+	// EH level 4 uses 9*256 - 96 + 1 = 2209 words.
+	if got := ehLevelForWords(2209); got != 4 {
+		t.Fatalf("ehLevelForWords(2209) = %d", got)
+	}
+	if got := ehLevelForWords(2208); got != 3 {
+		t.Fatalf("ehLevelForWords(2208) = %d", got)
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	tab, err := Fig5(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig5 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []int{2, 3, 4} {
+			if v := parseF(t, row[col]); v < 0 {
+				t.Fatalf("negative error in %v", row)
+			}
+		}
+	}
+}
+
+// TestFig7And8 runs the shared guarantee sweep once at a scale large
+// enough to sit in the collision-dominated self-join regime, then checks
+// both figures' claims: the measured error honors the guaranteed bound
+// (Fig 7) and the required space flattens out (Fig 8).
+func TestFig7And8(t *testing.T) {
+	points, err := fig78Sweep(Options{Scale: 0.02, Seed: 99, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("sweep points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.trueErr > 0.3 {
+			t.Fatalf("guaranteed error bound violated at n=%d: %g", p.n, p.trueErr)
+		}
+	}
+	// The plateau: the last three points' space within 1.8x of each other.
+	tail := points[len(points)-3:]
+	lo, hi := tail[0].spaceWords, tail[0].spaceWords
+	for _, p := range tail {
+		if p.spaceWords < lo {
+			lo = p.spaceWords
+		}
+		if p.spaceWords > hi {
+			hi = p.spaceWords
+		}
+	}
+	if float64(hi)/float64(lo) > 1.8 {
+		t.Fatalf("space plateau not flat: [%d, %d]", lo, hi)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	tab, err := Fig9(Options{Scale: 0.01, Seed: 99, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig9 rows = %d", len(tab.Rows))
+	}
+	// SKETCH's best error across the two largest budgets should beat its
+	// smallest-budget error (the predictable-decline property; individual
+	// points are randomized).
+	first := parseF(t, tab.Rows[0][1])
+	lastTwo := math.Min(parseF(t, tab.Rows[4][1]), parseF(t, tab.Rows[5][1]))
+	if lastTwo > first {
+		t.Fatalf("sketch error should shrink with space: %g -> %g", first, lastTwo)
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	if _, err := ByName("nope", tinyOpt()); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+	names := All()
+	if len(names) != 13 {
+		t.Fatalf("All() = %v", names)
+	}
+	// Spot-run two cheap ones through the dispatcher.
+	for _, name := range []string{"rangequery", "dim3"} {
+		tab, err := ByName(name, tinyOpt())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestAutoMaxLevel(t *testing.T) {
+	if autoMaxLevel(0.1) != 1 {
+		t.Fatal("tiny lengths should floor at 1")
+	}
+	if autoMaxLevel(128) <= 5 {
+		t.Fatal("bigger lengths need more levels")
+	}
+}

@@ -1,0 +1,78 @@
+// Package fenwick provides a Fenwick (binary indexed) tree over int64
+// counts. It is the substrate of the exact plane-sweep join counters in
+// internal/exact, which need insert/delete of endpoint multiplicities and
+// prefix-count queries in O(log n).
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over positions [0, n). The zero value is unusable;
+// construct with New.
+type Tree struct {
+	t     []int64
+	total int64
+}
+
+// New returns a tree over positions [0, n).
+func New(n int) *Tree {
+	if n < 0 {
+		panic(fmt.Sprintf("fenwick: negative size %d", n))
+	}
+	return &Tree{t: make([]int64, n+1)}
+}
+
+// Len returns the number of positions.
+func (f *Tree) Len() int { return len(f.t) - 1 }
+
+// Add adds delta to position i.
+func (f *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= f.Len() {
+		panic(fmt.Sprintf("fenwick: position %d outside [0, %d)", i, f.Len()))
+	}
+	f.total += delta
+	for j := i + 1; j < len(f.t); j += j & (-j) {
+		f.t[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of positions [0, i]. i = -1 yields 0.
+func (f *Tree) PrefixSum(i int) int64 {
+	if i >= f.Len() {
+		i = f.Len() - 1
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += f.t[j]
+	}
+	return s
+}
+
+// RangeSum returns the sum of positions [lo, hi]; empty if lo > hi.
+func (f *Tree) RangeSum(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return f.PrefixSum(hi) - f.PrefixSum(lo-1)
+}
+
+// SuffixSum returns the sum of positions [i, n).
+func (f *Tree) SuffixSum(i int) int64 {
+	if i <= 0 {
+		return f.total
+	}
+	return f.total - f.PrefixSum(i-1)
+}
+
+// Total returns the sum over all positions.
+func (f *Tree) Total() int64 { return f.total }
+
+// Reset zeroes the tree in place.
+func (f *Tree) Reset() {
+	for i := range f.t {
+		f.t[i] = 0
+	}
+	f.total = 0
+}

@@ -1,0 +1,135 @@
+package fenwick
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	f := New(10)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Add(0, 3)
+	f.Add(4, 2)
+	f.Add(9, 5)
+	if got := f.PrefixSum(0); got != 3 {
+		t.Errorf("PrefixSum(0) = %d", got)
+	}
+	if got := f.PrefixSum(4); got != 5 {
+		t.Errorf("PrefixSum(4) = %d", got)
+	}
+	if got := f.PrefixSum(9); got != 10 {
+		t.Errorf("PrefixSum(9) = %d", got)
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Errorf("PrefixSum(-1) = %d", got)
+	}
+	if got := f.PrefixSum(100); got != 10 {
+		t.Errorf("PrefixSum(overflow) = %d", got)
+	}
+	if got := f.RangeSum(1, 4); got != 2 {
+		t.Errorf("RangeSum(1,4) = %d", got)
+	}
+	if got := f.RangeSum(4, 1); got != 0 {
+		t.Errorf("RangeSum(4,1) = %d", got)
+	}
+	if got := f.SuffixSum(5); got != 5 {
+		t.Errorf("SuffixSum(5) = %d", got)
+	}
+	if got := f.SuffixSum(0); got != 10 {
+		t.Errorf("SuffixSum(0) = %d", got)
+	}
+	if got := f.Total(); got != 10 {
+		t.Errorf("Total = %d", got)
+	}
+	f.Add(4, -2)
+	if got := f.Total(); got != 8 {
+		t.Errorf("Total after delete = %d", got)
+	}
+	f.Reset()
+	if f.Total() != 0 || f.PrefixSum(9) != 0 {
+		t.Error("Reset did not zero the tree")
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	const n = 64
+	f := New(n)
+	naive := make([]int64, n)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for step := 0; step < 5000; step++ {
+		i := int(rng.Uint64N(n))
+		delta := int64(rng.Uint64N(11)) - 5
+		f.Add(i, delta)
+		naive[i] += delta
+		q := int(rng.Uint64N(n))
+		var want int64
+		for j := 0; j <= q; j++ {
+			want += naive[j]
+		}
+		if got := f.PrefixSum(q); got != want {
+			t.Fatalf("step %d: PrefixSum(%d) = %d, want %d", step, q, got, want)
+		}
+		var suffix int64
+		for j := q; j < n; j++ {
+			suffix += naive[j]
+		}
+		if got := f.SuffixSum(q); got != suffix {
+			t.Fatalf("step %d: SuffixSum(%d) = %d, want %d", step, q, got, suffix)
+		}
+	}
+}
+
+func TestQuickPrefixInvariant(t *testing.T) {
+	f := func(vals []int8, q uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tree := New(len(vals))
+		var total int64
+		for i, v := range vals {
+			tree.Add(i, int64(v))
+			total += int64(v)
+		}
+		if tree.Total() != total {
+			return false
+		}
+		idx := int(q) % len(vals)
+		var want int64
+		for j := 0; j <= idx; j++ {
+			want += int64(vals[j])
+		}
+		return tree.PrefixSum(idx) == want &&
+			tree.PrefixSum(idx)+tree.SuffixSum(idx+1) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	f := New(5)
+	for _, fn := range []func(){
+		func() { f.Add(-1, 1) },
+		func() { f.Add(5, 1) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	f := New(0)
+	if f.Total() != 0 || f.PrefixSum(0) != 0 || f.SuffixSum(0) != 0 {
+		t.Fatal("zero-length tree misbehaves")
+	}
+}

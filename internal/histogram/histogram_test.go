@@ -1,0 +1,351 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"repro/geo"
+	"repro/internal/datagen"
+	"repro/internal/exact"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewGH(-1, 64); err == nil {
+		t.Error("negative level should fail")
+	}
+	if _, err := NewGH(16, 1<<20); err == nil {
+		t.Error("huge level should fail")
+	}
+	if _, err := NewGH(3, 100); err == nil {
+		t.Error("non-divisible domain should fail")
+	}
+	if _, err := NewEH(3, 100); err == nil {
+		t.Error("non-divisible domain should fail (EH)")
+	}
+	if _, err := NewEH(-1, 64); err == nil {
+		t.Error("negative level should fail (EH)")
+	}
+}
+
+func TestWordsAccounting(t *testing.T) {
+	// GH of level L uses 4^(L+1) words (paper Section 7).
+	for _, l := range []int{0, 2, 4, 6} {
+		gh, err := NewGH(l, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		for i := 0; i <= l; i++ {
+			want *= 4
+		}
+		if gh.Words() != want {
+			t.Errorf("GH level %d words = %d, want %d", l, gh.Words(), want)
+		}
+	}
+	// EH of level L uses 9*2^(2L) - 6*2^L + 1 words.
+	for _, l := range []int{1, 3, 6} {
+		eh, err := NewEH(l, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := 1 << uint(l)
+		want := 9*g*g - 6*g + 1
+		if eh.Words() != want {
+			t.Errorf("EH level %d words = %d, want %d", l, eh.Words(), want)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	gh, _ := NewGH(2, 64)
+	if err := gh.Insert(geo.Span1D(0, 5)); err == nil {
+		t.Error("1-d insert should fail")
+	}
+	if err := gh.Insert(geo.Rect(0, 80, 0, 5)); err == nil {
+		t.Error("out-of-domain insert should fail")
+	}
+	eh, _ := NewEH(2, 64)
+	if err := eh.Insert(geo.Span1D(0, 5)); err == nil {
+		t.Error("1-d insert should fail (EH)")
+	}
+	if err := eh.Insert(geo.Rect(0, 80, 0, 5)); err == nil {
+		t.Error("out-of-domain insert should fail (EH)")
+	}
+}
+
+func TestGHSingleCellGeometry(t *testing.T) {
+	// One rectangle inside one cell of a 2x2 grid over a 64-domain.
+	gh, _ := NewGH(1, 64)
+	if err := gh.Insert(geo.Rect(4, 10, 8, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// All 4 corners in cell (0,0); area 6*12 = 72; horizontal edges 2*6;
+	// vertical edges 2*12.
+	if gh.corners[0] != 4 {
+		t.Errorf("corners = %g", gh.corners[0])
+	}
+	if gh.areas[0] != 72 {
+		t.Errorf("area = %g", gh.areas[0])
+	}
+	if gh.hlen[0] != 12 {
+		t.Errorf("hlen = %g", gh.hlen[0])
+	}
+	if gh.vlen[0] != 24 {
+		t.Errorf("vlen = %g", gh.vlen[0])
+	}
+}
+
+func TestGHSpanningGeometry(t *testing.T) {
+	// A rectangle spanning both columns of a 2x2 grid over 64: x in
+	// [16, 48], y in [4, 12].
+	gh, _ := NewGH(1, 64)
+	if err := gh.Insert(geo.Rect(16, 48, 4, 12)); err != nil {
+		t.Fatal(err)
+	}
+	// Cells (0,0) and (1,0) each get clipped area 16*8 = 128.
+	if gh.areas[0] != 128 || gh.areas[1] != 128 {
+		t.Errorf("areas = %g, %g", gh.areas[0], gh.areas[1])
+	}
+	// Corners: (16,4),(16,12) in cell 0; (48,4),(48,12) in cell 1.
+	if gh.corners[0] != 2 || gh.corners[1] != 2 {
+		t.Errorf("corners = %g, %g", gh.corners[0], gh.corners[1])
+	}
+	// Horizontal edges clipped to 16 per cell, both edges -> 32 per cell.
+	if gh.hlen[0] != 32 || gh.hlen[1] != 32 {
+		t.Errorf("hlen = %g, %g", gh.hlen[0], gh.hlen[1])
+	}
+	// Vertical edges: x=16 in cell 0, x=48 in cell 1, each of length 8.
+	if gh.vlen[0] != 8 || gh.vlen[1] != 8 {
+		t.Errorf("vlen = %g, %g", gh.vlen[0], gh.vlen[1])
+	}
+}
+
+func TestGHDeleteInverse(t *testing.T) {
+	gh, _ := NewGH(3, 512)
+	rects := datagen.MustRects(datagen.Spec{N: 50, Dims: 2, Domain: 512, Seed: 4})
+	for _, r := range rects {
+		if err := gh.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := geo.Rect(100, 300, 50, 400)
+	if err := gh.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := gh.Delete(extra); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewGH(3, 512)
+	for _, r := range rects {
+		_ = ref.Insert(r)
+	}
+	for i := range ref.areas {
+		if math.Abs(gh.areas[i]-ref.areas[i]) > 1e-9 || gh.corners[i] != ref.corners[i] {
+			t.Fatalf("cell %d differs after delete", i)
+		}
+	}
+	if gh.Count() != ref.Count() {
+		t.Fatal("count differs")
+	}
+}
+
+func TestEHEulerIdentity(t *testing.T) {
+	// Every object contributes cells - edges + vertices = 1 over the whole
+	// grid.
+	eh, _ := NewEH(3, 512)
+	rects := datagen.MustRects(datagen.Spec{N: 80, Dims: 2, Domain: 512, Seed: 9})
+	for _, r := range rects {
+		if err := eh.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := eh.EstimateIntersecting(0, 0, eh.g-1, eh.g-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(len(rects)) {
+		t.Fatalf("Euler total = %g, want %d", got, len(rects))
+	}
+}
+
+func TestEHAlignedRegionExact(t *testing.T) {
+	// For grid-aligned query regions the Euler count is exact: compare
+	// against the exact intersecting-object count.
+	const dom = 256
+	eh, _ := NewEH(3, dom) // 8x8 cells of width 32
+	rects := datagen.MustRects(datagen.Spec{N: 120, Dims: 2, Domain: dom, Seed: 13})
+	for _, r := range rects {
+		if err := eh.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := [][4]int{{0, 0, 3, 3}, {2, 1, 6, 5}, {4, 4, 7, 7}, {1, 1, 1, 1}}
+	for _, reg := range regions {
+		got, err := eh.EstimateIntersecting(reg[0], reg[1], reg[2], reg[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count objects whose interior intersects the aligned region.
+		q := geo.Rect(uint64(reg[0])*32, uint64(reg[2]+1)*32, uint64(reg[1])*32, uint64(reg[3]+1)*32)
+		var want float64
+		for _, r := range rects {
+			if r.Overlaps(q) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("region %v: Euler count %g, exact %g", reg, got, want)
+		}
+	}
+	if _, err := eh.EstimateIntersecting(-1, 0, 0, 0); err == nil {
+		t.Error("bad region should fail")
+	}
+	if _, err := eh.EstimateIntersecting(3, 3, 2, 2); err == nil {
+		t.Error("inverted region should fail")
+	}
+}
+
+func TestEHDeleteInverse(t *testing.T) {
+	eh, _ := NewEH(3, 512)
+	rects := datagen.MustRects(datagen.Spec{N: 40, Dims: 2, Domain: 512, Seed: 21})
+	for _, r := range rects {
+		if err := eh.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := geo.Rect(0, 511, 0, 511)
+	if err := eh.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := eh.Delete(extra); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewEH(3, 512)
+	for _, r := range rects {
+		_ = ref.Insert(r)
+	}
+	for i := range ref.cellN {
+		if ref.cellN[i] != eh.cellN[i] || math.Abs(ref.cellA[i]-eh.cellA[i]) > 1e-9 {
+			t.Fatalf("cell %d differs after delete", i)
+		}
+	}
+	for i := range ref.vertN {
+		if ref.vertN[i] != eh.vertN[i] {
+			t.Fatalf("vertex %d differs after delete", i)
+		}
+	}
+}
+
+// TestJoinEstimatesReasonable: on uniform data both histogram estimators
+// land within a factor band of the exact join size (they are biased
+// heuristics, not guaranteed estimators - the paper's point - but on
+// uniform data their models hold well).
+func TestJoinEstimatesReasonable(t *testing.T) {
+	const dom = 1 << 10
+	r := datagen.MustRects(datagen.Spec{N: 800, Dims: 2, Domain: dom, Seed: 31})
+	s := datagen.MustRects(datagen.Spec{N: 800, Dims: 2, Domain: dom, Seed: 32})
+	want := float64(exact.JoinCount(r, s))
+	if want == 0 {
+		t.Fatal("degenerate workload")
+	}
+	for _, level := range []int{2, 3, 4} {
+		gh1, _ := NewGH(level, dom)
+		gh2, _ := NewGH(level, dom)
+		eh1, _ := NewEH(level, dom)
+		eh2, _ := NewEH(level, dom)
+		for _, x := range r {
+			_ = gh1.Insert(x)
+			_ = eh1.Insert(x)
+		}
+		for _, x := range s {
+			_ = gh2.Insert(x)
+			_ = eh2.Insert(x)
+		}
+		ghEst, err := GHJoinEstimate(gh1, gh2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ehEst, err := EHJoinEstimate(eh1, eh2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ghEst < want/3 || ghEst > want*3 {
+			t.Errorf("level %d: GH estimate %g vs exact %g outside 3x band", level, ghEst, want)
+		}
+		if ehEst < want/3 || ehEst > want*3 {
+			t.Errorf("level %d: EH estimate %g vs exact %g outside 3x band", level, ehEst, want)
+		}
+	}
+}
+
+// TestGHModelBiasNestedObjects documents the baseline's inherent model
+// bias: for nested full-domain objects the per-cell uniform-placement
+// model predicts edge crossings that never happen, so GH systematically
+// overestimates (it never underestimates here: the corner-in-area events
+// are all real). This bias - no guarantees, data-dependent error - is
+// precisely the behaviour the paper contrasts the sketches against.
+func TestGHModelBiasNestedObjects(t *testing.T) {
+	const dom = 256
+	gh1, _ := NewGH(2, dom)
+	gh2, _ := NewGH(2, dom)
+	for i := 0; i < 5; i++ {
+		if err := gh1.Insert(geo.Rect(1, dom-2, 1, dom-2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if err := gh2.Insert(geo.Rect(2, dom-3, 2, dom-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := GHJoinEstimate(gh1, gh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const exact = 35 // every pair overlaps
+	if est < exact {
+		t.Fatalf("GH nested estimate %g below the true count %d: the corner events alone account for that", est, exact)
+	}
+	if est > 6*exact {
+		t.Fatalf("GH nested estimate %g implausibly large (exact %d)", est, exact)
+	}
+}
+
+// TestEHVertexDedup: two relations of identical full-domain objects - the
+// vertex/edge Euler terms must keep the estimate at ~n*m rather than
+// ~n*m*#cells.
+func TestEHVertexDedup(t *testing.T) {
+	const dom = 256
+	eh1, _ := NewEH(3, dom)
+	eh2, _ := NewEH(3, dom)
+	for i := 0; i < 4; i++ {
+		if err := eh1.Insert(geo.Rect(1, dom-2, 1, dom-2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := eh2.Insert(geo.Rect(1, dom-2, 1, dom-2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := EHJoinEstimate(eh1, eh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-24) > 1 {
+		t.Fatalf("EH full-span estimate %g, want 24", est)
+	}
+}
+
+func TestJoinEstimateShapeMismatch(t *testing.T) {
+	a, _ := NewGH(2, 64)
+	b, _ := NewGH(3, 64)
+	if _, err := GHJoinEstimate(a, b); err == nil {
+		t.Error("level mismatch should fail")
+	}
+	c, _ := NewEH(2, 64)
+	d, _ := NewEH(2, 128)
+	if _, err := EHJoinEstimate(c, d); err == nil {
+		t.Error("domain mismatch should fail")
+	}
+}

@@ -1,0 +1,337 @@
+package spatial
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/geo"
+	"repro/internal/core"
+)
+
+// JoinConfig configures a spatial join estimator.
+type JoinConfig struct {
+	// Dims is the data dimensionality (1 = interval joins, 2 = rectangle
+	// joins, higher per Section 6.1).
+	Dims int
+	// DomainSize is the per-dimension coordinate domain: all inserted
+	// coordinates must be < DomainSize. (Internally the domain is tripled
+	// and padded to a power of two in ModeTransform.)
+	DomainSize uint64
+	// Sizing picks the number of atomic instances; see Sizing.
+	Sizing Sizing
+	// MaxLevel caps the dyadic level of covers (Section 6.5 adaptive
+	// sketches). Positive values are explicit (good values sit near
+	// log2 of the mean object side length plus one); 0 picks an adaptive
+	// default from the domain size; MaxLevelUncapped disables the cap.
+	MaxLevel int
+	// Mode selects transform-based (default) or explicit common-endpoint
+	// handling.
+	Mode Mode
+	// Seed makes the synopsis deterministic; both sides derive their
+	// correlated xi-families from it.
+	Seed uint64
+}
+
+// JoinEstimator estimates the cardinality and selectivity of the spatial
+// join R join_o S (Definition 1) from single-pass synopses of R (the
+// "left" input) and S (the "right" input). It supports inserts and
+// deletes on both sides and, in ModeCommonEndpoints, also the extended
+// join of Definition 4.
+//
+// A JoinEstimator is not safe for concurrent use.
+type JoinEstimator struct {
+	cfg  JoinConfig
+	plan *core.Plan
+
+	// Exactly one pair is non-nil, per mode.
+	left, right     *core.JoinSketch
+	leftCE, rightCE *core.CESketch
+}
+
+// NewJoinEstimator validates the configuration and allocates the synopsis.
+func NewJoinEstimator(cfg JoinConfig) (*JoinEstimator, error) {
+	if cfg.Dims < 1 || cfg.Dims > core.MaxDims {
+		return nil, fmt.Errorf("spatial: dims %d outside [1, %d]", cfg.Dims, core.MaxDims)
+	}
+	if cfg.DomainSize < 2 {
+		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
+	}
+	instances, groups, err := cfg.Sizing.resolve(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.DomainSize
+	if cfg.Mode == ModeTransform {
+		size = geo.TransformDomain(size)
+	}
+	h := log2ceil(size)
+	logDom := make([]int, cfg.Dims)
+	var maxLevel []int
+	for i := range logDom {
+		logDom[i] = h
+	}
+	if ml := resolveMaxLevel(cfg.MaxLevel, cfg.DomainSize); ml > 0 {
+		maxLevel = make([]int, cfg.Dims)
+		for i := range maxLevel {
+			maxLevel[i] = ml
+		}
+	}
+	plan, err := core.NewPlan(core.Config{
+		Dims: cfg.Dims, LogDomain: logDom, MaxLevel: maxLevel,
+		Instances: instances, Groups: groups, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &JoinEstimator{cfg: cfg, plan: plan}
+	if cfg.Mode == ModeCommonEndpoints {
+		e.leftCE, e.rightCE = plan.NewCESketch(), plan.NewCESketch()
+	} else {
+		e.left, e.right = plan.NewJoinSketch(), plan.NewJoinSketch()
+	}
+	return e, nil
+}
+
+// Config returns the estimator's configuration.
+func (e *JoinEstimator) Config() JoinConfig { return e.cfg }
+
+// Instances returns the number of atomic estimator instances maintained.
+func (e *JoinEstimator) Instances() int { return e.plan.Instances() }
+
+// SpaceWords returns the synopsis footprint in the paper's word accounting
+// (counters plus seed words for both sides; Section 4.1.5 / Section 7).
+func (e *JoinEstimator) SpaceWords() int {
+	if e.cfg.Mode == ModeCommonEndpoints {
+		// 4^d counters per side plus d seed words per instance.
+		per := 2*pow(4, e.cfg.Dims) + e.cfg.Dims
+		return e.plan.Instances() * per
+	}
+	return core.JoinSpaceWords(e.cfg.Dims, e.plan.Instances())
+}
+
+func (e *JoinEstimator) checkInput(r geo.HyperRect) error {
+	if len(r) != e.cfg.Dims {
+		return fmt.Errorf("spatial: object dimensionality %d, want %d", len(r), e.cfg.Dims)
+	}
+	for i, iv := range r {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("spatial: invalid interval [%d, %d] in dim %d", iv.Lo, iv.Hi, i)
+		}
+		if iv.Hi >= e.cfg.DomainSize {
+			return fmt.Errorf("spatial: coordinate %d outside domain %d in dim %d", iv.Hi, e.cfg.DomainSize, i)
+		}
+		if iv.IsPoint() {
+			return fmt.Errorf("spatial: degenerate interval [%d, %d] in dim %d: the overlap join of Definition 1 assumes objects with extent (Section 4.1); use range or epsilon-join estimators for point data", iv.Lo, iv.Hi, i)
+		}
+	}
+	return nil
+}
+
+// InsertLeft adds an object to the left input (R).
+func (e *JoinEstimator) InsertLeft(r geo.HyperRect) error { return e.updateLeft(r, true) }
+
+// DeleteLeft removes a previously inserted left object.
+func (e *JoinEstimator) DeleteLeft(r geo.HyperRect) error { return e.updateLeft(r, false) }
+
+// InsertRight adds an object to the right input (S).
+func (e *JoinEstimator) InsertRight(r geo.HyperRect) error { return e.updateRight(r, true) }
+
+// DeleteRight removes a previously inserted right object.
+func (e *JoinEstimator) DeleteRight(r geo.HyperRect) error { return e.updateRight(r, false) }
+
+func (e *JoinEstimator) updateLeft(r geo.HyperRect, insert bool) error {
+	if err := e.checkInput(r); err != nil {
+		return err
+	}
+	if e.leftCE != nil {
+		if insert {
+			return e.leftCE.Insert(r)
+		}
+		return e.leftCE.Delete(r)
+	}
+	t := geo.TransformKeepRect(r)
+	if insert {
+		return e.left.Insert(t)
+	}
+	return e.left.Delete(t)
+}
+
+func (e *JoinEstimator) updateRight(r geo.HyperRect, insert bool) error {
+	if err := e.checkInput(r); err != nil {
+		return err
+	}
+	if e.rightCE != nil {
+		if insert {
+			return e.rightCE.Insert(r)
+		}
+		return e.rightCE.Delete(r)
+	}
+	t := geo.TransformShrinkRect(r)
+	if insert {
+		return e.right.Insert(t)
+	}
+	return e.right.Delete(t)
+}
+
+// InsertLeftBulk bulk-loads the left input (parallelized internally in
+// ModeTransform).
+func (e *JoinEstimator) InsertLeftBulk(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := e.checkInput(r); err != nil {
+			return err
+		}
+	}
+	if e.leftCE != nil {
+		return e.leftCE.InsertAll(rects)
+	}
+	t := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		t[i] = geo.TransformKeepRect(r)
+	}
+	return e.left.InsertAll(t)
+}
+
+// InsertRightBulk bulk-loads the right input.
+func (e *JoinEstimator) InsertRightBulk(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := e.checkInput(r); err != nil {
+			return err
+		}
+	}
+	if e.rightCE != nil {
+		return e.rightCE.InsertAll(rects)
+	}
+	t := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		t[i] = geo.TransformShrinkRect(r)
+	}
+	return e.right.InsertAll(t)
+}
+
+// LeftCount and RightCount return the current input cardinalities
+// (inserts minus deletes).
+func (e *JoinEstimator) LeftCount() int64 {
+	if e.leftCE != nil {
+		return e.leftCE.Count()
+	}
+	return e.left.Count()
+}
+
+// RightCount returns the right input cardinality.
+func (e *JoinEstimator) RightCount() int64 {
+	if e.rightCE != nil {
+		return e.rightCE.Count()
+	}
+	return e.right.Count()
+}
+
+// Cardinality estimates |R join_o S| (strict overlap, Definition 1).
+func (e *JoinEstimator) Cardinality() (Estimate, error) {
+	if e.leftCE != nil {
+		est, err := core.EstimateJoinCE(e.leftCE, e.rightCE)
+		return fromCore(est), err
+	}
+	est, err := core.EstimateJoin(e.left, e.right)
+	return fromCore(est), err
+}
+
+// CardinalityExtended estimates the extended join |R join+_o S| of
+// Definition 4 (objects meeting at their boundaries count). Only available
+// in ModeCommonEndpoints.
+func (e *JoinEstimator) CardinalityExtended() (Estimate, error) {
+	if e.leftCE == nil {
+		return Estimate{}, fmt.Errorf("spatial: extended join requires ModeCommonEndpoints")
+	}
+	est, err := core.EstimateJoinExtCE(e.leftCE, e.rightCE)
+	return fromCore(est), err
+}
+
+// Selectivity estimates |R join_o S| / (|R| * |S|).
+func (e *JoinEstimator) Selectivity() (float64, error) {
+	nl, nr := e.LeftCount(), e.RightCount()
+	if nl <= 0 || nr <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
+	}
+	est, err := e.Cardinality()
+	if err != nil {
+		return 0, err
+	}
+	return est.Clamped() / (float64(nl) * float64(nr)), nil
+}
+
+// EstimateSelfJoinLeft estimates SJ(R) from the left synopsis itself
+// (E[X_w^2] = SJ(X_w), the original AMS identity) - the input the
+// Theorem 1 planner needs, with no offline pass. ModeTransform only.
+func (e *JoinEstimator) EstimateSelfJoinLeft() (Estimate, error) {
+	if e.left == nil {
+		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
+	}
+	return fromCore(e.left.EstimateSelfJoin()), nil
+}
+
+// EstimateSelfJoinRight estimates SJ(S) from the right synopsis.
+func (e *JoinEstimator) EstimateSelfJoinRight() (Estimate, error) {
+	if e.right == nil {
+		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
+	}
+	return fromCore(e.right.EstimateSelfJoin()), nil
+}
+
+// MarshalLeft and MarshalRight serialize one side's synopsis (configuration
+// included), so sketches can be built near the data and shipped for
+// estimation. Only supported in ModeTransform.
+func (e *JoinEstimator) MarshalLeft() ([]byte, error) {
+	if e.left == nil {
+		return nil, fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+	}
+	return e.left.MarshalBinary()
+}
+
+// MarshalRight serializes the right synopsis.
+func (e *JoinEstimator) MarshalRight() ([]byte, error) {
+	if e.right == nil {
+		return nil, fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+	}
+	return e.right.MarshalBinary()
+}
+
+// MergeLeftFrom merges a serialized left synopsis (produced by another
+// estimator with the identical configuration) into this one - the
+// distributed-construction pattern.
+func (e *JoinEstimator) MergeLeftFrom(data []byte) error {
+	if e.left == nil {
+		return fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+	}
+	other, err := core.UnmarshalJoinSketch(data)
+	if err != nil {
+		return err
+	}
+	return e.left.Merge(other)
+}
+
+// MergeRightFrom merges a serialized right synopsis into this one.
+func (e *JoinEstimator) MergeRightFrom(data []byte) error {
+	if e.right == nil {
+		return fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+	}
+	other, err := core.UnmarshalJoinSketch(data)
+	if err != nil {
+		return err
+	}
+	return e.right.Merge(other)
+}
+
+func log2ceil(x uint64) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len64(x - 1)
+}
+
+func pow(base, exp int) int {
+	n := 1
+	for i := 0; i < exp; i++ {
+		n *= base
+	}
+	return n
+}

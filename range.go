@@ -1,0 +1,144 @@
+package spatial
+
+import (
+	"fmt"
+
+	"repro/geo"
+	"repro/internal/core"
+)
+
+// RangeConfig configures a range-query selectivity estimator
+// (Definition 3, Section 6.4).
+type RangeConfig struct {
+	// Dims is the data dimensionality.
+	Dims int
+	// DomainSize is the per-dimension coordinate domain.
+	DomainSize uint64
+	// Sizing picks the number of atomic instances.
+	Sizing Sizing
+	// MaxLevel caps the dyadic level (Section 6.5). Positive values are
+	// explicit; 0 picks an adaptive default from the domain size;
+	// MaxLevelUncapped disables the cap.
+	MaxLevel int
+	// Seed makes the synopsis deterministic.
+	Seed uint64
+}
+
+// RangeEstimator estimates |Q(q, R)| - how many objects of the summarized
+// relation overlap a query hyper-rectangle - using the optimized
+// two-sketch-per-dimension estimator of Lemma 9. Data and queries are
+// endpoint-transformed internally, so arbitrary coordinates are fine.
+//
+// A RangeEstimator is not safe for concurrent use.
+type RangeEstimator struct {
+	cfg    RangeConfig
+	plan   *core.Plan
+	sketch *core.RangeSketch
+}
+
+// NewRangeEstimator validates the configuration and allocates the synopsis.
+func NewRangeEstimator(cfg RangeConfig) (*RangeEstimator, error) {
+	if cfg.Dims < 1 || cfg.Dims > core.MaxDims {
+		return nil, fmt.Errorf("spatial: dims %d outside [1, %d]", cfg.Dims, core.MaxDims)
+	}
+	if cfg.DomainSize < 2 {
+		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
+	}
+	instances, groups, err := cfg.Sizing.resolve(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	h := log2ceil(geo.TransformDomain(cfg.DomainSize))
+	logDom := make([]int, cfg.Dims)
+	var maxLevel []int
+	for i := range logDom {
+		logDom[i] = h
+	}
+	if ml := resolveMaxLevel(cfg.MaxLevel, cfg.DomainSize); ml > 0 {
+		maxLevel = make([]int, cfg.Dims)
+		for i := range maxLevel {
+			maxLevel[i] = ml
+		}
+	}
+	plan, err := core.NewPlan(core.Config{
+		Dims: cfg.Dims, LogDomain: logDom, MaxLevel: maxLevel,
+		Instances: instances, Groups: groups, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RangeEstimator{cfg: cfg, plan: plan, sketch: plan.NewRangeSketch()}, nil
+}
+
+// Config returns the estimator's configuration.
+func (e *RangeEstimator) Config() RangeConfig { return e.cfg }
+
+// Count returns the number of summarized objects.
+func (e *RangeEstimator) Count() int64 { return e.sketch.Count() }
+
+func (e *RangeEstimator) check(r geo.HyperRect) error {
+	if len(r) != e.cfg.Dims {
+		return fmt.Errorf("spatial: dimensionality %d, want %d", len(r), e.cfg.Dims)
+	}
+	for i, iv := range r {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("spatial: invalid interval [%d, %d] in dim %d", iv.Lo, iv.Hi, i)
+		}
+		if iv.Hi >= e.cfg.DomainSize {
+			return fmt.Errorf("spatial: coordinate %d outside domain %d in dim %d", iv.Hi, e.cfg.DomainSize, i)
+		}
+	}
+	return nil
+}
+
+// Insert adds an object to the summarized relation.
+func (e *RangeEstimator) Insert(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.sketch.Insert(geo.TransformKeepRect(r))
+}
+
+// Delete removes a previously inserted object.
+func (e *RangeEstimator) Delete(r geo.HyperRect) error {
+	if err := e.check(r); err != nil {
+		return err
+	}
+	return e.sketch.Delete(geo.TransformKeepRect(r))
+}
+
+// InsertBulk bulk-loads objects.
+func (e *RangeEstimator) InsertBulk(rects []geo.HyperRect) error {
+	for _, r := range rects {
+		if err := e.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Estimate returns the estimated number of summarized objects overlapping
+// q (strict overlap, Definition 3).
+func (e *RangeEstimator) Estimate(q geo.HyperRect) (Estimate, error) {
+	if err := e.check(q); err != nil {
+		return Estimate{}, fmt.Errorf("spatial: bad range query: %w", err)
+	}
+	est, err := e.sketch.EstimateRange(geo.TransformShrinkRect(q))
+	return fromCore(est), err
+}
+
+// Selectivity returns Estimate(q) / Count().
+func (e *RangeEstimator) Selectivity(q geo.HyperRect) (float64, error) {
+	n := e.Count()
+	if n <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for an empty relation")
+	}
+	est, err := e.Estimate(q)
+	if err != nil {
+		return 0, err
+	}
+	return est.Clamped() / float64(n), nil
+}
+
+// Marshal serializes the synopsis, configuration included.
+func (e *RangeEstimator) Marshal() ([]byte, error) { return e.sketch.MarshalBinary() }
