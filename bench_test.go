@@ -172,6 +172,29 @@ func BenchmarkBulkLoad(b *testing.B) {
 	b.SetBytes(int64(len(rects)))
 }
 
+// BenchmarkInsertParallel measures the shard-and-merge bulk loader on a
+// fixed estimator: rects are split across workers into private counter
+// shards merged by addition. Run with -cpu 1,4 to see the scaling; the
+// result is bit-identical to sequential inserts at any worker count.
+func BenchmarkInsertParallel(b *testing.B) {
+	rects := datagen.MustRects(datagen.Spec{N: 4096, Dims: 2, Domain: 1 << 16, Seed: 7})
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 1 << 16,
+		Sizing: spatial.Sizing{Instances: 512, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(rects)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := est.InsertLeftBulk(rects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEstimate measures the estimate-time cost (combining counters;
 // the paper's "constant overhead" per instance).
 func BenchmarkEstimate(b *testing.B) {

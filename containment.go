@@ -132,6 +132,40 @@ func (e *ContainmentEstimator) DeleteOuter(r geo.HyperRect) error {
 	return e.outer.Delete(core.ContainmentBox(r))
 }
 
+// InsertInnerBulk bulk-loads inner objects (parallelized internally).
+func (e *ContainmentEstimator) InsertInnerBulk(rects []geo.HyperRect) error {
+	pts := make([]geo.Point, len(rects))
+	for i, r := range rects {
+		if err := e.check(r); err != nil {
+			return err
+		}
+		pts[i] = core.ContainmentPoint(r)
+	}
+	return e.inner.InsertAll(pts)
+}
+
+// InsertOuterBulk bulk-loads outer objects.
+func (e *ContainmentEstimator) InsertOuterBulk(rects []geo.HyperRect) error {
+	boxes := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		if err := e.check(r); err != nil {
+			return err
+		}
+		boxes[i] = core.ContainmentBox(r)
+	}
+	return e.outer.InsertAll(boxes)
+}
+
+// Merge folds the synopses of other into e (exact, by sketch linearity).
+// Both estimators must have been built with the same configuration. other
+// is not modified.
+func (e *ContainmentEstimator) Merge(other *ContainmentEstimator) error {
+	if err := e.inner.Merge(other.inner); err != nil {
+		return err
+	}
+	return e.outer.Merge(other.outer)
+}
+
 // InnerCount returns the inner-side cardinality.
 func (e *ContainmentEstimator) InnerCount() int64 { return e.inner.Count() }
 

@@ -137,6 +137,43 @@ func (e *EpsJoinEstimator) DeleteRight(p geo.Point) error {
 	return e.right.Delete(geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize))
 }
 
+// InsertLeftBulk bulk-loads left points (parallelized internally).
+func (e *EpsJoinEstimator) InsertLeftBulk(pts []geo.Point) error {
+	for _, p := range pts {
+		if err := e.check(p); err != nil {
+			return err
+		}
+	}
+	return e.left.InsertAll(pts)
+}
+
+// InsertRightBulk bulk-loads right points, expanding each to its eps-ball.
+func (e *EpsJoinEstimator) InsertRightBulk(pts []geo.Point) error {
+	balls := make([]geo.HyperRect, len(pts))
+	for i, p := range pts {
+		if err := e.check(p); err != nil {
+			return err
+		}
+		balls[i] = geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
+	}
+	return e.right.InsertAll(balls)
+}
+
+// Merge folds the synopses of other into e (exact, by sketch linearity).
+// Both estimators must have been built with the same configuration. other
+// is not modified.
+func (e *EpsJoinEstimator) Merge(other *EpsJoinEstimator) error {
+	// Eps shapes the right-side balls but is not part of the core plan, so
+	// the sketch-level merge cannot catch a mismatch.
+	if other.cfg.Eps != e.cfg.Eps {
+		return fmt.Errorf("spatial: cannot merge eps=%d estimator into eps=%d estimator", other.cfg.Eps, e.cfg.Eps)
+	}
+	if err := e.left.Merge(other.left); err != nil {
+		return err
+	}
+	return e.right.Merge(other.right)
+}
+
 // LeftCount returns |A|.
 func (e *EpsJoinEstimator) LeftCount() int64 { return e.left.Count() }
 

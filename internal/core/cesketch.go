@@ -23,6 +23,7 @@ type CESketch struct {
 	counters []int64 // [instance * 4^d + w]
 	count    int64
 	buf      *coverBuf
+	sums     *letterSums
 }
 
 // CE letter digits.
@@ -43,6 +44,7 @@ func (p *Plan) NewCESketch() *CESketch {
 		plan:     p,
 		counters: make([]int64, p.cfg.Instances*nw),
 		buf:      newCoverBuf(p.cfg.Dims),
+		sums:     newLetterSums(p.cfg.Dims, 4, p.cfg.Instances),
 	}
 }
 
@@ -62,44 +64,75 @@ func (s *CESketch) update(rect geo.HyperRect, sign int64) error {
 	if err := s.plan.checkRect(rect); err != nil {
 		return err
 	}
-	p := s.plan
-	d := p.cfg.Dims
-	s.buf.load(p, rect)
-	nw := pow4(d)
-	var vals [MaxDims][4]int64
-	for inst := 0; inst < p.cfg.Instances; inst++ {
-		fams := p.fams[inst]
-		for i := 0; i < d; i++ {
-			f := fams[i]
-			vals[i][ceI] = f.SumSigns(s.buf.cover[i])
-			vals[i][ceE] = f.SumSigns(s.buf.ptLo[i]) + f.SumSigns(s.buf.ptHi[i])
-			vals[i][ceL] = f.Sign(p.doms[i].LeafID(rect[i].Lo))
-			vals[i][ceU] = f.Sign(p.doms[i].LeafID(rect[i].Hi))
-		}
-		base := inst * nw
-		for w := 0; w < nw; w++ {
-			prod := sign
-			ww := w
-			for i := 0; i < d; i++ {
-				prod *= vals[i][ww&3]
-				ww >>= 2
-			}
-			s.counters[base+w] += prod
-		}
-	}
+	s.buf.load(s.plan, rect)
+	s.applyCovers(rect, s.buf, sign, s.counters, s.sums)
 	s.count += sign
 	return nil
 }
 
-// InsertAll bulk-loads rects (sequentially; CE sketches are used at modest
-// instance counts where parallel fan-out does not pay).
+// applyCovers folds one object's covers into dst, id-major as in
+// JoinSketch.applyCovers but over the four {I,E,L,U} letter planes.
+func (s *CESketch) applyCovers(rect geo.HyperRect, buf *coverBuf, sign int64, dst []int64, sums *letterSums) {
+	p := s.plan
+	d := p.cfg.Dims
+	inst := p.cfg.Instances
+	nw := pow4(d)
+	sums.reset()
+	for i := 0; i < d; i++ {
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(buf.cover[i], lo, hi, sums.plane(i, ceI))
+		eAcc := sums.plane(i, ceE)
+		p.bank.SumSignsMany(buf.ptLo[i], lo, hi, eAcc)
+		p.bank.SumSignsMany(buf.ptHi[i], lo, hi, eAcc)
+		p.bank.AddSigns(p.doms[i].LeafID(rect[i].Lo), lo, hi, sums.plane(i, ceL))
+		p.bank.AddSigns(p.doms[i].LeafID(rect[i].Hi), lo, hi, sums.plane(i, ceU))
+	}
+	var lp [MaxDims][4][]int64
+	for i := 0; i < d; i++ {
+		for l := 0; l < 4; l++ {
+			lp[i][l] = sums.plane(i, l)
+		}
+	}
+	for k := 0; k < inst; k++ {
+		base := k * nw
+		for w := 0; w < nw; w++ {
+			prod := sign
+			ww := w
+			for i := 0; i < d; i++ {
+				prod *= lp[i][ww&3][k]
+				ww >>= 2
+			}
+			dst[base+w] += prod
+		}
+	}
+}
+
+// InsertAll bulk-loads rects, validating all of them first and sharding
+// across objects exactly as JoinSketch.InsertAll does.
 func (s *CESketch) InsertAll(rects []geo.HyperRect) error {
 	for _, r := range rects {
-		if err := s.Insert(r); err != nil {
+		if err := s.plan.checkRect(r); err != nil {
 			return err
 		}
 	}
+	p := s.plan
+	shardBulk(len(rects), s.counters, func(start, end int, dst []int64) {
+		buf := newCoverBuf(p.cfg.Dims)
+		sums := newLetterSums(p.cfg.Dims, 4, p.cfg.Instances)
+		for idx := start; idx < end; idx++ {
+			buf.load(p, rects[idx])
+			s.applyCovers(rects[idx], buf, +1, dst, sums)
+		}
+	})
+	s.count += int64(len(rects))
 	return nil
+}
+
+// Merge adds the counters of other into s. Both sketches must come from the
+// same plan; merging the sketches of disjoint streams is equivalent to
+// sketching their union.
+func (s *CESketch) Merge(other *CESketch) error {
+	return mergeSketch(s.plan, other.plan, s.counters, other.counters, &s.count, other.count)
 }
 
 // Counter returns the X_w counter of one instance; w is the base-4 letter

@@ -88,11 +88,16 @@ func (c Config) validate() error {
 // per (instance, dimension). Sketches of the two join inputs must be built
 // from the same plan - the estimators correlate X- and Y-sketches through
 // shared families, exactly as the paper requires.
+//
+// The families live in a single xi.Bank: four contiguous coefficient planes
+// in dimension-major order (family index dim*Instances + inst), so the
+// update kernels can evaluate one dyadic id against every instance of a
+// dimension with a single streaming pass (see xi.Bank.SumSignsMany).
 type Plan struct {
 	cfg      Config
 	doms     []dyadic.Domain
 	maxLevel []int
-	fams     [][]*xi.Family // [instance][dim]
+	bank     *xi.Bank // [dim*Instances + inst]
 }
 
 // NewPlan validates the configuration and derives all xi-families from the
@@ -120,14 +125,29 @@ func NewPlan(cfg Config) (*Plan, error) {
 			p.maxLevel[i] = ml
 		}
 	}
-	p.fams = make([][]*xi.Family, cfg.Instances)
-	for inst := range p.fams {
-		p.fams[inst] = make([]*xi.Family, cfg.Dims)
-		for dim := range p.fams[inst] {
-			p.fams[inst][dim] = xi.New(famSeed(cfg.Seed, inst, dim))
+	p.bank = xi.NewBank(cfg.Instances * cfg.Dims)
+	for dim := 0; dim < cfg.Dims; dim++ {
+		for inst := 0; inst < cfg.Instances; inst++ {
+			p.bank.SetSeed(p.famIndex(inst, dim), famSeed(cfg.Seed, inst, dim))
 		}
 	}
 	return p, nil
+}
+
+// famIndex returns the bank slot of the (instance, dimension) family:
+// dimension-major, so instances of one dimension are contiguous.
+func (p *Plan) famIndex(inst, dim int) int { return dim*p.cfg.Instances + inst }
+
+// famRange returns the bank range [lo, hi) covering every instance of one
+// dimension.
+func (p *Plan) famRange(dim int) (lo, hi int) {
+	return dim * p.cfg.Instances, (dim + 1) * p.cfg.Instances
+}
+
+// family returns a standalone view of one (instance, dimension) family, for
+// tests and single-evaluation paths.
+func (p *Plan) family(inst, dim int) *xi.Family {
+	return p.bank.Family(p.famIndex(inst, dim))
 }
 
 // MustPlan is NewPlan, panicking on error. For tests and examples.
@@ -163,12 +183,12 @@ func (p *Plan) Instances() int { return p.cfg.Instances }
 func (p *Plan) Groups() int { return p.cfg.Groups }
 
 // Materialize precomputes sign tables for every family (an optional
-// speed/space trade-off; see xi.Family.Materialize). The extra memory is
+// speed/space trade-off; see xi.Bank.Materialize). The extra memory is
 // Instances * Dims * IDSpace bytes.
 func (p *Plan) Materialize() {
-	for _, fams := range p.fams {
-		for dim, f := range fams {
-			f.Materialize(p.doms[dim].IDSpace())
+	for dim := 0; dim < p.cfg.Dims; dim++ {
+		for inst := 0; inst < p.cfg.Instances; inst++ {
+			p.bank.Materialize(p.famIndex(inst, dim), p.doms[dim].IDSpace())
 		}
 	}
 }

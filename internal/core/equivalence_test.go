@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+// Equivalence properties of the batched update kernel and the sharded bulk
+// loader: every path to the same multiset of inserts must produce
+// bit-identical counters (sketches are deterministic linear projections of
+// their input given the seed).
+
+func equivPlan(t *testing.T, dims int) *Plan {
+	t.Helper()
+	logDom := make([]int, dims)
+	for i := range logDom {
+		logDom[i] = 8
+	}
+	return MustPlan(Config{
+		Dims: dims, LogDomain: logDom, Instances: 48, Groups: 4, Seed: 1234,
+	})
+}
+
+func equivRects(dims, n int, seed uint64) []geo.HyperRect {
+	return datagen.MustRects(datagen.Spec{N: n, Dims: dims, Domain: 256, Seed: seed})
+}
+
+// TestCEInsertAllMatchesSequential: the sharded CE bulk path is
+// bit-identical to repeated Insert.
+func TestCEInsertAllMatchesSequential(t *testing.T) {
+	p := equivPlan(t, 2)
+	rects := equivRects(2, 300, 21)
+	seq := p.NewCESketch()
+	for _, r := range rects {
+		if err := seq.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := p.NewCESketch()
+	if err := bulk.InsertAll(rects); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Count() != bulk.Count() {
+		t.Fatalf("counts differ: %d vs %d", seq.Count(), bulk.Count())
+	}
+	for i := range seq.counters {
+		if seq.counters[i] != bulk.counters[i] {
+			t.Fatalf("CE counter %d differs: %d vs %d", i, seq.counters[i], bulk.counters[i])
+		}
+	}
+}
+
+// TestRangeInsertAllMatchesSequential: same property for RangeSketch.
+func TestRangeInsertAllMatchesSequential(t *testing.T) {
+	p := equivPlan(t, 2)
+	rects := equivRects(2, 300, 22)
+	seq := p.NewRangeSketch()
+	for _, r := range rects {
+		if err := seq.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := p.NewRangeSketch()
+	if err := bulk.InsertAll(rects); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.counters {
+		if seq.counters[i] != bulk.counters[i] {
+			t.Fatalf("range counter %d differs: %d vs %d", i, seq.counters[i], bulk.counters[i])
+		}
+	}
+}
+
+// TestPointBoxInsertAllMatchesSequential: same property for the two-sketch
+// estimator's sketches.
+func TestPointBoxInsertAllMatchesSequential(t *testing.T) {
+	p := equivPlan(t, 2)
+	rects := equivRects(2, 300, 23)
+	pts := make([]geo.Point, len(rects))
+	for i, r := range rects {
+		pts[i] = geo.Point{r[0].Lo, r[1].Hi}
+	}
+
+	seqP, bulkP := p.NewPointSketch(), p.NewPointSketch()
+	for _, pt := range pts {
+		if err := seqP.Insert(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bulkP.InsertAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqP.counters {
+		if seqP.counters[i] != bulkP.counters[i] {
+			t.Fatalf("point counter %d differs", i)
+		}
+	}
+
+	seqB, bulkB := p.NewBoxSketch(), p.NewBoxSketch()
+	for _, r := range rects {
+		if err := seqB.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bulkB.InsertAll(rects); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqB.counters {
+		if seqB.counters[i] != bulkB.counters[i] {
+			t.Fatalf("box counter %d differs", i)
+		}
+	}
+}
+
+// TestShardedMergeMatchesSequential: splitting a stream across K separately
+// built sketches and merging them equals one sequential build - the
+// linearity behind both the parallel bulk loader and the public Merge API.
+func TestShardedMergeMatchesSequential(t *testing.T) {
+	p := equivPlan(t, 2)
+	rects := equivRects(2, 400, 24)
+	want := p.NewJoinSketch()
+	for _, r := range rects {
+		if err := want.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const shards = 5
+	merged := p.NewJoinSketch()
+	per := (len(rects) + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := min(lo+per, len(rects))
+		sh := p.NewJoinSketch()
+		if err := sh.InsertAll(rects[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != want.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), want.Count())
+	}
+	for i := range want.counters {
+		if merged.counters[i] != want.counters[i] {
+			t.Fatalf("counter %d differs after sharded merge: %d vs %d", i, merged.counters[i], want.counters[i])
+		}
+	}
+}
+
+// TestShardedBulkForcedWorkers pins the worker count above 1 so the
+// goroutine fan-out, private shards and shard merge run even on single-CPU
+// hosts (where bulkWorkers would otherwise collapse every load to the
+// sequential branch), and checks bit-identity against repeated Insert for
+// every sketch type.
+func TestShardedBulkForcedWorkers(t *testing.T) {
+	orig := bulkWorkers
+	bulkWorkers = func(int) int { return 4 }
+	defer func() { bulkWorkers = orig }()
+
+	p := equivPlan(t, 2)
+	rects := equivRects(2, 130, 25) // not a multiple of 4, exercises ragged chunks
+	pts := make([]geo.Point, len(rects))
+	for i, r := range rects {
+		pts[i] = geo.Point{r[0].Lo, r[1].Hi}
+	}
+
+	jSeq, jBulk := p.NewJoinSketch(), p.NewJoinSketch()
+	cSeq, cBulk := p.NewCESketch(), p.NewCESketch()
+	rSeq, rBulk := p.NewRangeSketch(), p.NewRangeSketch()
+	bSeq, bBulk := p.NewBoxSketch(), p.NewBoxSketch()
+	pSeq, pBulk := p.NewPointSketch(), p.NewPointSketch()
+	for _, r := range rects {
+		for _, err := range []error{jSeq.Insert(r), cSeq.Insert(r), rSeq.Insert(r), bSeq.Insert(r)} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, pt := range pts {
+		if err := pSeq.Insert(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, err := range []error{jBulk.InsertAll(rects), cBulk.InsertAll(rects),
+		rBulk.InsertAll(rects), bBulk.InsertAll(rects), pBulk.InsertAll(pts)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, pair := range map[string][2][]int64{
+		"join":  {jSeq.counters, jBulk.counters},
+		"ce":    {cSeq.counters, cBulk.counters},
+		"range": {rSeq.counters, rBulk.counters},
+		"box":   {bSeq.counters, bBulk.counters},
+		"point": {pSeq.counters, pBulk.counters},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s counter %d differs under forced 4-worker bulk: %d vs %d",
+					name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+}
+
+// TestMergeRejectsForeignPlans: every sketch type refuses cross-plan merge.
+func TestMergeRejectsForeignPlans(t *testing.T) {
+	a := equivPlan(t, 1)
+	b := MustPlan(Config{Dims: 1, LogDomain: []int{8}, Instances: 48, Groups: 4, Seed: 999})
+	if err := a.NewCESketch().Merge(b.NewCESketch()); err == nil {
+		t.Error("CE cross-plan merge should fail")
+	}
+	if err := a.NewRangeSketch().Merge(b.NewRangeSketch()); err == nil {
+		t.Error("range cross-plan merge should fail")
+	}
+	if err := a.NewPointSketch().Merge(b.NewPointSketch()); err == nil {
+		t.Error("point cross-plan merge should fail")
+	}
+	if err := a.NewBoxSketch().Merge(b.NewBoxSketch()); err == nil {
+		t.Error("box cross-plan merge should fail")
+	}
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/geo"
 )
@@ -27,6 +25,7 @@ type JoinSketch struct {
 	counters []int64 // [instance * 2^d + w]
 	count    int64   // current object cardinality
 	buf      *coverBuf
+	sums     *letterSums
 }
 
 // NewJoinSketch returns an empty sketch of the plan's relation shape.
@@ -35,6 +34,7 @@ func (p *Plan) NewJoinSketch() *JoinSketch {
 		plan:     p,
 		counters: make([]int64, p.cfg.Instances<<uint(p.cfg.Dims)),
 		buf:      newCoverBuf(p.cfg.Dims),
+		sums:     newLetterSums(p.cfg.Dims, 2, p.cfg.Instances),
 	}
 }
 
@@ -57,89 +57,86 @@ func (s *JoinSketch) update(rect geo.HyperRect, sign int64) error {
 		return err
 	}
 	s.buf.load(s.plan, rect)
-	s.applyCovers(s.buf, 0, s.plan.cfg.Instances, sign)
+	s.applyCovers(s.buf, sign, s.counters, s.sums)
 	s.count += sign
 	return nil
 }
 
-// applyCovers folds one object's covers into the counters of instances
-// [from, to).
-func (s *JoinSketch) applyCovers(buf *coverBuf, from, to int, sign int64) {
-	d := s.plan.cfg.Dims
+// applyCovers folds one object's covers into dst. The loop order is
+// id-major: each dyadic id of each cover is evaluated once against the
+// contiguous family plane of its dimension (xi.Bank.SumSignsMany), filling
+// per-letter sum planes that are then folded into the 2^d counters of every
+// instance.
+func (s *JoinSketch) applyCovers(buf *coverBuf, sign int64, dst []int64, sums *letterSums) {
+	p := s.plan
+	d := p.cfg.Dims
+	inst := p.cfg.Instances
 	nw := 1 << uint(d)
-	var sums [MaxDims][2]int64 // [dim][0]=I sum, [dim][1]=E sum
-	for inst := from; inst < to; inst++ {
-		fams := s.plan.fams[inst]
-		for i := 0; i < d; i++ {
-			f := fams[i]
-			sums[i][0] = f.SumSigns(buf.cover[i])
-			sums[i][1] = f.SumSigns(buf.ptLo[i]) + f.SumSigns(buf.ptHi[i])
+	sums.reset()
+	for i := 0; i < d; i++ {
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(buf.cover[i], lo, hi, sums.plane(i, 0))
+		eAcc := sums.plane(i, 1)
+		p.bank.SumSignsMany(buf.ptLo[i], lo, hi, eAcc)
+		p.bank.SumSignsMany(buf.ptHi[i], lo, hi, eAcc)
+	}
+	switch d {
+	case 1:
+		iS, eS := sums.plane(0, 0), sums.plane(0, 1)
+		for k := 0; k < inst; k++ {
+			dst[2*k] += sign * iS[k]
+			dst[2*k+1] += sign * eS[k]
 		}
-		base := inst * nw
-		for w := 0; w < nw; w++ {
-			prod := sign
-			for i := 0; i < d; i++ {
-				prod *= sums[i][(w>>uint(i))&1]
+	case 2:
+		i0, e0 := sums.plane(0, 0), sums.plane(0, 1)
+		i1, e1 := sums.plane(1, 0), sums.plane(1, 1)
+		for k := 0; k < inst; k++ {
+			a, b, c, e := sign*i0[k], sign*e0[k], i1[k], e1[k]
+			base := 4 * k
+			dst[base] += a * c
+			dst[base+1] += b * c
+			dst[base+2] += a * e
+			dst[base+3] += b * e
+		}
+	default:
+		var lp [MaxDims][2][]int64
+		for i := 0; i < d; i++ {
+			lp[i][0], lp[i][1] = sums.plane(i, 0), sums.plane(i, 1)
+		}
+		for k := 0; k < inst; k++ {
+			base := k * nw
+			for w := 0; w < nw; w++ {
+				prod := sign
+				for i := 0; i < d; i++ {
+					prod *= lp[i][(w>>uint(i))&1][k]
+				}
+				dst[base+w] += prod
 			}
-			s.counters[base+w] += prod
 		}
 	}
 }
 
 // InsertAll bulk-loads a slice of hyper-rectangles, validating all of them
-// first and parallelizing the counter updates across instances. It is the
-// fast path for building a sketch from stored data; the resulting sketch is
-// identical to one built by repeated Insert calls.
+// first and parallelizing across objects: each worker folds a contiguous
+// share of the input into a private counter shard, and the shards are
+// merged by addition (exact, because sketches are linear projections). It
+// is the fast path for building a sketch from stored data; the resulting
+// sketch is bit-identical to one built by repeated Insert calls.
 func (s *JoinSketch) InsertAll(rects []geo.HyperRect) error {
 	for _, r := range rects {
 		if err := s.plan.checkRect(r); err != nil {
 			return err
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	inst := s.plan.cfg.Instances
-	if workers > inst {
-		workers = inst
-	}
-	if workers <= 1 || len(rects) < 64 {
-		for _, r := range rects {
-			s.buf.load(s.plan, r)
-			s.applyCovers(s.buf, 0, inst, +1)
+	p := s.plan
+	shardBulk(len(rects), s.counters, func(start, end int, dst []int64) {
+		buf := newCoverBuf(p.cfg.Dims)
+		sums := newLetterSums(p.cfg.Dims, 2, p.cfg.Instances)
+		for idx := start; idx < end; idx++ {
+			buf.load(p, rects[idx])
+			s.applyCovers(buf, +1, dst, sums)
 		}
-		s.count += int64(len(rects))
-		return nil
-	}
-
-	const batch = 256
-	bufs := make([]*coverBuf, batch)
-	for i := range bufs {
-		bufs[i] = newCoverBuf(s.plan.cfg.Dims)
-	}
-	var wg sync.WaitGroup
-	for start := 0; start < len(rects); start += batch {
-		end := min(start+batch, len(rects))
-		n := end - start
-		// Covers are instance-independent: compute once per object, then
-		// fan the counter updates out across disjoint instance ranges.
-		for i := 0; i < n; i++ {
-			bufs[i].load(s.plan, rects[start+i])
-		}
-		per := (inst + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*per, min((w+1)*per, inst)
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := 0; i < n; i++ {
-					s.applyCovers(bufs[i], lo, hi, +1)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
+	})
 	s.count += int64(len(rects))
 	return nil
 }
@@ -164,14 +161,7 @@ func (s *JoinSketch) Clone() *JoinSketch {
 // same plan. Merging the sketches of two disjoint streams is equivalent to
 // sketching their union - the linearity that makes sketches distributable.
 func (s *JoinSketch) Merge(other *JoinSketch) error {
-	if !samePlan(s.plan, other.plan) {
-		return fmt.Errorf("core: cannot merge sketches from different plans")
-	}
-	for i, v := range other.counters {
-		s.counters[i] += v
-	}
-	s.count += other.count
-	return nil
+	return mergeSketch(s.plan, other.plan, s.counters, other.counters, &s.count, other.count)
 }
 
 // Counter returns the X_w counter of one instance (w is the E-letter

@@ -72,7 +72,7 @@ func TestFigure2CounterConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for inst := 0; inst < p.Instances(); inst++ {
-		f := p.fams[inst][0]
+		f := p.family(inst, 0)
 		xi := func(id uint64) int64 { return f.Sign(id) }
 		wantXI := xi(2) + xi(6)
 		wantXE := 2*xi(1) + xi(2) + xi(3) + xi(4) + xi(6)

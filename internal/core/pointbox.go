@@ -32,6 +32,7 @@ type PointSketch struct {
 	counters []int64 // [instance]
 	count    int64
 	ptBuf    [][]uint64
+	sums     *letterSums
 }
 
 // NewPointSketch returns an empty point sketch.
@@ -40,6 +41,7 @@ func (p *Plan) NewPointSketch() *PointSketch {
 		plan:     p,
 		counters: make([]int64, p.cfg.Instances),
 		ptBuf:    make([][]uint64, p.cfg.Dims),
+		sums:     newLetterSums(p.cfg.Dims, 1, p.cfg.Instances),
 	}
 }
 
@@ -56,34 +58,57 @@ func (s *PointSketch) Insert(pt geo.Point) error { return s.update(pt, +1) }
 func (s *PointSketch) Delete(pt geo.Point) error { return s.update(pt, -1) }
 
 func (s *PointSketch) update(pt geo.Point, sign int64) error {
-	p := s.plan
-	if err := p.checkPoint(pt); err != nil {
+	if err := s.plan.checkPoint(pt); err != nil {
 		return err
 	}
-	d := p.cfg.Dims
-	for i := 0; i < d; i++ {
-		s.ptBuf[i] = p.doms[i].PointCoverMax(pt[i], p.maxLevel[i], s.ptBuf[i][:0])
-	}
-	for inst := 0; inst < p.cfg.Instances; inst++ {
-		fams := p.fams[inst]
-		prod := sign
-		for i := 0; i < d; i++ {
-			prod *= fams[i].SumSigns(s.ptBuf[i])
-		}
-		s.counters[inst] += prod
-	}
+	s.apply(pt, sign, s.counters, s.ptBuf, s.sums)
 	s.count += sign
 	return nil
 }
 
-// InsertAll bulk-loads points.
+// apply folds one point's covers into dst, id-major over the bank.
+func (s *PointSketch) apply(pt geo.Point, sign int64, dst []int64, ptBuf [][]uint64, sums *letterSums) {
+	p := s.plan
+	d := p.cfg.Dims
+	sums.reset()
+	for i := 0; i < d; i++ {
+		ptBuf[i] = p.doms[i].PointCoverMax(pt[i], p.maxLevel[i], ptBuf[i][:0])
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(ptBuf[i], lo, hi, sums.plane(i, 0))
+	}
+	for inst := 0; inst < p.cfg.Instances; inst++ {
+		prod := sign
+		for i := 0; i < d; i++ {
+			prod *= sums.plane(i, 0)[inst]
+		}
+		dst[inst] += prod
+	}
+}
+
+// InsertAll bulk-loads points, sharding across objects as
+// JoinSketch.InsertAll does.
 func (s *PointSketch) InsertAll(pts []geo.Point) error {
 	for _, pt := range pts {
-		if err := s.Insert(pt); err != nil {
+		if err := s.plan.checkPoint(pt); err != nil {
 			return err
 		}
 	}
+	p := s.plan
+	shardBulk(len(pts), s.counters, func(start, end int, dst []int64) {
+		ptBuf := make([][]uint64, p.cfg.Dims)
+		sums := newLetterSums(p.cfg.Dims, 1, p.cfg.Instances)
+		for idx := start; idx < end; idx++ {
+			s.apply(pts[idx], +1, dst, ptBuf, sums)
+		}
+	})
+	s.count += int64(len(pts))
 	return nil
+}
+
+// Merge adds the counters of other into s. Both sketches must come from the
+// same plan.
+func (s *PointSketch) Merge(other *PointSketch) error {
+	return mergeSketch(s.plan, other.plan, s.counters, other.counters, &s.count, other.count)
 }
 
 // BoxSketch summarizes a set of hyper-rectangles with pure interval covers:
@@ -93,6 +118,7 @@ type BoxSketch struct {
 	counters []int64 // [instance]
 	count    int64
 	covBuf   [][]uint64
+	sums     *letterSums
 }
 
 // NewBoxSketch returns an empty box sketch.
@@ -101,6 +127,7 @@ func (p *Plan) NewBoxSketch() *BoxSketch {
 		plan:     p,
 		counters: make([]int64, p.cfg.Instances),
 		covBuf:   make([][]uint64, p.cfg.Dims),
+		sums:     newLetterSums(p.cfg.Dims, 1, p.cfg.Instances),
 	}
 }
 
@@ -117,34 +144,57 @@ func (s *BoxSketch) Insert(rect geo.HyperRect) error { return s.update(rect, +1)
 func (s *BoxSketch) Delete(rect geo.HyperRect) error { return s.update(rect, -1) }
 
 func (s *BoxSketch) update(rect geo.HyperRect, sign int64) error {
-	p := s.plan
-	if err := p.checkRect(rect); err != nil {
+	if err := s.plan.checkRect(rect); err != nil {
 		return err
 	}
-	d := p.cfg.Dims
-	for i := 0; i < d; i++ {
-		s.covBuf[i] = p.doms[i].CoverMax(rect[i].Lo, rect[i].Hi, p.maxLevel[i], s.covBuf[i][:0])
-	}
-	for inst := 0; inst < p.cfg.Instances; inst++ {
-		fams := p.fams[inst]
-		prod := sign
-		for i := 0; i < d; i++ {
-			prod *= fams[i].SumSigns(s.covBuf[i])
-		}
-		s.counters[inst] += prod
-	}
+	s.apply(rect, sign, s.counters, s.covBuf, s.sums)
 	s.count += sign
 	return nil
 }
 
-// InsertAll bulk-loads hyper-rectangles.
+// apply folds one box's interval covers into dst, id-major over the bank.
+func (s *BoxSketch) apply(rect geo.HyperRect, sign int64, dst []int64, covBuf [][]uint64, sums *letterSums) {
+	p := s.plan
+	d := p.cfg.Dims
+	sums.reset()
+	for i := 0; i < d; i++ {
+		covBuf[i] = p.doms[i].CoverMax(rect[i].Lo, rect[i].Hi, p.maxLevel[i], covBuf[i][:0])
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(covBuf[i], lo, hi, sums.plane(i, 0))
+	}
+	for inst := 0; inst < p.cfg.Instances; inst++ {
+		prod := sign
+		for i := 0; i < d; i++ {
+			prod *= sums.plane(i, 0)[inst]
+		}
+		dst[inst] += prod
+	}
+}
+
+// InsertAll bulk-loads hyper-rectangles, sharding across objects as
+// JoinSketch.InsertAll does.
 func (s *BoxSketch) InsertAll(rects []geo.HyperRect) error {
 	for _, r := range rects {
-		if err := s.Insert(r); err != nil {
+		if err := s.plan.checkRect(r); err != nil {
 			return err
 		}
 	}
+	p := s.plan
+	shardBulk(len(rects), s.counters, func(start, end int, dst []int64) {
+		covBuf := make([][]uint64, p.cfg.Dims)
+		sums := newLetterSums(p.cfg.Dims, 1, p.cfg.Instances)
+		for idx := start; idx < end; idx++ {
+			s.apply(rects[idx], +1, dst, covBuf, sums)
+		}
+	})
+	s.count += int64(len(rects))
 	return nil
+}
+
+// Merge adds the counters of other into s. Both sketches must come from the
+// same plan.
+func (s *BoxSketch) Merge(other *BoxSketch) error {
+	return mergeSketch(s.plan, other.plan, s.counters, other.counters, &s.count, other.count)
 }
 
 // EstimatePointInBox estimates the number of (point, box) pairs with the

@@ -25,6 +25,7 @@ type RangeSketch struct {
 	counters []int64 // [instance * 2^d + w]
 	count    int64
 	buf      *coverBuf
+	sums     *letterSums
 }
 
 // NewRangeSketch returns an empty range-query sketch.
@@ -33,6 +34,7 @@ func (p *Plan) NewRangeSketch() *RangeSketch {
 		plan:     p,
 		counters: make([]int64, p.cfg.Instances<<uint(p.cfg.Dims)),
 		buf:      newCoverBuf(p.cfg.Dims),
+		sums:     newLetterSums(p.cfg.Dims, 2, p.cfg.Instances),
 	}
 }
 
@@ -49,42 +51,71 @@ func (s *RangeSketch) Insert(rect geo.HyperRect) error { return s.update(rect, +
 func (s *RangeSketch) Delete(rect geo.HyperRect) error { return s.update(rect, -1) }
 
 func (s *RangeSketch) update(rect geo.HyperRect, sign int64) error {
-	p := s.plan
-	if err := p.checkRect(rect); err != nil {
+	if err := s.plan.checkRect(rect); err != nil {
 		return err
 	}
-	d := p.cfg.Dims
-	nw := 1 << uint(d)
-	s.buf.load(p, rect)
-	var sums [MaxDims][2]int64 // [dim][0]=I, [dim][1]=U (upper endpoint)
-	for inst := 0; inst < p.cfg.Instances; inst++ {
-		fams := p.fams[inst]
-		for i := 0; i < d; i++ {
-			f := fams[i]
-			sums[i][0] = f.SumSigns(s.buf.cover[i])
-			sums[i][1] = f.SumSigns(s.buf.ptHi[i])
-		}
-		base := inst * nw
-		for w := 0; w < nw; w++ {
-			prod := sign
-			for i := 0; i < d; i++ {
-				prod *= sums[i][(w>>uint(i))&1]
-			}
-			s.counters[base+w] += prod
-		}
-	}
+	s.buf.load(s.plan, rect)
+	s.applyCovers(s.buf, sign, s.counters, s.sums)
 	s.count += sign
 	return nil
 }
 
-// InsertAll bulk-loads hyper-rectangles.
+// applyCovers folds one object's covers into dst, id-major as in
+// JoinSketch.applyCovers; the letter planes here are I (interval cover) and
+// U (upper-endpoint cover).
+func (s *RangeSketch) applyCovers(buf *coverBuf, sign int64, dst []int64, sums *letterSums) {
+	p := s.plan
+	d := p.cfg.Dims
+	inst := p.cfg.Instances
+	nw := 1 << uint(d)
+	sums.reset()
+	for i := 0; i < d; i++ {
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(buf.cover[i], lo, hi, sums.plane(i, 0))
+		p.bank.SumSignsMany(buf.ptHi[i], lo, hi, sums.plane(i, 1))
+	}
+	var lp [MaxDims][2][]int64
+	for i := 0; i < d; i++ {
+		lp[i][0], lp[i][1] = sums.plane(i, 0), sums.plane(i, 1)
+	}
+	for k := 0; k < inst; k++ {
+		base := k * nw
+		for w := 0; w < nw; w++ {
+			prod := sign
+			for i := 0; i < d; i++ {
+				prod *= lp[i][(w>>uint(i))&1][k]
+			}
+			dst[base+w] += prod
+		}
+	}
+}
+
+// InsertAll bulk-loads hyper-rectangles, validating all of them first and
+// sharding across objects exactly as JoinSketch.InsertAll does.
 func (s *RangeSketch) InsertAll(rects []geo.HyperRect) error {
 	for _, r := range rects {
-		if err := s.Insert(r); err != nil {
+		if err := s.plan.checkRect(r); err != nil {
 			return err
 		}
 	}
+	p := s.plan
+	shardBulk(len(rects), s.counters, func(start, end int, dst []int64) {
+		buf := newCoverBuf(p.cfg.Dims)
+		sums := newLetterSums(p.cfg.Dims, 2, p.cfg.Instances)
+		for idx := start; idx < end; idx++ {
+			buf.load(p, rects[idx])
+			s.applyCovers(buf, +1, dst, sums)
+		}
+	})
+	s.count += int64(len(rects))
 	return nil
+}
+
+// Merge adds the counters of other into s. Both sketches must come from the
+// same plan; merging the sketches of disjoint streams is equivalent to
+// sketching their union.
+func (s *RangeSketch) Merge(other *RangeSketch) error {
+	return mergeSketch(s.plan, other.plan, s.counters, other.counters, &s.count, other.count)
 }
 
 // EstimateRange estimates |Q(q, R)|, the number of summarized objects
@@ -100,24 +131,25 @@ func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
 	nw := 1 << uint(d)
 	// Query-side values per dimension: the interval cover of q (pairs with
 	// data letter U) and the point cover of q's upper endpoint (pairs with
-	// data letter I).
+	// data letter I), batched id-major like the update path.
 	qb := newCoverBuf(d)
 	qb.load(p, q)
+	qv := newLetterSums(d, 2, p.cfg.Instances)
+	var lp [MaxDims][2][]int64
+	for i := 0; i < d; i++ {
+		lo, hi := p.famRange(i)
+		p.bank.SumSignsMany(qb.ptHi[i], lo, hi, qv.plane(i, 0))  // pairs with data I
+		p.bank.SumSignsMany(qb.cover[i], lo, hi, qv.plane(i, 1)) // pairs with data U
+		lp[i][0], lp[i][1] = qv.plane(i, 0), qv.plane(i, 1)
+	}
 	zs := make([]float64, p.cfg.Instances)
-	var qv [MaxDims][2]int64
 	for inst := range zs {
-		fams := p.fams[inst]
-		for i := 0; i < d; i++ {
-			f := fams[i]
-			qv[i][0] = f.SumSigns(qb.ptHi[i])  // pairs with data I
-			qv[i][1] = f.SumSigns(qb.cover[i]) // pairs with data U
-		}
 		base := inst * nw
 		var z float64
 		for w := 0; w < nw; w++ {
 			prod := int64(1)
 			for i := 0; i < d; i++ {
-				prod *= qv[i][(w>>uint(i))&1]
+				prod *= lp[i][(w>>uint(i))&1][inst]
 			}
 			z += float64(prod) * float64(s.counters[base+w])
 		}

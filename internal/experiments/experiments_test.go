@@ -65,6 +65,9 @@ func TestLevelFitters(t *testing.T) {
 }
 
 func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second figure regeneration")
+	}
 	tab, err := Fig5(tinyOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +89,9 @@ func TestFig5Smoke(t *testing.T) {
 // both figures' claims: the measured error honors the guaranteed bound
 // (Fig 7) and the required space flattens out (Fig 8).
 func TestFig7And8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second guarantee sweep")
+	}
 	points, err := fig78Sweep(Options{Scale: 0.02, Seed: 99, Runs: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +121,9 @@ func TestFig7And8(t *testing.T) {
 }
 
 func TestFig9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second figure regeneration")
+	}
 	tab, err := Fig9(Options{Scale: 0.01, Seed: 99, Runs: 2})
 	if err != nil {
 		t.Fatal(err)

@@ -277,6 +277,32 @@ func (e *JoinEstimator) EstimateSelfJoinRight() (Estimate, error) {
 	return fromCore(e.right.EstimateSelfJoin()), nil
 }
 
+// Merge folds the synopses of other into e: afterwards e summarizes the
+// union of both estimators' inputs, exactly as if every object had been
+// inserted into e directly (sketches are linear projections, so the merge
+// is exact, not approximate). Both estimators must have been built with the
+// same configuration - in particular the same Seed, so they share
+// xi-families. other is not modified.
+//
+// This is the shard-and-combine pattern for distributed construction:
+// build one estimator per data shard (separate goroutines, processes or
+// machines - see MergeLeftFrom for the serialized variant), then merge.
+func (e *JoinEstimator) Merge(other *JoinEstimator) error {
+	if other.cfg.Mode != e.cfg.Mode {
+		return fmt.Errorf("spatial: cannot merge %v estimator into %v estimator", other.cfg.Mode, e.cfg.Mode)
+	}
+	if e.leftCE != nil {
+		if err := e.leftCE.Merge(other.leftCE); err != nil {
+			return err
+		}
+		return e.rightCE.Merge(other.rightCE)
+	}
+	if err := e.left.Merge(other.left); err != nil {
+		return err
+	}
+	return e.right.Merge(other.right)
+}
+
 // MarshalLeft and MarshalRight serialize one side's synopsis (configuration
 // included), so sketches can be built near the data and shipped for
 // estimation. Only supported in ModeTransform.

@@ -1,0 +1,272 @@
+package spatial_test
+
+import (
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+// Merge-equivalence tests of the public estimator surface: estimators built
+// over disjoint shards of a stream and merged must report exactly the same
+// estimates as one estimator fed the whole stream - sketches are linear, so
+// the merge is exact, not approximate.
+
+func mergeJoinConfig(mode spatial.Mode) spatial.JoinConfig {
+	return spatial.JoinConfig{
+		Dims: 2, DomainSize: 256,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Mode:   mode, Seed: 42,
+	}
+}
+
+func TestJoinEstimatorMerge(t *testing.T) {
+	r := datagen.MustRects(datagen.Spec{N: 120, Dims: 2, Domain: 256, Seed: 1, MeanLen: []float64{30, 30}})
+	s := datagen.MustRects(datagen.Spec{N: 120, Dims: 2, Domain: 256, Seed: 2, MeanLen: []float64{30, 30}})
+	for _, mode := range []spatial.Mode{spatial.ModeTransform, spatial.ModeCommonEndpoints} {
+		whole, err := spatial.NewJoinEstimator(mergeJoinConfig(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.InsertLeftBulk(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.InsertRightBulk(s); err != nil {
+			t.Fatal(err)
+		}
+
+		merged, err := spatial.NewJoinEstimator(mergeJoinConfig(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(r) / 2
+		for _, part := range [][2][]geo.HyperRect{{r[:half], s[:half]}, {r[half:], s[half:]}} {
+			shard, err := spatial.NewJoinEstimator(mergeJoinConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := shard.InsertLeftBulk(part[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := shard.InsertRightBulk(part[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(shard); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.LeftCount() != whole.LeftCount() || merged.RightCount() != whole.RightCount() {
+			t.Fatalf("%v: merged counts (%d, %d) != (%d, %d)", mode,
+				merged.LeftCount(), merged.RightCount(), whole.LeftCount(), whole.RightCount())
+		}
+		we, err := whole.Cardinality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		me, err := merged.Cardinality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if we.Value != me.Value || we.Mean != me.Mean {
+			t.Fatalf("%v: merged estimate (%g, %g) != whole (%g, %g)", mode, me.Value, me.Mean, we.Value, we.Mean)
+		}
+	}
+}
+
+func TestJoinEstimatorMergeModeMismatch(t *testing.T) {
+	a, err := spatial.NewJoinEstimator(mergeJoinConfig(spatial.ModeTransform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spatial.NewJoinEstimator(mergeJoinConfig(spatial.ModeCommonEndpoints))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("cross-mode merge should fail")
+	}
+	// Different seeds derive different xi-families: merge must refuse.
+	cfg := mergeJoinConfig(spatial.ModeTransform)
+	cfg.Seed = 43
+	c, err := spatial.NewJoinEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Fatal("cross-seed merge should fail")
+	}
+}
+
+func TestRangeEstimatorMerge(t *testing.T) {
+	cfg := spatial.RangeConfig{
+		Dims: 1, DomainSize: 1024,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Seed:   7,
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 200, Dims: 1, Domain: 1024, Seed: 3})
+	whole, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.InsertBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.InsertBulk(rects[:90]); err != nil {
+		t.Fatal(err)
+	}
+	shard, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.InsertBulk(rects[90:]); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise both the direct and the serialized merge path.
+	data, err := shard.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeFrom(data); err != nil {
+		t.Fatal(err)
+	}
+
+	q := geo.Span1D(100, 700)
+	we, err := whole.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := merged.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.Value != me.Value || we.Mean != me.Mean {
+		t.Fatalf("merged range estimate (%g, %g) != whole (%g, %g)", me.Value, me.Mean, we.Value, we.Mean)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", merged.Count(), whole.Count())
+	}
+}
+
+func TestEpsJoinAndContainmentMerge(t *testing.T) {
+	epsCfg := spatial.EpsJoinConfig{
+		Dims: 2, DomainSize: 256, Eps: 8,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Seed:   9,
+	}
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Point{uint64(i*7) % 256, uint64(i*13) % 256}
+	}
+	whole, err := spatial.NewEpsJoinEstimator(epsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.InsertLeftBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.InsertRightBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	a, err := spatial.NewEpsJoinEstimator(epsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spatial.NewEpsJoinEstimator(epsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InsertLeftBulk(pts[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InsertRightBulk(pts[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertLeftBulk(pts[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertRightBulk(pts[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	we, err := whole.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := a.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.Value != me.Value {
+		t.Fatalf("merged eps-join estimate %g != whole %g", me.Value, we.Value)
+	}
+	// A different Eps changes the right-side balls without changing the
+	// core plan: merge must refuse.
+	badCfg := epsCfg
+	badCfg.Eps = 9 // derives the same adaptive level cap as Eps 8, so the plans match
+	bad, err := spatial.NewEpsJoinEstimator(badCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("cross-eps merge should fail")
+	}
+
+	conCfg := spatial.ContainmentConfig{
+		Dims: 2, DomainSize: 256,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Seed:   10,
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 80, Dims: 2, Domain: 256, Seed: 4})
+	cw, err := spatial.NewContainmentEstimator(conCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.InsertInnerBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.InsertOuterBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := spatial.NewContainmentEstimator(conCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := spatial.NewContainmentEstimator(conCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.InsertInnerBulk(rects[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.InsertOuterBulk(rects[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.InsertInnerBulk(rects[40:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.InsertOuterBulk(rects[40:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Merge(cb); err != nil {
+		t.Fatal(err)
+	}
+	cwe, err := cw.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cae, err := ca.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cwe.Value != cae.Value {
+		t.Fatalf("merged containment estimate %g != whole %g", cae.Value, cwe.Value)
+	}
+}

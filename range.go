@@ -140,5 +140,24 @@ func (e *RangeEstimator) Selectivity(q geo.HyperRect) (float64, error) {
 	return est.Clamped() / float64(n), nil
 }
 
+// Merge folds the synopsis of other into e: afterwards e summarizes the
+// union of both estimators' inputs, exactly as if every object had been
+// inserted into e directly (sketches are linear projections, so the merge
+// is exact). Both estimators must have been built with the same
+// configuration. other is not modified.
+func (e *RangeEstimator) Merge(other *RangeEstimator) error {
+	return e.sketch.Merge(other.sketch)
+}
+
+// MergeFrom merges a serialized synopsis (produced by Marshal on another
+// estimator with the identical configuration) into this one.
+func (e *RangeEstimator) MergeFrom(data []byte) error {
+	other, err := core.UnmarshalRangeSketch(data)
+	if err != nil {
+		return err
+	}
+	return e.sketch.Merge(other)
+}
+
 // Marshal serializes the synopsis, configuration included.
 func (e *RangeEstimator) Marshal() ([]byte, error) { return e.sketch.MarshalBinary() }
