@@ -1,0 +1,314 @@
+package main
+
+import (
+	"fmt"
+
+	spatial "repro"
+)
+
+// Kind-specific servable wrappers: each adapts one public estimator type
+// to the kind-erased server interface.
+
+func buildServable(kind string, cfg configRequest) (servable, error) {
+	k, err := spatial.ParseKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	switch k {
+	case spatial.KindJoin:
+		mode := spatial.ModeTransform
+		switch cfg.Mode {
+		case "", "transform":
+		case "common-endpoints":
+			mode = spatial.ModeCommonEndpoints
+		default:
+			return nil, fmt.Errorf("unknown join mode %q", cfg.Mode)
+		}
+		e, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+			Dims: cfg.Dims, DomainSize: cfg.DomainSize, Sizing: cfg.sizing(),
+			MaxLevel: cfg.MaxLevel, Mode: mode, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &joinServable{e}, nil
+	case spatial.KindRange:
+		e, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+			Dims: cfg.Dims, DomainSize: cfg.DomainSize, Sizing: cfg.sizing(),
+			MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &rangeServable{e}, nil
+	case spatial.KindEpsJoin:
+		e, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+			Dims: cfg.Dims, DomainSize: cfg.DomainSize, Eps: cfg.Eps,
+			Sizing: cfg.sizing(), MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &epsJoinServable{e}, nil
+	case spatial.KindContainment:
+		e, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{
+			Dims: cfg.Dims, DomainSize: cfg.DomainSize, Sizing: cfg.sizing(),
+			MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &containmentServable{e}, nil
+	}
+	return nil, fmt.Errorf("unknown estimator kind %q", kind)
+}
+
+// restoreServable reconstructs a servable estimator from a snapshot
+// envelope, dispatching on the embedded kind.
+func restoreServable(data []byte) (servable, error) {
+	k, err := spatial.SnapshotKind(data)
+	if err != nil {
+		return nil, err
+	}
+	switch k {
+	case spatial.KindJoin:
+		e, err := spatial.UnmarshalJoinEstimator(data)
+		if err != nil {
+			return nil, err
+		}
+		return &joinServable{e}, nil
+	case spatial.KindRange:
+		e, err := spatial.UnmarshalRangeEstimator(data)
+		if err != nil {
+			return nil, err
+		}
+		return &rangeServable{e}, nil
+	case spatial.KindEpsJoin:
+		e, err := spatial.UnmarshalEpsJoinEstimator(data)
+		if err != nil {
+			return nil, err
+		}
+		return &epsJoinServable{e}, nil
+	case spatial.KindContainment:
+		e, err := spatial.UnmarshalContainmentEstimator(data)
+		if err != nil {
+			return nil, err
+		}
+		return &containmentServable{e}, nil
+	}
+	return nil, fmt.Errorf("unknown snapshot kind %v", k)
+}
+
+// applyBatch runs insert bulk-style and delete one-by-one (deletes are
+// rare corrections; inserts are the hot path).
+func applyBatch[T any](op string, items []T, insertBulk func([]T) error, del func(T) error) (int, error) {
+	if op == "insert" {
+		if err := insertBulk(items); err != nil {
+			return 0, err
+		}
+		return len(items), nil
+	}
+	for i, it := range items {
+		if err := del(it); err != nil {
+			return i, err
+		}
+	}
+	return len(items), nil
+}
+
+// ---- join ----
+
+type joinServable struct{ e *spatial.JoinEstimator }
+
+func (j *joinServable) kind() spatial.Kind { return spatial.KindJoin }
+func (j *joinServable) instances() int     { return j.e.Instances() }
+func (j *joinServable) spaceWords() int    { return j.e.SpaceWords() }
+
+func (j *joinServable) configJSON() any {
+	cfg := j.e.Config()
+	return configRequest{
+		Dims: cfg.Dims, DomainSize: cfg.DomainSize, Mode: cfg.Mode.String(),
+		MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		Instances: j.e.Instances(), Groups: j.e.Groups(),
+	}
+}
+
+func (j *joinServable) counts() map[string]int64 {
+	return map[string]int64{"left": j.e.LeftCount(), "right": j.e.RightCount()}
+}
+
+func (j *joinServable) update(req *updateRequest) (int, error) {
+	if len(req.Points) > 0 {
+		return 0, fmt.Errorf("join estimators take rects, not points")
+	}
+	rects := decodeRects(req.Rects)
+	switch req.Side {
+	case "left":
+		return applyBatch(req.Op, rects, j.e.InsertLeftBulk, j.e.DeleteLeft)
+	case "right":
+		return applyBatch(req.Op, rects, j.e.InsertRightBulk, j.e.DeleteRight)
+	}
+	return 0, fmt.Errorf("join update needs side \"left\" or \"right\", got %q", req.Side)
+}
+
+func (j *joinServable) estimate(req *estimateRequest) (*estimateResponse, error) {
+	// Estimate and counts come from ONE consistent view, so the reported
+	// selectivity always divides by the sizes the estimate was computed
+	// against, even under concurrent writers.
+	var est spatial.Estimate
+	var left, right int64
+	var err error
+	if req.Extended {
+		est, left, right, err = j.e.CardinalityExtendedWithCounts()
+	} else {
+		est, left, right, err = j.e.CardinalityWithCounts()
+	}
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{"left": left, "right": right}
+	return estimateWire(spatial.KindJoin, est, counts, float64(left)*float64(right)), nil
+}
+
+func (j *joinServable) snapshot() ([]byte, error)       { return j.e.Marshal() }
+func (j *joinServable) mergeSnapshot(data []byte) error { return j.e.MergeSnapshot(data) }
+
+// ---- range ----
+
+type rangeServable struct{ e *spatial.RangeEstimator }
+
+func (s *rangeServable) kind() spatial.Kind { return spatial.KindRange }
+func (s *rangeServable) instances() int     { return s.e.Instances() }
+func (s *rangeServable) spaceWords() int    { return s.e.SpaceWords() }
+
+func (s *rangeServable) configJSON() any {
+	cfg := s.e.Config()
+	return configRequest{
+		Dims: cfg.Dims, DomainSize: cfg.DomainSize,
+		MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		Instances: s.e.Instances(), Groups: s.e.Groups(),
+	}
+}
+
+func (s *rangeServable) counts() map[string]int64 {
+	return map[string]int64{"data": s.e.Count()}
+}
+
+func (s *rangeServable) update(req *updateRequest) (int, error) {
+	if len(req.Points) > 0 {
+		return 0, fmt.Errorf("range estimators take rects, not points")
+	}
+	if req.Side != "" && req.Side != "data" {
+		return 0, fmt.Errorf("range update takes no side, got %q", req.Side)
+	}
+	return applyBatch(req.Op, decodeRects(req.Rects), s.e.InsertBulk, s.e.Delete)
+}
+
+func (s *rangeServable) estimate(req *estimateRequest) (*estimateResponse, error) {
+	if len(req.Query) == 0 {
+		return nil, fmt.Errorf("range estimate needs a query hyper-rectangle")
+	}
+	est, count, err := s.e.EstimateWithCount(decodeQuery(req.Query))
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{"data": count}
+	return estimateWire(spatial.KindRange, est, counts, float64(count)), nil
+}
+
+func (s *rangeServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
+func (s *rangeServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
+
+// ---- epsilon-join ----
+
+type epsJoinServable struct{ e *spatial.EpsJoinEstimator }
+
+func (s *epsJoinServable) kind() spatial.Kind { return spatial.KindEpsJoin }
+func (s *epsJoinServable) instances() int     { return s.e.Instances() }
+func (s *epsJoinServable) spaceWords() int    { return s.e.SpaceWords() }
+
+func (s *epsJoinServable) configJSON() any {
+	cfg := s.e.Config()
+	return configRequest{
+		Dims: cfg.Dims, DomainSize: cfg.DomainSize, Eps: cfg.Eps,
+		MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		Instances: s.e.Instances(), Groups: s.e.Groups(),
+	}
+}
+
+func (s *epsJoinServable) counts() map[string]int64 {
+	return map[string]int64{"left": s.e.LeftCount(), "right": s.e.RightCount()}
+}
+
+func (s *epsJoinServable) update(req *updateRequest) (int, error) {
+	if len(req.Rects) > 0 {
+		return 0, fmt.Errorf("epsjoin estimators take points, not rects")
+	}
+	pts := decodePoints(req.Points)
+	switch req.Side {
+	case "left":
+		return applyBatch(req.Op, pts, s.e.InsertLeftBulk, s.e.DeleteLeft)
+	case "right":
+		return applyBatch(req.Op, pts, s.e.InsertRightBulk, s.e.DeleteRight)
+	}
+	return 0, fmt.Errorf("epsjoin update needs side \"left\" or \"right\", got %q", req.Side)
+}
+
+func (s *epsJoinServable) estimate(req *estimateRequest) (*estimateResponse, error) {
+	est, left, right, err := s.e.CardinalityWithCounts()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{"left": left, "right": right}
+	return estimateWire(spatial.KindEpsJoin, est, counts, float64(left)*float64(right)), nil
+}
+
+func (s *epsJoinServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
+func (s *epsJoinServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
+
+// ---- containment ----
+
+type containmentServable struct{ e *spatial.ContainmentEstimator }
+
+func (s *containmentServable) kind() spatial.Kind { return spatial.KindContainment }
+func (s *containmentServable) instances() int     { return s.e.Instances() }
+func (s *containmentServable) spaceWords() int    { return s.e.SpaceWords() }
+
+func (s *containmentServable) configJSON() any {
+	cfg := s.e.Config()
+	return configRequest{
+		Dims: cfg.Dims, DomainSize: cfg.DomainSize,
+		MaxLevel: cfg.MaxLevel, Seed: cfg.Seed,
+		Instances: s.e.Instances(), Groups: s.e.Groups(),
+	}
+}
+
+func (s *containmentServable) counts() map[string]int64 {
+	return map[string]int64{"inner": s.e.InnerCount(), "outer": s.e.OuterCount()}
+}
+
+func (s *containmentServable) update(req *updateRequest) (int, error) {
+	if len(req.Points) > 0 {
+		return 0, fmt.Errorf("containment estimators take rects, not points")
+	}
+	rects := decodeRects(req.Rects)
+	switch req.Side {
+	case "inner":
+		return applyBatch(req.Op, rects, s.e.InsertInnerBulk, s.e.DeleteInner)
+	case "outer":
+		return applyBatch(req.Op, rects, s.e.InsertOuterBulk, s.e.DeleteOuter)
+	}
+	return 0, fmt.Errorf("containment update needs side \"inner\" or \"outer\", got %q", req.Side)
+}
+
+func (s *containmentServable) estimate(req *estimateRequest) (*estimateResponse, error) {
+	est, inner, outer, err := s.e.CardinalityWithCounts()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{"inner": inner, "outer": outer}
+	return estimateWire(spatial.KindContainment, est, counts, float64(inner)*float64(outer)), nil
+}
+
+func (s *containmentServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
+func (s *containmentServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }

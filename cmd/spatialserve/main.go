@@ -1,0 +1,41 @@
+// Command spatialserve serves a registry of named spatial estimators over
+// HTTP: insert/delete streams at the edge, estimates, full-estimator
+// snapshots and merges - the paper's build-then-merge deployment
+// (synopses built near the data, shipped and combined centrally) as a
+// long-running service. Estimators are safe for concurrent use, so mixed
+// reader/writer traffic needs no external locking.
+//
+// Usage:
+//
+//	spatialserve -addr :8080
+//
+// Create an estimator, stream objects, estimate, snapshot:
+//
+//	curl -X POST localhost:8080/v1/estimators -d \
+//	  '{"name":"parks-roads","kind":"join","config":{"dims":2,"domainSize":65536,"memoryWords":8192,"seed":42}}'
+//	curl -X POST localhost:8080/v1/estimators/parks-roads/update -d \
+//	  '{"side":"left","rects":[[[10,50],[20,80]]]}'
+//	curl localhost:8080/v1/estimators/parks-roads/estimate
+//	curl localhost:8080/v1/estimators/parks-roads/snapshot > parks-roads.spe1
+//	curl -X POST --data-binary @parks-roads.spe1 localhost:8080/v1/estimators/parks-roads/merge
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           NewServer(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("spatialserve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,425 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	spatial "repro"
+	"repro/geo"
+)
+
+// Server exposes a registry of named estimators over HTTP: the
+// build-at-the-edge / merge-and-query-centrally deployment of the paper's
+// synopses as a service. All estimator operations are safe under
+// concurrent requests - the estimators themselves are concurrency-safe,
+// and the registry only guards its name map.
+//
+// Endpoints (JSON unless noted):
+//
+//	POST   /v1/estimators                 create {name, kind, config}
+//	GET    /v1/estimators                 list
+//	GET    /v1/estimators/{name}          info (config, counts, space)
+//	DELETE /v1/estimators/{name}          drop
+//	POST   /v1/estimators/{name}/update   insert/delete a batch of objects
+//	POST   /v1/estimators/{name}/estimate estimate (GET works when no body is needed)
+//	GET    /v1/estimators/{name}/snapshot full-estimator snapshot (binary SPE1 envelope)
+//	PUT    /v1/estimators/{name}/snapshot create/replace the estimator from a snapshot
+//	POST   /v1/estimators/{name}/merge    fold a snapshot into the estimator
+//	GET    /healthz
+type Server struct {
+	mu   sync.RWMutex
+	ests map[string]servable
+	mux  *http.ServeMux
+}
+
+// servable is the kind-erased server view of one estimator.
+type servable interface {
+	kind() spatial.Kind
+	configJSON() any
+	instances() int
+	spaceWords() int
+	counts() map[string]int64
+	update(req *updateRequest) (applied int, err error)
+	estimate(req *estimateRequest) (*estimateResponse, error)
+	snapshot() ([]byte, error)
+	mergeSnapshot(data []byte) error
+}
+
+// NewServer returns a ready-to-serve handler with an empty registry.
+func NewServer() *Server {
+	s := &Server{ests: make(map[string]servable), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /v1/estimators", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/estimators", s.handleList)
+	s.mux.HandleFunc("GET /v1/estimators/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/estimators/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/update", s.handleUpdate)
+	s.mux.HandleFunc("GET /v1/estimators/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/estimators/{name}/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("PUT /v1/estimators/{name}/snapshot", s.handleSnapshotPut)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/merge", s.handleMerge)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// lookup fetches an estimator by name under the registry read lock.
+func (s *Server) lookup(name string) (servable, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.ests[name]
+	return e, ok
+}
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// configRequest is the public estimator configuration over the wire. The
+// zero sizing falls back to the library default (512 instances, 8 groups).
+type configRequest struct {
+	Dims        int    `json:"dims"`
+	DomainSize  uint64 `json:"domainSize"`
+	Eps         uint64 `json:"eps,omitempty"`      // epsjoin only
+	Mode        string `json:"mode,omitempty"`     // join only: "transform" | "common-endpoints"
+	MaxLevel    int    `json:"maxLevel,omitempty"` // 0 adaptive, -1 uncapped, >0 explicit
+	Seed        uint64 `json:"seed"`
+	Instances   int    `json:"instances,omitempty"`
+	Groups      int    `json:"groups,omitempty"`
+	MemoryWords int    `json:"memoryWords,omitempty"`
+}
+
+func (c configRequest) sizing() spatial.Sizing {
+	return spatial.Sizing{Instances: c.Instances, Groups: c.Groups, MemoryWords: c.MemoryWords}
+}
+
+type createRequest struct {
+	Name   string        `json:"name"`
+	Kind   string        `json:"kind"`
+	Config configRequest `json:"config"`
+}
+
+// updateRequest applies a batch of inserts or deletes to one side.
+type updateRequest struct {
+	// Op is "insert" (default) or "delete".
+	Op string `json:"op,omitempty"`
+	// Side selects the input: "left"/"right" for join and epsilon-join,
+	// "inner"/"outer" for containment, omitted (or "data") for range.
+	Side string `json:"side,omitempty"`
+	// Rects holds hyper-rectangles as [dim][lo,hi] pairs (join, range,
+	// containment).
+	Rects [][][2]uint64 `json:"rects,omitempty"`
+	// Points holds points as coordinate arrays (epsilon-join).
+	Points [][]uint64 `json:"points,omitempty"`
+}
+
+type updateResponse struct {
+	Applied int              `json:"applied"`
+	Counts  map[string]int64 `json:"counts"`
+}
+
+// estimateRequest parameterizes an estimate. Only range queries need one.
+type estimateRequest struct {
+	// Query is the range-query hyper-rectangle as [dim][lo,hi] pairs.
+	Query [][2]uint64 `json:"query,omitempty"`
+	// Extended selects the Definition 4 extended join
+	// (ModeCommonEndpoints join estimators only).
+	Extended bool `json:"extended,omitempty"`
+}
+
+type estimateResponse struct {
+	Kind string `json:"kind"`
+	// Cardinality is the boosted estimate clamped to be non-negative.
+	Cardinality float64 `json:"cardinality"`
+	// Value is the raw boosted estimate (median of group means).
+	Value float64 `json:"value"`
+	// Mean is the grand mean over all atomic instances.
+	Mean float64 `json:"mean"`
+	// StdErr estimates the standard error of one group mean.
+	StdErr float64 `json:"stdErr"`
+	// Selectivity is Cardinality normalized by the input sizes, when the
+	// inputs are non-empty.
+	Selectivity *float64         `json:"selectivity,omitempty"`
+	Counts      map[string]int64 `json:"counts"`
+	Instances   int              `json:"instances"`
+}
+
+type infoResponse struct {
+	Name       string           `json:"name"`
+	Kind       string           `json:"kind"`
+	Config     any              `json:"config"`
+	Counts     map[string]int64 `json:"counts"`
+	Instances  int              `json:"instances"`
+	SpaceWords int              `json:"spaceWords"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies (snapshots of large synopses are a
+// few MB; update batches should be chunked by the client).
+const maxBodyBytes = 64 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "estimator name is required")
+		return
+	}
+	est, err := buildServable(req.Kind, req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.ests[req.Name]; exists {
+		writeError(w, http.StatusConflict, "estimator %q already exists", req.Name)
+		return
+	}
+	s.ests[req.Name] = est
+	writeJSON(w, http.StatusCreated, infoResponse{
+		Name: req.Name, Kind: est.kind().String(), Config: est.configJSON(),
+		Counts: est.counts(), Instances: est.instances(), SpaceWords: est.spaceWords(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.ests))
+	for name := range s.ests {
+		names = append(names, name)
+	}
+	kinds := make(map[string]string, len(names))
+	for name, e := range s.ests {
+		kinds[name] = e.kind().String()
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	type entry struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	out := make([]entry, len(names))
+	for i, name := range names {
+		out[i] = entry{Name: name, Kind: kinds[name]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"estimators": out})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoResponse{
+		Name: name, Kind: est.kind().String(), Config: est.configJSON(),
+		Counts: est.counts(), Instances: est.instances(), SpaceWords: est.spaceWords(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.ests[name]
+	delete(s.ests, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	var req updateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Op == "" {
+		req.Op = "insert"
+	}
+	if req.Op != "insert" && req.Op != "delete" {
+		writeError(w, http.StatusBadRequest, "op %q is neither insert nor delete", req.Op)
+		return
+	}
+	applied, err := est.update(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Applied: applied, Counts: est.counts()})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	var req estimateRequest
+	if r.Method == http.MethodPost && r.ContentLength != 0 {
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+	}
+	resp, err := est.estimate(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	data, err := est.snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Spatial-Kind", est.kind().String())
+	w.Write(data)
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	est, err := restoreServable(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.ests[name] = est
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, infoResponse{
+		Name: name, Kind: est.kind().String(), Config: est.configJSON(),
+		Counts: est.counts(), Instances: est.instances(), SpaceWords: est.spaceWords(),
+	})
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	data, okBody := readBody(w, r)
+	if !okBody {
+		return
+	}
+	if err := est.mergeSnapshot(data); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Counts: est.counts()})
+}
+
+// ---- geometry decoding ----
+
+func decodeRects(in [][][2]uint64) []geo.HyperRect {
+	rects := make([]geo.HyperRect, len(in))
+	for i, r := range in {
+		h := make(geo.HyperRect, len(r))
+		for d, iv := range r {
+			h[d] = geo.Interval{Lo: iv[0], Hi: iv[1]}
+		}
+		rects[i] = h
+	}
+	return rects
+}
+
+func decodePoints(in [][]uint64) []geo.Point {
+	pts := make([]geo.Point, len(in))
+	for i, p := range in {
+		pts[i] = geo.Point(p)
+	}
+	return pts
+}
+
+func decodeQuery(q [][2]uint64) geo.HyperRect {
+	h := make(geo.HyperRect, len(q))
+	for d, iv := range q {
+		h[d] = geo.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+	return h
+}
+
+// estimateWire converts a library estimate plus context into the wire
+// response. selDen is the product of the input sizes (0 when undefined).
+func estimateWire(kind spatial.Kind, est spatial.Estimate, counts map[string]int64, selDen float64) *estimateResponse {
+	resp := &estimateResponse{
+		Kind:        kind.String(),
+		Cardinality: est.Clamped(),
+		Value:       est.Value,
+		Mean:        est.Mean,
+		StdErr:      est.StdErr(),
+		Counts:      counts,
+		Instances:   est.Instances,
+	}
+	if selDen > 0 {
+		sel := est.Clamped() / selDen
+		resp.Selectivity = &sel
+	}
+	return resp
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// do runs one request against the handler in-process and returns the
+// recorder.
+func do(t testing.TB, h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	if t != nil {
+		t.Helper()
+	}
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, path, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func mustStatus(t testing.TB, w *httptest.ResponseRecorder, want int) {
+	if h, ok := t.(*testing.T); ok {
+		h.Helper()
+	}
+	if w.Code != want {
+		t.Fatalf("status %d, want %d: %s", w.Code, want, w.Body.String())
+	}
+}
+
+// randRect emits a non-degenerate 2-d rectangle inside dom.
+func randRect(rng *rand.Rand, dom uint64) [][2]uint64 {
+	rect := make([][2]uint64, 2)
+	for d := range rect {
+		lo := rng.Uint64() % (dom - 2)
+		hi := lo + 1 + rng.Uint64()%(dom-lo-1)
+		rect[d] = [2]uint64{lo, hi}
+	}
+	return rect
+}
+
+func updateBody(t testing.TB, side string, rects [][][2]uint64) []byte {
+	b, err := json.Marshal(updateRequest{Side: side, Rects: rects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func createJoin(t testing.TB, h http.Handler, name string, dom uint64) {
+	body, _ := json.Marshal(createRequest{
+		Name: name, Kind: "join",
+		Config: configRequest{Dims: 2, DomainSize: dom, Seed: 42, Instances: 64, Groups: 4},
+	})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators", body), http.StatusCreated)
+}
+
+func TestServerLifecycle(t *testing.T) {
+	h := NewServer()
+	const dom = 1 << 12
+
+	// Create all four kinds.
+	for _, c := range []createRequest{
+		{Name: "j", Kind: "join", Config: configRequest{Dims: 2, DomainSize: dom, Seed: 1, Instances: 64, Groups: 4}},
+		{Name: "r", Kind: "range", Config: configRequest{Dims: 1, DomainSize: dom, Seed: 2, Instances: 64, Groups: 4}},
+		{Name: "e", Kind: "epsjoin", Config: configRequest{Dims: 2, DomainSize: dom, Eps: 8, Seed: 3, Instances: 64, Groups: 4}},
+		{Name: "c", Kind: "containment", Config: configRequest{Dims: 2, DomainSize: dom, Seed: 4, Instances: 64, Groups: 4}},
+	} {
+		body, _ := json.Marshal(c)
+		mustStatus(t, do(t, h, "POST", "/v1/estimators", body), http.StatusCreated)
+	}
+	// Duplicate name conflicts.
+	body, _ := json.Marshal(createRequest{Name: "j", Kind: "join",
+		Config: configRequest{Dims: 2, DomainSize: dom, Seed: 1}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators", body), http.StatusConflict)
+	// Unknown kind rejected.
+	body, _ = json.Marshal(createRequest{Name: "x", Kind: "quantile",
+		Config: configRequest{Dims: 1, DomainSize: dom}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators", body), http.StatusBadRequest)
+
+	// Join traffic: insert both sides, estimate, check selectivity shows up.
+	rng := rand.New(rand.NewSource(7))
+	var rects [][][2]uint64
+	for i := 0; i < 64; i++ {
+		rects = append(rects, randRect(rng, dom))
+	}
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/update", updateBody(t, "left", rects)), http.StatusOK)
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/update", updateBody(t, "right", rects)), http.StatusOK)
+	w := do(t, h, "GET", "/v1/estimators/j/estimate", nil)
+	mustStatus(t, w, http.StatusOK)
+	var est estimateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Counts["left"] != 64 || est.Counts["right"] != 64 {
+		t.Fatalf("counts after insert: %+v", est.Counts)
+	}
+	if est.Selectivity == nil {
+		t.Fatal("selectivity missing on non-empty inputs")
+	}
+
+	// Deletes bring a count back down.
+	one := rects[:1]
+	b, _ := json.Marshal(updateRequest{Op: "delete", Side: "left", Rects: one})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/update", b), http.StatusOK)
+	w = do(t, h, "GET", "/v1/estimators/j", nil)
+	mustStatus(t, w, http.StatusOK)
+	var info infoResponse
+	json.Unmarshal(w.Body.Bytes(), &info)
+	if info.Counts["left"] != 63 {
+		t.Fatalf("left count after delete = %d", info.Counts["left"])
+	}
+
+	// Range estimate needs a query.
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/update",
+		updateBody(t, "", [][][2]uint64{{{5, 100}}, {{50, 400}}})), http.StatusOK)
+	mustStatus(t, do(t, h, "GET", "/v1/estimators/r/estimate", nil), http.StatusBadRequest)
+	qb, _ := json.Marshal(estimateRequest{Query: [][2]uint64{{0, 300}}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusOK)
+
+	// Snapshot round trip through PUT restore: identical estimates.
+	snap := do(t, h, "GET", "/v1/estimators/j/snapshot", nil)
+	mustStatus(t, snap, http.StatusOK)
+	mustStatus(t, do(t, h, "PUT", "/v1/estimators/j2/snapshot", snap.Body.Bytes()), http.StatusOK)
+	w1 := do(t, h, "GET", "/v1/estimators/j/estimate", nil)
+	w2 := do(t, h, "GET", "/v1/estimators/j2/estimate", nil)
+	var e1, e2 estimateResponse
+	json.Unmarshal(w1.Body.Bytes(), &e1)
+	json.Unmarshal(w2.Body.Bytes(), &e2)
+	if e1.Value != e2.Value || e1.Mean != e2.Mean {
+		t.Fatalf("restored estimator estimate (%g, %g) != source (%g, %g)", e2.Value, e2.Mean, e1.Value, e1.Mean)
+	}
+
+	// Merging j2 into j doubles the counts; merging into a mismatched
+	// estimator is a conflict caught at decode time.
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/merge", snap.Body.Bytes()), http.StatusOK)
+	w = do(t, h, "GET", "/v1/estimators/j", nil)
+	json.Unmarshal(w.Body.Bytes(), &info)
+	if info.Counts["left"] != 126 {
+		t.Fatalf("left count after merge = %d", info.Counts["left"])
+	}
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/merge", snap.Body.Bytes()), http.StatusConflict)
+
+	// Garbage snapshots are rejected.
+	mustStatus(t, do(t, h, "PUT", "/v1/estimators/bad/snapshot", []byte("not a snapshot")), http.StatusBadRequest)
+
+	// Delete.
+	mustStatus(t, do(t, h, "DELETE", "/v1/estimators/j2", nil), http.StatusOK)
+	mustStatus(t, do(t, h, "DELETE", "/v1/estimators/j2", nil), http.StatusNotFound)
+}
+
+// TestServeConcurrentMixed hammers one estimator with mixed reader/writer
+// traffic from many goroutines - the acceptance gate for the concurrency
+// layer, meaningful under -race.
+func TestServeConcurrentMixed(t *testing.T) {
+	h := NewServer()
+	const dom = 1 << 12
+	createJoin(t, h, "mix", dom)
+
+	const workers = 8
+	iters := 60
+	if testing.Short() {
+		iters = 25
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*iters)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				var w *httptest.ResponseRecorder
+				switch i % 6 {
+				case 0, 1, 2: // writer: batch insert on one side
+					side := "left"
+					if g%2 == 1 {
+						side = "right"
+					}
+					w = do(nil, h, "POST", "/v1/estimators/mix/update",
+						updateBody(t, side, [][][2]uint64{randRect(rng, dom), randRect(rng, dom)}))
+				case 3: // reader: estimate
+					w = do(nil, h, "GET", "/v1/estimators/mix/estimate", nil)
+				case 4: // reader: snapshot
+					w = do(nil, h, "GET", "/v1/estimators/mix/snapshot", nil)
+				case 5: // reader+writer: snapshot then merge it back in
+					snap := do(nil, h, "GET", "/v1/estimators/mix/snapshot", nil)
+					if snap.Code != http.StatusOK {
+						errs <- fmt.Sprintf("snapshot: %d %s", snap.Code, snap.Body.String())
+						continue
+					}
+					w = do(nil, h, "POST", "/v1/estimators/mix/merge", snap.Body.Bytes())
+				}
+				if w.Code != http.StatusOK {
+					errs <- fmt.Sprintf("op %d: %d %s", i%6, w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// The registry itself must also survive concurrent create/delete/list.
+	wg = sync.WaitGroup{}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tmp-%d", g)
+			for i := 0; i < 10; i++ {
+				createJoin(t, h, name, dom)
+				do(nil, h, "GET", "/v1/estimators", nil)
+				do(nil, h, "DELETE", "/v1/estimators/"+name, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeMixed measures mixed reader/writer serving throughput on
+// one shared join estimator: ~75% single-object inserts, ~20% estimates,
+// ~5% snapshots, issued from parallel clients through the full HTTP
+// handler stack.
+func BenchmarkServeMixed(b *testing.B) {
+	h := NewServer()
+	const dom = 1 << 16
+	body, _ := json.Marshal(createRequest{
+		Name: "bench", Kind: "join",
+		Config: configRequest{Dims: 2, DomainSize: dom, Seed: 1, Instances: 512, Groups: 8},
+	})
+	mustStatus(b, do(b, h, "POST", "/v1/estimators", body), http.StatusCreated)
+	// Pre-build request bodies so the benchmark measures serving, not JSON
+	// construction.
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([][]byte, 256)
+	for i := range bodies {
+		side := "left"
+		if i%2 == 1 {
+			side = "right"
+		}
+		bodies[i] = updateBody(b, side, [][][2]uint64{randRect(rng, dom)})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			switch {
+			case i%20 == 0: // 5% snapshots
+				if w := do(nil, h, "GET", "/v1/estimators/bench/snapshot", nil); w.Code != http.StatusOK {
+					b.Fatalf("snapshot: %d", w.Code)
+				}
+			case i%5 == 0: // 20% estimates
+				if w := do(nil, h, "GET", "/v1/estimators/bench/estimate", nil); w.Code != http.StatusOK {
+					b.Fatalf("estimate: %d", w.Code)
+				}
+			default: // 75% inserts
+				if w := do(nil, h, "POST", "/v1/estimators/bench/update", bodies[i%len(bodies)]); w.Code != http.StatusOK {
+					b.Fatalf("update: %d %s", w.Code, w.Body.String())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package spatial_test
+
+import (
+	"sync"
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+)
+
+// Concurrency tests for the public estimators: mixed reader/writer
+// goroutine traffic on a shared estimator of every type, plus an exactness
+// check that concurrent ingestion loses no update. Run with -race (CI
+// does) to make the locking claims meaningful.
+
+func concurrentIters(t *testing.T) int {
+	if testing.Short() {
+		return 40
+	}
+	return 150
+}
+
+// runMixed drives nw writer and nr reader goroutines and fails on any
+// unexpected error.
+func runMixed(t *testing.T, nw, nr int, write func(g, i int) error, read func(i int) error) {
+	t.Helper()
+	iters := concurrentIters(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, nw+nr)
+	for g := 0; g < nw; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := write(g, i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < nr; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/2; i++ {
+				if err := read(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinEstimatorConcurrent(t *testing.T) {
+	for _, mode := range []spatial.Mode{spatial.ModeTransform, spatial.ModeCommonEndpoints} {
+		est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+			Dims: 1, DomainSize: 256,
+			Sizing: spatial.Sizing{Instances: 16, Groups: 4},
+			Mode:   mode, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers = 4
+		runMixed(t, writers, 3,
+			func(g, i int) error {
+				r := geo.Span1D(uint64(i%100), uint64(i%100)+10)
+				if g%2 == 0 {
+					return est.InsertLeft(r)
+				}
+				return est.InsertRight(r)
+			},
+			func(i int) error {
+				switch i % 3 {
+				case 0:
+					_, err := est.Cardinality()
+					return err
+				case 1:
+					est.LeftCount()
+					est.RightCount()
+					return nil
+				default:
+					_, err := est.Marshal()
+					return err
+				}
+			})
+		// Nothing lost: every writer completed all its inserts.
+		iters := int64(concurrentIters(t))
+		if got := est.LeftCount() + est.RightCount(); got != writers*iters {
+			t.Fatalf("%v: %d objects survived concurrent ingest, want %d", mode, got, writers*iters)
+		}
+	}
+}
+
+func TestRangeEstimatorConcurrent(t *testing.T) {
+	est, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: 256,
+		Sizing: spatial.Sizing{Instances: 16, Groups: 4}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	runMixed(t, writers, 3,
+		func(g, i int) error {
+			return est.Insert(geo.Span1D(uint64(i%100), uint64(i%100)+5))
+		},
+		func(i int) error {
+			_, err := est.Estimate(geo.Span1D(10, 200))
+			return err
+		})
+	if got := est.Count(); got != writers*int64(concurrentIters(t)) {
+		t.Fatalf("%d objects survived concurrent ingest, want %d", got, writers*concurrentIters(t))
+	}
+}
+
+func TestEpsJoinEstimatorConcurrent(t *testing.T) {
+	est, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+		Dims: 2, DomainSize: 256, Eps: 4,
+		Sizing: spatial.Sizing{Instances: 16, Groups: 4}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMixed(t, 4, 2,
+		func(g, i int) error {
+			p := geo.Point{uint64(i*7) % 256, uint64(i*13) % 256}
+			if g%2 == 0 {
+				return est.InsertLeft(p)
+			}
+			return est.InsertRight(p)
+		},
+		func(i int) error {
+			if i%2 == 0 {
+				_, err := est.Cardinality()
+				return err
+			}
+			_, err := est.Marshal()
+			return err
+		})
+}
+
+func TestContainmentEstimatorConcurrent(t *testing.T) {
+	est, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{
+		Dims: 1, DomainSize: 256,
+		Sizing: spatial.Sizing{Instances: 16, Groups: 4}, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMixed(t, 4, 2,
+		func(g, i int) error {
+			r := geo.Span1D(uint64(i%100), uint64(i%100)+uint64(g)+1)
+			if g%2 == 0 {
+				return est.InsertInner(r)
+			}
+			return est.InsertOuter(r)
+		},
+		func(i int) error {
+			_, err := est.Cardinality()
+			return err
+		})
+}
+
+// TestConcurrentMergeNoDeadlock: cross-merging two estimators from two
+// goroutines must not deadlock (each Merge snapshots the source before
+// locking the destination).
+func TestConcurrentMergeNoDeadlock(t *testing.T) {
+	mk := func() *spatial.JoinEstimator {
+		e, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+			Dims: 1, DomainSize: 64,
+			Sizing: spatial.Sizing{Instances: 8, Groups: 4}, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.InsertLeft(geo.Span1D(1, 9))
+		return e
+	}
+	a, b := mk(), mk()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); a.Merge(b) }()
+		go func() { defer wg.Done(); b.Merge(a) }()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentIngestExactness: a concurrently-loaded estimator reports
+// exactly the same estimate as a sequentially-loaded one - sharded ingest
+// is bit-identical by linearity, regardless of which shard each update
+// landed in.
+func TestConcurrentIngestExactness(t *testing.T) {
+	cfg := spatial.JoinConfig{
+		Dims: 1, DomainSize: 512,
+		Sizing: spatial.Sizing{Instances: 32, Groups: 4}, Seed: 9,
+	}
+	seq, err := spatial.NewJoinEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := spatial.NewJoinEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	rects := make([]geo.HyperRect, n)
+	for i := range rects {
+		lo := uint64(i*3) % 490
+		rects[i] = geo.Span1D(lo, lo+1+uint64(i%17))
+	}
+	for _, r := range rects {
+		if err := seq.InsertLeft(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.InsertRight(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 4 {
+				par.InsertLeft(rects[i])
+				par.InsertRight(rects[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	want, err := seq.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEstimate(t, "concurrent-ingest", want, got)
+}

@@ -34,12 +34,11 @@ type ContainmentConfig struct {
 // lies in the box prod [l(b_i), u(b_i)]^2, estimated with the Lemma 8
 // point-in-box sketches. Shared endpoints are fine: containment is closed.
 //
-// A ContainmentEstimator is not safe for concurrent use.
+// A ContainmentEstimator is safe for concurrent use (see shard.go).
 type ContainmentEstimator struct {
-	cfg   ContainmentConfig
-	plan  *core.Plan
-	inner *core.PointSketch
-	outer *core.BoxSketch
+	cfg  ContainmentConfig
+	plan *core.Plan
+	st   *shardedState[*pointBoxState]
 }
 
 // NewContainmentEstimator validates the configuration and allocates the
@@ -52,7 +51,7 @@ func NewContainmentEstimator(cfg ContainmentConfig) (*ContainmentEstimator, erro
 		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
 	}
 	rdims := 2 * cfg.Dims
-	instances, groups, err := cfg.Sizing.resolve(rdims)
+	instances, groups, err := cfg.Sizing.resolve(rdims, core.PointBoxWordsPerRelation(rdims))
 	if err != nil {
 		return nil, err
 	}
@@ -76,14 +75,30 @@ func NewContainmentEstimator(cfg ContainmentConfig) (*ContainmentEstimator, erro
 	if err != nil {
 		return nil, err
 	}
-	return &ContainmentEstimator{
-		cfg: cfg, plan: plan,
-		inner: plan.NewPointSketch(), outer: plan.NewBoxSketch(),
-	}, nil
+	e := &ContainmentEstimator{cfg: cfg, plan: plan}
+	e.st = newShardedState(ingestShards(), e.newState)
+	return e, nil
+}
+
+func (e *ContainmentEstimator) newState() *pointBoxState {
+	return &pointBoxState{pts: e.plan.NewPointSketch(), boxes: e.plan.NewBoxSketch()}
 }
 
 // Config returns the estimator's configuration.
 func (e *ContainmentEstimator) Config() ContainmentConfig { return e.cfg }
+
+// Instances returns the number of atomic estimator instances maintained.
+func (e *ContainmentEstimator) Instances() int { return e.plan.Instances() }
+
+// Groups returns the number of median groups (k2).
+func (e *ContainmentEstimator) Groups() int { return e.plan.Groups() }
+
+// SpaceWords returns the synopsis footprint in the paper's word accounting
+// (one counter per side plus 2d shared seed words per instance, in the
+// doubled dimensionality of the B.2 reduction).
+func (e *ContainmentEstimator) SpaceWords() int {
+	return e.plan.Instances() * (2 + 2*e.cfg.Dims)
+}
 
 func (e *ContainmentEstimator) check(r geo.HyperRect) error {
 	if len(r) != e.cfg.Dims {
@@ -101,35 +116,41 @@ func (e *ContainmentEstimator) check(r geo.HyperRect) error {
 }
 
 // InsertInner adds an object to the contained ("inner") side.
-func (e *ContainmentEstimator) InsertInner(r geo.HyperRect) error {
-	if err := e.check(r); err != nil {
-		return err
-	}
-	return e.inner.Insert(core.ContainmentPoint(r))
-}
+func (e *ContainmentEstimator) InsertInner(r geo.HyperRect) error { return e.updateInner(r, true) }
 
 // DeleteInner removes a previously inserted inner object.
-func (e *ContainmentEstimator) DeleteInner(r geo.HyperRect) error {
+func (e *ContainmentEstimator) DeleteInner(r geo.HyperRect) error { return e.updateInner(r, false) }
+
+func (e *ContainmentEstimator) updateInner(r geo.HyperRect, insert bool) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
-	return e.inner.Delete(core.ContainmentPoint(r))
+	pt := core.ContainmentPoint(r)
+	return e.st.ingest(func(s *pointBoxState) error {
+		if insert {
+			return s.pts.Insert(pt)
+		}
+		return s.pts.Delete(pt)
+	})
 }
 
 // InsertOuter adds an object to the containing ("outer") side.
-func (e *ContainmentEstimator) InsertOuter(r geo.HyperRect) error {
-	if err := e.check(r); err != nil {
-		return err
-	}
-	return e.outer.Insert(core.ContainmentBox(r))
-}
+func (e *ContainmentEstimator) InsertOuter(r geo.HyperRect) error { return e.updateOuter(r, true) }
 
 // DeleteOuter removes a previously inserted outer object.
-func (e *ContainmentEstimator) DeleteOuter(r geo.HyperRect) error {
+func (e *ContainmentEstimator) DeleteOuter(r geo.HyperRect) error { return e.updateOuter(r, false) }
+
+func (e *ContainmentEstimator) updateOuter(r geo.HyperRect, insert bool) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
-	return e.outer.Delete(core.ContainmentBox(r))
+	box := core.ContainmentBox(r)
+	return e.st.ingest(func(s *pointBoxState) error {
+		if insert {
+			return s.boxes.Insert(box)
+		}
+		return s.boxes.Delete(box)
+	})
 }
 
 // InsertInnerBulk bulk-loads inner objects (parallelized internally).
@@ -141,7 +162,7 @@ func (e *ContainmentEstimator) InsertInnerBulk(rects []geo.HyperRect) error {
 		}
 		pts[i] = core.ContainmentPoint(r)
 	}
-	return e.inner.InsertAll(pts)
+	return e.st.ingest(func(s *pointBoxState) error { return s.pts.InsertAll(pts) })
 }
 
 // InsertOuterBulk bulk-loads outer objects.
@@ -153,41 +174,149 @@ func (e *ContainmentEstimator) InsertOuterBulk(rects []geo.HyperRect) error {
 		}
 		boxes[i] = core.ContainmentBox(r)
 	}
-	return e.outer.InsertAll(boxes)
+	return e.st.ingest(func(s *pointBoxState) error { return s.boxes.InsertAll(boxes) })
+}
+
+// header returns the full public configuration of this estimator.
+func (e *ContainmentEstimator) header() snapHeader {
+	return snapHeader{
+		kind:       KindContainment,
+		dims:       uint32(e.cfg.Dims),
+		domainSize: e.cfg.DomainSize,
+		maxLevel:   int32(resolveMaxLevel(e.cfg.MaxLevel, e.cfg.DomainSize)),
+		seed:       e.cfg.Seed,
+		instances:  uint64(e.plan.Instances()),
+		groups:     uint64(e.plan.Groups()),
+	}
 }
 
 // Merge folds the synopses of other into e (exact, by sketch linearity).
-// Both estimators must have been built with the same configuration. other
-// is not modified.
+// The full public configurations must match. other is not modified; Merge
+// is safe under concurrency.
 func (e *ContainmentEstimator) Merge(other *ContainmentEstimator) error {
-	if err := e.inner.Merge(other.inner); err != nil {
+	if err := e.header().compatible(other.header()); err != nil {
 		return err
 	}
-	return e.outer.Merge(other.outer)
+	snap, err := other.st.snapshot(other.newState, mergePointBoxState)
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *pointBoxState) error { return mergePointBoxState(s, snap) })
 }
 
 // InnerCount returns the inner-side cardinality.
-func (e *ContainmentEstimator) InnerCount() int64 { return e.inner.Count() }
+func (e *ContainmentEstimator) InnerCount() int64 {
+	var n int64
+	e.st.fold(func(s *pointBoxState) error {
+		n += s.pts.Count()
+		return nil
+	})
+	return n
+}
 
 // OuterCount returns the outer-side cardinality.
-func (e *ContainmentEstimator) OuterCount() int64 { return e.outer.Count() }
+func (e *ContainmentEstimator) OuterCount() int64 {
+	var n int64
+	e.st.fold(func(s *pointBoxState) error {
+		n += s.boxes.Count()
+		return nil
+	})
+	return n
+}
 
 // Cardinality estimates the number of (inner, outer) pairs with the inner
 // object contained in the outer one.
 func (e *ContainmentEstimator) Cardinality() (Estimate, error) {
-	est, err := core.EstimatePointInBox(e.inner, e.outer)
+	var est core.Estimate
+	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		var err error
+		est, err = core.EstimatePointInBox(s.pts, s.boxes)
+		return err
+	})
 	return fromCore(est), err
+}
+
+// CardinalityWithCounts returns Cardinality together with the inner and
+// outer cardinalities, all read from the same consistent view.
+func (e *ContainmentEstimator) CardinalityWithCounts() (est Estimate, inner, outer int64, err error) {
+	err = e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		ce, err := core.EstimatePointInBox(s.pts, s.boxes)
+		if err != nil {
+			return err
+		}
+		est, inner, outer = fromCore(ce), s.pts.Count(), s.boxes.Count()
+		return nil
+	})
+	return est, inner, outer, err
 }
 
 // Selectivity estimates Cardinality / (|inner| * |outer|).
 func (e *ContainmentEstimator) Selectivity() (float64, error) {
-	ni, no := e.InnerCount(), e.OuterCount()
-	if ni <= 0 || no <= 0 {
-		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", ni, no)
-	}
-	est, err := e.Cardinality()
+	var sel float64
+	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		ni, no := s.pts.Count(), s.boxes.Count()
+		if ni <= 0 || no <= 0 {
+			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", ni, no)
+		}
+		est, err := core.EstimatePointInBox(s.pts, s.boxes)
+		if err != nil {
+			return err
+		}
+		sel = fromCore(est).Clamped() / (float64(ni) * float64(no))
+		return nil
+	})
+	return sel, err
+}
+
+// Marshal serializes the whole estimator - both synopses plus the full
+// public configuration - into a versioned snapshot envelope; see
+// UnmarshalContainmentEstimator.
+func (e *ContainmentEstimator) Marshal() ([]byte, error) {
+	blobs, err := marshalPointBox(e.st, e.newState)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return est.Clamped() / (float64(ni) * float64(no)), nil
+	return marshalEnvelope(e.header(), blobs), nil
+}
+
+// UnmarshalContainmentEstimator reconstructs a working estimator from a
+// Marshal snapshot: configuration, counters and counts all round-trip.
+func UnmarshalContainmentEstimator(data []byte) (*ContainmentEstimator, error) {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.expectBlobs(blobs, KindContainment, 2); err != nil {
+		return nil, err
+	}
+	e, err := NewContainmentEstimator(ContainmentConfig{
+		Dims:       int(h.dims),
+		DomainSize: h.domainSize,
+		Sizing:     Sizing{Instances: int(h.instances), Groups: int(h.groups)},
+		MaxLevel:   configuredMaxLevel(h.maxLevel),
+		Seed:       h.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return nil, fmt.Errorf("spatial: inconsistent snapshot configuration: %w", err)
+	}
+	return e, mergePointBoxBlobs(e.st, blobs)
+}
+
+// MergeSnapshot folds a Marshal snapshot produced by another estimator
+// into this one, rejecting any public-config mismatch at decode time.
+func (e *ContainmentEstimator) MergeSnapshot(data []byte) error {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if err := h.expectBlobs(blobs, KindContainment, 2); err != nil {
+		return err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return err
+	}
+	return mergePointBoxBlobs(e.st, blobs)
 }

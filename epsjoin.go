@@ -27,6 +27,20 @@ type EpsJoinConfig struct {
 	Seed uint64
 }
 
+// pointBoxState is one ingest shard of an epsilon-join or containment
+// estimator: a point sketch and a box sketch over the same plan.
+type pointBoxState struct {
+	pts   *core.PointSketch
+	boxes *core.BoxSketch
+}
+
+func mergePointBoxState(dst, src *pointBoxState) error {
+	if err := dst.pts.Merge(src.pts); err != nil {
+		return err
+	}
+	return dst.boxes.Merge(src.boxes)
+}
+
 // EpsJoinEstimator estimates |A join_eps B| for two streamed point sets
 // under the L-infinity metric, via the paper's reduction: points of B are
 // expanded into hyper-cubes of side 2*Eps (clipped to the domain) and the
@@ -34,12 +48,28 @@ type EpsJoinConfig struct {
 // transformation is involved: closed containment is exactly
 // dist <= Eps.
 //
-// An EpsJoinEstimator is not safe for concurrent use.
+// An EpsJoinEstimator is safe for concurrent use (see shard.go).
 type EpsJoinEstimator struct {
-	cfg   EpsJoinConfig
-	plan  *core.Plan
-	left  *core.PointSketch // A
-	right *core.BoxSketch   // B, expanded
+	cfg  EpsJoinConfig
+	plan *core.Plan
+	st   *shardedState[*pointBoxState]
+}
+
+// epsResolveCap resolves the effective level cap of an epsilon-join
+// configuration: explicit when positive, derived from the ball side
+// (2*Eps+1) when 0, uncapped when negative.
+func epsResolveCap(cfg EpsJoinConfig) int {
+	switch {
+	case cfg.MaxLevel > 0:
+		return cfg.MaxLevel
+	case cfg.MaxLevel < 0:
+		return 0
+	default:
+		// The variance-optimal cap tracks the ball side length (2*Eps+1),
+		// not the domain: point covers above it only add colliding
+		// top-level nodes.
+		return maxInt(1, log2ceil(2*cfg.Eps+1)-2)
+	}
 }
 
 // NewEpsJoinEstimator validates the configuration and allocates the
@@ -54,7 +84,7 @@ func NewEpsJoinEstimator(cfg EpsJoinConfig) (*EpsJoinEstimator, error) {
 	if cfg.Eps >= cfg.DomainSize {
 		return nil, fmt.Errorf("spatial: eps %d must be smaller than the domain %d", cfg.Eps, cfg.DomainSize)
 	}
-	instances, groups, err := cfg.Sizing.resolve(cfg.Dims)
+	instances, groups, err := cfg.Sizing.resolve(cfg.Dims, core.PointBoxWordsPerRelation(cfg.Dims))
 	if err != nil {
 		return nil, err
 	}
@@ -63,15 +93,8 @@ func NewEpsJoinEstimator(cfg EpsJoinConfig) (*EpsJoinEstimator, error) {
 	for i := range logDom {
 		logDom[i] = maxInt(h, 1)
 	}
-	// The variance-optimal cap tracks the ball side length (2*Eps+1), not
-	// the domain: point covers above it only add colliding top-level
-	// nodes.
-	ml := cfg.MaxLevel
-	if ml == 0 {
-		ml = maxInt(1, log2ceil(2*cfg.Eps+1)-2)
-	}
 	var maxLevel []int
-	if ml > 0 {
+	if ml := epsResolveCap(cfg); ml > 0 {
 		maxLevel = make([]int, cfg.Dims)
 		for i := range maxLevel {
 			maxLevel[i] = ml
@@ -84,14 +107,29 @@ func NewEpsJoinEstimator(cfg EpsJoinConfig) (*EpsJoinEstimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EpsJoinEstimator{
-		cfg: cfg, plan: plan,
-		left: plan.NewPointSketch(), right: plan.NewBoxSketch(),
-	}, nil
+	e := &EpsJoinEstimator{cfg: cfg, plan: plan}
+	e.st = newShardedState(ingestShards(), e.newState)
+	return e, nil
+}
+
+func (e *EpsJoinEstimator) newState() *pointBoxState {
+	return &pointBoxState{pts: e.plan.NewPointSketch(), boxes: e.plan.NewBoxSketch()}
 }
 
 // Config returns the estimator's configuration.
 func (e *EpsJoinEstimator) Config() EpsJoinConfig { return e.cfg }
+
+// Instances returns the number of atomic estimator instances maintained.
+func (e *EpsJoinEstimator) Instances() int { return e.plan.Instances() }
+
+// Groups returns the number of median groups (k2).
+func (e *EpsJoinEstimator) Groups() int { return e.plan.Groups() }
+
+// SpaceWords returns the synopsis footprint in the paper's word accounting
+// (one counter per side plus d shared seed words per instance).
+func (e *EpsJoinEstimator) SpaceWords() int {
+	return e.plan.Instances() * (2 + e.cfg.Dims)
+}
 
 func (e *EpsJoinEstimator) check(p geo.Point) error {
 	if len(p) != e.cfg.Dims {
@@ -106,35 +144,40 @@ func (e *EpsJoinEstimator) check(p geo.Point) error {
 }
 
 // InsertLeft adds a point to the left set A.
-func (e *EpsJoinEstimator) InsertLeft(p geo.Point) error {
-	if err := e.check(p); err != nil {
-		return err
-	}
-	return e.left.Insert(p)
-}
+func (e *EpsJoinEstimator) InsertLeft(p geo.Point) error { return e.updateLeft(p, true) }
 
 // DeleteLeft removes a previously inserted left point.
-func (e *EpsJoinEstimator) DeleteLeft(p geo.Point) error {
+func (e *EpsJoinEstimator) DeleteLeft(p geo.Point) error { return e.updateLeft(p, false) }
+
+func (e *EpsJoinEstimator) updateLeft(p geo.Point, insert bool) error {
 	if err := e.check(p); err != nil {
 		return err
 	}
-	return e.left.Delete(p)
+	return e.st.ingest(func(s *pointBoxState) error {
+		if insert {
+			return s.pts.Insert(p)
+		}
+		return s.pts.Delete(p)
+	})
 }
 
 // InsertRight adds a point to the right set B (expanded to its eps-ball).
-func (e *EpsJoinEstimator) InsertRight(p geo.Point) error {
-	if err := e.check(p); err != nil {
-		return err
-	}
-	return e.right.Insert(geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize))
-}
+func (e *EpsJoinEstimator) InsertRight(p geo.Point) error { return e.updateRight(p, true) }
 
 // DeleteRight removes a previously inserted right point.
-func (e *EpsJoinEstimator) DeleteRight(p geo.Point) error {
+func (e *EpsJoinEstimator) DeleteRight(p geo.Point) error { return e.updateRight(p, false) }
+
+func (e *EpsJoinEstimator) updateRight(p geo.Point, insert bool) error {
 	if err := e.check(p); err != nil {
 		return err
 	}
-	return e.right.Delete(geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize))
+	ball := geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
+	return e.st.ingest(func(s *pointBoxState) error {
+		if insert {
+			return s.boxes.Insert(ball)
+		}
+		return s.boxes.Delete(ball)
+	})
 }
 
 // InsertLeftBulk bulk-loads left points (parallelized internally).
@@ -144,7 +187,7 @@ func (e *EpsJoinEstimator) InsertLeftBulk(pts []geo.Point) error {
 			return err
 		}
 	}
-	return e.left.InsertAll(pts)
+	return e.st.ingest(func(s *pointBoxState) error { return s.pts.InsertAll(pts) })
 }
 
 // InsertRightBulk bulk-loads right points, expanding each to its eps-ball.
@@ -156,47 +199,191 @@ func (e *EpsJoinEstimator) InsertRightBulk(pts []geo.Point) error {
 		}
 		balls[i] = geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
 	}
-	return e.right.InsertAll(balls)
+	return e.st.ingest(func(s *pointBoxState) error { return s.boxes.InsertAll(balls) })
+}
+
+// header returns the full public configuration of this estimator.
+func (e *EpsJoinEstimator) header() snapHeader {
+	return snapHeader{
+		kind:       KindEpsJoin,
+		dims:       uint32(e.cfg.Dims),
+		domainSize: e.cfg.DomainSize,
+		maxLevel:   int32(epsResolveCap(e.cfg)),
+		eps:        e.cfg.Eps,
+		seed:       e.cfg.Seed,
+		instances:  uint64(e.plan.Instances()),
+		groups:     uint64(e.plan.Groups()),
+	}
 }
 
 // Merge folds the synopses of other into e (exact, by sketch linearity).
-// Both estimators must have been built with the same configuration. other
-// is not modified.
+// The full public configurations must match - Eps in particular shapes the
+// right-side balls without being visible to the core plan, so the
+// sketch-level merge alone could not catch a mismatch. other is not
+// modified; Merge is safe under concurrency.
 func (e *EpsJoinEstimator) Merge(other *EpsJoinEstimator) error {
-	// Eps shapes the right-side balls but is not part of the core plan, so
-	// the sketch-level merge cannot catch a mismatch.
-	if other.cfg.Eps != e.cfg.Eps {
-		return fmt.Errorf("spatial: cannot merge eps=%d estimator into eps=%d estimator", other.cfg.Eps, e.cfg.Eps)
-	}
-	if err := e.left.Merge(other.left); err != nil {
+	if err := e.header().compatible(other.header()); err != nil {
 		return err
 	}
-	return e.right.Merge(other.right)
+	snap, err := other.st.snapshot(other.newState, mergePointBoxState)
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *pointBoxState) error { return mergePointBoxState(s, snap) })
 }
 
 // LeftCount returns |A|.
-func (e *EpsJoinEstimator) LeftCount() int64 { return e.left.Count() }
+func (e *EpsJoinEstimator) LeftCount() int64 {
+	var n int64
+	e.st.fold(func(s *pointBoxState) error {
+		n += s.pts.Count()
+		return nil
+	})
+	return n
+}
 
 // RightCount returns |B|.
-func (e *EpsJoinEstimator) RightCount() int64 { return e.right.Count() }
+func (e *EpsJoinEstimator) RightCount() int64 {
+	var n int64
+	e.st.fold(func(s *pointBoxState) error {
+		n += s.boxes.Count()
+		return nil
+	})
+	return n
+}
 
 // Cardinality estimates |A join_eps B|.
 func (e *EpsJoinEstimator) Cardinality() (Estimate, error) {
-	est, err := core.EstimatePointInBox(e.left, e.right)
+	var est core.Estimate
+	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		var err error
+		est, err = core.EstimatePointInBox(s.pts, s.boxes)
+		return err
+	})
 	return fromCore(est), err
+}
+
+// CardinalityWithCounts returns Cardinality together with |A| and |B|,
+// all read from the same consistent view.
+func (e *EpsJoinEstimator) CardinalityWithCounts() (est Estimate, left, right int64, err error) {
+	err = e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		ce, err := core.EstimatePointInBox(s.pts, s.boxes)
+		if err != nil {
+			return err
+		}
+		est, left, right = fromCore(ce), s.pts.Count(), s.boxes.Count()
+		return nil
+	})
+	return est, left, right, err
 }
 
 // Selectivity estimates |A join_eps B| / (|A| * |B|).
 func (e *EpsJoinEstimator) Selectivity() (float64, error) {
-	nl, nr := e.LeftCount(), e.RightCount()
-	if nl <= 0 || nr <= 0 {
-		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
-	}
-	est, err := e.Cardinality()
+	var sel float64
+	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
+		nl, nr := s.pts.Count(), s.boxes.Count()
+		if nl <= 0 || nr <= 0 {
+			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
+		}
+		est, err := core.EstimatePointInBox(s.pts, s.boxes)
+		if err != nil {
+			return err
+		}
+		sel = fromCore(est).Clamped() / (float64(nl) * float64(nr))
+		return nil
+	})
+	return sel, err
+}
+
+// Marshal serializes the whole estimator - both synopses plus the full
+// public configuration, Eps included - into a versioned snapshot envelope;
+// see UnmarshalEpsJoinEstimator.
+func (e *EpsJoinEstimator) Marshal() ([]byte, error) {
+	blobs, err := marshalPointBox(e.st, e.newState)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return est.Clamped() / (float64(nl) * float64(nr)), nil
+	return marshalEnvelope(e.header(), blobs), nil
+}
+
+// marshalPointBox snapshots a point/box shard set into its two core blobs.
+func marshalPointBox(st *shardedState[*pointBoxState], mk func() *pointBoxState) ([][]byte, error) {
+	var blobs [][]byte
+	err := st.view(mk, mergePointBoxState, func(s *pointBoxState) error {
+		pb, err := s.pts.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		bb, err := s.boxes.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		blobs = [][]byte{pb, bb}
+		return nil
+	})
+	return blobs, err
+}
+
+// mergePointBoxBlobs folds decoded point/box blobs into shard 0.
+func mergePointBoxBlobs(st *shardedState[*pointBoxState], blobs [][]byte) error {
+	pts, err := core.UnmarshalPointSketch(blobs[0])
+	if err != nil {
+		return err
+	}
+	boxes, err := core.UnmarshalBoxSketch(blobs[1])
+	if err != nil {
+		return err
+	}
+	return st.ingestFirst(func(s *pointBoxState) error {
+		if err := s.pts.Merge(pts); err != nil {
+			return err
+		}
+		return s.boxes.Merge(boxes)
+	})
+}
+
+// UnmarshalEpsJoinEstimator reconstructs a working estimator from a
+// Marshal snapshot: configuration, counters and counts all round-trip.
+func UnmarshalEpsJoinEstimator(data []byte) (*EpsJoinEstimator, error) {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.expectBlobs(blobs, KindEpsJoin, 2); err != nil {
+		return nil, err
+	}
+	e, err := NewEpsJoinEstimator(EpsJoinConfig{
+		Dims:       int(h.dims),
+		DomainSize: h.domainSize,
+		Eps:        h.eps,
+		Sizing:     Sizing{Instances: int(h.instances), Groups: int(h.groups)},
+		MaxLevel:   configuredMaxLevel(h.maxLevel),
+		Seed:       h.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return nil, fmt.Errorf("spatial: inconsistent snapshot configuration: %w", err)
+	}
+	return e, mergePointBoxBlobs(e.st, blobs)
+}
+
+// MergeSnapshot folds a Marshal snapshot produced by another estimator
+// into this one, rejecting any public-config mismatch (Eps included) at
+// decode time.
+func (e *EpsJoinEstimator) MergeSnapshot(data []byte) error {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if err := h.expectBlobs(blobs, KindEpsJoin, 2); err != nil {
+		return err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return err
+	}
+	return mergePointBoxBlobs(e.st, blobs)
 }
 
 func maxInt(a, b int) int {

@@ -41,6 +41,12 @@ func marshalConfig(w *bytes.Buffer, c Config) {
 	binary.Write(w, binary.LittleEndian, c.Seed)
 }
 
+// maxWireInstances bounds the instance count accepted from the wire. It
+// matches the planner's refusal threshold (PlanJoinInstances caps k1 at
+// 2^30), so no legitimately-sized sketch can hit it, while corrupted or
+// hostile headers are rejected before any allocation scales with them.
+const maxWireInstances = 1 << 30
+
 func unmarshalConfig(r *bytes.Reader) (Config, error) {
 	var c Config
 	var dims uint32
@@ -83,8 +89,29 @@ func unmarshalConfig(r *bytes.Reader) (Config, error) {
 	if err := binary.Read(r, binary.LittleEndian, &c.Seed); err != nil {
 		return c, err
 	}
+	if inst == 0 || inst > maxWireInstances {
+		return c, fmt.Errorf("core: instances %d in serialized sketch outside [1, %d]", inst, maxWireInstances)
+	}
+	if groups == 0 || groups > inst || inst%groups != 0 {
+		return c, fmt.Errorf("core: groups %d in serialized sketch must divide instances %d", groups, inst)
+	}
 	c.Instances, c.Groups = int(inst), int(groups)
 	return c, nil
+}
+
+// countersPerInstance returns how many counters one instance of the given
+// sketch kind stores, so a serialized header can be cross-checked against
+// its counter payload before any header-sized allocation happens.
+func countersPerInstance(kind uint32, dims int) uint64 {
+	switch kind {
+	case kindJoinSketch, kindRange:
+		return 1 << uint(dims)
+	case kindCESketch:
+		return uint64(pow4(dims))
+	case kindPoint, kindBox:
+		return 1
+	}
+	return 0
 }
 
 func marshalSketch(kind uint32, cfg Config, count int64, counters []int64) ([]byte, error) {
@@ -129,6 +156,15 @@ func unmarshalSketch(kind uint32, data []byte) (Config, int64, []int64, error) {
 	}
 	if n > uint64(r.Len()/8) {
 		return Config{}, 0, nil, fmt.Errorf("core: truncated sketch: %d counters declared, %d bytes left", n, r.Len())
+	}
+	// Cross-check the declared instance count against the counter payload
+	// BEFORE the caller builds a plan: a corrupted ~60-byte header claiming
+	// Instances = 1<<40 must be rejected here, not by a multi-terabyte
+	// xi-bank allocation in NewPlan. Instances is already bounded by
+	// maxWireInstances and dims by MaxDims, so the product cannot overflow.
+	if want := uint64(cfg.Instances) * countersPerInstance(kind, cfg.Dims); n != want {
+		return Config{}, 0, nil, fmt.Errorf("core: sketch declares %d counters, config (%d instances, %d dims) requires %d",
+			n, cfg.Instances, cfg.Dims, want)
 	}
 	counters := make([]int64, n)
 	for i := range counters {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/geo"
@@ -152,5 +154,53 @@ func TestUnmarshalErrors(t *testing.T) {
 	bad[0] ^= 0xff
 	if _, err := UnmarshalJoinSketch(bad); err == nil {
 		t.Error("bad magic should fail")
+	}
+}
+
+// TestUnmarshalHugeInstancesRejected: a tiny corrupted payload whose
+// header claims an enormous instance count must be rejected by the
+// counter-payload cross-check BEFORE NewPlan attempts the matching
+// (multi-terabyte) xi-bank allocation.
+func TestUnmarshalHugeInstancesRejected(t *testing.T) {
+	craft := func(kind uint32, instances, groups, declaredCounters uint64) []byte {
+		var w bytes.Buffer
+		binary.Write(&w, binary.LittleEndian, uint32(marshalMagic))
+		binary.Write(&w, binary.LittleEndian, kind)
+		binary.Write(&w, binary.LittleEndian, uint32(1)) // dims
+		binary.Write(&w, binary.LittleEndian, int32(4))  // logDomain[0]
+		binary.Write(&w, binary.LittleEndian, uint32(0)) // no maxLevel
+		binary.Write(&w, binary.LittleEndian, instances)
+		binary.Write(&w, binary.LittleEndian, groups)
+		binary.Write(&w, binary.LittleEndian, uint64(1)) // seed
+		binary.Write(&w, binary.LittleEndian, int64(0))  // count
+		binary.Write(&w, binary.LittleEndian, declaredCounters)
+		binary.Write(&w, binary.LittleEndian, int64(0)) // one counter word
+		return w.Bytes()
+	}
+
+	decoders := map[uint32]func([]byte) error{
+		kindJoinSketch: func(b []byte) error { _, err := UnmarshalJoinSketch(b); return err },
+		kindCESketch:   func(b []byte) error { _, err := UnmarshalCESketch(b); return err },
+		kindPoint:      func(b []byte) error { _, err := UnmarshalPointSketch(b); return err },
+		kindBox:        func(b []byte) error { _, err := UnmarshalBoxSketch(b); return err },
+		kindRange:      func(b []byte) error { _, err := UnmarshalRangeSketch(b); return err },
+	}
+	for kind, dec := range decoders {
+		// ~60-byte payload claiming 2^40 instances: must error, not OOM.
+		if err := dec(craft(kind, 1<<40, 1, 1)); err == nil {
+			t.Errorf("kind %d: 2^40-instance header decoded", kind)
+		}
+		// Instance count inconsistent with the declared counter payload.
+		if err := dec(craft(kind, 1<<20, 1, 1)); err == nil {
+			t.Errorf("kind %d: instance/counter mismatch decoded", kind)
+		}
+		// Groups that do not divide instances.
+		if err := dec(craft(kind, 4, 3, 8)); err == nil {
+			t.Errorf("kind %d: groups 3 with instances 4 decoded", kind)
+		}
+		// Zero instances.
+		if err := dec(craft(kind, 0, 1, 0)); err == nil {
+			t.Errorf("kind %d: zero instances decoded", kind)
+		}
 	}
 }

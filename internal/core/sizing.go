@@ -96,12 +96,34 @@ func JoinWordsPerRelation(dims int) float64 {
 	return float64(int(1)<<uint(dims)) + float64(dims)/2
 }
 
-// InstancesForBudget returns the largest instance count whose per-relation
-// footprint fits in budgetWords, rounded down to a multiple of groups (at
-// least groups). Used by the equal-space comparisons of Section 7.
-func InstancesForBudget(dims int, budgetWords int, groups int) int {
-	per := JoinWordsPerRelation(dims)
-	n := int(float64(budgetWords) / per)
+// CEJoinWordsPerRelation returns the per-relation share of one
+// common-endpoints instance: 4^d counters (the {I,E,L,U}^d letter strings
+// of Appendix C) plus half the d shared seed words.
+func CEJoinWordsPerRelation(dims int) float64 {
+	return float64(pow4(dims)) + float64(dims)/2
+}
+
+// PointBoxWordsPerRelation returns the per-relation share of one Lemma 8
+// two-sketch instance (epsilon-joins and containment joins): a single
+// counter per side plus half the d shared seed words. Containment callers
+// pass the doubled dimensionality of the B.2 reduction.
+func PointBoxWordsPerRelation(dims int) float64 {
+	return 1 + float64(dims)/2
+}
+
+// RangeWordsPerInstance returns the footprint of one Lemma 9 range-query
+// instance: 2^d counters (letter strings in {I,U}^d) plus d seed words -
+// a range synopsis summarizes a single relation, so nothing is shared.
+func RangeWordsPerInstance(dims int) float64 {
+	return float64(int(1)<<uint(dims)) + float64(dims)
+}
+
+// InstancesForBudgetWords returns the largest instance count whose
+// footprint at wordsPerInstance fits in budgetWords, rounded down to a
+// multiple of groups (at least groups). Used by the equal-space
+// comparisons of Section 7.
+func InstancesForBudgetWords(wordsPerInstance float64, budgetWords, groups int) int {
+	n := int(float64(budgetWords) / wordsPerInstance)
 	if n < groups {
 		n = groups
 	}
@@ -110,6 +132,15 @@ func InstancesForBudget(dims int, budgetWords int, groups int) int {
 		n = groups
 	}
 	return n
+}
+
+// InstancesForBudget returns the largest JOIN-sketch instance count whose
+// per-relation footprint fits in budgetWords. Other sketch kinds have
+// different per-instance footprints; use InstancesForBudgetWords with the
+// matching accounting (CEJoinWordsPerRelation, PointBoxWordsPerRelation,
+// RangeWordsPerInstance).
+func InstancesForBudget(dims int, budgetWords int, groups int) int {
+	return InstancesForBudgetWords(JoinWordsPerRelation(dims), budgetWords, groups)
 }
 
 // JoinSpaceWords returns the paper-accounting space of a planned join

@@ -32,20 +32,27 @@ type JoinConfig struct {
 	Seed uint64
 }
 
+// joinState is one ingest shard of a join estimator: exactly one sketch
+// pair is non-nil, per mode.
+type joinState struct {
+	left, right     *core.JoinSketch
+	leftCE, rightCE *core.CESketch
+}
+
 // JoinEstimator estimates the cardinality and selectivity of the spatial
 // join R join_o S (Definition 1) from single-pass synopses of R (the
 // "left" input) and S (the "right" input). It supports inserts and
 // deletes on both sides and, in ModeCommonEndpoints, also the extended
 // join of Definition 4.
 //
-// A JoinEstimator is not safe for concurrent use.
+// A JoinEstimator is safe for concurrent use: updates go to per-shard
+// sketches behind sharded locks, and estimates/snapshots fold the shards
+// into an owned view, holding each shard lock only while copying its
+// counters (see shard.go).
 type JoinEstimator struct {
 	cfg  JoinConfig
 	plan *core.Plan
-
-	// Exactly one pair is non-nil, per mode.
-	left, right     *core.JoinSketch
-	leftCE, rightCE *core.CESketch
+	st   *shardedState[*joinState]
 }
 
 // NewJoinEstimator validates the configuration and allocates the synopsis.
@@ -56,7 +63,11 @@ func NewJoinEstimator(cfg JoinConfig) (*JoinEstimator, error) {
 	if cfg.DomainSize < 2 {
 		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
 	}
-	instances, groups, err := cfg.Sizing.resolve(cfg.Dims)
+	words := core.JoinWordsPerRelation(cfg.Dims)
+	if cfg.Mode == ModeCommonEndpoints {
+		words = core.CEJoinWordsPerRelation(cfg.Dims)
+	}
+	instances, groups, err := cfg.Sizing.resolve(cfg.Dims, words)
 	if err != nil {
 		return nil, err
 	}
@@ -84,12 +95,35 @@ func NewJoinEstimator(cfg JoinConfig) (*JoinEstimator, error) {
 		return nil, err
 	}
 	e := &JoinEstimator{cfg: cfg, plan: plan}
-	if cfg.Mode == ModeCommonEndpoints {
-		e.leftCE, e.rightCE = plan.NewCESketch(), plan.NewCESketch()
-	} else {
-		e.left, e.right = plan.NewJoinSketch(), plan.NewJoinSketch()
-	}
+	e.st = newShardedState(ingestShards(), e.newState)
 	return e, nil
+}
+
+// newState allocates one empty shard's sketch pair.
+func (e *JoinEstimator) newState() *joinState {
+	if e.cfg.Mode == ModeCommonEndpoints {
+		return &joinState{leftCE: e.plan.NewCESketch(), rightCE: e.plan.NewCESketch()}
+	}
+	return &joinState{left: e.plan.NewJoinSketch(), right: e.plan.NewJoinSketch()}
+}
+
+// mergeJoinState folds src's counters into dst (exact, by linearity).
+func mergeJoinState(dst, src *joinState) error {
+	if dst.leftCE != nil {
+		if err := dst.leftCE.Merge(src.leftCE); err != nil {
+			return err
+		}
+		return dst.rightCE.Merge(src.rightCE)
+	}
+	if err := dst.left.Merge(src.left); err != nil {
+		return err
+	}
+	return dst.right.Merge(src.right)
+}
+
+// withView runs fn on a consistent read-only view of the whole estimator.
+func (e *JoinEstimator) withView(fn func(*joinState) error) error {
+	return e.st.view(e.newState, mergeJoinState, fn)
 }
 
 // Config returns the estimator's configuration.
@@ -98,8 +132,13 @@ func (e *JoinEstimator) Config() JoinConfig { return e.cfg }
 // Instances returns the number of atomic estimator instances maintained.
 func (e *JoinEstimator) Instances() int { return e.plan.Instances() }
 
+// Groups returns the number of median groups (k2).
+func (e *JoinEstimator) Groups() int { return e.plan.Groups() }
+
 // SpaceWords returns the synopsis footprint in the paper's word accounting
 // (counters plus seed words for both sides; Section 4.1.5 / Section 7).
+// Ingest sharding replicates counters per shard at runtime; the paper
+// accounting describes the logical (merged, serialized) synopsis.
 func (e *JoinEstimator) SpaceWords() int {
 	if e.cfg.Mode == ModeCommonEndpoints {
 		// 4^d counters per side plus d seed words per instance.
@@ -143,34 +182,38 @@ func (e *JoinEstimator) updateLeft(r geo.HyperRect, insert bool) error {
 	if err := e.checkInput(r); err != nil {
 		return err
 	}
-	if e.leftCE != nil {
-		if insert {
-			return e.leftCE.Insert(r)
+	return e.st.ingest(func(s *joinState) error {
+		if s.leftCE != nil {
+			if insert {
+				return s.leftCE.Insert(r)
+			}
+			return s.leftCE.Delete(r)
 		}
-		return e.leftCE.Delete(r)
-	}
-	t := geo.TransformKeepRect(r)
-	if insert {
-		return e.left.Insert(t)
-	}
-	return e.left.Delete(t)
+		t := geo.TransformKeepRect(r)
+		if insert {
+			return s.left.Insert(t)
+		}
+		return s.left.Delete(t)
+	})
 }
 
 func (e *JoinEstimator) updateRight(r geo.HyperRect, insert bool) error {
 	if err := e.checkInput(r); err != nil {
 		return err
 	}
-	if e.rightCE != nil {
-		if insert {
-			return e.rightCE.Insert(r)
+	return e.st.ingest(func(s *joinState) error {
+		if s.rightCE != nil {
+			if insert {
+				return s.rightCE.Insert(r)
+			}
+			return s.rightCE.Delete(r)
 		}
-		return e.rightCE.Delete(r)
-	}
-	t := geo.TransformShrinkRect(r)
-	if insert {
-		return e.right.Insert(t)
-	}
-	return e.right.Delete(t)
+		t := geo.TransformShrinkRect(r)
+		if insert {
+			return s.right.Insert(t)
+		}
+		return s.right.Delete(t)
+	})
 }
 
 // InsertLeftBulk bulk-loads the left input (parallelized internally in
@@ -181,14 +224,19 @@ func (e *JoinEstimator) InsertLeftBulk(rects []geo.HyperRect) error {
 			return err
 		}
 	}
-	if e.leftCE != nil {
-		return e.leftCE.InsertAll(rects)
+	var t []geo.HyperRect
+	if e.cfg.Mode == ModeTransform {
+		t = make([]geo.HyperRect, len(rects))
+		for i, r := range rects {
+			t[i] = geo.TransformKeepRect(r)
+		}
 	}
-	t := make([]geo.HyperRect, len(rects))
-	for i, r := range rects {
-		t[i] = geo.TransformKeepRect(r)
-	}
-	return e.left.InsertAll(t)
+	return e.st.ingest(func(s *joinState) error {
+		if s.leftCE != nil {
+			return s.leftCE.InsertAll(rects)
+		}
+		return s.left.InsertAll(t)
+	})
 }
 
 // InsertRightBulk bulk-loads the right input.
@@ -198,40 +246,62 @@ func (e *JoinEstimator) InsertRightBulk(rects []geo.HyperRect) error {
 			return err
 		}
 	}
-	if e.rightCE != nil {
-		return e.rightCE.InsertAll(rects)
+	var t []geo.HyperRect
+	if e.cfg.Mode == ModeTransform {
+		t = make([]geo.HyperRect, len(rects))
+		for i, r := range rects {
+			t[i] = geo.TransformShrinkRect(r)
+		}
 	}
-	t := make([]geo.HyperRect, len(rects))
-	for i, r := range rects {
-		t[i] = geo.TransformShrinkRect(r)
-	}
-	return e.right.InsertAll(t)
+	return e.st.ingest(func(s *joinState) error {
+		if s.rightCE != nil {
+			return s.rightCE.InsertAll(rects)
+		}
+		return s.right.InsertAll(t)
+	})
 }
 
-// LeftCount and RightCount return the current input cardinalities
-// (inserts minus deletes).
+// LeftCount returns the current left input cardinality (inserts minus
+// deletes).
 func (e *JoinEstimator) LeftCount() int64 {
-	if e.leftCE != nil {
-		return e.leftCE.Count()
-	}
-	return e.left.Count()
+	var n int64
+	e.st.fold(func(s *joinState) error {
+		if s.leftCE != nil {
+			n += s.leftCE.Count()
+		} else {
+			n += s.left.Count()
+		}
+		return nil
+	})
+	return n
 }
 
 // RightCount returns the right input cardinality.
 func (e *JoinEstimator) RightCount() int64 {
-	if e.rightCE != nil {
-		return e.rightCE.Count()
-	}
-	return e.right.Count()
+	var n int64
+	e.st.fold(func(s *joinState) error {
+		if s.rightCE != nil {
+			n += s.rightCE.Count()
+		} else {
+			n += s.right.Count()
+		}
+		return nil
+	})
+	return n
 }
 
 // Cardinality estimates |R join_o S| (strict overlap, Definition 1).
 func (e *JoinEstimator) Cardinality() (Estimate, error) {
-	if e.leftCE != nil {
-		est, err := core.EstimateJoinCE(e.leftCE, e.rightCE)
-		return fromCore(est), err
-	}
-	est, err := core.EstimateJoin(e.left, e.right)
+	var est core.Estimate
+	err := e.withView(func(s *joinState) error {
+		var err error
+		if s.leftCE != nil {
+			est, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
+		} else {
+			est, err = core.EstimateJoin(s.left, s.right)
+		}
+		return err
+	})
 	return fromCore(est), err
 }
 
@@ -239,112 +309,357 @@ func (e *JoinEstimator) Cardinality() (Estimate, error) {
 // Definition 4 (objects meeting at their boundaries count). Only available
 // in ModeCommonEndpoints.
 func (e *JoinEstimator) CardinalityExtended() (Estimate, error) {
-	if e.leftCE == nil {
+	if e.cfg.Mode != ModeCommonEndpoints {
 		return Estimate{}, fmt.Errorf("spatial: extended join requires ModeCommonEndpoints")
 	}
-	est, err := core.EstimateJoinExtCE(e.leftCE, e.rightCE)
+	var est core.Estimate
+	err := e.withView(func(s *joinState) error {
+		var err error
+		est, err = core.EstimateJoinExtCE(s.leftCE, s.rightCE)
+		return err
+	})
 	return fromCore(est), err
+}
+
+// CardinalityWithCounts returns Cardinality together with the input
+// cardinalities, all read from the same consistent view - under
+// concurrent writers, the counts are guaranteed to be the ones the
+// estimate was computed against (Cardinality followed by LeftCount can
+// interleave with updates).
+func (e *JoinEstimator) CardinalityWithCounts() (est Estimate, left, right int64, err error) {
+	return e.cardinalityWithCounts(false)
+}
+
+// CardinalityExtendedWithCounts is CardinalityWithCounts for the extended
+// join of Definition 4 (ModeCommonEndpoints only).
+func (e *JoinEstimator) CardinalityExtendedWithCounts() (est Estimate, left, right int64, err error) {
+	if e.cfg.Mode != ModeCommonEndpoints {
+		return Estimate{}, 0, 0, fmt.Errorf("spatial: extended join requires ModeCommonEndpoints")
+	}
+	return e.cardinalityWithCounts(true)
+}
+
+func (e *JoinEstimator) cardinalityWithCounts(extended bool) (est Estimate, left, right int64, err error) {
+	err = e.withView(func(s *joinState) error {
+		var ce core.Estimate
+		var err error
+		switch {
+		case extended:
+			ce, err = core.EstimateJoinExtCE(s.leftCE, s.rightCE)
+		case s.leftCE != nil:
+			ce, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
+		default:
+			ce, err = core.EstimateJoin(s.left, s.right)
+		}
+		if err != nil {
+			return err
+		}
+		est = fromCore(ce)
+		if s.leftCE != nil {
+			left, right = s.leftCE.Count(), s.rightCE.Count()
+		} else {
+			left, right = s.left.Count(), s.right.Count()
+		}
+		return nil
+	})
+	return est, left, right, err
 }
 
 // Selectivity estimates |R join_o S| / (|R| * |S|).
 func (e *JoinEstimator) Selectivity() (float64, error) {
-	nl, nr := e.LeftCount(), e.RightCount()
-	if nl <= 0 || nr <= 0 {
-		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
-	}
-	est, err := e.Cardinality()
-	if err != nil {
-		return 0, err
-	}
-	return est.Clamped() / (float64(nl) * float64(nr)), nil
+	var sel float64
+	err := e.withView(func(s *joinState) error {
+		var nl, nr int64
+		var est core.Estimate
+		var err error
+		if s.leftCE != nil {
+			nl, nr = s.leftCE.Count(), s.rightCE.Count()
+			if nl > 0 && nr > 0 {
+				est, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
+			}
+		} else {
+			nl, nr = s.left.Count(), s.right.Count()
+			if nl > 0 && nr > 0 {
+				est, err = core.EstimateJoin(s.left, s.right)
+			}
+		}
+		if nl <= 0 || nr <= 0 {
+			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
+		}
+		if err != nil {
+			return err
+		}
+		sel = fromCore(est).Clamped() / (float64(nl) * float64(nr))
+		return nil
+	})
+	return sel, err
 }
 
 // EstimateSelfJoinLeft estimates SJ(R) from the left synopsis itself
 // (E[X_w^2] = SJ(X_w), the original AMS identity) - the input the
 // Theorem 1 planner needs, with no offline pass. ModeTransform only.
 func (e *JoinEstimator) EstimateSelfJoinLeft() (Estimate, error) {
-	if e.left == nil {
+	if e.cfg.Mode != ModeTransform {
 		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
 	}
-	return fromCore(e.left.EstimateSelfJoin()), nil
+	var est core.Estimate
+	err := e.withView(func(s *joinState) error {
+		est = s.left.EstimateSelfJoin()
+		return nil
+	})
+	return fromCore(est), err
 }
 
 // EstimateSelfJoinRight estimates SJ(S) from the right synopsis.
 func (e *JoinEstimator) EstimateSelfJoinRight() (Estimate, error) {
-	if e.right == nil {
+	if e.cfg.Mode != ModeTransform {
 		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
 	}
-	return fromCore(e.right.EstimateSelfJoin()), nil
+	var est core.Estimate
+	err := e.withView(func(s *joinState) error {
+		est = s.right.EstimateSelfJoin()
+		return nil
+	})
+	return fromCore(est), err
+}
+
+// header returns the full public configuration of this estimator, the
+// unit of comparison for every merge and snapshot operation.
+func (e *JoinEstimator) header() snapHeader {
+	return snapHeader{
+		kind:       KindJoin,
+		dims:       uint32(e.cfg.Dims),
+		domainSize: e.cfg.DomainSize,
+		mode:       uint32(e.cfg.Mode),
+		maxLevel:   int32(resolveMaxLevel(e.cfg.MaxLevel, e.cfg.DomainSize)),
+		seed:       e.cfg.Seed,
+		instances:  uint64(e.plan.Instances()),
+		groups:     uint64(e.plan.Groups()),
+	}
 }
 
 // Merge folds the synopses of other into e: afterwards e summarizes the
 // union of both estimators' inputs, exactly as if every object had been
 // inserted into e directly (sketches are linear projections, so the merge
-// is exact, not approximate). Both estimators must have been built with the
-// same configuration - in particular the same Seed, so they share
-// xi-families. other is not modified.
+// is exact, not approximate). The full public configurations must match -
+// in particular the same Seed (shared xi-families) and the same DomainSize
+// (1000 and 1024 round to the same internal plan but enforce different
+// input bounds, so they do NOT merge). other is not modified.
 //
 // This is the shard-and-combine pattern for distributed construction:
 // build one estimator per data shard (separate goroutines, processes or
-// machines - see MergeLeftFrom for the serialized variant), then merge.
+// machines - see MergeSnapshot for the serialized variant), then merge.
+// Merge is safe under concurrency; other is snapshotted first, so no
+// goroutine ever holds locks of both estimators at once.
 func (e *JoinEstimator) Merge(other *JoinEstimator) error {
-	if other.cfg.Mode != e.cfg.Mode {
-		return fmt.Errorf("spatial: cannot merge %v estimator into %v estimator", other.cfg.Mode, e.cfg.Mode)
+	if err := e.header().compatible(other.header()); err != nil {
+		return err
 	}
-	if e.leftCE != nil {
-		if err := e.leftCE.Merge(other.leftCE); err != nil {
+	snap, err := other.st.snapshot(other.newState, mergeJoinState)
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *joinState) error { return mergeJoinState(s, snap) })
+}
+
+// Marshal serializes the whole estimator - both synopses plus the full
+// public configuration - into a versioned snapshot envelope. The snapshot
+// round-trips through UnmarshalJoinEstimator to a working estimator whose
+// estimates are bit-identical to this one's. Both modes are supported.
+func (e *JoinEstimator) Marshal() ([]byte, error) {
+	var blobs [][]byte
+	err := e.withView(func(s *joinState) error {
+		var lb, rb []byte
+		var err error
+		if s.leftCE != nil {
+			if lb, err = s.leftCE.MarshalBinary(); err != nil {
+				return err
+			}
+			rb, err = s.rightCE.MarshalBinary()
+		} else {
+			if lb, err = s.left.MarshalBinary(); err != nil {
+				return err
+			}
+			rb, err = s.right.MarshalBinary()
+		}
+		blobs = [][]byte{lb, rb}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := e.header()
+	h.side = sideBoth
+	return marshalEnvelope(h, blobs), nil
+}
+
+// UnmarshalJoinEstimator reconstructs a working estimator from a Marshal
+// snapshot: configuration, counters and counts all round-trip.
+func UnmarshalJoinEstimator(data []byte) (*JoinEstimator, error) {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.expectBlobs(blobs, KindJoin, 2); err != nil {
+		return nil, err
+	}
+	if h.side != sideBoth {
+		return nil, fmt.Errorf("spatial: %v-side snapshot cannot reconstruct a full estimator; use MergeLeftFrom/MergeRightFrom", h.side)
+	}
+	e, err := newEstimatorFromHeader(h)
+	if err != nil {
+		return nil, err
+	}
+	return e, e.mergeBlobs(blobs)
+}
+
+// newEstimatorFromHeader rebuilds an empty estimator from snapshot
+// configuration and cross-checks that the rebuilt estimator derives the
+// exact header it was built from (catching tampered or inconsistent
+// sizing fields at decode time).
+func newEstimatorFromHeader(h snapHeader) (*JoinEstimator, error) {
+	e, err := NewJoinEstimator(JoinConfig{
+		Dims:       int(h.dims),
+		DomainSize: h.domainSize,
+		Sizing:     Sizing{Instances: int(h.instances), Groups: int(h.groups)},
+		MaxLevel:   configuredMaxLevel(h.maxLevel),
+		Mode:       Mode(h.mode),
+		Seed:       h.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	got := e.header()
+	got.side = h.side
+	if err := got.compatible(h); err != nil {
+		return nil, fmt.Errorf("spatial: inconsistent snapshot configuration: %w", err)
+	}
+	return e, nil
+}
+
+// mergeBlobs folds a snapshot's two core sketches into shard 0.
+func (e *JoinEstimator) mergeBlobs(blobs [][]byte) error {
+	if e.cfg.Mode == ModeCommonEndpoints {
+		l, err := core.UnmarshalCESketch(blobs[0])
+		if err != nil {
 			return err
 		}
-		return e.rightCE.Merge(other.rightCE)
+		r, err := core.UnmarshalCESketch(blobs[1])
+		if err != nil {
+			return err
+		}
+		return e.st.ingestFirst(func(s *joinState) error {
+			if err := s.leftCE.Merge(l); err != nil {
+				return err
+			}
+			return s.rightCE.Merge(r)
+		})
 	}
-	if err := e.left.Merge(other.left); err != nil {
+	l, err := core.UnmarshalJoinSketch(blobs[0])
+	if err != nil {
 		return err
 	}
-	return e.right.Merge(other.right)
+	r, err := core.UnmarshalJoinSketch(blobs[1])
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *joinState) error {
+		if err := s.left.Merge(l); err != nil {
+			return err
+		}
+		return s.right.Merge(r)
+	})
 }
 
-// MarshalLeft and MarshalRight serialize one side's synopsis (configuration
+// MergeSnapshot folds a Marshal snapshot produced by another estimator
+// into this one. Any public-config mismatch - kind, dims, DomainSize,
+// Mode, level cap, Seed, sizing - is rejected at decode time.
+func (e *JoinEstimator) MergeSnapshot(data []byte) error {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if err := h.expectBlobs(blobs, KindJoin, 2); err != nil {
+		return err
+	}
+	if h.side != sideBoth {
+		return fmt.Errorf("spatial: MergeSnapshot needs a full snapshot, got a %v-side one", h.side)
+	}
+	if err := e.header().compatible(h); err != nil {
+		return err
+	}
+	return e.mergeBlobs(blobs)
+}
+
+// MarshalLeft serializes one side's synopsis (full public configuration
 // included), so sketches can be built near the data and shipped for
 // estimation. Only supported in ModeTransform.
-func (e *JoinEstimator) MarshalLeft() ([]byte, error) {
-	if e.left == nil {
-		return nil, fmt.Errorf("spatial: serialization is supported in ModeTransform only")
-	}
-	return e.left.MarshalBinary()
-}
+func (e *JoinEstimator) MarshalLeft() ([]byte, error) { return e.marshalSide(sideLeft) }
 
 // MarshalRight serializes the right synopsis.
-func (e *JoinEstimator) MarshalRight() ([]byte, error) {
-	if e.right == nil {
-		return nil, fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+func (e *JoinEstimator) MarshalRight() ([]byte, error) { return e.marshalSide(sideRight) }
+
+func (e *JoinEstimator) marshalSide(side snapSide) ([]byte, error) {
+	if e.cfg.Mode != ModeTransform {
+		return nil, fmt.Errorf("spatial: single-side serialization is supported in ModeTransform only; Marshal snapshots whole estimators in either mode")
 	}
-	return e.right.MarshalBinary()
+	var blob []byte
+	err := e.withView(func(s *joinState) error {
+		var err error
+		if side == sideLeft {
+			blob, err = s.left.MarshalBinary()
+		} else {
+			blob, err = s.right.MarshalBinary()
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := e.header()
+	h.side = side
+	return marshalEnvelope(h, [][]byte{blob}), nil
 }
 
-// MergeLeftFrom merges a serialized left synopsis (produced by another
-// estimator with the identical configuration) into this one - the
-// distributed-construction pattern.
-func (e *JoinEstimator) MergeLeftFrom(data []byte) error {
-	if e.left == nil {
-		return fmt.Errorf("spatial: serialization is supported in ModeTransform only")
-	}
-	other, err := core.UnmarshalJoinSketch(data)
-	if err != nil {
-		return err
-	}
-	return e.left.Merge(other)
-}
+// MergeLeftFrom merges a serialized left synopsis (produced by MarshalLeft
+// on another estimator) into this one - the distributed-construction
+// pattern. The full public configuration must match; a mismatch (including
+// DomainSize differences the internal plan cannot see) fails here instead
+// of corrupting counters.
+func (e *JoinEstimator) MergeLeftFrom(data []byte) error { return e.mergeSideFrom(data, sideLeft) }
 
 // MergeRightFrom merges a serialized right synopsis into this one.
-func (e *JoinEstimator) MergeRightFrom(data []byte) error {
-	if e.right == nil {
-		return fmt.Errorf("spatial: serialization is supported in ModeTransform only")
+func (e *JoinEstimator) MergeRightFrom(data []byte) error { return e.mergeSideFrom(data, sideRight) }
+
+func (e *JoinEstimator) mergeSideFrom(data []byte, side snapSide) error {
+	if e.cfg.Mode != ModeTransform {
+		return fmt.Errorf("spatial: single-side serialization is supported in ModeTransform only")
 	}
-	other, err := core.UnmarshalJoinSketch(data)
+	h, blobs, err := unmarshalEnvelope(data)
 	if err != nil {
 		return err
 	}
-	return e.right.Merge(other)
+	if err := h.expectBlobs(blobs, KindJoin, 1); err != nil {
+		return err
+	}
+	if h.side != side {
+		return fmt.Errorf("spatial: snapshot holds the %v side, want %v", h.side, side)
+	}
+	want := e.header()
+	want.side = side
+	if err := want.compatible(h); err != nil {
+		return err
+	}
+	other, err := core.UnmarshalJoinSketch(blobs[0])
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *joinState) error {
+		if side == sideLeft {
+			return s.left.Merge(other)
+		}
+		return s.right.Merge(other)
+	})
 }
 
 func log2ceil(x uint64) int {
@@ -360,4 +675,13 @@ func pow(base, exp int) int {
 		n *= base
 	}
 	return n
+}
+
+// configuredMaxLevel maps a snapshot's resolved level cap back to the
+// MaxLevel configuration field that resolves to it.
+func configuredMaxLevel(resolved int32) int {
+	if resolved == 0 {
+		return MaxLevelUncapped
+	}
+	return int(resolved)
 }

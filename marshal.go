@@ -1,0 +1,283 @@
+package spatial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Versioned full-estimator snapshot envelope ("SPE1").
+//
+// The core package serializes bare sketches ("SPK1"): counters plus the
+// internal plan geometry. That is enough to merge into a pre-agreed
+// estimator but not to *serve*: a receiver cannot reconstruct the
+// estimator, and public configuration the plan does not capture -
+// DomainSize (1000 and 1024 share a plan), Mode, Eps - is silently lost.
+//
+// The envelope wraps the core blobs with the full public configuration:
+//
+//	magic "SPE1" | version | kind | side
+//	dims | domainSize | mode | maxLevel (resolved cap; 0 = uncapped)
+//	eps | seed | instances | groups
+//	nblobs | (len | SPK1 bytes)*
+//
+// Every estimator type gains Marshal (emit a snapshot of the whole
+// estimator), Unmarshal<Kind>Estimator (reconstruct a working estimator
+// from one), and MergeSnapshot (fold a snapshot into an existing
+// estimator, rejecting ANY public-config mismatch at decode time rather
+// than by silent counter corruption). All integers are little-endian.
+
+// SnapshotVersion is the current snapshot envelope version. Decoders
+// reject snapshots from a different version.
+const SnapshotVersion = 1
+
+const envelopeMagic = 0x53504531 // "SPE1"
+
+// Kind identifies the estimator type a snapshot was taken from.
+type Kind uint32
+
+const (
+	// KindJoin is a JoinEstimator snapshot (either mode).
+	KindJoin Kind = 1
+	// KindRange is a RangeEstimator snapshot.
+	KindRange Kind = 2
+	// KindEpsJoin is an EpsJoinEstimator snapshot.
+	KindEpsJoin Kind = 3
+	// KindContainment is a ContainmentEstimator snapshot.
+	KindContainment Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindRange:
+		return "range"
+	case KindEpsJoin:
+		return "epsjoin"
+	case KindContainment:
+		return "containment"
+	}
+	return fmt.Sprintf("Kind(%d)", uint32(k))
+}
+
+// ParseKind is the inverse of Kind.String for the known kinds.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "join":
+		return KindJoin, nil
+	case "range":
+		return KindRange, nil
+	case "epsjoin":
+		return KindEpsJoin, nil
+	case "containment":
+		return KindContainment, nil
+	}
+	return 0, fmt.Errorf("spatial: unknown estimator kind %q", s)
+}
+
+// snapSide distinguishes full-estimator snapshots from single-side ones
+// (MarshalLeft/MarshalRight on a join estimator).
+type snapSide uint32
+
+const (
+	sideBoth snapSide = iota
+	sideLeft
+	sideRight
+)
+
+func (s snapSide) String() string {
+	switch s {
+	case sideBoth:
+		return "full"
+	case sideLeft:
+		return "left"
+	case sideRight:
+		return "right"
+	}
+	return fmt.Sprintf("side(%d)", uint32(s))
+}
+
+// snapHeader is the public configuration carried by every snapshot - the
+// fields a receiver needs to reconstruct the estimator and the fields a
+// merge must agree on exactly.
+type snapHeader struct {
+	kind       Kind
+	side       snapSide
+	dims       uint32 // public dims (containment: before the B.2 doubling)
+	domainSize uint64
+	mode       uint32 // join only; 0 otherwise
+	maxLevel   int32  // resolved level cap; 0 = uncapped
+	eps        uint64 // epsilon-join only; 0 otherwise
+	seed       uint64
+	instances  uint64 // resolved instance count
+	groups     uint64 // resolved group count
+}
+
+// compatible reports, as an error, the first public-config field on which
+// an incoming snapshot header diverges from the receiver's.
+func (h snapHeader) compatible(in snapHeader) error {
+	switch {
+	case in.kind != h.kind:
+		return fmt.Errorf("spatial: snapshot of a %v estimator cannot merge into a %v estimator", in.kind, h.kind)
+	case in.dims != h.dims:
+		return fmt.Errorf("spatial: snapshot dims %d, estimator has %d", in.dims, h.dims)
+	case in.domainSize != h.domainSize:
+		return fmt.Errorf("spatial: snapshot domain size %d, estimator has %d", in.domainSize, h.domainSize)
+	case in.mode != h.mode:
+		return fmt.Errorf("spatial: snapshot mode %v, estimator uses %v", Mode(in.mode), Mode(h.mode))
+	case in.maxLevel != h.maxLevel:
+		return fmt.Errorf("spatial: snapshot level cap %d, estimator has %d", in.maxLevel, h.maxLevel)
+	case in.eps != h.eps:
+		return fmt.Errorf("spatial: snapshot eps %d, estimator has %d", in.eps, h.eps)
+	case in.seed != h.seed:
+		return fmt.Errorf("spatial: snapshot seed %d, estimator has %d (xi-families differ)", in.seed, h.seed)
+	case in.instances != h.instances:
+		return fmt.Errorf("spatial: snapshot has %d instances, estimator has %d", in.instances, h.instances)
+	case in.groups != h.groups:
+		return fmt.Errorf("spatial: snapshot has %d groups, estimator has %d", in.groups, h.groups)
+	}
+	return nil
+}
+
+// maxSnapshotBlobs bounds the per-snapshot sub-sketch count (no estimator
+// carries more than two sketches).
+const maxSnapshotBlobs = 2
+
+func marshalEnvelope(h snapHeader, blobs [][]byte) []byte {
+	var w bytes.Buffer
+	for _, v := range []uint32{envelopeMagic, SnapshotVersion, uint32(h.kind), uint32(h.side), h.dims} {
+		binary.Write(&w, binary.LittleEndian, v)
+	}
+	binary.Write(&w, binary.LittleEndian, h.domainSize)
+	binary.Write(&w, binary.LittleEndian, h.mode)
+	binary.Write(&w, binary.LittleEndian, h.maxLevel)
+	for _, v := range []uint64{h.eps, h.seed, h.instances, h.groups} {
+		binary.Write(&w, binary.LittleEndian, v)
+	}
+	binary.Write(&w, binary.LittleEndian, uint32(len(blobs)))
+	for _, b := range blobs {
+		binary.Write(&w, binary.LittleEndian, uint64(len(b)))
+		w.Write(b)
+	}
+	return w.Bytes()
+}
+
+func unmarshalEnvelope(data []byte) (snapHeader, [][]byte, error) {
+	r := bytes.NewReader(data)
+	var h snapHeader
+	var magic, version, kind, side uint32
+	for _, p := range []*uint32{&magic, &version, &kind, &side, &h.dims} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return h, nil, fmt.Errorf("spatial: truncated snapshot header: %w", err)
+		}
+	}
+	if magic != envelopeMagic {
+		return h, nil, fmt.Errorf("spatial: bad snapshot magic %#x (not an SPE1 estimator snapshot)", magic)
+	}
+	if version != SnapshotVersion {
+		return h, nil, fmt.Errorf("spatial: snapshot version %d, this build reads version %d", version, SnapshotVersion)
+	}
+	h.kind, h.side = Kind(kind), snapSide(side)
+	if h.kind < KindJoin || h.kind > KindContainment {
+		return h, nil, fmt.Errorf("spatial: unknown snapshot kind %d", kind)
+	}
+	if h.side > sideRight {
+		return h, nil, fmt.Errorf("spatial: unknown snapshot side %d", side)
+	}
+	if h.dims == 0 || h.dims > core.MaxDims {
+		return h, nil, fmt.Errorf("spatial: snapshot dims %d outside [1, %d]", h.dims, core.MaxDims)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.domainSize); err != nil {
+		return h, nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.mode); err != nil {
+		return h, nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.maxLevel); err != nil {
+		return h, nil, err
+	}
+	for _, p := range []*uint64{&h.eps, &h.seed, &h.instances, &h.groups} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return h, nil, err
+		}
+	}
+	var nblobs uint32
+	if err := binary.Read(r, binary.LittleEndian, &nblobs); err != nil {
+		return h, nil, err
+	}
+	if nblobs > maxSnapshotBlobs {
+		return h, nil, fmt.Errorf("spatial: snapshot declares %d sub-sketches, max is %d", nblobs, maxSnapshotBlobs)
+	}
+	blobs := make([][]byte, nblobs)
+	for i := range blobs {
+		var n uint64
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return h, nil, err
+		}
+		if n > uint64(r.Len()) {
+			return h, nil, fmt.Errorf("spatial: truncated snapshot: sub-sketch %d declares %d bytes, %d left", i, n, r.Len())
+		}
+		blobs[i] = make([]byte, n)
+		if _, err := r.Read(blobs[i]); err != nil {
+			return h, nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return h, nil, fmt.Errorf("spatial: %d trailing bytes after snapshot payload", r.Len())
+	}
+	// Bound the declared sizing against the payload actually carried
+	// BEFORE any decoder builds an estimator from the header: every sketch
+	// kind stores at least one 8-byte counter per instance per sub-sketch,
+	// so a tiny envelope claiming 2^30 instances is rejected here, not by
+	// a huge xi-bank allocation in the estimator constructor.
+	if h.instances == 0 || h.groups == 0 || h.instances%h.groups != 0 {
+		return h, nil, fmt.Errorf("spatial: snapshot groups %d must divide instances %d (both positive)", h.groups, h.instances)
+	}
+	var payload uint64
+	for _, b := range blobs {
+		payload += uint64(len(b))
+	}
+	if h.instances > payload/8 {
+		return h, nil, fmt.Errorf("spatial: snapshot declares %d instances but carries only %d payload bytes", h.instances, payload)
+	}
+	return h, blobs, nil
+}
+
+// expectBlobs validates the envelope shape shared by every decoder.
+func (h snapHeader) expectBlobs(blobs [][]byte, kind Kind, n int) error {
+	if h.kind != kind {
+		return fmt.Errorf("spatial: snapshot of a %v estimator, want %v", h.kind, kind)
+	}
+	if len(blobs) != n {
+		return fmt.Errorf("spatial: %v snapshot carries %d sub-sketches, want %d", h.kind, len(blobs), n)
+	}
+	return nil
+}
+
+// SnapshotKind reports which estimator type produced the snapshot, so
+// registries can dispatch to the matching Unmarshal<Kind>Estimator. Only
+// the fixed-size header prefix is examined - the payload is not parsed,
+// so peeking at a large snapshot costs nothing.
+func SnapshotKind(data []byte) (Kind, error) {
+	r := bytes.NewReader(data)
+	var magic, version, kind uint32
+	for _, p := range []*uint32{&magic, &version, &kind} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return 0, fmt.Errorf("spatial: truncated snapshot header: %w", err)
+		}
+	}
+	if magic != envelopeMagic {
+		return 0, fmt.Errorf("spatial: bad snapshot magic %#x (not an SPE1 estimator snapshot)", magic)
+	}
+	if version != SnapshotVersion {
+		return 0, fmt.Errorf("spatial: snapshot version %d, this build reads version %d", version, SnapshotVersion)
+	}
+	k := Kind(kind)
+	if k < KindJoin || k > KindContainment {
+		return 0, fmt.Errorf("spatial: unknown snapshot kind %d", kind)
+	}
+	return k, nil
+}

@@ -98,6 +98,74 @@ func TestJoinEstimatorMergeModeMismatch(t *testing.T) {
 	}
 }
 
+// TestMergeFullConfigMismatch: merges must compare the FULL public
+// configuration. DomainSize pairs below round to the same internal plan
+// (log2ceil equal), so only the estimator-level check can refuse them.
+func TestMergeFullConfigMismatch(t *testing.T) {
+	sz := spatial.Sizing{Instances: 64, Groups: 4}
+
+	jA, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: 1000, Sizing: sz, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: 1024, Sizing: sz, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jA.Merge(jB); err == nil {
+		t.Fatal("join merge across domain sizes 1000/1024 should fail")
+	}
+
+	rA, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 1, DomainSize: 1000, Sizing: sz, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 1, DomainSize: 1024, Sizing: sz, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rA.Merge(rB); err == nil {
+		t.Fatal("range merge across domain sizes should fail")
+	}
+	if err := rB.Merge(rA); err == nil {
+		t.Fatal("range merge across domain sizes should fail (reverse)")
+	}
+
+	cA, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{Dims: 2, DomainSize: 1000, Sizing: sz, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{Dims: 2, DomainSize: 1024, Sizing: sz, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cA.Merge(cB); err == nil {
+		t.Fatal("containment merge across domain sizes should fail")
+	}
+
+	eA, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{Dims: 2, DomainSize: 1000, Eps: 8, Sizing: sz, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{Dims: 2, DomainSize: 1024, Eps: 8, Sizing: sz, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eA.Merge(eB); err == nil {
+		t.Fatal("eps-join merge across domain sizes should fail")
+	}
+
+	// An explicit level cap that differs is refused even when everything
+	// else matches.
+	jC, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: 1000, Sizing: sz, MaxLevel: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jA.Merge(jC); err == nil {
+		t.Fatal("join merge across level caps should fail")
+	}
+}
+
 func TestRangeEstimatorMerge(t *testing.T) {
 	cfg := spatial.RangeConfig{
 		Dims: 1, DomainSize: 1024,

@@ -29,11 +29,11 @@ type RangeConfig struct {
 // two-sketch-per-dimension estimator of Lemma 9. Data and queries are
 // endpoint-transformed internally, so arbitrary coordinates are fine.
 //
-// A RangeEstimator is not safe for concurrent use.
+// A RangeEstimator is safe for concurrent use (see shard.go).
 type RangeEstimator struct {
-	cfg    RangeConfig
-	plan   *core.Plan
-	sketch *core.RangeSketch
+	cfg  RangeConfig
+	plan *core.Plan
+	st   *shardedState[*core.RangeSketch]
 }
 
 // NewRangeEstimator validates the configuration and allocates the synopsis.
@@ -44,7 +44,7 @@ func NewRangeEstimator(cfg RangeConfig) (*RangeEstimator, error) {
 	if cfg.DomainSize < 2 {
 		return nil, fmt.Errorf("spatial: domain size must be >= 2, got %d", cfg.DomainSize)
 	}
-	instances, groups, err := cfg.Sizing.resolve(cfg.Dims)
+	instances, groups, err := cfg.Sizing.resolve(cfg.Dims, core.RangeWordsPerInstance(cfg.Dims))
 	if err != nil {
 		return nil, err
 	}
@@ -67,14 +67,35 @@ func NewRangeEstimator(cfg RangeConfig) (*RangeEstimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RangeEstimator{cfg: cfg, plan: plan, sketch: plan.NewRangeSketch()}, nil
+	e := &RangeEstimator{cfg: cfg, plan: plan}
+	e.st = newShardedState(ingestShards(), plan.NewRangeSketch)
+	return e, nil
 }
 
 // Config returns the estimator's configuration.
 func (e *RangeEstimator) Config() RangeConfig { return e.cfg }
 
+// Instances returns the number of atomic estimator instances maintained.
+func (e *RangeEstimator) Instances() int { return e.plan.Instances() }
+
+// Groups returns the number of median groups (k2).
+func (e *RangeEstimator) Groups() int { return e.plan.Groups() }
+
+// SpaceWords returns the synopsis footprint in the paper's word accounting
+// (2^d counters plus d seed words per instance).
+func (e *RangeEstimator) SpaceWords() int {
+	return int(core.RangeWordsPerInstance(e.cfg.Dims)) * e.plan.Instances()
+}
+
 // Count returns the number of summarized objects.
-func (e *RangeEstimator) Count() int64 { return e.sketch.Count() }
+func (e *RangeEstimator) Count() int64 {
+	var n int64
+	e.st.fold(func(s *core.RangeSketch) error {
+		n += s.Count()
+		return nil
+	})
+	return n
+}
 
 func (e *RangeEstimator) check(r geo.HyperRect) error {
 	if len(r) != e.cfg.Dims {
@@ -96,7 +117,8 @@ func (e *RangeEstimator) Insert(r geo.HyperRect) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
-	return e.sketch.Insert(geo.TransformKeepRect(r))
+	t := geo.TransformKeepRect(r)
+	return e.st.ingest(func(s *core.RangeSketch) error { return s.Insert(t) })
 }
 
 // Delete removes a previously inserted object.
@@ -104,18 +126,24 @@ func (e *RangeEstimator) Delete(r geo.HyperRect) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
-	return e.sketch.Delete(geo.TransformKeepRect(r))
+	t := geo.TransformKeepRect(r)
+	return e.st.ingest(func(s *core.RangeSketch) error { return s.Delete(t) })
 }
 
-// InsertBulk bulk-loads objects.
+// InsertBulk bulk-loads objects (parallelized internally).
 func (e *RangeEstimator) InsertBulk(rects []geo.HyperRect) error {
-	for _, r := range rects {
-		if err := e.Insert(r); err != nil {
+	t := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
+		if err := e.check(r); err != nil {
 			return err
 		}
+		t[i] = geo.TransformKeepRect(r)
 	}
-	return nil
+	return e.st.ingest(func(s *core.RangeSketch) error { return s.InsertAll(t) })
 }
+
+// mergeRangeSketch adapts core merging to the shard helper.
+func mergeRangeSketch(dst, src *core.RangeSketch) error { return dst.Merge(src) }
 
 // Estimate returns the estimated number of summarized objects overlapping
 // q (strict overlap, Definition 3).
@@ -123,41 +151,152 @@ func (e *RangeEstimator) Estimate(q geo.HyperRect) (Estimate, error) {
 	if err := e.check(q); err != nil {
 		return Estimate{}, fmt.Errorf("spatial: bad range query: %w", err)
 	}
-	est, err := e.sketch.EstimateRange(geo.TransformShrinkRect(q))
+	t := geo.TransformShrinkRect(q)
+	var est core.Estimate
+	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
+		var err error
+		est, err = s.EstimateRange(t)
+		return err
+	})
 	return fromCore(est), err
+}
+
+// EstimateWithCount returns Estimate(q) together with the relation size,
+// both read from the same consistent view.
+func (e *RangeEstimator) EstimateWithCount(q geo.HyperRect) (est Estimate, count int64, err error) {
+	if err := e.check(q); err != nil {
+		return Estimate{}, 0, fmt.Errorf("spatial: bad range query: %w", err)
+	}
+	t := geo.TransformShrinkRect(q)
+	err = e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
+		ce, err := s.EstimateRange(t)
+		if err != nil {
+			return err
+		}
+		est, count = fromCore(ce), s.Count()
+		return nil
+	})
+	return est, count, err
 }
 
 // Selectivity returns Estimate(q) / Count().
 func (e *RangeEstimator) Selectivity(q geo.HyperRect) (float64, error) {
-	n := e.Count()
-	if n <= 0 {
-		return 0, fmt.Errorf("spatial: selectivity undefined for an empty relation")
+	if err := e.check(q); err != nil {
+		return 0, fmt.Errorf("spatial: bad range query: %w", err)
 	}
-	est, err := e.Estimate(q)
-	if err != nil {
-		return 0, err
+	t := geo.TransformShrinkRect(q)
+	var sel float64
+	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
+		n := s.Count()
+		if n <= 0 {
+			return fmt.Errorf("spatial: selectivity undefined for an empty relation")
+		}
+		est, err := s.EstimateRange(t)
+		if err != nil {
+			return err
+		}
+		sel = fromCore(est).Clamped() / float64(n)
+		return nil
+	})
+	return sel, err
+}
+
+// header returns the full public configuration of this estimator.
+func (e *RangeEstimator) header() snapHeader {
+	return snapHeader{
+		kind:       KindRange,
+		dims:       uint32(e.cfg.Dims),
+		domainSize: e.cfg.DomainSize,
+		maxLevel:   int32(resolveMaxLevel(e.cfg.MaxLevel, e.cfg.DomainSize)),
+		seed:       e.cfg.Seed,
+		instances:  uint64(e.plan.Instances()),
+		groups:     uint64(e.plan.Groups()),
 	}
-	return est.Clamped() / float64(n), nil
 }
 
 // Merge folds the synopsis of other into e: afterwards e summarizes the
 // union of both estimators' inputs, exactly as if every object had been
 // inserted into e directly (sketches are linear projections, so the merge
-// is exact). Both estimators must have been built with the same
-// configuration. other is not modified.
+// is exact). The full public configurations must match. other is not
+// modified; Merge is safe under concurrency.
 func (e *RangeEstimator) Merge(other *RangeEstimator) error {
-	return e.sketch.Merge(other.sketch)
-}
-
-// MergeFrom merges a serialized synopsis (produced by Marshal on another
-// estimator with the identical configuration) into this one.
-func (e *RangeEstimator) MergeFrom(data []byte) error {
-	other, err := core.UnmarshalRangeSketch(data)
+	if err := e.header().compatible(other.header()); err != nil {
+		return err
+	}
+	snap, err := other.st.snapshot(other.plan.NewRangeSketch, mergeRangeSketch)
 	if err != nil {
 		return err
 	}
-	return e.sketch.Merge(other)
+	return e.st.ingestFirst(func(s *core.RangeSketch) error { return s.Merge(snap) })
 }
 
-// Marshal serializes the synopsis, configuration included.
-func (e *RangeEstimator) Marshal() ([]byte, error) { return e.sketch.MarshalBinary() }
+// Marshal serializes the whole estimator - synopsis plus full public
+// configuration - into a versioned snapshot envelope; see
+// UnmarshalRangeEstimator.
+func (e *RangeEstimator) Marshal() ([]byte, error) {
+	var blob []byte
+	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
+		var err error
+		blob, err = s.MarshalBinary()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return marshalEnvelope(e.header(), [][]byte{blob}), nil
+}
+
+// UnmarshalRangeEstimator reconstructs a working estimator from a Marshal
+// snapshot: configuration, counters and count all round-trip.
+func UnmarshalRangeEstimator(data []byte) (*RangeEstimator, error) {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.expectBlobs(blobs, KindRange, 1); err != nil {
+		return nil, err
+	}
+	e, err := NewRangeEstimator(RangeConfig{
+		Dims:       int(h.dims),
+		DomainSize: h.domainSize,
+		Sizing:     Sizing{Instances: int(h.instances), Groups: int(h.groups)},
+		MaxLevel:   configuredMaxLevel(h.maxLevel),
+		Seed:       h.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return nil, fmt.Errorf("spatial: inconsistent snapshot configuration: %w", err)
+	}
+	return e, e.mergeBlob(blobs[0])
+}
+
+func (e *RangeEstimator) mergeBlob(blob []byte) error {
+	other, err := core.UnmarshalRangeSketch(blob)
+	if err != nil {
+		return err
+	}
+	return e.st.ingestFirst(func(s *core.RangeSketch) error { return s.Merge(other) })
+}
+
+// MergeSnapshot folds a Marshal snapshot produced by another estimator
+// into this one, rejecting any public-config mismatch at decode time.
+func (e *RangeEstimator) MergeSnapshot(data []byte) error {
+	h, blobs, err := unmarshalEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if err := h.expectBlobs(blobs, KindRange, 1); err != nil {
+		return err
+	}
+	if err := e.header().compatible(h); err != nil {
+		return err
+	}
+	return e.mergeBlob(blobs[0])
+}
+
+// MergeFrom merges a serialized synopsis (produced by Marshal on another
+// estimator with a matching configuration) into this one. It is an alias
+// of MergeSnapshot, kept for the edge-build-then-ship workflow's name.
+func (e *RangeEstimator) MergeFrom(data []byte) error { return e.MergeSnapshot(data) }

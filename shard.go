@@ -1,0 +1,133 @@
+package spatial
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrency layer shared by every public estimator.
+//
+// Estimator state is split into ingestShards() independent shards, each a
+// full sketch set built from the SAME plan and guarded by its own RWMutex.
+// Point updates lock one shard, picked round-robin, so concurrent writers
+// on different shards never contend; sketches are linear projections, so
+// the sum of the shards is bit-identical to a single sequentially-loaded
+// sketch regardless of which shard each update landed in.
+//
+// Readers (estimates, counts, snapshots) fold the shards into an owned
+// merged view, holding each shard's read lock only while its counters are
+// copied - never while estimating - so reads never block the hot insert
+// path for longer than one counter copy. With a single shard (GOMAXPROCS
+// 1) the fold degenerates to running the reader under the shard's read
+// lock directly, skipping the copy.
+//
+// The fold is not a global atomic cut: a reader sees every update that
+// completed before the fold started, and may see some concurrent ones.
+// Each update touches exactly one shard under its lock, and updates
+// commute (counter addition), so every view is a state the estimator
+// could have reached sequentially - estimates are always internally
+// consistent, never torn.
+
+// maxIngestShards caps per-estimator shard fan-out: shards multiply the
+// counter memory, and past a handful of concurrent writers the round-robin
+// spread already keeps lock contention negligible.
+const maxIngestShards = 8
+
+// ingestShards picks the shard count for a new estimator.
+func ingestShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxIngestShards {
+		n = maxIngestShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardedState holds the sharded sketch state of one estimator. T is the
+// estimator's per-shard sketch bundle (e.g. the left and right sketches of
+// a join estimator).
+type shardedState[T any] struct {
+	rr     atomic.Uint32
+	shards []lockedShard[T]
+}
+
+type lockedShard[T any] struct {
+	mu    sync.RWMutex
+	state T
+	_     [24]byte // keep neighbouring shard locks off one cache line
+}
+
+// newShardedState builds n shards via mk.
+func newShardedState[T any](n int, mk func() T) *shardedState[T] {
+	ss := &shardedState[T]{shards: make([]lockedShard[T], n)}
+	for i := range ss.shards {
+		ss.shards[i].state = mk()
+	}
+	return ss
+}
+
+// ingest runs fn on one shard under its write lock. Shards are picked
+// round-robin so concurrent writers spread out.
+func (ss *shardedState[T]) ingest(fn func(T) error) error {
+	sh := &ss.shards[int(ss.rr.Add(1)%uint32(len(ss.shards)))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return fn(sh.state)
+}
+
+// ingestFirst runs fn on shard 0 under its write lock - the designated
+// merge target, so merged-in state is never spread thinner than it was.
+func (ss *shardedState[T]) ingestFirst(fn func(T) error) error {
+	sh := &ss.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return fn(sh.state)
+}
+
+// fold runs fn on every shard in order, each under its read lock. fn must
+// only read the shard state (typically merging its counters into an owned
+// accumulator).
+func (ss *shardedState[T]) fold(fn func(T) error) error {
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.RLock()
+		err := fn(sh.state)
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// view hands a consistent merged view of the estimator to fn. With one
+// shard the state is borrowed under the read lock (no copy); otherwise the
+// shards are folded into an owned merged state via mk/merge and fn runs
+// lock-free on the copy. fn must not retain or mutate the state.
+func (ss *shardedState[T]) view(mk func() T, merge func(dst, src T) error, fn func(T) error) error {
+	if len(ss.shards) == 1 {
+		sh := &ss.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return fn(sh.state)
+	}
+	acc := mk()
+	if err := ss.fold(func(s T) error { return merge(acc, s) }); err != nil {
+		return err
+	}
+	return fn(acc)
+}
+
+// snapshot returns an owned merged copy of the estimator state, safe to
+// use after every lock is released (unlike view's borrowed single-shard
+// fast path). Merging two estimators copies the source this way first, so
+// concurrent a.Merge(b) and b.Merge(a) cannot deadlock: no goroutine ever
+// holds locks of both estimators at once.
+func (ss *shardedState[T]) snapshot(mk func() T, merge func(dst, src T) error) (T, error) {
+	acc := mk()
+	err := ss.fold(func(s T) error { return merge(acc, s) })
+	return acc, err
+}

@@ -1,0 +1,418 @@
+package spatial_test
+
+import (
+	"bytes"
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+// Snapshot-envelope tests: every estimator type must round-trip through
+// Marshal / Unmarshal<Kind>Estimator to a working estimator whose
+// estimates are bit-identical to the source's, and every public-config
+// mismatch must be caught at decode time.
+
+func snapJoin(t *testing.T, mode spatial.Mode) *spatial.JoinEstimator {
+	t.Helper()
+	e, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 300,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Mode:   mode, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := datagen.MustRects(datagen.Spec{N: 80, Dims: 2, Domain: 300, Seed: 1, MeanLen: []float64{40, 40}})
+	s := datagen.MustRects(datagen.Spec{N: 80, Dims: 2, Domain: 300, Seed: 2, MeanLen: []float64{40, 40}})
+	if err := e.InsertLeftBulk(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertRightBulk(s); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sameEstimate(t *testing.T, name string, a, b spatial.Estimate) {
+	t.Helper()
+	if a.Value != b.Value || a.Mean != b.Mean || a.SampleVariance != b.SampleVariance {
+		t.Fatalf("%s: estimate (%v, %v, %v) != source (%v, %v, %v)",
+			name, b.Value, b.Mean, b.SampleVariance, a.Value, a.Mean, a.SampleVariance)
+	}
+	if len(a.GroupMeans) != len(b.GroupMeans) {
+		t.Fatalf("%s: group count %d != %d", name, len(b.GroupMeans), len(a.GroupMeans))
+	}
+	for i := range a.GroupMeans {
+		if a.GroupMeans[i] != b.GroupMeans[i] {
+			t.Fatalf("%s: group mean %d: %v != %v", name, i, b.GroupMeans[i], a.GroupMeans[i])
+		}
+	}
+}
+
+func TestJoinSnapshotRoundTrip(t *testing.T) {
+	for _, mode := range []spatial.Mode{spatial.ModeTransform, spatial.ModeCommonEndpoints} {
+		src := snapJoin(t, mode)
+		data, err := src.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, err := spatial.SnapshotKind(data); err != nil || k != spatial.KindJoin {
+			t.Fatalf("snapshot kind = %v, %v", k, err)
+		}
+		got, err := spatial.UnmarshalJoinEstimator(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LeftCount() != src.LeftCount() || got.RightCount() != src.RightCount() {
+			t.Fatalf("%v: counts (%d, %d) != (%d, %d)", mode,
+				got.LeftCount(), got.RightCount(), src.LeftCount(), src.RightCount())
+		}
+		want, err := src.Cardinality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Cardinality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameEstimate(t, mode.String(), want, have)
+		// The extended-join estimate round-trips too in CE mode.
+		if mode == spatial.ModeCommonEndpoints {
+			we, err := src.CardinalityExtended()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ge, err := got.CardinalityExtended()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameEstimate(t, "ce-extended", we, ge)
+		}
+		// The restored estimator keeps working: inserts still go through.
+		if err := got.InsertLeft(geo.Rect(1, 5, 1, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRangeSnapshotRoundTrip(t *testing.T) {
+	cfg := spatial.RangeConfig{
+		Dims: 1, DomainSize: 1000,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 5,
+	}
+	src, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 150, Dims: 1, Domain: 1000, Seed: 3})
+	if err := src.InsertBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spatial.UnmarshalRangeEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != src.Count() {
+		t.Fatalf("count %d != %d", got.Count(), src.Count())
+	}
+	q := geo.Span1D(100, 700)
+	want, err := src.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEstimate(t, "range", want, have)
+}
+
+func TestEpsJoinSnapshotRoundTrip(t *testing.T) {
+	cfg := spatial.EpsJoinConfig{
+		Dims: 2, DomainSize: 500, Eps: 9,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 6,
+	}
+	src, err := spatial.NewEpsJoinEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, 120)
+	for i := range pts {
+		pts[i] = geo.Point{uint64(i*7) % 500, uint64(i*13) % 500}
+	}
+	if err := src.InsertLeftBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.InsertRightBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spatial.UnmarshalEpsJoinEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config().Eps != cfg.Eps {
+		t.Fatalf("eps %d did not round-trip", got.Config().Eps)
+	}
+	want, _ := src.Cardinality()
+	have, err := got.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEstimate(t, "epsjoin", want, have)
+}
+
+func TestContainmentSnapshotRoundTrip(t *testing.T) {
+	cfg := spatial.ContainmentConfig{
+		Dims: 2, DomainSize: 500,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 7,
+	}
+	src, err := spatial.NewContainmentEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 90, Dims: 2, Domain: 500, Seed: 4})
+	if err := src.InsertInnerBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.InsertOuterBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spatial.UnmarshalContainmentEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Cardinality()
+	have, err := got.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEstimate(t, "containment", want, have)
+}
+
+// TestMergeSnapshotEquivalence: merging a snapshot is bit-identical to
+// merging the live estimator it was taken from.
+func TestMergeSnapshotEquivalence(t *testing.T) {
+	a := snapJoin(t, spatial.ModeTransform)
+	b := snapJoin(t, spatial.ModeTransform)
+	direct := snapJoin(t, spatial.ModeTransform)
+	if err := direct.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := direct.Cardinality()
+	have, err := a.Cardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEstimate(t, "merge-snapshot", want, have)
+}
+
+// TestSnapshotConfigMismatches: decode-time rejection of every
+// public-config divergence, including those invisible to the core plan.
+func TestSnapshotConfigMismatches(t *testing.T) {
+	base := snapJoin(t, spatial.ModeTransform)
+	snap, err := base.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// DomainSize 300 vs 320: both transform-pad to the same internal plan,
+	// so only the envelope check can catch it.
+	other, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 320,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4},
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.MergeSnapshot(snap); err == nil {
+		t.Fatal("cross-domain-size snapshot merge should fail")
+	}
+
+	// Wrong kind.
+	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 2, DomainSize: 300,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.MergeSnapshot(snap); err == nil {
+		t.Fatal("join snapshot must not merge into a range estimator")
+	}
+	if _, err := spatial.UnmarshalRangeEstimator(snap); err == nil {
+		t.Fatal("join snapshot must not decode as a range estimator")
+	}
+
+	// Eps mismatch, invisible to the core plan (9 and 10 derive the same
+	// adaptive level cap).
+	mkEps := func(eps uint64) *spatial.EpsJoinEstimator {
+		e, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+			Dims: 2, DomainSize: 500, Eps: eps,
+			Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e9, e10 := mkEps(9), mkEps(10)
+	esnap, err := e9.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e10.MergeSnapshot(esnap); err == nil {
+		t.Fatal("cross-eps snapshot merge should fail")
+	}
+
+	// Truncations and corruptions of a valid snapshot never decode.
+	for cut := 0; cut < len(snap); cut += 7 {
+		if _, err := spatial.UnmarshalJoinEstimator(snap[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) decoded", cut)
+		}
+	}
+	garbled := bytes.Clone(snap)
+	garbled[0] ^= 0xff
+	if _, err := spatial.UnmarshalJoinEstimator(garbled); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+}
+
+// TestSideSnapshotChecks: single-side snapshots carry the full public
+// config and refuse cross-config or cross-side merges.
+func TestSideSnapshotChecks(t *testing.T) {
+	a := snapJoin(t, spatial.ModeTransform)
+	left, err := a.MarshalLeft()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A left blob does not merge as a right blob.
+	if err := a.MergeRightFrom(left); err == nil {
+		t.Fatal("left snapshot merged into right side")
+	}
+	// Nor into a different domain size.
+	other, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 320,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.MergeLeftFrom(left); err == nil {
+		t.Fatal("cross-domain-size side merge should fail")
+	}
+	// Nor does a full snapshot pass as a side snapshot.
+	full, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeLeftFrom(full); err == nil {
+		t.Fatal("full snapshot accepted by MergeLeftFrom")
+	}
+	// A matching left blob does merge, doubling the left count.
+	before := a.LeftCount()
+	if err := a.MergeLeftFrom(left); err != nil {
+		t.Fatal(err)
+	}
+	if a.LeftCount() != 2*before {
+		t.Fatalf("left count after side merge = %d, want %d", a.LeftCount(), 2*before)
+	}
+	// Full snapshots do not reconstruct from a side snapshot.
+	if _, err := spatial.UnmarshalJoinEstimator(left); err == nil {
+		t.Fatal("side snapshot reconstructed a full estimator")
+	}
+}
+
+// FuzzUnmarshal drives arbitrary bytes through every snapshot decoder:
+// none may panic, and none may allocate proportionally to unvalidated
+// header fields (the decoders bound every allocation by the payload
+// actually present).
+func FuzzUnmarshal(f *testing.F) {
+	join := snapJoinForFuzz(f, spatial.ModeTransform)
+	ce := snapJoinForFuzz(f, spatial.ModeCommonEndpoints)
+	f.Add(join)
+	f.Add(ce)
+	if side, err := mustJoinForFuzz(f, spatial.ModeTransform).MarshalLeft(); err == nil {
+		f.Add(side)
+	}
+	re, _ := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: 64, Sizing: spatial.Sizing{Instances: 8, Groups: 4},
+	})
+	if data, err := re.Marshal(); err == nil {
+		f.Add(data)
+	}
+	ee, _ := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+		Dims: 1, DomainSize: 64, Eps: 3, Sizing: spatial.Sizing{Instances: 8, Groups: 4},
+	})
+	if data, err := ee.Marshal(); err == nil {
+		f.Add(data)
+	}
+	ke, _ := spatial.NewContainmentEstimator(spatial.ContainmentConfig{
+		Dims: 1, DomainSize: 64, Sizing: spatial.Sizing{Instances: 8, Groups: 4},
+	})
+	if data, err := ke.Marshal(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add(join[:8])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spatial.SnapshotKind(data)
+		if e, err := spatial.UnmarshalJoinEstimator(data); err == nil {
+			e.Cardinality()
+		}
+		if e, err := spatial.UnmarshalRangeEstimator(data); err == nil {
+			e.Count()
+		}
+		if e, err := spatial.UnmarshalEpsJoinEstimator(data); err == nil {
+			e.Cardinality()
+		}
+		if e, err := spatial.UnmarshalContainmentEstimator(data); err == nil {
+			e.Cardinality()
+		}
+	})
+}
+
+func mustJoinForFuzz(f *testing.F, mode spatial.Mode) *spatial.JoinEstimator {
+	e, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 1, DomainSize: 64,
+		Sizing: spatial.Sizing{Instances: 8, Groups: 4},
+		Mode:   mode, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.InsertLeft(geo.Span1D(3, 9))
+	e.InsertRight(geo.Span1D(5, 12))
+	return e
+}
+
+func snapJoinForFuzz(f *testing.F, mode spatial.Mode) []byte {
+	data, err := mustJoinForFuzz(f, mode).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}

@@ -40,6 +40,16 @@
 // ModeCommonEndpoints instead maintains the explicit endpoint sketches of
 // Appendix C - no domain growth, and the extended join of Definition 4
 // (boundary contact counts as intersection) also becomes available.
+//
+// # Concurrency and serving
+//
+// All estimators are safe for concurrent use: updates go to sharded
+// sketches behind per-shard locks, estimates fold the shards into an
+// owned view (see shard.go). Marshal emits a versioned full-estimator
+// snapshot (configuration included) that Unmarshal<Kind>Estimator turns
+// back into a working estimator and MergeSnapshot folds into an existing
+// one, rejecting config mismatches at decode time; cmd/spatialserve
+// serves a registry of named estimators over HTTP.
 package spatial
 
 import (
@@ -110,7 +120,11 @@ type Guarantee struct {
 //
 //  1. Instances > 0: explicit (Groups defaults to 8 if zero).
 //  2. MemoryWords > 0: as many instances as fit the per-relation budget,
-//     using the paper's word accounting (Section 7 equal-space setup).
+//     using the paper's word accounting (Section 7 equal-space setup) with
+//     the footprint of the estimator being sized: 2^d + d/2 words per
+//     instance for transform-mode joins, 4^d + d/2 for common-endpoints
+//     joins, 1 + d/2 for epsilon- and containment joins (in the doubled
+//     reduction dimensionality), 2^d + d for range synopses.
 //  3. Guarantee != nil: the Theorem 1 sizing from (eps, phi), the
 //     self-join size bounds and the result lower bound ("sanity bound",
 //     Section 2.3).
@@ -133,9 +147,15 @@ const (
 	defaultGroups    = 8
 )
 
-// resolve turns a Sizing into concrete (instances, groups) for a join-type
-// estimator of the given dimensionality.
-func (s Sizing) resolve(dims int) (instances, groups int, err error) {
+// resolve turns a Sizing into concrete (instances, groups) for an
+// estimator of the given (internal) dimensionality whose per-instance
+// footprint is wordsPerInstance in the paper's word accounting. Each
+// estimator type passes its own accounting - 2^d + d/2 words per relation
+// for transform-mode joins, 4^d + d/2 for common-endpoints joins,
+// 1 + d/2 for the point/box sketches of epsilon- and containment joins,
+// 2^d + d for range synopses - so equal-MemoryWords comparisons across
+// estimator kinds are not skewed by the join-sketch layout.
+func (s Sizing) resolve(dims int, wordsPerInstance float64) (instances, groups int, err error) {
 	switch {
 	case s.Instances > 0:
 		groups = s.Groups
@@ -152,7 +172,7 @@ func (s Sizing) resolve(dims int) (instances, groups int, err error) {
 		if groups <= 0 {
 			groups = defaultGroups
 		}
-		instances = core.InstancesForBudget(dims, s.MemoryWords, groups)
+		instances = core.InstancesForBudgetWords(wordsPerInstance, s.MemoryWords, groups)
 		return instances, groups, nil
 	case s.Guarantee != nil:
 		k1, k2, err := core.PlanJoinInstances(dims, core.Guarantee(*s.Guarantee),

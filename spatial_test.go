@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/geo"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/exact"
 )
@@ -420,17 +421,17 @@ func TestContainmentValidation(t *testing.T) {
 
 func TestSizingModes(t *testing.T) {
 	// Default sizing.
-	inst, groups, err := Sizing{}.resolve(1)
+	inst, groups, err := Sizing{}.resolve(1, core.JoinWordsPerRelation(1))
 	if err != nil || inst != defaultInstances || groups != defaultGroups {
 		t.Fatalf("default sizing = %d/%d, err %v", inst, groups, err)
 	}
 	// Explicit rounds down to a multiple of groups.
-	inst, groups, err = Sizing{Instances: 103, Groups: 10}.resolve(1)
+	inst, groups, err = Sizing{Instances: 103, Groups: 10}.resolve(1, core.JoinWordsPerRelation(1))
 	if err != nil || inst != 100 || groups != 10 {
 		t.Fatalf("explicit sizing = %d/%d, err %v", inst, groups, err)
 	}
 	// Memory budget (1-d: 2.5 words per relation per instance).
-	inst, _, err = Sizing{MemoryWords: 1000, Groups: 4}.resolve(1)
+	inst, _, err = Sizing{MemoryWords: 1000, Groups: 4}.resolve(1, core.JoinWordsPerRelation(1))
 	if err != nil || inst != 400 {
 		t.Fatalf("budget sizing = %d, err %v", inst, err)
 	}
@@ -438,7 +439,7 @@ func TestSizingModes(t *testing.T) {
 	inst, groups, err = Sizing{
 		Guarantee:    &Guarantee{Eps: 0.5, Phi: 0.25},
 		SelfJoinLeft: 100, SelfJoinRight: 100, ResultLowerBound: 40,
-	}.resolve(1)
+	}.resolve(1, core.JoinWordsPerRelation(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestSizingModes(t *testing.T) {
 		t.Fatalf("guarantee sizing = %d/%d", inst, groups)
 	}
 	// Guarantee without bounds fails.
-	if _, _, err := (Sizing{Guarantee: &Guarantee{Eps: 0.5, Phi: 0.25}}).resolve(1); err == nil {
+	if _, _, err := (Sizing{Guarantee: &Guarantee{Eps: 0.5, Phi: 0.25}}).resolve(1, core.JoinWordsPerRelation(1)); err == nil {
 		t.Fatal("guarantee sizing without SJ bounds should fail")
 	}
 }
