@@ -12,6 +12,7 @@ package spatial_test
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	spatial "repro"
@@ -45,6 +46,7 @@ func reportColumn(b *testing.B, tab experiments.Table, col int, unit string) {
 }
 
 func runFigure(b *testing.B, name string, errCols map[int]string) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab, err := experiments.ByName(name, benchOpt())
 		if err != nil {
@@ -143,6 +145,7 @@ func BenchmarkUpdateThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	rects := datagen.MustRects(datagen.Spec{N: 4096, Dims: 2, Domain: 1 << 16, Seed: 2})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := est.InsertLeft(rects[i%len(rects)]); err != nil {
@@ -155,6 +158,7 @@ func BenchmarkUpdateThroughput(b *testing.B) {
 // BenchmarkBulkLoad measures the parallel bulk-load path.
 func BenchmarkBulkLoad(b *testing.B) {
 	rects := datagen.MustRects(datagen.Spec{N: 8192, Dims: 2, Domain: 1 << 16, Seed: 3})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
@@ -187,6 +191,7 @@ func BenchmarkInsertParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(rects)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := est.InsertLeftBulk(rects); err != nil {
@@ -195,9 +200,12 @@ func BenchmarkInsertParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkEstimate measures the estimate-time cost (combining counters;
-// the paper's "constant overhead" per instance).
+// BenchmarkEstimate measures steady-state estimate cost on a multi-shard
+// estimator - the epoch-cached read path: a repeated estimate on an
+// unchanged estimator is a view pointer load plus a memo hit (0 allocs/op),
+// where it used to fold O(shards * counters) words per query.
 func BenchmarkEstimate(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
 	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
 		Dims: 2, DomainSize: 1 << 12,
 		Sizing: spatial.Sizing{Instances: 4096, Groups: 8},
@@ -214,6 +222,7 @@ func BenchmarkEstimate(b *testing.B) {
 	if err := est.InsertRightBulk(s); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.Cardinality(); err != nil {
@@ -222,8 +231,95 @@ func BenchmarkEstimate(b *testing.B) {
 	}
 }
 
-// BenchmarkRangeEstimate measures per-query range estimation cost.
+// BenchmarkEstimateCold measures the estimate cost when every query runs
+// the kernel (the view memo is bypassed by alternating between the strict
+// estimate and the left self-join) - the pooled-kernel path without result
+// reuse.
+func BenchmarkEstimateCold(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 1 << 12,
+		Sizing: spatial.Sizing{Instances: 4096, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := datagen.MustRects(datagen.Spec{N: 512, Dims: 2, Domain: 1 << 12, Seed: 4})
+	if err := est.InsertLeftBulk(r); err != nil {
+		b.Fatal(err)
+	}
+	if err := est.InsertRightBulk(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := est.InsertLeft(r[i%len(r)]); err != nil { // invalidate the view
+			b.Fatal(err)
+		}
+		if _, err := est.Cardinality(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateParallel runs RunParallel readers against a live writer
+// on a multi-shard estimator: the number to watch is allocs/op and the
+// read latency under constant view invalidation (single-flight rebuilds).
+func BenchmarkEstimateParallel(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 1 << 12,
+		Sizing: spatial.Sizing{Instances: 1024, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 1024, Dims: 2, Domain: 1 << 12, Seed: 4})
+	if err := est.InsertLeftBulk(rects); err != nil {
+		b.Fatal(err)
+	}
+	if err := est.InsertRightBulk(rects); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var writeErr atomic.Pointer[error]
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := est.InsertLeft(rects[i%len(rects)]); err != nil {
+				writeErr.Store(&err)
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := est.Cardinality(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	if errp := writeErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+}
+
+// BenchmarkRangeEstimate measures steady-state range estimation on a
+// multi-shard estimator: a repeated hot query hits the per-view memo.
 func BenchmarkRangeEstimate(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
 	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
 		Dims: 1, DomainSize: 1 << 16,
 		Sizing: spatial.Sizing{Instances: 2048, Groups: 8},
@@ -237,10 +333,71 @@ func BenchmarkRangeEstimate(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := geo.Span1D(1000, 30000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := re.Estimate(q); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRangeEstimateCold cycles distinct queries so every estimate
+// misses the single-entry memo and runs the pooled kernel on the cached
+// view - per-query cost with scratch reuse but no result reuse.
+func BenchmarkRangeEstimateCold(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
+	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: 1 << 16,
+		Sizing: spatial.Sizing{Instances: 2048, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 2048, Dims: 1, Domain: 1 << 16, Seed: 6})
+	if err := re.InsertBulk(rects); err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]geo.HyperRect, 64)
+	for i := range qs {
+		qs[i] = geo.Span1D(uint64(500*i), uint64(500*i+29000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := re.Estimate(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeEstimateBatch answers the same query mix through the
+// batched API: one pinned view and one kernel scratch for the whole batch.
+func BenchmarkRangeEstimateBatch(b *testing.B) {
+	defer spatial.SetIngestShardsForTest(4)()
+	re, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: 1 << 16,
+		Sizing: spatial.Sizing{Instances: 2048, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 2048, Dims: 1, Domain: 1 << 16, Seed: 6})
+	if err := re.InsertBulk(rects); err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]geo.HyperRect, 64)
+	for i := range qs {
+		qs[i] = geo.Span1D(uint64(500*i), uint64(500*i+29000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := re.EstimateBatch(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "queries/op")
 }

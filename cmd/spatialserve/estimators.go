@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	spatial "repro"
+	"repro/geo"
 )
 
 // Kind-specific servable wrappers: each adapts one public estimator type
@@ -116,6 +117,13 @@ func applyBatch[T any](op string, items []T, insertBulk func([]T) error, del fun
 	return len(items), nil
 }
 
+// errNoBatch is the estimateBatch implementation of the parameterless
+// estimator kinds: their estimate takes no query, so there is nothing to
+// batch - the single estimate is already memoized per view.
+func errNoBatch(kind spatial.Kind) (*batchEstimateResponse, error) {
+	return nil, fmt.Errorf("%v estimators take no query; batch estimates are supported by range estimators only", kind)
+}
+
 // ---- join ----
 
 type joinServable struct{ e *spatial.JoinEstimator }
@@ -170,6 +178,10 @@ func (j *joinServable) estimate(req *estimateRequest) (*estimateResponse, error)
 	return estimateWire(spatial.KindJoin, est, counts, float64(left)*float64(right)), nil
 }
 
+func (j *joinServable) estimateBatch(req *estimateRequest) (*batchEstimateResponse, error) {
+	return errNoBatch(spatial.KindJoin)
+}
+
 func (j *joinServable) snapshot() ([]byte, error)       { return j.e.Marshal() }
 func (j *joinServable) mergeSnapshot(data []byte) error { return j.e.MergeSnapshot(data) }
 
@@ -214,6 +226,26 @@ func (s *rangeServable) estimate(req *estimateRequest) (*estimateResponse, error
 	}
 	counts := map[string]int64{"data": count}
 	return estimateWire(spatial.KindRange, est, counts, float64(count)), nil
+}
+
+func (s *rangeServable) estimateBatch(req *estimateRequest) (*batchEstimateResponse, error) {
+	qs := make([]geo.HyperRect, len(req.Queries))
+	for i, q := range req.Queries {
+		if len(q) == 0 {
+			return nil, fmt.Errorf("batch query %d is empty", i)
+		}
+		qs[i] = decodeQuery(q)
+	}
+	ests, count, err := s.e.EstimateBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{"data": count}
+	resp := &batchEstimateResponse{Results: make([]*estimateResponse, len(ests))}
+	for i, est := range ests {
+		resp.Results[i] = estimateWire(spatial.KindRange, est, counts, float64(count))
+	}
+	return resp, nil
 }
 
 func (s *rangeServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
@@ -263,6 +295,10 @@ func (s *epsJoinServable) estimate(req *estimateRequest) (*estimateResponse, err
 	return estimateWire(spatial.KindEpsJoin, est, counts, float64(left)*float64(right)), nil
 }
 
+func (s *epsJoinServable) estimateBatch(req *estimateRequest) (*batchEstimateResponse, error) {
+	return errNoBatch(spatial.KindEpsJoin)
+}
+
 func (s *epsJoinServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
 func (s *epsJoinServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
 
@@ -308,6 +344,10 @@ func (s *containmentServable) estimate(req *estimateRequest) (*estimateResponse,
 	}
 	counts := map[string]int64{"inner": inner, "outer": outer}
 	return estimateWire(spatial.KindContainment, est, counts, float64(inner)*float64(outer)), nil
+}
+
+func (s *containmentServable) estimateBatch(req *estimateRequest) (*batchEstimateResponse, error) {
+	return errNoBatch(spatial.KindContainment)
 }
 
 func (s *containmentServable) snapshot() ([]byte, error)       { return s.e.Marshal() }

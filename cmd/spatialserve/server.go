@@ -25,7 +25,9 @@ import (
 //	GET    /v1/estimators/{name}          info (config, counts, space)
 //	DELETE /v1/estimators/{name}          drop
 //	POST   /v1/estimators/{name}/update   insert/delete a batch of objects
-//	POST   /v1/estimators/{name}/estimate estimate (GET works when no body is needed)
+//	POST   /v1/estimators/{name}/estimate estimate (GET works when no body is
+//	       needed; {"queries": [...]} batches many range queries against one
+//	       consistent view)
 //	GET    /v1/estimators/{name}/snapshot full-estimator snapshot (binary SPE1 envelope)
 //	PUT    /v1/estimators/{name}/snapshot create/replace the estimator from a snapshot
 //	POST   /v1/estimators/{name}/merge    fold a snapshot into the estimator
@@ -45,6 +47,7 @@ type servable interface {
 	counts() map[string]int64
 	update(req *updateRequest) (applied int, err error)
 	estimate(req *estimateRequest) (*estimateResponse, error)
+	estimateBatch(req *estimateRequest) (*batchEstimateResponse, error)
 	snapshot() ([]byte, error)
 	mergeSnapshot(data []byte) error
 }
@@ -131,9 +134,19 @@ type updateResponse struct {
 type estimateRequest struct {
 	// Query is the range-query hyper-rectangle as [dim][lo,hi] pairs.
 	Query [][2]uint64 `json:"query,omitempty"`
+	// Queries batches many range queries into one request: all of them are
+	// answered from ONE pinned estimator view with shared kernel scratch,
+	// and the response is a batchEstimateResponse. Range estimators only.
+	Queries [][][2]uint64 `json:"queries,omitempty"`
 	// Extended selects the Definition 4 extended join
 	// (ModeCommonEndpoints join estimators only).
 	Extended bool `json:"extended,omitempty"`
+}
+
+// batchEstimateResponse answers a Queries batch: one result per query, in
+// request order, all computed against the same view.
+type batchEstimateResponse struct {
+	Results []*estimateResponse `json:"results"`
 }
 
 type estimateResponse struct {
@@ -311,6 +324,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+	}
+	if len(req.Queries) > 0 {
+		if len(req.Query) > 0 {
+			writeError(w, http.StatusBadRequest, "use either query or queries, not both")
+			return
+		}
+		resp, err := est.estimateBatch(&req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
 	resp, err := est.estimate(&req)
 	if err != nil {

@@ -125,7 +125,35 @@ func TestServerLifecycle(t *testing.T) {
 		updateBody(t, "", [][][2]uint64{{{5, 100}}, {{50, 400}}})), http.StatusOK)
 	mustStatus(t, do(t, h, "GET", "/v1/estimators/r/estimate", nil), http.StatusBadRequest)
 	qb, _ := json.Marshal(estimateRequest{Query: [][2]uint64{{0, 300}}})
-	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusOK)
+	w = do(t, h, "POST", "/v1/estimators/r/estimate", qb)
+	mustStatus(t, w, http.StatusOK)
+	var single estimateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &single); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched range estimates: one view, results match single queries.
+	qb, _ = json.Marshal(estimateRequest{Queries: [][][2]uint64{{{0, 300}}, {{100, 500}}}})
+	w = do(t, h, "POST", "/v1/estimators/r/estimate", qb)
+	mustStatus(t, w, http.StatusOK)
+	var batch batchEstimateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(batch.Results))
+	}
+	if batch.Results[0].Value != single.Value || batch.Results[0].Counts["data"] != single.Counts["data"] {
+		t.Fatalf("batch result %+v != single result %+v", batch.Results[0], single)
+	}
+	// Mixing query and queries, batching a queryless kind, and empty batch
+	// entries are rejected.
+	qb, _ = json.Marshal(estimateRequest{Query: [][2]uint64{{0, 300}}, Queries: [][][2]uint64{{{0, 300}}}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusBadRequest)
+	qb, _ = json.Marshal(estimateRequest{Queries: [][][2]uint64{{{0, 300}}}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/estimate", qb), http.StatusBadRequest)
+	qb, _ = json.Marshal(estimateRequest{Queries: [][][2]uint64{{}}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusBadRequest)
 
 	// Snapshot round trip through PUT restore: identical estimates.
 	snap := do(t, h, "GET", "/v1/estimators/j/snapshot", nil)
@@ -252,6 +280,7 @@ func BenchmarkServeMixed(b *testing.B) {
 		}
 		bodies[i] = updateBody(b, side, [][][2]uint64{randRect(rng, dom)})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

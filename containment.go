@@ -227,45 +227,26 @@ func (e *ContainmentEstimator) OuterCount() int64 {
 // Cardinality estimates the number of (inner, outer) pairs with the inner
 // object contained in the outer one.
 func (e *ContainmentEstimator) Cardinality() (Estimate, error) {
-	var est core.Estimate
-	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		var err error
-		est, err = core.EstimatePointInBox(s.pts, s.boxes)
-		return err
-	})
-	return fromCore(est), err
+	est, _, _, err := pointBoxCardinality(e.st, e.newState)
+	return est, err
 }
 
 // CardinalityWithCounts returns Cardinality together with the inner and
 // outer cardinalities, all read from the same consistent view.
 func (e *ContainmentEstimator) CardinalityWithCounts() (est Estimate, inner, outer int64, err error) {
-	err = e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		ce, err := core.EstimatePointInBox(s.pts, s.boxes)
-		if err != nil {
-			return err
-		}
-		est, inner, outer = fromCore(ce), s.pts.Count(), s.boxes.Count()
-		return nil
-	})
-	return est, inner, outer, err
+	return pointBoxCardinality(e.st, e.newState)
 }
 
 // Selectivity estimates Cardinality / (|inner| * |outer|).
 func (e *ContainmentEstimator) Selectivity() (float64, error) {
-	var sel float64
-	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		ni, no := s.pts.Count(), s.boxes.Count()
-		if ni <= 0 || no <= 0 {
-			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", ni, no)
-		}
-		est, err := core.EstimatePointInBox(s.pts, s.boxes)
-		if err != nil {
-			return err
-		}
-		sel = fromCore(est).Clamped() / (float64(ni) * float64(no))
-		return nil
-	})
-	return sel, err
+	est, ni, no, err := pointBoxCardinality(e.st, e.newState)
+	if err != nil {
+		return 0, err
+	}
+	if ni <= 0 || no <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", ni, no)
+	}
+	return est.Clamped() / (float64(ni) * float64(no)), nil
 }
 
 // Marshal serializes the whole estimator - both synopses plus the full

@@ -41,6 +41,25 @@ func mergePointBoxState(dst, src *pointBoxState) error {
 	return dst.boxes.Merge(src.boxes)
 }
 
+// pointBoxCardinality reads (estimate, point count, box count) from one
+// epoch view of a point/box shard set, memoized per view. Cardinality,
+// CardinalityWithCounts and Selectivity of both the epsilon-join and the
+// containment estimator route through here.
+func pointBoxCardinality(st *shardedState[*pointBoxState], mk func() *pointBoxState) (est Estimate, pts, boxes int64, err error) {
+	err = st.view(mk, mergePointBoxState, func(v viewRef[*pointBoxState]) error {
+		var err error
+		est, pts, boxes, err = v.memoized(memoCardinality, nil, func() (Estimate, int64, int64, error) {
+			ce, err := core.EstimatePointInBox(v.state.pts, v.state.boxes)
+			if err != nil {
+				return Estimate{}, 0, 0, err
+			}
+			return fromCore(ce), v.state.pts.Count(), v.state.boxes.Count(), nil
+		})
+		return err
+	})
+	return est, pts, boxes, err
+}
+
 // EpsJoinEstimator estimates |A join_eps B| for two streamed point sets
 // under the L-infinity metric, via the paper's reduction: points of B are
 // expanded into hyper-cubes of side 2*Eps (clipped to the domain) and the
@@ -254,45 +273,26 @@ func (e *EpsJoinEstimator) RightCount() int64 {
 
 // Cardinality estimates |A join_eps B|.
 func (e *EpsJoinEstimator) Cardinality() (Estimate, error) {
-	var est core.Estimate
-	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		var err error
-		est, err = core.EstimatePointInBox(s.pts, s.boxes)
-		return err
-	})
-	return fromCore(est), err
+	est, _, _, err := pointBoxCardinality(e.st, e.newState)
+	return est, err
 }
 
 // CardinalityWithCounts returns Cardinality together with |A| and |B|,
 // all read from the same consistent view.
 func (e *EpsJoinEstimator) CardinalityWithCounts() (est Estimate, left, right int64, err error) {
-	err = e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		ce, err := core.EstimatePointInBox(s.pts, s.boxes)
-		if err != nil {
-			return err
-		}
-		est, left, right = fromCore(ce), s.pts.Count(), s.boxes.Count()
-		return nil
-	})
-	return est, left, right, err
+	return pointBoxCardinality(e.st, e.newState)
 }
 
 // Selectivity estimates |A join_eps B| / (|A| * |B|).
 func (e *EpsJoinEstimator) Selectivity() (float64, error) {
-	var sel float64
-	err := e.st.view(e.newState, mergePointBoxState, func(s *pointBoxState) error {
-		nl, nr := s.pts.Count(), s.boxes.Count()
-		if nl <= 0 || nr <= 0 {
-			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
-		}
-		est, err := core.EstimatePointInBox(s.pts, s.boxes)
-		if err != nil {
-			return err
-		}
-		sel = fromCore(est).Clamped() / (float64(nl) * float64(nr))
-		return nil
-	})
-	return sel, err
+	est, nl, nr, err := pointBoxCardinality(e.st, e.newState)
+	if err != nil {
+		return 0, err
+	}
+	if nl <= 0 || nr <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
+	}
+	return est.Clamped() / (float64(nl) * float64(nr)), nil
 }
 
 // Marshal serializes the whole estimator - both synopses plus the full
@@ -309,12 +309,12 @@ func (e *EpsJoinEstimator) Marshal() ([]byte, error) {
 // marshalPointBox snapshots a point/box shard set into its two core blobs.
 func marshalPointBox(st *shardedState[*pointBoxState], mk func() *pointBoxState) ([][]byte, error) {
 	var blobs [][]byte
-	err := st.view(mk, mergePointBoxState, func(s *pointBoxState) error {
-		pb, err := s.pts.MarshalBinary()
+	err := st.view(mk, mergePointBoxState, func(v viewRef[*pointBoxState]) error {
+		pb, err := v.state.pts.MarshalBinary()
 		if err != nil {
 			return err
 		}
-		bb, err := s.boxes.MarshalBinary()
+		bb, err := v.state.boxes.MarshalBinary()
 		if err != nil {
 			return err
 		}

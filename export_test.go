@@ -1,0 +1,23 @@
+package spatial
+
+// Test/benchmark hooks into the concurrency layer. Compiled into test
+// binaries only.
+
+// SetIngestShardsForTest pins the ingest shard count of estimators built
+// until the returned restore func runs, regardless of GOMAXPROCS - so
+// multi-shard read paths (the epoch view cache) are exercised even on a
+// single-core CI box.
+func SetIngestShardsForTest(n int) (restore func()) {
+	prev := ingestShardsOverride
+	ingestShardsOverride = n
+	return func() { ingestShardsOverride = prev }
+}
+
+// SetViewCacheForTest enables or disables the epoch view cache. With the
+// cache off, multi-shard reads fall back to the fold-per-read path, the
+// reference for cache/fold equivalence tests.
+func SetViewCacheForTest(on bool) (restore func()) {
+	prev := viewCacheOff
+	viewCacheOff = !on
+	return func() { viewCacheOff = prev }
+}

@@ -48,6 +48,14 @@ func (e Estimate) StdErr() float64 {
 // groups must divide len(zs); group g owns the contiguous instance range
 // [g*k1, (g+1)*k1).
 func boost(zs []float64, groups int) Estimate {
+	return boostWith(zs, groups, make([]float64, groups))
+}
+
+// boostWith is boost with a caller-provided median working copy, so pooled
+// scratch makes the fold allocation-free except for the GroupMeans
+// diagnostic slice of the returned Estimate (which escapes to the caller
+// and must stay owned by it).
+func boostWith(zs []float64, groups int, med []float64) Estimate {
 	n := len(zs)
 	k1 := n / groups
 	est := Estimate{
@@ -72,7 +80,9 @@ func boost(zs []float64, groups int) Estimate {
 	if n > 1 {
 		est.SampleVariance = varSum / float64(n-1)
 	}
-	est.Value = median(append([]float64(nil), est.GroupMeans...))
+	med = med[:groups]
+	copy(med, est.GroupMeans)
+	est.Value = median(med)
 	return est
 }
 

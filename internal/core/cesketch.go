@@ -187,30 +187,54 @@ func estimateCE(x, y *CESketch, pairings []cePairing) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: sketches come from different plans")
 	}
 	p := x.plan
+	sc := p.GetScratch()
+	defer p.PutScratch(sc)
 	d := p.cfg.Dims
 	nw := pow4(d)
 	scale := 1.0 / float64(int64(1)<<uint(d))
-	zs := make([]float64, p.cfg.Instances)
+	// Expand the product of per-dimension pairing choices once into a flat
+	// term list, then sweep it per instance - the recursion used to run per
+	// instance, re-deriving the same len(pairings)^d terms every time. The
+	// expansion order (dimension 0 outermost) and the per-term multiply
+	// order are preserved, so estimates are bit-identical.
+	nterms := 1
+	for i := 0; i < d; i++ {
+		nterms *= len(pairings)
+	}
+	wx, wy, coeff := sc.ceTerms(nterms)
+	expandCE(d, pairings, wx, wy, coeff)
+	zs := sc.instSums(p)
 	for inst := range zs {
 		xbase := x.counters[inst*nw : (inst+1)*nw]
 		ybase := y.counters[inst*nw : (inst+1)*nw]
 		var z float64
-		// Enumerate the product of per-dimension pairing choices.
-		var rec func(dim, wx, wy int, coeff int64)
-		rec = func(dim, wx, wy int, coeff int64) {
-			if dim == d {
-				z += float64(coeff) * float64(xbase[wx]) * float64(ybase[wy])
-				return
-			}
-			shift := 2 * uint(dim)
-			for _, pr := range pairings {
-				rec(dim+1, wx|pr.x<<shift, wy|pr.y<<shift, coeff*pr.coeff)
-			}
+		for t := range coeff {
+			z += coeff[t] * float64(xbase[wx[t]]) * float64(ybase[wy[t]])
 		}
-		rec(0, 0, 0, 1)
 		zs[inst] = z * scale
 	}
-	return boost(zs, p.cfg.Groups), nil
+	return boostWith(zs, p.cfg.Groups, sc.medianBuf(p)), nil
+}
+
+// expandCE fills the flattened pairing expansion: term i holds the X- and
+// Y-side counter offsets and the signed coefficient of one leaf of the
+// per-dimension pairing product, enumerated depth-first with dimension 0
+// outermost (the historical recursion order).
+func expandCE(d int, pairings []cePairing, wx, wy []int32, coeff []float64) {
+	n := 0
+	var rec func(dim, ax, ay int, c int64)
+	rec = func(dim, ax, ay int, c int64) {
+		if dim == d {
+			wx[n], wy[n], coeff[n] = int32(ax), int32(ay), float64(c)
+			n++
+			return
+		}
+		shift := 2 * uint(dim)
+		for _, pr := range pairings {
+			rec(dim+1, ax|pr.x<<shift, ay|pr.y<<shift, c*pr.coeff)
+		}
+	}
+	rec(0, 0, 0, 1)
 }
 
 // CESelfJoinWeight returns the paper's SJ(R) accounting for CE sketches in

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/geo"
 	"repro/internal/dyadic"
@@ -97,7 +98,8 @@ type Plan struct {
 	cfg      Config
 	doms     []dyadic.Domain
 	maxLevel []int
-	bank     *xi.Bank // [dim*Instances + inst]
+	bank     *xi.Bank  // [dim*Instances + inst]
+	scratch  sync.Pool // of *EstScratch; see GetScratch
 }
 
 // NewPlan validates the configuration and derives all xi-families from the

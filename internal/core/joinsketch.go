@@ -180,11 +180,13 @@ func EstimateJoin(x, y *JoinSketch) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: sketches come from different plans")
 	}
 	p := x.plan
+	sc := p.GetScratch()
+	defer p.PutScratch(sc)
 	d := p.cfg.Dims
 	nw := 1 << uint(d)
 	mask := nw - 1
 	scale := 1.0 / float64(int64(1)<<uint(d))
-	zs := make([]float64, p.cfg.Instances)
+	zs := sc.instSums(p)
 	for inst := range zs {
 		base := inst * nw
 		var z float64
@@ -193,7 +195,7 @@ func EstimateJoin(x, y *JoinSketch) (Estimate, error) {
 		}
 		zs[inst] = z * scale
 	}
-	return boost(zs, p.cfg.Groups), nil
+	return boostWith(zs, p.cfg.Groups, sc.medianBuf(p)), nil
 }
 
 // EstimateSelfJoin estimates SJ(R) = sum_w SJ(X_w) from the sketch's own
@@ -203,8 +205,10 @@ func EstimateJoin(x, y *JoinSketch) (Estimate, error) {
 // estimates its own variance budget.
 func (s *JoinSketch) EstimateSelfJoin() Estimate {
 	p := s.plan
+	sc := p.GetScratch()
+	defer p.PutScratch(sc)
 	nw := 1 << uint(p.cfg.Dims)
-	zs := make([]float64, p.cfg.Instances)
+	zs := sc.instSums(p)
 	for inst := range zs {
 		base := inst * nw
 		var z float64
@@ -214,7 +218,7 @@ func (s *JoinSketch) EstimateSelfJoin() Estimate {
 		}
 		zs[inst] = z
 	}
-	return boost(zs, p.cfg.Groups)
+	return boostWith(zs, p.cfg.Groups, sc.medianBuf(p))
 }
 
 // SelfJoinUpperBound returns a cheap upper bound on SJ(R) =

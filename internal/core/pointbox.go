@@ -204,11 +204,14 @@ func EstimatePointInBox(pts *PointSketch, boxes *BoxSketch) (Estimate, error) {
 	if !samePlan(pts.plan, boxes.plan) {
 		return Estimate{}, fmt.Errorf("core: sketches come from different plans")
 	}
-	zs := make([]float64, pts.plan.cfg.Instances)
+	p := pts.plan
+	sc := p.GetScratch()
+	defer p.PutScratch(sc)
+	zs := sc.instSums(p)
 	for inst := range zs {
 		zs[inst] = float64(pts.counters[inst]) * float64(boxes.counters[inst])
 	}
-	return boost(zs, pts.plan.cfg.Groups), nil
+	return boostWith(zs, p.cfg.Groups, sc.medianBuf(p)), nil
 }
 
 // ContainmentPoint maps a d-dim hyper-rectangle r to the 2d-dim point

@@ -123,6 +123,16 @@ func (s *RangeSketch) Merge(other *RangeSketch) error {
 // its d-dimensional generalization. The query must live in the same
 // (possibly transformed) domain as the inserted data.
 func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
+	sc := s.plan.GetScratch()
+	defer s.plan.PutScratch(sc)
+	return s.EstimateRangeWith(q, sc)
+}
+
+// EstimateRangeWith is EstimateRange with caller-provided scratch, the
+// batched-query fast path: one scratch (from the sketch plan's pool) serves
+// a whole batch of queries with no per-query allocation beyond the returned
+// Estimate's GroupMeans.
+func (s *RangeSketch) EstimateRangeWith(q geo.HyperRect, sc *EstScratch) (Estimate, error) {
 	p := s.plan
 	if err := p.checkRect(q); err != nil {
 		return Estimate{}, fmt.Errorf("core: bad range query: %w", err)
@@ -132,9 +142,9 @@ func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
 	// Query-side values per dimension: the interval cover of q (pairs with
 	// data letter U) and the point cover of q's upper endpoint (pairs with
 	// data letter I), batched id-major like the update path.
-	qb := newCoverBuf(d)
+	qb, qv := sc.queryCovers(p)
 	qb.load(p, q)
-	qv := newLetterSums(d, 2, p.cfg.Instances)
+	qv.reset()
 	var lp [MaxDims][2][]int64
 	for i := 0; i < d; i++ {
 		lo, hi := p.famRange(i)
@@ -142,7 +152,7 @@ func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
 		p.bank.SumSignsMany(qb.cover[i], lo, hi, qv.plane(i, 1)) // pairs with data U
 		lp[i][0], lp[i][1] = qv.plane(i, 0), qv.plane(i, 1)
 	}
-	zs := make([]float64, p.cfg.Instances)
+	zs := sc.instSums(p)
 	for inst := range zs {
 		base := inst * nw
 		var z float64
@@ -155,5 +165,5 @@ func (s *RangeSketch) EstimateRange(q geo.HyperRect) (Estimate, error) {
 		}
 		zs[inst] = z
 	}
-	return boost(zs, p.cfg.Groups), nil
+	return boostWith(zs, p.cfg.Groups, sc.medianBuf(p)), nil
 }

@@ -1,0 +1,73 @@
+package core
+
+// EstScratch is the reusable scratch of the estimate kernels: per-instance
+// Z values, the boost median working copy, and (for range queries) the
+// query-side cover buffers and letter-sum planes. Scratches are pooled on
+// the Plan (sizes are fixed by the plan's configuration), so steady-state
+// estimation does no per-query allocation beyond the GroupMeans diagnostic
+// slice of the returned Estimate.
+//
+// A scratch must only be used with sketches of the plan it was taken from,
+// and must not be used concurrently; take one per goroutine.
+type EstScratch struct {
+	zs    []float64   // per-instance Z values
+	med   []float64   // boost median working copy
+	qb    *coverBuf   // query-side covers (range kernel)
+	qsums *letterSums // query-side letter sums (range kernel)
+
+	// Flattened common-endpoint pairing expansion (estimateCE): per term the
+	// X- and Y-side counter offsets and the signed coefficient.
+	ceWX, ceWY []int32
+	ceCoeff    []float64
+}
+
+// GetScratch takes an estimate scratch from the plan's pool, allocating a
+// fresh (empty) one when the pool is dry. Components are sized lazily on
+// first use, so a scratch only pays for the kernels that touch it.
+func (p *Plan) GetScratch() *EstScratch {
+	if v := p.scratch.Get(); v != nil {
+		return v.(*EstScratch)
+	}
+	return &EstScratch{}
+}
+
+// PutScratch returns a scratch to the plan's pool. The caller must not use
+// sc afterwards.
+func (p *Plan) PutScratch(sc *EstScratch) { p.scratch.Put(sc) }
+
+// instSums returns the per-instance Z accumulator, sized to the plan.
+func (sc *EstScratch) instSums(p *Plan) []float64 {
+	if sc.zs == nil {
+		sc.zs = make([]float64, p.cfg.Instances)
+	}
+	return sc.zs
+}
+
+// medianBuf returns the boost median working copy, sized to the plan.
+func (sc *EstScratch) medianBuf(p *Plan) []float64 {
+	if sc.med == nil {
+		sc.med = make([]float64, p.cfg.Groups)
+	}
+	return sc.med
+}
+
+// queryCovers returns the query-side cover buffer and letter-sum planes of
+// the range kernel, sized to the plan.
+func (sc *EstScratch) queryCovers(p *Plan) (*coverBuf, *letterSums) {
+	if sc.qb == nil {
+		sc.qb = newCoverBuf(p.cfg.Dims)
+		sc.qsums = newLetterSums(p.cfg.Dims, 2, p.cfg.Instances)
+	}
+	return sc.qb, sc.qsums
+}
+
+// ceTerms returns the flattened pairing-expansion arrays with room for n
+// terms.
+func (sc *EstScratch) ceTerms(n int) (wx, wy []int32, coeff []float64) {
+	if cap(sc.ceWX) < n {
+		sc.ceWX = make([]int32, n)
+		sc.ceWY = make([]int32, n)
+		sc.ceCoeff = make([]float64, n)
+	}
+	return sc.ceWX[:n], sc.ceWY[:n], sc.ceCoeff[:n]
+}

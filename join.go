@@ -122,8 +122,48 @@ func mergeJoinState(dst, src *joinState) error {
 }
 
 // withView runs fn on a consistent read-only view of the whole estimator.
-func (e *JoinEstimator) withView(fn func(*joinState) error) error {
+func (e *JoinEstimator) withView(fn func(viewRef[*joinState]) error) error {
 	return e.st.view(e.newState, mergeJoinState, fn)
+}
+
+// cardinalityView computes (estimate, left count, right count) for the
+// strict or extended join from one epoch view, memoized per view.
+// Cardinality, CardinalityWithCounts, their extended variants and
+// Selectivity all route through here: one kernel run per view serves every
+// caller, and all of them see counts consistent with the estimate.
+func (e *JoinEstimator) cardinalityView(extended bool) (est Estimate, left, right int64, err error) {
+	slot := memoCardinality
+	if extended {
+		slot = memoExtended
+	}
+	err = e.withView(func(v viewRef[*joinState]) error {
+		var err error
+		est, left, right, err = v.memoized(slot, nil, func() (Estimate, int64, int64, error) {
+			s := v.state
+			var ce core.Estimate
+			var err error
+			switch {
+			case extended:
+				ce, err = core.EstimateJoinExtCE(s.leftCE, s.rightCE)
+			case s.leftCE != nil:
+				ce, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
+			default:
+				ce, err = core.EstimateJoin(s.left, s.right)
+			}
+			if err != nil {
+				return Estimate{}, 0, 0, err
+			}
+			var l, r int64
+			if s.leftCE != nil {
+				l, r = s.leftCE.Count(), s.rightCE.Count()
+			} else {
+				l, r = s.left.Count(), s.right.Count()
+			}
+			return fromCore(ce), l, r, nil
+		})
+		return err
+	})
+	return est, left, right, err
 }
 
 // Config returns the estimator's configuration.
@@ -292,17 +332,8 @@ func (e *JoinEstimator) RightCount() int64 {
 
 // Cardinality estimates |R join_o S| (strict overlap, Definition 1).
 func (e *JoinEstimator) Cardinality() (Estimate, error) {
-	var est core.Estimate
-	err := e.withView(func(s *joinState) error {
-		var err error
-		if s.leftCE != nil {
-			est, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
-		} else {
-			est, err = core.EstimateJoin(s.left, s.right)
-		}
-		return err
-	})
-	return fromCore(est), err
+	est, _, _, err := e.cardinalityView(false)
+	return est, err
 }
 
 // CardinalityExtended estimates the extended join |R join+_o S| of
@@ -312,13 +343,8 @@ func (e *JoinEstimator) CardinalityExtended() (Estimate, error) {
 	if e.cfg.Mode != ModeCommonEndpoints {
 		return Estimate{}, fmt.Errorf("spatial: extended join requires ModeCommonEndpoints")
 	}
-	var est core.Estimate
-	err := e.withView(func(s *joinState) error {
-		var err error
-		est, err = core.EstimateJoinExtCE(s.leftCE, s.rightCE)
-		return err
-	})
-	return fromCore(est), err
+	est, _, _, err := e.cardinalityView(true)
+	return est, err
 }
 
 // CardinalityWithCounts returns Cardinality together with the input
@@ -327,7 +353,7 @@ func (e *JoinEstimator) CardinalityExtended() (Estimate, error) {
 // estimate was computed against (Cardinality followed by LeftCount can
 // interleave with updates).
 func (e *JoinEstimator) CardinalityWithCounts() (est Estimate, left, right int64, err error) {
-	return e.cardinalityWithCounts(false)
+	return e.cardinalityView(false)
 }
 
 // CardinalityExtendedWithCounts is CardinalityWithCounts for the extended
@@ -336,63 +362,37 @@ func (e *JoinEstimator) CardinalityExtendedWithCounts() (est Estimate, left, rig
 	if e.cfg.Mode != ModeCommonEndpoints {
 		return Estimate{}, 0, 0, fmt.Errorf("spatial: extended join requires ModeCommonEndpoints")
 	}
-	return e.cardinalityWithCounts(true)
-}
-
-func (e *JoinEstimator) cardinalityWithCounts(extended bool) (est Estimate, left, right int64, err error) {
-	err = e.withView(func(s *joinState) error {
-		var ce core.Estimate
-		var err error
-		switch {
-		case extended:
-			ce, err = core.EstimateJoinExtCE(s.leftCE, s.rightCE)
-		case s.leftCE != nil:
-			ce, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
-		default:
-			ce, err = core.EstimateJoin(s.left, s.right)
-		}
-		if err != nil {
-			return err
-		}
-		est = fromCore(ce)
-		if s.leftCE != nil {
-			left, right = s.leftCE.Count(), s.rightCE.Count()
-		} else {
-			left, right = s.left.Count(), s.right.Count()
-		}
-		return nil
-	})
-	return est, left, right, err
+	return e.cardinalityView(true)
 }
 
 // Selectivity estimates |R join_o S| / (|R| * |S|).
 func (e *JoinEstimator) Selectivity() (float64, error) {
-	var sel float64
-	err := e.withView(func(s *joinState) error {
-		var nl, nr int64
-		var est core.Estimate
+	est, nl, nr, err := e.cardinalityView(false)
+	if err != nil {
+		return 0, err
+	}
+	if nl <= 0 || nr <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
+	}
+	return est.Clamped() / (float64(nl) * float64(nr)), nil
+}
+
+// selfJoinView estimates SJ of one side from its own synopsis, memoized per
+// view.
+func (e *JoinEstimator) selfJoinView(slot int) (Estimate, error) {
+	var est Estimate
+	err := e.withView(func(v viewRef[*joinState]) error {
 		var err error
-		if s.leftCE != nil {
-			nl, nr = s.leftCE.Count(), s.rightCE.Count()
-			if nl > 0 && nr > 0 {
-				est, err = core.EstimateJoinCE(s.leftCE, s.rightCE)
+		est, _, _, err = v.memoized(slot, nil, func() (Estimate, int64, int64, error) {
+			side := v.state.left
+			if slot == memoSelfJoinRight {
+				side = v.state.right
 			}
-		} else {
-			nl, nr = s.left.Count(), s.right.Count()
-			if nl > 0 && nr > 0 {
-				est, err = core.EstimateJoin(s.left, s.right)
-			}
-		}
-		if nl <= 0 || nr <= 0 {
-			return fmt.Errorf("spatial: selectivity undefined for empty inputs (%d, %d)", nl, nr)
-		}
-		if err != nil {
-			return err
-		}
-		sel = fromCore(est).Clamped() / (float64(nl) * float64(nr))
-		return nil
+			return fromCore(side.EstimateSelfJoin()), 0, 0, nil
+		})
+		return err
 	})
-	return sel, err
+	return est, err
 }
 
 // EstimateSelfJoinLeft estimates SJ(R) from the left synopsis itself
@@ -402,12 +402,7 @@ func (e *JoinEstimator) EstimateSelfJoinLeft() (Estimate, error) {
 	if e.cfg.Mode != ModeTransform {
 		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
 	}
-	var est core.Estimate
-	err := e.withView(func(s *joinState) error {
-		est = s.left.EstimateSelfJoin()
-		return nil
-	})
-	return fromCore(est), err
+	return e.selfJoinView(memoSelfJoinLeft)
 }
 
 // EstimateSelfJoinRight estimates SJ(S) from the right synopsis.
@@ -415,12 +410,7 @@ func (e *JoinEstimator) EstimateSelfJoinRight() (Estimate, error) {
 	if e.cfg.Mode != ModeTransform {
 		return Estimate{}, fmt.Errorf("spatial: self-join estimation is supported in ModeTransform only")
 	}
-	var est core.Estimate
-	err := e.withView(func(s *joinState) error {
-		est = s.right.EstimateSelfJoin()
-		return nil
-	})
-	return fromCore(est), err
+	return e.selfJoinView(memoSelfJoinRight)
 }
 
 // header returns the full public configuration of this estimator, the
@@ -468,7 +458,8 @@ func (e *JoinEstimator) Merge(other *JoinEstimator) error {
 // estimates are bit-identical to this one's. Both modes are supported.
 func (e *JoinEstimator) Marshal() ([]byte, error) {
 	var blobs [][]byte
-	err := e.withView(func(s *joinState) error {
+	err := e.withView(func(v viewRef[*joinState]) error {
+		s := v.state
 		var lb, rb []byte
 		var err error
 		if s.leftCE != nil {
@@ -604,12 +595,12 @@ func (e *JoinEstimator) marshalSide(side snapSide) ([]byte, error) {
 		return nil, fmt.Errorf("spatial: single-side serialization is supported in ModeTransform only; Marshal snapshots whole estimators in either mode")
 	}
 	var blob []byte
-	err := e.withView(func(s *joinState) error {
+	err := e.withView(func(v viewRef[*joinState]) error {
 		var err error
 		if side == sideLeft {
-			blob, err = s.left.MarshalBinary()
+			blob, err = v.state.left.MarshalBinary()
 		} else {
-			blob, err = s.right.MarshalBinary()
+			blob, err = v.state.right.MarshalBinary()
 		}
 		return err
 	})

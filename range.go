@@ -145,60 +145,85 @@ func (e *RangeEstimator) InsertBulk(rects []geo.HyperRect) error {
 // mergeRangeSketch adapts core merging to the shard helper.
 func mergeRangeSketch(dst, src *core.RangeSketch) error { return dst.Merge(src) }
 
+// queryView answers one range query from the current epoch view: validate,
+// check the per-view memo against the raw query, and transform + run the
+// kernel on a miss. Estimate, EstimateWithCount and Selectivity all route
+// through here, so every caller sees the same (estimate, count) pair from
+// one consistent view, and a repeated hot query on an unchanged estimator
+// is a pointer load.
+func (e *RangeEstimator) queryView(q geo.HyperRect) (est Estimate, count int64, err error) {
+	if err := e.check(q); err != nil {
+		return Estimate{}, 0, fmt.Errorf("spatial: bad range query: %w", err)
+	}
+	err = e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(v viewRef[*core.RangeSketch]) error {
+		var err error
+		est, count, _, err = v.memoized(memoRange, q, func() (Estimate, int64, int64, error) {
+			ce, err := v.state.EstimateRange(geo.TransformShrinkRect(q))
+			if err != nil {
+				return Estimate{}, 0, 0, err
+			}
+			return fromCore(ce), v.state.Count(), 0, nil
+		})
+		return err
+	})
+	return est, count, err
+}
+
 // Estimate returns the estimated number of summarized objects overlapping
 // q (strict overlap, Definition 3).
 func (e *RangeEstimator) Estimate(q geo.HyperRect) (Estimate, error) {
-	if err := e.check(q); err != nil {
-		return Estimate{}, fmt.Errorf("spatial: bad range query: %w", err)
-	}
-	t := geo.TransformShrinkRect(q)
-	var est core.Estimate
-	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
-		var err error
-		est, err = s.EstimateRange(t)
-		return err
-	})
-	return fromCore(est), err
+	est, _, err := e.queryView(q)
+	return est, err
 }
 
 // EstimateWithCount returns Estimate(q) together with the relation size,
 // both read from the same consistent view.
 func (e *RangeEstimator) EstimateWithCount(q geo.HyperRect) (est Estimate, count int64, err error) {
-	if err := e.check(q); err != nil {
-		return Estimate{}, 0, fmt.Errorf("spatial: bad range query: %w", err)
-	}
-	t := geo.TransformShrinkRect(q)
-	err = e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
-		ce, err := s.EstimateRange(t)
-		if err != nil {
-			return err
-		}
-		est, count = fromCore(ce), s.Count()
-		return nil
-	})
-	return est, count, err
+	return e.queryView(q)
 }
 
 // Selectivity returns Estimate(q) / Count().
 func (e *RangeEstimator) Selectivity(q geo.HyperRect) (float64, error) {
-	if err := e.check(q); err != nil {
-		return 0, fmt.Errorf("spatial: bad range query: %w", err)
+	est, n, err := e.queryView(q)
+	if err != nil {
+		return 0, err
 	}
-	t := geo.TransformShrinkRect(q)
-	var sel float64
-	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
-		n := s.Count()
-		if n <= 0 {
-			return fmt.Errorf("spatial: selectivity undefined for an empty relation")
+	if n <= 0 {
+		return 0, fmt.Errorf("spatial: selectivity undefined for an empty relation")
+	}
+	return est.Clamped() / float64(n), nil
+}
+
+// EstimateBatch answers many range queries against ONE pinned view with one
+// scratch set: the view is resolved once for the whole batch (so all
+// results are mutually consistent even under concurrent writers) and the
+// estimate kernel reuses pooled query-side scratch across the queries. It
+// also returns the relation size read from the same view.
+func (e *RangeEstimator) EstimateBatch(qs []geo.HyperRect) ([]Estimate, int64, error) {
+	for _, q := range qs {
+		if err := e.check(q); err != nil {
+			return nil, 0, fmt.Errorf("spatial: bad range query: %w", err)
 		}
-		est, err := s.EstimateRange(t)
-		if err != nil {
-			return err
+	}
+	out := make([]Estimate, len(qs))
+	var count int64
+	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(v viewRef[*core.RangeSketch]) error {
+		sc := e.plan.GetScratch()
+		defer e.plan.PutScratch(sc)
+		for i, q := range qs {
+			ce, err := v.state.EstimateRangeWith(geo.TransformShrinkRect(q), sc)
+			if err != nil {
+				return err
+			}
+			out[i] = fromCore(ce)
 		}
-		sel = fromCore(est).Clamped() / float64(n)
+		count = v.state.Count()
 		return nil
 	})
-	return sel, err
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, count, nil
 }
 
 // header returns the full public configuration of this estimator.
@@ -235,9 +260,9 @@ func (e *RangeEstimator) Merge(other *RangeEstimator) error {
 // UnmarshalRangeEstimator.
 func (e *RangeEstimator) Marshal() ([]byte, error) {
 	var blob []byte
-	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(s *core.RangeSketch) error {
+	err := e.st.view(e.plan.NewRangeSketch, mergeRangeSketch, func(v viewRef[*core.RangeSketch]) error {
 		var err error
-		blob, err = s.MarshalBinary()
+		blob, err = v.state.MarshalBinary()
 		return err
 	})
 	if err != nil {

@@ -68,7 +68,10 @@ type Estimate struct {
 	Value float64
 	// Mean is the grand mean over all atomic instances.
 	Mean float64
-	// GroupMeans are the per-group means whose median is Value.
+	// GroupMeans are the per-group means whose median is Value. Treat the
+	// slice as read-only: the zero-copy read path memoizes estimates per
+	// immutable view, so repeated queries against an unchanged estimator
+	// may return Estimates sharing one GroupMeans slice.
 	GroupMeans []float64
 	// SampleVariance is the empirical variance of the atomic instances.
 	SampleVariance float64

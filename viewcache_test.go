@@ -1,0 +1,461 @@
+package spatial
+
+// View-cache correctness: staleness invalidation after every mutation
+// kind, single-flight rebuilds under concurrency (meaningful with -race),
+// and bit-identical estimates vs. the direct fold-per-read path on all
+// four estimator types. Internal package tests: they reach into the
+// sharded state and flip the export_test.go hooks.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/geo"
+)
+
+const vcDom = 1 << 10
+
+// vcRects emits n deterministic non-degenerate 2-d rectangles.
+func vcRects(n int, seed uint64) []geo.HyperRect {
+	rects := make([]geo.HyperRect, n)
+	s := seed
+	next := func(span uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % span
+	}
+	for i := range rects {
+		r := make(geo.HyperRect, 2)
+		for d := range r {
+			lo := next(vcDom - 2)
+			hi := lo + 1 + next(vcDom-lo-1)
+			r[d] = geo.Interval{Lo: lo, Hi: hi}
+		}
+		rects[i] = r
+	}
+	return rects
+}
+
+func vcRanges(n int, seed uint64) []geo.HyperRect {
+	out := vcRects(n, seed)
+	for i := range out {
+		out[i] = out[i][:1]
+	}
+	return out
+}
+
+// estimatesEqual requires exact (bit-identical) equality, GroupMeans
+// included.
+func estimatesEqual(a, b Estimate) error {
+	if a.Value != b.Value || a.Mean != b.Mean || a.SampleVariance != b.SampleVariance || a.Instances != b.Instances {
+		return fmt.Errorf("estimate mismatch: (%v %v %v %d) vs (%v %v %v %d)",
+			a.Value, a.Mean, a.SampleVariance, a.Instances, b.Value, b.Mean, b.SampleVariance, b.Instances)
+	}
+	if len(a.GroupMeans) != len(b.GroupMeans) {
+		return fmt.Errorf("group means length %d vs %d", len(a.GroupMeans), len(b.GroupMeans))
+	}
+	for i := range a.GroupMeans {
+		if a.GroupMeans[i] != b.GroupMeans[i] {
+			return fmt.Errorf("group mean %d: %v vs %v", i, a.GroupMeans[i], b.GroupMeans[i])
+		}
+	}
+	return nil
+}
+
+// TestViewCacheStaleness checks that every mutation path invalidates the
+// epoch view: a read after Insert/Delete/Merge/MergeSnapshot must see the
+// new state, never a stale cached fold.
+func TestViewCacheStaleness(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	e, err := NewRangeEstimator(RangeConfig{
+		Dims: 1, DomainSize: vcDom, Sizing: Sizing{Instances: 64, Groups: 4}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := vcRanges(64, 7)
+	if err := e.InsertBulk(data); err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Span1D(10, vcDom/2)
+	_, count, err := e.EstimateWithCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Fatalf("count after bulk load = %d, want 64", count)
+	}
+	v1 := e.st.cache.Load()
+	if v1 == nil {
+		t.Fatal("no cached view published after a read on a multi-shard estimator")
+	}
+
+	// Insert invalidates.
+	extra := vcRanges(1, 99)[0]
+	if err := e.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, count, err = e.EstimateWithCount(q); err != nil || count != 65 {
+		t.Fatalf("count after insert = %d (err %v), want 65", count, err)
+	}
+	if e.st.cache.Load() == v1 {
+		t.Fatal("insert did not invalidate the cached view")
+	}
+
+	// Delete invalidates.
+	if err := e.Delete(extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, count, err = e.EstimateWithCount(q); err != nil || count != 64 {
+		t.Fatalf("count after delete = %d (err %v), want 64", count, err)
+	}
+
+	// Merge invalidates.
+	other, err := NewRangeEstimator(e.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.InsertBulk(vcRanges(16, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, count, err = e.EstimateWithCount(q); err != nil || count != 80 {
+		t.Fatalf("count after merge = %d (err %v), want 80", count, err)
+	}
+
+	// MergeSnapshot (the unmarshal-into-existing path) invalidates.
+	snap, err := other.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MergeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, count, err = e.EstimateWithCount(q); err != nil || count != 96 {
+		t.Fatalf("count after merge snapshot = %d (err %v), want 96", count, err)
+	}
+
+	// An estimator reconstructed from a snapshot reads its restored state.
+	full, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalRangeEstimator(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, rc, err := restored.EstimateWithCount(q)
+	if err != nil || rc != 96 {
+		t.Fatalf("restored count = %d (err %v), want 96", rc, err)
+	}
+	oe, _, err := e.EstimateWithCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := estimatesEqual(re, oe); err != nil {
+		t.Fatalf("restored estimate differs: %v", err)
+	}
+
+	// With no interleaved writes, repeated reads reuse the SAME view and
+	// memoized result - the zero-copy steady state.
+	a, _, _ := e.EstimateWithCount(q)
+	b, _, _ := e.EstimateWithCount(q)
+	if len(a.GroupMeans) == 0 || &a.GroupMeans[0] != &b.GroupMeans[0] {
+		t.Fatal("repeated identical query did not hit the per-view memo")
+	}
+}
+
+// TestViewCacheJoinStaleness repeats the invalidation check on the join
+// read path (CardinalityWithCounts), which is memoized parameterlessly.
+func TestViewCacheJoinStaleness(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	e, err := NewJoinEstimator(JoinConfig{
+		Dims: 2, DomainSize: vcDom, Sizing: Sizing{Instances: 64, Groups: 4}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertLeftBulk(vcRects(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertRightBulk(vcRects(32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	est1, l, r, err := e.CardinalityWithCounts()
+	if err != nil || l != 32 || r != 32 {
+		t.Fatalf("counts (%d, %d) err %v, want (32, 32)", l, r, err)
+	}
+	// Memo hit while unchanged.
+	est2, _, _, _ := e.CardinalityWithCounts()
+	if &est1.GroupMeans[0] != &est2.GroupMeans[0] {
+		t.Fatal("unchanged join estimator did not hit the per-view memo")
+	}
+	// A single-object insert must be visible to the very next read.
+	if err := e.InsertLeft(vcRects(1, 5)[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, l, _, err = e.CardinalityWithCounts()
+	if err != nil || l != 33 {
+		t.Fatalf("left count after insert = %d (err %v), want 33", l, err)
+	}
+}
+
+// TestViewCacheBitIdentical pins the cached read path to the direct
+// fold-per-read path on every estimator type: identical inputs must yield
+// bit-identical estimates, GroupMeans included.
+func TestViewCacheBitIdentical(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	sizing := Sizing{Instances: 64, Groups: 4}
+
+	type readCase struct {
+		name string
+		read func() (Estimate, error)
+	}
+	var cases []readCase
+
+	je, err := NewJoinEstimator(JoinConfig{Dims: 2, DomainSize: vcDom, Sizing: sizing, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := je.InsertLeftBulk(vcRects(48, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := je.InsertRightBulk(vcRects(48, 22)); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		readCase{"join/cardinality", je.Cardinality},
+		readCase{"join/selfjoin-left", je.EstimateSelfJoinLeft},
+	)
+
+	ce, err := NewJoinEstimator(JoinConfig{Dims: 1, DomainSize: vcDom, Sizing: sizing, Seed: 12, Mode: ModeCommonEndpoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.InsertLeftBulk(vcRanges(48, 23)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.InsertRightBulk(vcRanges(48, 24)); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		readCase{"join-ce/cardinality", ce.Cardinality},
+		readCase{"join-ce/extended", ce.CardinalityExtended},
+	)
+
+	re, err := NewRangeEstimator(RangeConfig{Dims: 1, DomainSize: vcDom, Sizing: sizing, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.InsertBulk(vcRanges(48, 25)); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []geo.HyperRect{geo.Span1D(0, 100), geo.Span1D(37, 512), geo.Span1D(500, vcDom-1)} {
+		q := q
+		cases = append(cases, readCase{fmt.Sprintf("range/query-%d", i), func() (Estimate, error) {
+			return re.Estimate(q)
+		}})
+	}
+
+	ee, err := NewEpsJoinEstimator(EpsJoinConfig{Dims: 2, DomainSize: vcDom, Eps: 8, Sizing: sizing, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, 48)
+	for i, r := range vcRects(48, 26) {
+		pts[i] = geo.Point{r[0].Lo, r[1].Lo}
+	}
+	if err := ee.InsertLeftBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ee.InsertRightBulk(pts); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, readCase{"epsjoin/cardinality", ee.Cardinality})
+
+	co, err := NewContainmentEstimator(ContainmentConfig{Dims: 2, DomainSize: vcDom, Sizing: sizing, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.InsertInnerBulk(vcRects(48, 27)); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.InsertOuterBulk(vcRects(48, 28)); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, readCase{"containment/cardinality", co.Cardinality})
+
+	for _, tc := range cases {
+		cached, err := tc.read()
+		if err != nil {
+			t.Fatalf("%s (cached): %v", tc.name, err)
+		}
+		restore := SetViewCacheForTest(false)
+		folded, err := tc.read()
+		restore()
+		if err != nil {
+			t.Fatalf("%s (fold): %v", tc.name, err)
+		}
+		if err := estimatesEqual(cached, folded); err != nil {
+			t.Fatalf("%s: cached view differs from direct fold: %v", tc.name, err)
+		}
+	}
+}
+
+// TestRangeMemoThrash checks single-entry memo correctness under
+// alternating queries: every answer must match the uncached reference.
+func TestRangeMemoThrash(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	e, err := NewRangeEstimator(RangeConfig{
+		Dims: 1, DomainSize: vcDom, Sizing: Sizing{Instances: 64, Groups: 4}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertBulk(vcRanges(64, 31)); err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := geo.Span1D(0, 200), geo.Span1D(150, 900)
+	for _, q := range []geo.HyperRect{q1, q1, q2, q1, q2, q2, q1} {
+		got, err := e.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := SetViewCacheForTest(false)
+		want, err := e.Estimate(q)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := estimatesEqual(got, want); err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+	}
+}
+
+// TestEstimateBatch checks the batched range API: results bit-identical to
+// single-query estimates, the view-consistent count, and validation.
+func TestEstimateBatch(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	e, err := NewRangeEstimator(RangeConfig{
+		Dims: 1, DomainSize: vcDom, Sizing: Sizing{Instances: 64, Groups: 4}, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertBulk(vcRanges(64, 41)); err != nil {
+		t.Fatal(err)
+	}
+	qs := []geo.HyperRect{geo.Span1D(0, 100), geo.Span1D(80, 700), geo.Span1D(512, vcDom-1)}
+	batch, count, err := e.EstimateBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Fatalf("batch count = %d, want 64", count)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		single, err := e.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := estimatesEqual(batch[i], single); err != nil {
+			t.Fatalf("batch result %d differs from single estimate: %v", i, err)
+		}
+	}
+	if _, _, err := e.EstimateBatch([]geo.HyperRect{geo.Span1D(0, vcDom)}); err == nil {
+		t.Fatal("out-of-domain batch query not rejected")
+	}
+	if out, _, err := e.EstimateBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// TestViewCacheSingleFlight hammers a multi-shard estimator with
+// concurrent readers and writers - the single-flight rebuild and epoch
+// publication must stay race-free (run under -race) and every write must
+// be visible once writers are done.
+func TestViewCacheSingleFlight(t *testing.T) {
+	defer SetIngestShardsForTest(4)()
+
+	e, err := NewJoinEstimator(JoinConfig{
+		Dims: 2, DomainSize: vcDom, Sizing: Sizing{Instances: 64, Groups: 4}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter, readers = 4, 50, 4
+	rects := vcRects(writers*perWriter, 51)
+	errc := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := rects[w*perWriter+i]
+				var err error
+				if i%2 == 0 {
+					err = e.InsertLeft(r)
+				} else {
+					err = e.InsertRight(r)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				// Read-your-writes: a view served after this writer's i+1
+				// completed inserts must contain all of them, even when it
+				// was folded by a concurrent reader (waiters may only adopt
+				// views whose fold began after they arrived).
+				_, l, rc, err := e.CardinalityWithCounts()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if int(l+rc) < i+1 {
+					errc <- fmt.Errorf("writer %d: view shows %d objects after %d own inserts completed", w, l+rc, i+1)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2*perWriter; i++ {
+				if _, _, _, err := e.CardinalityWithCounts(); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := e.Selectivity(); err != nil {
+					// Empty inputs early on are legitimate.
+					continue
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	_, l, r, err := e.CardinalityWithCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l+r != writers*perWriter {
+		t.Fatalf("post-quiescence counts %d+%d != %d inserts", l, r, writers*perWriter)
+	}
+}
