@@ -19,6 +19,7 @@ import (
 	"repro/geo"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/wal"
 )
 
 // benchOpt keeps a full -bench=. sweep in the minutes range.
@@ -144,6 +145,43 @@ func BenchmarkUpdateThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rects := datagen.MustRects(datagen.Spec{N: 4096, Dims: 2, Domain: 1 << 16, Seed: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := est.InsertLeft(rects[i%len(rects)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(est.Instances()), "instances")
+}
+
+// BenchmarkUpdateThroughputWAL is BenchmarkUpdateThroughput with a
+// write-ahead log attached through the update tap (group-committed, no
+// fsync) - the acceptance gate for the durability layer is <10%
+// regression against the untapped path.
+func BenchmarkUpdateThroughputWAL(b *testing.B) {
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 1 << 16,
+		Sizing: spatial.Sizing{Instances: 1024, Groups: 8},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := wal.Open(wal.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	est.SetUpdateTap(func(recs []spatial.UpdateRecord) error {
+		var buf []byte
+		for _, r := range recs {
+			buf = r.AppendBinary(buf)
+		}
+		_, err := w.Append(buf)
+		return err
+	})
 	rects := datagen.MustRects(datagen.Spec{N: 4096, Dims: 2, Domain: 1 << 16, Seed: 2})
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -185,6 +185,9 @@ func (j *joinServable) estimateBatch(req *estimateRequest) (*batchEstimateRespon
 func (j *joinServable) snapshot() ([]byte, error)       { return j.e.Marshal() }
 func (j *joinServable) mergeSnapshot(data []byte) error { return j.e.MergeSnapshot(data) }
 
+func (j *joinServable) setTap(tap spatial.UpdateTap)               { j.e.SetUpdateTap(tap) }
+func (j *joinServable) applyRecord(rec spatial.UpdateRecord) error { return j.e.Apply(rec) }
+
 // ---- range ----
 
 type rangeServable struct{ e *spatial.RangeEstimator }
@@ -251,6 +254,9 @@ func (s *rangeServable) estimateBatch(req *estimateRequest) (*batchEstimateRespo
 func (s *rangeServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
 func (s *rangeServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
 
+func (s *rangeServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
+func (s *rangeServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }
+
 // ---- epsilon-join ----
 
 type epsJoinServable struct{ e *spatial.EpsJoinEstimator }
@@ -302,6 +308,9 @@ func (s *epsJoinServable) estimateBatch(req *estimateRequest) (*batchEstimateRes
 func (s *epsJoinServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
 func (s *epsJoinServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
 
+func (s *epsJoinServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
+func (s *epsJoinServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }
+
 // ---- containment ----
 
 type containmentServable struct{ e *spatial.ContainmentEstimator }
@@ -352,3 +361,6 @@ func (s *containmentServable) estimateBatch(req *estimateRequest) (*batchEstimat
 
 func (s *containmentServable) snapshot() ([]byte, error)       { return s.e.Marshal() }
 func (s *containmentServable) mergeSnapshot(data []byte) error { return s.e.MergeSnapshot(data) }
+
+func (s *containmentServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
+func (s *containmentServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }

@@ -5,9 +5,20 @@
 // long-running service. Estimators are safe for concurrent use, so mixed
 // reader/writer traffic needs no external locking.
 //
+// With -data-dir the registry is durable: every mutation is written ahead
+// to a group-committed WAL before it is applied, checkpoints run in the
+// background (and on demand via POST /admin/checkpoint), and on startup
+// the registry is recovered from the latest checkpoint plus the WAL
+// suffix - bit-identical to a server that never crashed, torn final
+// records tolerated. See docs/ARCHITECTURE.md for the design and
+// docs/SNAPSHOT_FORMAT.md for the on-disk formats.
+//
 // Usage:
 //
-//	spatialserve -addr :8080
+//	spatialserve -addr :8080 \
+//	    -data-dir /var/lib/spatialserve \
+//	    -checkpoint-interval 30s \
+//	    -fsync=false
 //
 // Create an estimator, stream objects, estimate, snapshot:
 //
@@ -18,24 +29,98 @@
 //	curl localhost:8080/v1/estimators/parks-roads/estimate
 //	curl localhost:8080/v1/estimators/parks-roads/snapshot > parks-roads.spe1
 //	curl -X POST --data-binary @parks-roads.spe1 localhost:8080/v1/estimators/parks-roads/merge
+//	curl -X POST localhost:8080/admin/checkpoint   # durable checkpoint now
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	flag.Parse()
+// errUsage signals that the flag package already reported a usage problem
+// (message plus usage text); main exits non-zero without re-printing it.
+var errUsage = errors.New("invalid arguments")
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           NewServer(),
-		ReadHeaderTimeout: 10 * time.Second,
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
 	}
-	log.Printf("spatialserve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+}
+
+// run parses args, builds the (optionally persistent) server and serves
+// until SIGINT/SIGTERM, then shuts down gracefully: stop accepting, flush
+// a final checkpoint, close the WAL. The "listening on" line goes to out
+// so wrappers (tests, examples) can discover a :0 port.
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("spatialserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataDir := fs.String("data-dir", "", "durability root (WAL + checkpoints); empty serves in-memory only")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every acknowledged mutation (power-loss durability; off, mutations still survive process crashes)")
+	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with -data-dir (0 disables periodic checkpoints)")
+	segBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 64 MiB)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage was printed, exit 0
+		}
+		return errUsage
+	}
+
+	var srv *Server
+	var err error
+	if *dataDir != "" {
+		srv, err = NewPersistentServer(PersistOptions{
+			DataDir:            *dataDir,
+			Fsync:              *fsync,
+			CheckpointInterval: *ckptEvery,
+			SegmentBytes:       *segBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+		}
+	} else {
+		srv = NewServer()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(out, "spatialserve listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case sig := <-sigc:
+		log.Printf("spatialserve: %v: draining and flushing", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("spatialserve: shutdown: %v", err)
+	}
+	// The final checkpoint + WAL flush: after this, restart replays
+	// nothing and starts from the checkpoint alone.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("flushing on shutdown: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,587 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	spatial "repro"
+	"repro/internal/wal"
+)
+
+// Durability layer: write-ahead log + background checkpoints + recovery.
+//
+// Every mutation of the served registry is written ahead to a group-
+// committed WAL (internal/wal) before it is applied, so a crash - SIGKILL
+// included - loses nothing that was acknowledged. Estimator updates reach
+// the log through the library's update tap (one tap per registered
+// estimator, installed at registration); registry operations (create,
+// delete, snapshot PUT, merge) are logged by their handlers. Because
+// sketches are linear projections, replaying the logged update stream into
+// same-config estimators reconstructs their counters bit-identically -
+// durability here is exact, not approximate.
+//
+// Checkpoints bound replay time and WAL size: periodically (and on demand
+// via POST /admin/checkpoint, and on graceful shutdown) every estimator is
+// serialized through its SPE1 snapshot and the manifest records the WAL
+// position the snapshots correspond to; recovery loads the snapshots and
+// replays only the WAL suffix. Old checkpoint files and WAL segments are
+// removed once the new manifest is durable, so disk use stays proportional
+// to live state plus one checkpoint interval of traffic.
+//
+// Consistency of the cut: a checkpoint must capture exactly the updates
+// logged before its WAL position - an update in both the snapshot and the
+// replayed suffix would be double-counted. The persister therefore runs
+// every logged mutation inside a shared "gate" (gate.RLock held across
+// append-to-WAL + apply-to-estimator) and takes the gate exclusively for
+// the instant it captures the cut: under the exclusive gate no mutation is
+// in flight, so the WAL position and the estimator states agree exactly.
+// The gate is held only while capturing that position and marshaling the
+// in-memory snapshots (microseconds to low milliseconds - the same
+// per-shard counter copy any reader imposes); file writes, fsyncs and WAL
+// truncation happen after it is released, so checkpoints never stall
+// ingest on I/O.
+//
+// The same gate makes registry swaps race-free against in-flight updates:
+// handlers that mutate one estimator re-verify the name binding under the
+// shared gate, and handlers that change a binding (create/delete/PUT) hold
+// the gate exclusively - an update racing a PUT-replace either lands (and
+// is logged) before the replacement, or observes the stale binding and is
+// rejected, so the log never applies an old object's update to the new
+// estimator on replay.
+
+// WAL record payloads: op byte | uvarint name length | name | rest.
+const (
+	walOpCreate byte = 1 // rest: JSON createRequest (kind + config)
+	walOpDelete byte = 2 // rest: empty
+	walOpUpdate byte = 3 // rest: uvarint record count | UpdateRecord*
+	walOpMerge  byte = 4 // rest: raw SPE1 snapshot to fold in
+	walOpPut    byte = 5 // rest: raw SPE1 snapshot to create/replace from
+)
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+	walSubdir       = "wal"
+	ckptSubdir      = "checkpoints"
+)
+
+// PersistOptions configures the durability layer of a server.
+type PersistOptions struct {
+	// DataDir is the root directory for the WAL and checkpoints.
+	DataDir string
+	// Fsync makes every acknowledged mutation fsync the WAL (power-loss
+	// durability). Off, mutations are still written to the kernel before
+	// they are acknowledged, which survives process crashes (SIGKILL) but
+	// not host crashes.
+	Fsync bool
+	// CheckpointInterval is the background checkpoint period. Zero
+	// disables periodic checkpoints (explicit /admin/checkpoint and the
+	// graceful-shutdown checkpoint still run).
+	CheckpointInterval time.Duration
+	// SegmentBytes overrides the WAL segment rotation threshold (0 uses
+	// the WAL default).
+	SegmentBytes int64
+	// Logf receives progress and warning lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// persister owns the WAL, the checkpoint files and the mutation gate of
+// one server.
+type persister struct {
+	srv  *Server
+	opts PersistOptions
+	w    *wal.WAL
+
+	// gate orders logged mutations against checkpoint cuts and registry
+	// swaps: shared for single-estimator mutations (update, merge),
+	// exclusive for binding changes (create, delete, PUT) and the cut.
+	gate sync.RWMutex
+
+	ckptMu    sync.Mutex // serializes whole checkpoints
+	seq       uint64     // last durable checkpoint sequence
+	lastCut   wal.Pos    // WAL position of the last durable checkpoint
+	closeOnce sync.Once
+	closeErr  error
+	stop      chan struct{}
+	loopDone  chan struct{}
+}
+
+// logFailure marks a failed WAL append - a server-side durability outage.
+// Handlers report it as 500 so 5xx-based alerting sees the outage, while
+// genuine client mistakes stay 4xx.
+type logFailure struct{ err error }
+
+// Error formats the wrapped append failure.
+func (e *logFailure) Error() string { return "write-ahead logging failed: " + e.err.Error() }
+
+// Unwrap exposes the underlying WAL error.
+func (e *logFailure) Unwrap() error { return e.err }
+
+func (p *persister) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// manifest is the durable checkpoint descriptor: which snapshot file holds
+// each estimator, and the WAL position the snapshots are exact up to.
+type manifest struct {
+	Version    int             `json:"version"`
+	Seq        uint64          `json:"seq"`
+	WALSegment uint64          `json:"walSegment"`
+	WALOffset  int64           `json:"walOffset"`
+	Estimators []manifestEntry `json:"estimators"`
+}
+
+// manifestEntry binds one registered estimator name to its snapshot file.
+type manifestEntry struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+}
+
+// newPersister opens (or initializes) the data directory, recovers the
+// registry into srv - latest checkpoint plus WAL suffix - and starts the
+// background checkpoint loop.
+func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
+	p := &persister{
+		srv:      srv,
+		opts:     opts,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if err := os.MkdirAll(filepath.Join(opts.DataDir, ckptSubdir), 0o755); err != nil {
+		return nil, err
+	}
+
+	m, err := p.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	from := wal.Pos{}
+	if m != nil {
+		p.seq = m.Seq
+		from = wal.Pos{Seg: m.WALSegment, Off: m.WALOffset}
+		p.lastCut = from
+		for _, e := range m.Estimators {
+			data, err := os.ReadFile(filepath.Join(opts.DataDir, ckptSubdir, e.File))
+			if err != nil {
+				return nil, fmt.Errorf("loading checkpoint %d: %w", m.Seq, err)
+			}
+			est, err := restoreServable(data)
+			if err != nil {
+				return nil, fmt.Errorf("loading checkpoint %d, estimator %q: %w", m.Seq, e.Name, err)
+			}
+			srv.ests[e.Name] = est
+		}
+	}
+
+	// Open (trimming any torn tail) before replaying, so replay sees the
+	// repaired files; appends start only after recovery anyway.
+	walDir := filepath.Join(opts.DataDir, walSubdir)
+	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf})
+	if err != nil {
+		return nil, err
+	}
+	replayed := 0
+	err = wal.Replay(walDir, from, func(pos wal.Pos, payload []byte) error {
+		replayed++
+		return p.applyLogged(pos, payload)
+	})
+	if err != nil {
+		p.w.Close()
+		return nil, fmt.Errorf("replaying wal: %w", err)
+	}
+	if m != nil || replayed > 0 {
+		p.logf("spatialserve: recovered %d estimator(s) (checkpoint seq %d + %d wal record(s))",
+			len(srv.ests), p.seq, replayed)
+	}
+
+	// Recovery done: attach the taps that feed the log from now on.
+	for name, est := range srv.ests {
+		est.setTap(p.updateTap(name))
+	}
+
+	go p.checkpointLoop()
+	return p, nil
+}
+
+// checkpointLoop runs periodic background checkpoints until stop.
+func (p *persister) checkpointLoop() {
+	defer close(p.loopDone)
+	if p.opts.CheckpointInterval <= 0 {
+		<-p.stop
+		return
+	}
+	t := time.NewTicker(p.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if _, err := p.checkpoint(); err != nil {
+				p.logf("spatialserve: background checkpoint failed: %v", err)
+			}
+		}
+	}
+}
+
+// close stops the checkpoint loop, takes a final checkpoint (unless
+// abrupt) and closes the WAL. With abrupt set it skips the checkpoint and
+// only flushes the log - the in-process equivalent of a crash, used by
+// recovery tests. close is idempotent: later calls return the first
+// result instead of spurious already-closed errors (deferred Close plus
+// an explicit shutdown Close is a common caller pattern).
+func (p *persister) close(abrupt bool) error {
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		<-p.loopDone
+		var err error
+		if !abrupt {
+			if _, cerr := p.checkpoint(); cerr != nil {
+				err = cerr
+			}
+			if serr := p.w.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		if cerr := p.w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		p.closeErr = err
+	})
+	return p.closeErr
+}
+
+// ---- logging mutations ----
+
+func appendName(dst []byte, name string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	return append(dst, name...)
+}
+
+// logCreate writes the create record. Caller holds the exclusive gate and
+// the registry lock.
+func (p *persister) logCreate(req *createRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	payload := appendName([]byte{walOpCreate}, req.Name)
+	if _, err := p.w.Append(append(payload, body...)); err != nil {
+		return &logFailure{err}
+	}
+	return nil
+}
+
+// logDelete writes the delete record. Caller holds the exclusive gate and
+// the registry lock.
+func (p *persister) logDelete(name string) error {
+	if _, err := p.w.Append(appendName([]byte{walOpDelete}, name)); err != nil {
+		return &logFailure{err}
+	}
+	return nil
+}
+
+// logSnapshot writes a merge or put record carrying raw SPE1 bytes.
+func (p *persister) logSnapshot(op byte, name string, snapshot []byte) error {
+	payload := appendName([]byte{op}, name)
+	if _, err := p.w.Append(append(payload, snapshot...)); err != nil {
+		return &logFailure{err}
+	}
+	return nil
+}
+
+// updateTap returns the UpdateTap feeding name's update stream into the
+// WAL: it encodes the batch and blocks until the group commit accepts it,
+// so the estimator applies an update only after it is logged.
+func (p *persister) updateTap(name string) spatial.UpdateTap {
+	prefix := appendName([]byte{walOpUpdate}, name)
+	return func(recs []spatial.UpdateRecord) error {
+		payload := append([]byte(nil), prefix...)
+		payload = binary.AppendUvarint(payload, uint64(len(recs)))
+		for _, r := range recs {
+			payload = r.AppendBinary(payload)
+		}
+		if _, err := p.w.Append(payload); err != nil {
+			return &logFailure{err}
+		}
+		return nil
+	}
+}
+
+// ---- replay ----
+
+// applyLogged applies one WAL record to the recovering registry. No taps
+// are attached during recovery, so nothing is re-logged.
+func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("wal record at %v: empty payload", pos)
+	}
+	op := payload[0]
+	nameLen, n := binary.Uvarint(payload[1:])
+	if n <= 0 || uint64(len(payload)-1-n) < nameLen {
+		return fmt.Errorf("wal record at %v: truncated name", pos)
+	}
+	name := string(payload[1+n : 1+n+int(nameLen)])
+	rest := payload[1+n+int(nameLen):]
+	switch op {
+	case walOpCreate:
+		var req createRequest
+		if err := json.Unmarshal(rest, &req); err != nil {
+			return fmt.Errorf("wal create %q at %v: %w", name, pos, err)
+		}
+		est, err := buildServable(req.Kind, req.Config)
+		if err != nil {
+			return fmt.Errorf("wal create %q at %v: %w", name, pos, err)
+		}
+		p.srv.ests[name] = est
+	case walOpDelete:
+		if _, ok := p.srv.ests[name]; !ok {
+			return fmt.Errorf("wal delete %q at %v: estimator not in recovered registry", name, pos)
+		}
+		delete(p.srv.ests, name)
+	case walOpUpdate:
+		est, ok := p.srv.ests[name]
+		if !ok {
+			return fmt.Errorf("wal update for %q at %v: estimator not in recovered registry", name, pos)
+		}
+		count, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return fmt.Errorf("wal update for %q at %v: truncated record count", name, pos)
+		}
+		rest = rest[k:]
+		for i := uint64(0); i < count; i++ {
+			rec, used, err := spatial.DecodeUpdateRecord(rest)
+			if err != nil {
+				return fmt.Errorf("wal update for %q at %v: %w", name, pos, err)
+			}
+			rest = rest[used:]
+			if err := est.applyRecord(rec); err != nil {
+				return fmt.Errorf("wal update for %q at %v: %w", name, pos, err)
+			}
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("wal update for %q at %v: %d trailing bytes", name, pos, len(rest))
+		}
+	case walOpMerge:
+		est, ok := p.srv.ests[name]
+		if !ok {
+			return fmt.Errorf("wal merge into %q at %v: estimator not in recovered registry", name, pos)
+		}
+		// Merges are logged before their config check runs, so a record
+		// can hold a snapshot the estimator rejected at runtime; the same
+		// deterministic rejection here leaves the same state.
+		if err := est.mergeSnapshot(rest); err != nil {
+			p.logf("spatialserve: replay: merge into %q at %v was rejected (as at runtime): %v", name, pos, err)
+		}
+	case walOpPut:
+		est, err := restoreServable(rest)
+		if err != nil {
+			return fmt.Errorf("wal put %q at %v: %w", name, pos, err)
+		}
+		p.srv.ests[name] = est
+	default:
+		return fmt.Errorf("wal record at %v: unknown op %d", pos, op)
+	}
+	return nil
+}
+
+// ---- checkpoints ----
+
+// checkpointResult reports what a checkpoint captured.
+type checkpointResult struct {
+	Seq        uint64 `json:"seq"`
+	WALSegment uint64 `json:"walSegment"`
+	WALOffset  int64  `json:"walOffset"`
+	Estimators int    `json:"estimators"`
+}
+
+// checkpoint snapshots every registered estimator at one consistent WAL
+// cut, makes the new manifest durable, then garbage-collects files the
+// previous checkpoint needed. Concurrent checkpoints serialize; a
+// checkpoint with nothing new logged since the last one is a no-op.
+func (p *persister) checkpoint() (checkpointResult, error) {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+
+	if p.w.Pos() == p.lastCut {
+		return checkpointResult{Seq: p.seq, WALSegment: p.lastCut.Seg, WALOffset: p.lastCut.Off,
+			Estimators: len(p.currentManifestEntries())}, nil
+	}
+
+	// The cut: exclusive gate, so no logged mutation is in flight - the
+	// rotated WAL position and the marshaled states agree exactly. Only
+	// in-memory work happens under the gate.
+	type snap struct {
+		name string
+		data []byte
+	}
+	var snaps []snap
+	p.gate.Lock()
+	// The cut usually lands mid-segment; replay handles that, and
+	// TruncateBefore still releases every older segment, so the log on
+	// disk is bounded by one segment plus the traffic since the cut.
+	cut := p.w.Pos()
+	p.srv.mu.RLock()
+	for name, est := range p.srv.ests {
+		data, err := est.snapshot()
+		if err != nil {
+			p.srv.mu.RUnlock()
+			p.gate.Unlock()
+			return checkpointResult{}, fmt.Errorf("snapshotting %q: %w", name, err)
+		}
+		snaps = append(snaps, snap{name: name, data: data})
+	}
+	p.srv.mu.RUnlock()
+	p.gate.Unlock()
+
+	// Durable phase, off the ingest path.
+	seq := p.seq + 1
+	dir := filepath.Join(p.opts.DataDir, ckptSubdir)
+	m := manifest{Version: manifestVersion, Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off}
+	for i, s := range snaps {
+		file := fmt.Sprintf("est-%d-%d.spe1", seq, i)
+		if err := p.writeFile(filepath.Join(dir, file), s.data); err != nil {
+			return checkpointResult{}, err
+		}
+		m.Estimators = append(m.Estimators, manifestEntry{Name: s.name, File: file})
+	}
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return checkpointResult{}, err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := p.writeFile(tmp, body); err != nil {
+		return checkpointResult{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return checkpointResult{}, err
+	}
+	if p.opts.Fsync {
+		if err := syncDir(dir); err != nil {
+			return checkpointResult{}, err
+		}
+	}
+	p.seq, p.lastCut = seq, cut
+
+	// The new manifest is durable: previous checkpoint files and WAL
+	// segments before the cut are garbage.
+	p.gcCheckpointFiles(dir, m)
+	if err := p.w.TruncateBefore(cut); err != nil {
+		p.logf("spatialserve: wal truncation after checkpoint %d failed: %v", seq, err)
+	}
+	return checkpointResult{Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off, Estimators: len(snaps)}, nil
+}
+
+// currentManifestEntries re-reads the manifest for the no-op checkpoint
+// response; errors degrade to an empty list.
+func (p *persister) currentManifestEntries() []manifestEntry {
+	m, err := p.readManifest()
+	if err != nil || m == nil {
+		return nil
+	}
+	return m.Estimators
+}
+
+// writeFile writes data to path, fsyncing when configured.
+func (p *persister) writeFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if p.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// gcCheckpointFiles removes checkpoint-directory files the current
+// manifest does not reference.
+func (p *persister) gcCheckpointFiles(dir string, m manifest) {
+	keep := map[string]bool{manifestName: true}
+	for _, e := range m.Estimators {
+		keep[e.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.logf("spatialserve: checkpoint gc: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || keep[e.Name()] {
+			continue
+		}
+		if strings.HasPrefix(e.Name(), "est-") || strings.HasPrefix(e.Name(), manifestName) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				p.logf("spatialserve: checkpoint gc: %v", err)
+			}
+		}
+	}
+}
+
+func (p *persister) readManifest() (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(p.opts.DataDir, ckptSubdir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("checkpoint manifest version %d, this build reads %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---- handler-side gating helpers ----
+
+// withEstimator runs fn - a logged mutation of one estimator - under the
+// shared gate, re-verifying that name still binds to est (binding changes
+// hold the gate exclusively, so the binding cannot change while fn runs).
+// Without persistence it just runs fn.
+func (s *Server) withEstimator(name string, est servable, fn func() error) error {
+	if s.persist == nil {
+		return fn()
+	}
+	s.persist.gate.RLock()
+	defer s.persist.gate.RUnlock()
+	cur, ok := s.lookup(name)
+	if !ok || cur != est {
+		return errStaleBinding
+	}
+	return fn()
+}
+
+// errStaleBinding reports that an estimator was deleted or replaced
+// between a handler's lookup and its logged mutation.
+var errStaleBinding = fmt.Errorf("estimator was deleted or replaced concurrently; retry")

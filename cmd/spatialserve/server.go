@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,11 +32,16 @@ import (
 //	GET    /v1/estimators/{name}/snapshot full-estimator snapshot (binary SPE1 envelope)
 //	PUT    /v1/estimators/{name}/snapshot create/replace the estimator from a snapshot
 //	POST   /v1/estimators/{name}/merge    fold a snapshot into the estimator
+//	POST   /admin/checkpoint              force a durable checkpoint (persistence only)
 //	GET    /healthz
 type Server struct {
 	mu   sync.RWMutex
 	ests map[string]servable
 	mux  *http.ServeMux
+
+	// persist, when non-nil, write-ahead-logs every mutation and owns
+	// checkpoints and recovery (see persist.go).
+	persist *persister
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -50,9 +56,14 @@ type servable interface {
 	estimateBatch(req *estimateRequest) (*batchEstimateResponse, error)
 	snapshot() ([]byte, error)
 	mergeSnapshot(data []byte) error
+	// setTap installs the persistence update tap on the wrapped estimator.
+	setTap(tap spatial.UpdateTap)
+	// applyRecord replays one logged update record during recovery.
+	applyRecord(rec spatial.UpdateRecord) error
 }
 
-// NewServer returns a ready-to-serve handler with an empty registry.
+// NewServer returns a ready-to-serve handler with an empty in-memory
+// registry (no durability; see NewPersistentServer).
 func NewServer() *Server {
 	s := &Server{ests: make(map[string]servable), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -68,9 +79,36 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /v1/estimators/{name}/snapshot", s.handleSnapshotGet)
 	s.mux.HandleFunc("PUT /v1/estimators/{name}/snapshot", s.handleSnapshotPut)
 	s.mux.HandleFunc("POST /v1/estimators/{name}/merge", s.handleMerge)
+	s.mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	return s
 }
 
+// NewPersistentServer returns a server whose registry is durable under
+// opts.DataDir: the registry is recovered from the latest checkpoint plus
+// the WAL suffix, every subsequent mutation is write-ahead logged, and
+// checkpoints run in the background. Callers must Close it to flush and
+// release the data directory.
+func NewPersistentServer(opts PersistOptions) (*Server, error) {
+	s := NewServer()
+	p, err := newPersister(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.persist = p
+	return s, nil
+}
+
+// Close takes a final checkpoint (when persistence is enabled), flushes
+// and closes the WAL. The in-memory registry remains queryable; Close is
+// for graceful shutdown.
+func (s *Server) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.close(false)
+}
+
+// ServeHTTP dispatches to the registry's endpoint handlers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // lookup fetches an estimator by name under the registry read lock.
@@ -224,11 +262,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Creating a name is a registry-binding change: under persistence it
+	// holds the gate exclusively and is logged before it becomes visible.
+	if s.persist != nil {
+		s.persist.gate.Lock()
+		defer s.persist.gate.Unlock()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.ests[req.Name]; exists {
 		writeError(w, http.StatusConflict, "estimator %q already exists", req.Name)
 		return
+	}
+	if s.persist != nil {
+		if err := s.persist.logCreate(&req); err != nil {
+			writeError(w, http.StatusInternalServerError, "logging create: %v", err)
+			return
+		}
+		est.setTap(s.persist.updateTap(req.Name))
 	}
 	s.ests[req.Name] = est
 	writeJSON(w, http.StatusCreated, infoResponse{
@@ -275,8 +326,19 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.persist != nil {
+		s.persist.gate.Lock()
+		defer s.persist.gate.Unlock()
+	}
 	s.mu.Lock()
 	_, ok := s.ests[name]
+	if ok && s.persist != nil {
+		if err := s.persist.logDelete(name); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "logging delete: %v", err)
+			return
+		}
+	}
 	delete(s.ests, name)
 	s.mu.Unlock()
 	if !ok {
@@ -304,7 +366,26 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "op %q is neither insert nor delete", req.Op)
 		return
 	}
-	applied, err := est.update(&req)
+	// Under persistence, the gate brackets the whole logged mutation (the
+	// estimator's update tap appends to the WAL before applying), so a
+	// checkpoint cut never splits it.
+	var applied int
+	err := s.withEstimator(name, est, func() error {
+		var uerr error
+		applied, uerr = est.update(&req)
+		return uerr
+	})
+	if err == errStaleBinding {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	var lf *logFailure
+	if errors.As(err, &lf) {
+		// A durability outage, not a client mistake: 500 so 5xx-based
+		// alerting sees it.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -374,6 +455,22 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Replacing a binding excludes in-flight updates on the old estimator
+	// (they re-verify the binding under the shared gate), so the log can
+	// never apply an old object's update to the restored one on replay.
+	// The snapshot bytes (up to 64 MB) are logged BEFORE taking the
+	// registry lock: the exclusive gate already serializes this against
+	// every other logged mutation, and holding s.mu across a group commit
+	// would stall read traffic for the whole write.
+	if s.persist != nil {
+		s.persist.gate.Lock()
+		defer s.persist.gate.Unlock()
+		if err := s.persist.logSnapshot(walOpPut, name, data); err != nil {
+			writeError(w, http.StatusInternalServerError, "logging snapshot put: %v", err)
+			return
+		}
+		est.setTap(s.persist.updateTap(name))
+	}
 	s.mu.Lock()
 	s.ests[name] = est
 	s.mu.Unlock()
@@ -394,11 +491,41 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if !okBody {
 		return
 	}
-	if err := est.mergeSnapshot(data); err != nil {
+	err := s.withEstimator(name, est, func() error {
+		if s.persist != nil {
+			// Logged before the config check: a rejected merge replays as
+			// the same deterministic rejection (see persist.go).
+			if err := s.persist.logSnapshot(walOpMerge, name, data); err != nil {
+				return err
+			}
+		}
+		return est.mergeSnapshot(data)
+	})
+	var lf *logFailure
+	if errors.As(err, &lf) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, updateResponse{Counts: est.counts()})
+}
+
+// handleCheckpoint forces a durable checkpoint; it answers 409 when the
+// server runs without persistence.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.persist == nil {
+		writeError(w, http.StatusConflict, "persistence is disabled (start with -data-dir)")
+		return
+	}
+	res, err := s.persist.checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // ---- geometry decoding ----

@@ -260,46 +260,8 @@ func TestServeConcurrentMixed(t *testing.T) {
 // BenchmarkServeMixed measures mixed reader/writer serving throughput on
 // one shared join estimator: ~75% single-object inserts, ~20% estimates,
 // ~5% snapshots, issued from parallel clients through the full HTTP
-// handler stack.
+// handler stack. BenchmarkServeMixedWAL (persist_test.go) runs the same
+// workload with durability enabled.
 func BenchmarkServeMixed(b *testing.B) {
-	h := NewServer()
-	const dom = 1 << 16
-	body, _ := json.Marshal(createRequest{
-		Name: "bench", Kind: "join",
-		Config: configRequest{Dims: 2, DomainSize: dom, Seed: 1, Instances: 512, Groups: 8},
-	})
-	mustStatus(b, do(b, h, "POST", "/v1/estimators", body), http.StatusCreated)
-	// Pre-build request bodies so the benchmark measures serving, not JSON
-	// construction.
-	rng := rand.New(rand.NewSource(1))
-	bodies := make([][]byte, 256)
-	for i := range bodies {
-		side := "left"
-		if i%2 == 1 {
-			side = "right"
-		}
-		bodies[i] = updateBody(b, side, [][][2]uint64{randRect(rng, dom)})
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		i := 0
-		for pb.Next() {
-			i++
-			switch {
-			case i%20 == 0: // 5% snapshots
-				if w := do(nil, h, "GET", "/v1/estimators/bench/snapshot", nil); w.Code != http.StatusOK {
-					b.Fatalf("snapshot: %d", w.Code)
-				}
-			case i%5 == 0: // 20% estimates
-				if w := do(nil, h, "GET", "/v1/estimators/bench/estimate", nil); w.Code != http.StatusOK {
-					b.Fatalf("estimate: %d", w.Code)
-				}
-			default: // 75% inserts
-				if w := do(nil, h, "POST", "/v1/estimators/bench/update", bodies[i%len(bodies)]); w.Code != http.StatusOK {
-					b.Fatalf("update: %d %s", w.Code, w.Body.String())
-				}
-			}
-		}
-	})
+	benchServeMixed(b, NewServer())
 }

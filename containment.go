@@ -125,6 +125,9 @@ func (e *ContainmentEstimator) updateInner(r geo.HyperRect, insert bool) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideInner, r, nil); err != nil {
+		return err
+	}
 	pt := core.ContainmentPoint(r)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -144,6 +147,9 @@ func (e *ContainmentEstimator) updateOuter(r geo.HyperRect, insert bool) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideOuter, r, nil); err != nil {
+		return err
+	}
 	box := core.ContainmentBox(r)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -155,11 +161,16 @@ func (e *ContainmentEstimator) updateOuter(r geo.HyperRect, insert bool) error {
 
 // InsertInnerBulk bulk-loads inner objects (parallelized internally).
 func (e *ContainmentEstimator) InsertInnerBulk(rects []geo.HyperRect) error {
-	pts := make([]geo.Point, len(rects))
-	for i, r := range rects {
+	for _, r := range rects {
 		if err := e.check(r); err != nil {
 			return err
 		}
+	}
+	if err := e.st.tapRects(OpInsert, SideInner, rects); err != nil {
+		return err
+	}
+	pts := make([]geo.Point, len(rects))
+	for i, r := range rects {
 		pts[i] = core.ContainmentPoint(r)
 	}
 	return e.st.ingest(func(s *pointBoxState) error { return s.pts.InsertAll(pts) })
@@ -167,14 +178,43 @@ func (e *ContainmentEstimator) InsertInnerBulk(rects []geo.HyperRect) error {
 
 // InsertOuterBulk bulk-loads outer objects.
 func (e *ContainmentEstimator) InsertOuterBulk(rects []geo.HyperRect) error {
-	boxes := make([]geo.HyperRect, len(rects))
-	for i, r := range rects {
+	for _, r := range rects {
 		if err := e.check(r); err != nil {
 			return err
 		}
+	}
+	if err := e.st.tapRects(OpInsert, SideOuter, rects); err != nil {
+		return err
+	}
+	boxes := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
 		boxes[i] = core.ContainmentBox(r)
 	}
 	return e.st.ingest(func(s *pointBoxState) error { return s.boxes.InsertAll(boxes) })
+}
+
+// SetUpdateTap installs tap to observe every point/bulk update before it
+// is applied (see UpdateTap); nil removes it. Merge and MergeSnapshot are
+// not tapped.
+func (e *ContainmentEstimator) SetUpdateTap(tap UpdateTap) { e.st.setTap(tap) }
+
+// Apply replays one update record through the estimator's public update
+// path - the inverse of the tap (see JoinEstimator.Apply).
+func (e *ContainmentEstimator) Apply(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: containment estimators take rects, record carries a point")
+	}
+	switch {
+	case rec.Side == SideInner && rec.Op == OpInsert:
+		return e.InsertInner(rec.Rect)
+	case rec.Side == SideInner && rec.Op == OpDelete:
+		return e.DeleteInner(rec.Rect)
+	case rec.Side == SideOuter && rec.Op == OpInsert:
+		return e.InsertOuter(rec.Rect)
+	case rec.Side == SideOuter && rec.Op == OpDelete:
+		return e.DeleteOuter(rec.Rect)
+	}
+	return fmt.Errorf("spatial: containment estimators have no %v side", rec.Side)
 }
 
 // header returns the full public configuration of this estimator.

@@ -172,6 +172,9 @@ func (e *EpsJoinEstimator) updateLeft(p geo.Point, insert bool) error {
 	if err := e.check(p); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideLeft, nil, p); err != nil {
+		return err
+	}
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
 			return s.pts.Insert(p)
@@ -190,6 +193,9 @@ func (e *EpsJoinEstimator) updateRight(p geo.Point, insert bool) error {
 	if err := e.check(p); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideRight, nil, p); err != nil {
+		return err
+	}
 	ball := geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -206,19 +212,51 @@ func (e *EpsJoinEstimator) InsertLeftBulk(pts []geo.Point) error {
 			return err
 		}
 	}
+	if err := e.st.tapPoints(OpInsert, SideLeft, pts); err != nil {
+		return err
+	}
 	return e.st.ingest(func(s *pointBoxState) error { return s.pts.InsertAll(pts) })
 }
 
 // InsertRightBulk bulk-loads right points, expanding each to its eps-ball.
 func (e *EpsJoinEstimator) InsertRightBulk(pts []geo.Point) error {
-	balls := make([]geo.HyperRect, len(pts))
-	for i, p := range pts {
+	for _, p := range pts {
 		if err := e.check(p); err != nil {
 			return err
 		}
+	}
+	if err := e.st.tapPoints(OpInsert, SideRight, pts); err != nil {
+		return err
+	}
+	balls := make([]geo.HyperRect, len(pts))
+	for i, p := range pts {
 		balls[i] = geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
 	}
 	return e.st.ingest(func(s *pointBoxState) error { return s.boxes.InsertAll(balls) })
+}
+
+// SetUpdateTap installs tap to observe every point/bulk update before it
+// is applied (see UpdateTap); nil removes it. Merge and MergeSnapshot are
+// not tapped.
+func (e *EpsJoinEstimator) SetUpdateTap(tap UpdateTap) { e.st.setTap(tap) }
+
+// Apply replays one update record through the estimator's public update
+// path - the inverse of the tap (see JoinEstimator.Apply).
+func (e *EpsJoinEstimator) Apply(rec UpdateRecord) error {
+	if rec.Point == nil {
+		return fmt.Errorf("spatial: epsilon-join estimators take points, record carries a rect")
+	}
+	switch {
+	case rec.Side == SideLeft && rec.Op == OpInsert:
+		return e.InsertLeft(rec.Point)
+	case rec.Side == SideLeft && rec.Op == OpDelete:
+		return e.DeleteLeft(rec.Point)
+	case rec.Side == SideRight && rec.Op == OpInsert:
+		return e.InsertRight(rec.Point)
+	case rec.Side == SideRight && rec.Op == OpDelete:
+		return e.DeleteRight(rec.Point)
+	}
+	return fmt.Errorf("spatial: epsilon-join estimators have no %v side", rec.Side)
 }
 
 // header returns the full public configuration of this estimator.

@@ -66,6 +66,80 @@ func ExampleNewRangeEstimator() {
 	// selected: 2 of 3
 }
 
+// ExampleNewContainmentEstimator estimates how many inner rectangles are
+// fully contained in an outer one (Appendix B.2 reduction: containment in
+// d dimensions becomes point-in-box in 2d). The doubled dimensionality
+// makes this the highest-variance estimator of the family, so the example
+// reports the estimate against the true count rather than expecting exact
+// recovery at a small synopsis size.
+func ExampleNewContainmentEstimator() {
+	est, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{
+		Dims:       2,
+		DomainSize: 64,
+		Sizing:     spatial.Sizing{Instances: 8192, Groups: 8},
+		Seed:       2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A 5x5 grid of small rectangles inside the outer box (25 contained
+	// pairs) plus 10 rectangles outside it.
+	for i := uint64(0); i < 5; i++ {
+		for j := uint64(0); j < 5; j++ {
+			if err := est.InsertInner(geo.Rect(2+6*i, 5+6*i, 2+6*j, 5+6*j)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := est.InsertInner(geo.Rect(34+2*i, 36+2*i, 40, 45)); err != nil {
+			panic(err)
+		}
+	}
+	if err := est.InsertOuter(geo.Rect(0, 32, 0, 32)); err != nil {
+		panic(err)
+	}
+	card, err := est.Cardinality()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimated contained pairs: %.0f (true 25)\n", card.Clamped())
+	// Output:
+	// estimated contained pairs: 23 (true 25)
+}
+
+// ExampleEpsJoinEstimator_Selectivity normalizes an epsilon-join estimate
+// by the input sizes: 1 close pair out of 2x2 candidates.
+func ExampleEpsJoinEstimator_Selectivity() {
+	est, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{
+		Dims:       2,
+		DomainSize: 16,
+		Eps:        2,
+		Sizing:     spatial.Sizing{Instances: 8192, Groups: 8},
+		Seed:       3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []geo.Point{{3, 3}, {12, 12}} {
+		if err := est.InsertLeft(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, p := range []geo.Point{{4, 4}, {9, 7}} {
+		if err := est.InsertRight(p); err != nil {
+			panic(err)
+		}
+	}
+	sel, err := est.Selectivity()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("selectivity: %.2f\n", sel)
+	// Output:
+	// selectivity: 0.25
+}
+
 // ExampleNewEpsJoinEstimator counts point pairs within L-infinity
 // distance 2.
 func ExampleNewEpsJoinEstimator() {

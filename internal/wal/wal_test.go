@@ -1,0 +1,391 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, dir string, from Pos) (recs [][]byte, poss []Pos) {
+	t.Helper()
+	err := Replay(dir, from, func(p Pos, payload []byte) error {
+		recs = append(recs, append([]byte(nil), payload...))
+		poss = append(poss, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, poss
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var wantPos []Pos
+	for i := 0; i < 100; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d-%s", i, strings.Repeat("x", i%17)))
+		pos, err := w.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, payload)
+		wantPos = append(wantPos, pos)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPos := collect(t, dir, Pos{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+		if gotPos[i] != wantPos[i] {
+			t.Fatalf("record %d at %v, Append reported %v", i, gotPos[i], wantPos[i])
+		}
+	}
+	// Reopen appends after the existing tail.
+	w, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = collect(t, dir, Pos{})
+	if len(got) != len(want)+1 || string(got[len(got)-1]) != "after-reopen" {
+		t.Fatalf("after reopen got %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := w.Append([]byte(fmt.Sprintf("w%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, dir, Pos{})
+	if len(got) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*per)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, r := range got {
+		if seen[string(r)] {
+			t.Fatalf("record %q appears twice", r)
+		}
+		seen[string(r)] = true
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	seqs, err := listSegments(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("listSegments: %v (%d segments)", err, len(seqs))
+	}
+	return segPath(dir, seqs[len(seqs)-1])
+}
+
+func TestTornFinalRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop a few bytes off the file tail.
+	path := lastSegment(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// Replay stops cleanly in front of the tear.
+	got, _ := collect(t, dir, Pos{})
+	if len(got) != 9 {
+		t.Fatalf("replayed %d records through a torn tail, want 9", len(got))
+	}
+	// Open truncates the tear and appends continue.
+	w, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("post-tear")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = collect(t, dir, Pos{})
+	if len(got) != 10 || string(got[9]) != "post-tear" {
+		t.Fatalf("after tear recovery got %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+func TestTornHeaderOnlySegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between segment creation and header write.
+	if err := os.WriteFile(segPath(dir, 2), []byte{0x4c, 0x41}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, dir, Pos{})
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+	w, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = collect(t, dir, Pos{})
+	if len(got) != 2 || string(got[1]) != "two" {
+		t.Fatalf("got %d records after header-only recovery", len(got))
+	}
+}
+
+func TestCorruptCRCMidSegmentErrors(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-number-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the SECOND record: a checksum mismatch with
+	// more records after it must be an error, never a silent skip.
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := int64(recHeaderSize + len("record-number-0"))
+	data[segHeaderSize+frame+recHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(dir, Pos{}, func(Pos, []byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("mid-segment corruption replayed without error: %v", err)
+	}
+	// Open must refuse it too (the damage is in the final segment but is
+	// not tail-shaped).
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a segment with mid-segment corruption")
+	}
+}
+
+func TestCorruptionInNonFinalSegmentErrors(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%d-%s", i, strings.Repeat("y", 30)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := listSegments(dir)
+	if len(seqs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(seqs))
+	}
+	// Truncate the FIRST segment: even tail-shaped damage in a non-final
+	// segment is corruption.
+	first := segPath(dir, seqs[0])
+	info, _ := os.Stat(first)
+	if err := os.Truncate(first, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(dir, Pos{}, func(Pos, []byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "non-final segment") {
+		t.Fatalf("non-final segment damage replayed without error: %v", err)
+	}
+}
+
+func TestReplayFromMidSegmentPosition(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poss []Pos
+	for i := 0; i < 10; i++ {
+		pos, err := w.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		poss = append(poss, pos)
+	}
+	end := w.Pos()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying from record k's position yields records k..9 exactly.
+	for _, k := range []int{0, 3, 9} {
+		got, _ := collect(t, dir, poss[k])
+		if len(got) != 10-k {
+			t.Fatalf("replay from %v: %d records, want %d", poss[k], len(got), 10-k)
+		}
+		if string(got[0]) != fmt.Sprintf("rec-%d", k) {
+			t.Fatalf("replay from %v starts at %q", poss[k], got[0])
+		}
+	}
+	// Replaying from the end position yields nothing.
+	if got, _ := collect(t, dir, end); len(got) != 0 {
+		t.Fatalf("replay from end produced %d records", len(got))
+	}
+}
+
+func TestRotateAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("pre-%d-%s", i, strings.Repeat("z", 40)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Off != segHeaderSize {
+		t.Fatalf("rotation position %v is not a segment start", cut)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.TruncateBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := listSegments(dir)
+	if len(seqs) == 0 || seqs[0] != cut.Seg {
+		t.Fatalf("truncation left segments %v, want first = %d", seqs, cut.Seg)
+	}
+	got, _ := collect(t, dir, cut)
+	if len(got) != 5 || string(got[0]) != "post-0" {
+		t.Fatalf("post-truncation replay: %d records, first %q", len(got), got[0])
+	}
+	// Replaying from a truncated-away position must error, not return a
+	// partial stream.
+	if err := Replay(dir, Pos{Seg: 1, Off: segHeaderSize}, func(Pos, []byte) error { return nil }); err == nil {
+		t.Fatal("replay from a truncated position succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncAndFsyncMode(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := collect(t, dir, Pos{}); len(got) != 1 {
+		t.Fatalf("got %d records", len(got))
+	}
+	// Double close is fine; appends after close are not.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("late")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestEmptyAndMissingDirs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fresh", "nested")
+	if err := Replay(dir, Pos{}, func(Pos, []byte) error { return nil }); err != nil {
+		t.Fatalf("replaying a missing dir: %v", err)
+	}
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := w.Pos(); p.Seg != 1 || p.Off != segHeaderSize {
+		t.Fatalf("fresh log position %v", p)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -222,6 +222,9 @@ func (e *JoinEstimator) updateLeft(r geo.HyperRect, insert bool) error {
 	if err := e.checkInput(r); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideLeft, r, nil); err != nil {
+		return err
+	}
 	return e.st.ingest(func(s *joinState) error {
 		if s.leftCE != nil {
 			if insert {
@@ -239,6 +242,9 @@ func (e *JoinEstimator) updateLeft(r geo.HyperRect, insert bool) error {
 
 func (e *JoinEstimator) updateRight(r geo.HyperRect, insert bool) error {
 	if err := e.checkInput(r); err != nil {
+		return err
+	}
+	if err := e.st.tapRecord1(opOf(insert), SideRight, r, nil); err != nil {
 		return err
 	}
 	return e.st.ingest(func(s *joinState) error {
@@ -264,6 +270,9 @@ func (e *JoinEstimator) InsertLeftBulk(rects []geo.HyperRect) error {
 			return err
 		}
 	}
+	if err := e.st.tapRects(OpInsert, SideLeft, rects); err != nil {
+		return err
+	}
 	var t []geo.HyperRect
 	if e.cfg.Mode == ModeTransform {
 		t = make([]geo.HyperRect, len(rects))
@@ -286,6 +295,9 @@ func (e *JoinEstimator) InsertRightBulk(rects []geo.HyperRect) error {
 			return err
 		}
 	}
+	if err := e.st.tapRects(OpInsert, SideRight, rects); err != nil {
+		return err
+	}
 	var t []geo.HyperRect
 	if e.cfg.Mode == ModeTransform {
 		t = make([]geo.HyperRect, len(rects))
@@ -299,6 +311,33 @@ func (e *JoinEstimator) InsertRightBulk(rects []geo.HyperRect) error {
 		}
 		return s.right.InsertAll(t)
 	})
+}
+
+// SetUpdateTap installs tap to observe every point/bulk update before it
+// is applied (see UpdateTap); nil removes it. Updates that fail input
+// validation are not tapped; Merge and MergeSnapshot fold counters rather
+// than update streams and are not tapped either.
+func (e *JoinEstimator) SetUpdateTap(tap UpdateTap) { e.st.setTap(tap) }
+
+// Apply replays one update record through the estimator's public update
+// path - the inverse of the tap: feeding every tapped record of one
+// estimator into Apply on a same-config empty estimator reconstructs its
+// counters bit-identically (updates commute, so order does not matter).
+func (e *JoinEstimator) Apply(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: join estimators take rects, record carries a point")
+	}
+	switch {
+	case rec.Side == SideLeft && rec.Op == OpInsert:
+		return e.InsertLeft(rec.Rect)
+	case rec.Side == SideLeft && rec.Op == OpDelete:
+		return e.DeleteLeft(rec.Rect)
+	case rec.Side == SideRight && rec.Op == OpInsert:
+		return e.InsertRight(rec.Rect)
+	case rec.Side == SideRight && rec.Op == OpDelete:
+		return e.DeleteRight(rec.Rect)
+	}
+	return fmt.Errorf("spatial: join estimators have no %v side", rec.Side)
 }
 
 // LeftCount returns the current left input cardinality (inserts minus

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/geo"
 	"repro/internal/core"
 )
 
@@ -49,6 +50,8 @@ const (
 	KindContainment Kind = 4
 )
 
+// String returns the kind's wire name ("join", "range", "epsjoin",
+// "containment"), the inverse of ParseKind.
 func (k Kind) String() string {
 	switch k {
 	case KindJoin:
@@ -255,6 +258,114 @@ func (h snapHeader) expectBlobs(blobs [][]byte, kind Kind, n int) error {
 		return fmt.Errorf("spatial: %v snapshot carries %d sub-sketches, want %d", h.kind, len(blobs), n)
 	}
 	return nil
+}
+
+// ---- update record codec ----
+//
+// UpdateRecord has a stable binary form so update streams can be written
+// ahead to a log and replayed across process generations (internal/wal
+// frames and checksums the records; this codec only defines the payload
+// bytes). The encoding is versionless by design - it is embedded in WAL
+// records whose framing carries the format version - and uses varints so
+// typical 2-d records cost a handful of bytes:
+//
+//	flags  byte    bit 0: delete (else insert); bit 1: point (else rect)
+//	side   byte    UpdateSide
+//	dims   uvarint
+//	coords uvarint*  rect: lo,hi per dimension; point: one per dimension
+//
+// All varints are unsigned LEB128 (encoding/binary AppendUvarint).
+
+const (
+	recFlagDelete = 1 << 0
+	recFlagPoint  = 1 << 1
+)
+
+// AppendBinary appends the record's stable binary encoding to dst and
+// returns the extended slice; DecodeUpdateRecord inverts it.
+func (u UpdateRecord) AppendBinary(dst []byte) []byte {
+	var flags byte
+	if u.Op == OpDelete {
+		flags |= recFlagDelete
+	}
+	if u.Point != nil {
+		flags |= recFlagPoint
+	}
+	dst = append(dst, flags, byte(u.Side))
+	if u.Point != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(u.Point)))
+		for _, x := range u.Point {
+			dst = binary.AppendUvarint(dst, x)
+		}
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(u.Rect)))
+	for _, iv := range u.Rect {
+		dst = binary.AppendUvarint(dst, iv.Lo)
+		dst = binary.AppendUvarint(dst, iv.Hi)
+	}
+	return dst
+}
+
+// DecodeUpdateRecord decodes one record from the front of data, returning
+// the record and the number of bytes consumed.
+func DecodeUpdateRecord(data []byte) (UpdateRecord, int, error) {
+	var u UpdateRecord
+	if len(data) < 2 {
+		return u, 0, fmt.Errorf("spatial: truncated update record")
+	}
+	flags, side := data[0], UpdateSide(data[1])
+	if flags&^(recFlagDelete|recFlagPoint) != 0 {
+		return u, 0, fmt.Errorf("spatial: unknown update record flags %#x", flags)
+	}
+	if side > SideOuter {
+		return u, 0, fmt.Errorf("spatial: unknown update side %d", side)
+	}
+	u.Side = side
+	if flags&recFlagDelete != 0 {
+		u.Op = OpDelete
+	}
+	n := 2
+	dims, k := binary.Uvarint(data[n:])
+	if k <= 0 {
+		return u, 0, fmt.Errorf("spatial: truncated update record dims")
+	}
+	n += k
+	if dims == 0 || dims > core.MaxDims {
+		return u, 0, fmt.Errorf("spatial: update record dims %d outside [1, %d]", dims, core.MaxDims)
+	}
+	readCoord := func() (uint64, error) {
+		x, k := binary.Uvarint(data[n:])
+		if k <= 0 {
+			return 0, fmt.Errorf("spatial: truncated update record coordinates")
+		}
+		n += k
+		return x, nil
+	}
+	if flags&recFlagPoint != 0 {
+		u.Point = make(geo.Point, dims)
+		for i := range u.Point {
+			x, err := readCoord()
+			if err != nil {
+				return u, 0, err
+			}
+			u.Point[i] = x
+		}
+		return u, n, nil
+	}
+	u.Rect = make(geo.HyperRect, dims)
+	for i := range u.Rect {
+		lo, err := readCoord()
+		if err != nil {
+			return u, 0, err
+		}
+		hi, err := readCoord()
+		if err != nil {
+			return u, 0, err
+		}
+		u.Rect[i] = geo.Interval{Lo: lo, Hi: hi}
+	}
+	return u, n, nil
 }
 
 // SnapshotKind reports which estimator type produced the snapshot, so

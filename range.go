@@ -113,33 +113,62 @@ func (e *RangeEstimator) check(r geo.HyperRect) error {
 }
 
 // Insert adds an object to the summarized relation.
-func (e *RangeEstimator) Insert(r geo.HyperRect) error {
-	if err := e.check(r); err != nil {
-		return err
-	}
-	t := geo.TransformKeepRect(r)
-	return e.st.ingest(func(s *core.RangeSketch) error { return s.Insert(t) })
-}
+func (e *RangeEstimator) Insert(r geo.HyperRect) error { return e.update(r, true) }
 
 // Delete removes a previously inserted object.
-func (e *RangeEstimator) Delete(r geo.HyperRect) error {
+func (e *RangeEstimator) Delete(r geo.HyperRect) error { return e.update(r, false) }
+
+func (e *RangeEstimator) update(r geo.HyperRect, insert bool) error {
 	if err := e.check(r); err != nil {
 		return err
 	}
+	if err := e.st.tapRecord1(opOf(insert), SideData, r, nil); err != nil {
+		return err
+	}
 	t := geo.TransformKeepRect(r)
-	return e.st.ingest(func(s *core.RangeSketch) error { return s.Delete(t) })
+	return e.st.ingest(func(s *core.RangeSketch) error {
+		if insert {
+			return s.Insert(t)
+		}
+		return s.Delete(t)
+	})
 }
 
 // InsertBulk bulk-loads objects (parallelized internally).
 func (e *RangeEstimator) InsertBulk(rects []geo.HyperRect) error {
-	t := make([]geo.HyperRect, len(rects))
-	for i, r := range rects {
+	for _, r := range rects {
 		if err := e.check(r); err != nil {
 			return err
 		}
+	}
+	if err := e.st.tapRects(OpInsert, SideData, rects); err != nil {
+		return err
+	}
+	t := make([]geo.HyperRect, len(rects))
+	for i, r := range rects {
 		t[i] = geo.TransformKeepRect(r)
 	}
 	return e.st.ingest(func(s *core.RangeSketch) error { return s.InsertAll(t) })
+}
+
+// SetUpdateTap installs tap to observe every point/bulk update before it
+// is applied (see UpdateTap); nil removes it. Merge and MergeSnapshot are
+// not tapped.
+func (e *RangeEstimator) SetUpdateTap(tap UpdateTap) { e.st.setTap(tap) }
+
+// Apply replays one update record through the estimator's public update
+// path - the inverse of the tap (see JoinEstimator.Apply).
+func (e *RangeEstimator) Apply(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: range estimators take rects, record carries a point")
+	}
+	if rec.Side != SideData {
+		return fmt.Errorf("spatial: range estimators have no %v side", rec.Side)
+	}
+	if rec.Op == OpDelete {
+		return e.Delete(rec.Rect)
+	}
+	return e.Insert(rec.Rect)
 }
 
 // mergeRangeSketch adapts core merging to the shard helper.

@@ -205,6 +205,8 @@ const (
 	ModeCommonEndpoints
 )
 
+// String returns the mode's wire name ("transform" or
+// "common-endpoints").
 func (m Mode) String() string {
 	switch m {
 	case ModeTransform:

@@ -1,0 +1,160 @@
+package spatial
+
+import (
+	"fmt"
+
+	"repro/geo"
+)
+
+// Update-tap hook: the library half of the durability contract.
+//
+// Sketches are linear projections, so replaying a logged update stream
+// into a same-config estimator reconstructs its counters bit-identically -
+// persistence needs only (a) every update observed in a stable encoding
+// and (b) a way to re-apply one. The tap provides (a): each estimator
+// exposes SetUpdateTap, and every successful point or bulk update first
+// calls the tap with the update's UpdateRecords (public coordinates,
+// before any internal endpoint transformation), then applies the update.
+// A tap error aborts the update without touching the sketches, which
+// gives write-ahead semantics: persist first, apply second. Apply is (b):
+// it routes a decoded record back through the exact public update path it
+// was captured from.
+//
+// The tap is called OUTSIDE the per-shard ingest locks, so a tap that
+// blocks (a group-committed WAL append, say) stalls only its own update,
+// never the sharded hot path, and a tap may itself call back into the
+// estimator without deadlocking. Consequences: concurrent updates may be
+// logged in a different order than they land in the shards (harmless -
+// updates commute), and Merge/MergeSnapshot are NOT tapped (they fold
+// counters, not update streams; callers persisting through a tap must log
+// merged snapshots themselves, as cmd/spatialserve does).
+
+// UpdateOp says whether an update record inserts or deletes an object.
+type UpdateOp uint8
+
+// The two update operations.
+const (
+	// OpInsert adds an object.
+	OpInsert UpdateOp = iota
+	// OpDelete removes a previously inserted object.
+	OpDelete
+)
+
+// String returns "insert" or "delete".
+func (o UpdateOp) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("UpdateOp(%d)", uint8(o))
+}
+
+// UpdateSide names the estimator input an update record targets.
+type UpdateSide uint8
+
+// The estimator inputs an update can target.
+const (
+	// SideData is the single input of a RangeEstimator.
+	SideData UpdateSide = iota
+	// SideLeft is the left input (R or A) of a join or epsilon-join.
+	SideLeft
+	// SideRight is the right input (S or B) of a join or epsilon-join.
+	SideRight
+	// SideInner is the contained side of a containment join.
+	SideInner
+	// SideOuter is the containing side of a containment join.
+	SideOuter
+)
+
+// String returns the side's wire name ("data", "left", "right", "inner",
+// "outer").
+func (s UpdateSide) String() string {
+	switch s {
+	case SideData:
+		return "data"
+	case SideLeft:
+		return "left"
+	case SideRight:
+		return "right"
+	case SideInner:
+		return "inner"
+	case SideOuter:
+		return "outer"
+	}
+	return fmt.Sprintf("UpdateSide(%d)", uint8(s))
+}
+
+// UpdateRecord is one logical estimator update in public coordinates:
+// exactly one of Rect or Point is set, matching the estimator's input type
+// (rectangles for join/range/containment, points for epsilon-joins). It is
+// what an update tap observes and what Apply replays; AppendBinary /
+// DecodeUpdateRecord give it a stable binary form for write-ahead logs.
+type UpdateRecord struct {
+	// Op is the operation (insert or delete).
+	Op UpdateOp
+	// Side is the estimator input the update targets.
+	Side UpdateSide
+	// Rect is the object for rectangle-valued updates.
+	Rect geo.HyperRect
+	// Point is the object for point-valued updates (epsilon-joins).
+	Point geo.Point
+}
+
+// UpdateTap observes updates before they are applied; see SetUpdateTap on
+// the estimator types. The records (including their Rect/Point backing
+// arrays) are only valid for the duration of the call; an error return
+// aborts the update before any sketch is touched.
+type UpdateTap func(recs []UpdateRecord) error
+
+// tapRecord1 invokes the tap, if any, for a single-object update.
+func (ss *shardedState[T]) tapRecord1(op UpdateOp, side UpdateSide, r geo.HyperRect, p geo.Point) error {
+	tap := ss.tap.Load()
+	if tap == nil {
+		return nil
+	}
+	return (*tap)([]UpdateRecord{{Op: op, Side: side, Rect: r, Point: p}})
+}
+
+// tapRects invokes the tap, if any, for a bulk rectangle update.
+func (ss *shardedState[T]) tapRects(op UpdateOp, side UpdateSide, rects []geo.HyperRect) error {
+	tap := ss.tap.Load()
+	if tap == nil {
+		return nil
+	}
+	recs := make([]UpdateRecord, len(rects))
+	for i, r := range rects {
+		recs[i] = UpdateRecord{Op: op, Side: side, Rect: r}
+	}
+	return (*tap)(recs)
+}
+
+// tapPoints invokes the tap, if any, for a bulk point update.
+func (ss *shardedState[T]) tapPoints(op UpdateOp, side UpdateSide, pts []geo.Point) error {
+	tap := ss.tap.Load()
+	if tap == nil {
+		return nil
+	}
+	recs := make([]UpdateRecord, len(pts))
+	for i, p := range pts {
+		recs[i] = UpdateRecord{Op: op, Side: side, Point: p}
+	}
+	return (*tap)(recs)
+}
+
+// setTap installs (or, with nil, removes) the update tap.
+func (ss *shardedState[T]) setTap(tap UpdateTap) {
+	if tap == nil {
+		ss.tap.Store(nil)
+		return
+	}
+	ss.tap.Store(&tap)
+}
+
+func opOf(insert bool) UpdateOp {
+	if insert {
+		return OpInsert
+	}
+	return OpDelete
+}

@@ -1,0 +1,256 @@
+package spatial_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+// TestUpdateRecordCodecRoundTrip round-trips every record shape through
+// the stable binary codec, including back-to-back records in one buffer.
+func TestUpdateRecordCodecRoundTrip(t *testing.T) {
+	recs := []spatial.UpdateRecord{
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Rect: geo.Rect(10, 50, 20, 80)},
+		{Op: spatial.OpDelete, Side: spatial.SideRight, Rect: geo.Rect(0, 1, 1<<40, 1<<40+7)},
+		{Op: spatial.OpInsert, Side: spatial.SideData, Rect: geo.Span1D(3, 9)},
+		{Op: spatial.OpDelete, Side: spatial.SideInner, Rect: geo.Rect(5, 6, 7, 8)},
+		{Op: spatial.OpInsert, Side: spatial.SideOuter, Rect: geo.Rect(1, 2, 3, 4)},
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Point: geo.Point{1, 2, 3}},
+		{Op: spatial.OpDelete, Side: spatial.SideRight, Point: geo.Point{1 << 60}},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = r.AppendBinary(buf)
+	}
+	for i, want := range recs {
+		got, n, err := spatial.DecodeUpdateRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		buf = buf[n:]
+		if got.Op != want.Op || got.Side != want.Side {
+			t.Fatalf("record %d: decoded (%v, %v), want (%v, %v)", i, got.Op, got.Side, want.Op, want.Side)
+		}
+		if fmt.Sprint(got.Rect) != fmt.Sprint(want.Rect) || fmt.Sprint(got.Point) != fmt.Sprint(want.Point) {
+			t.Fatalf("record %d: decoded %+v, want %+v", i, got, want)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left after decoding all records", len(buf))
+	}
+}
+
+// TestUpdateRecordCodecRejectsGarbage covers decoder error paths.
+func TestUpdateRecordCodecRejectsGarbage(t *testing.T) {
+	good := spatial.UpdateRecord{Op: spatial.OpInsert, Side: spatial.SideLeft, Rect: geo.Rect(1, 2, 3, 4)}.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":          {},
+		"one byte":       {0},
+		"bad flags":      {0xf0, 0},
+		"bad side":       {0, 99, 2},
+		"zero dims":      {0, 1, 0},
+		"huge dims":      {0, 1, 200},
+		"truncated rect": good[:len(good)-1],
+	}
+	for name, data := range cases {
+		if _, _, err := spatial.DecodeUpdateRecord(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// collectTap returns a tap that appends every record it sees to out.
+func collectTap(out *[]spatial.UpdateRecord) spatial.UpdateTap {
+	return func(recs []spatial.UpdateRecord) error {
+		for _, r := range recs {
+			// Records are only valid during the call: deep-copy.
+			c := r
+			if r.Rect != nil {
+				c.Rect = r.Rect.Clone()
+			}
+			if r.Point != nil {
+				c.Point = append(geo.Point(nil), r.Point...)
+			}
+			*out = append(*out, c)
+		}
+		return nil
+	}
+}
+
+// TestTapReplayBitIdentical drives a mixed point/bulk insert/delete
+// workload through each estimator kind with a tap attached, replays the
+// tapped records through Apply on a same-config empty estimator, and
+// requires bit-identical snapshots - the exactness property the WAL
+// durability layer is built on.
+func TestTapReplayBitIdentical(t *testing.T) {
+	const dom = 1 << 10
+	sz := spatial.Sizing{Instances: 64, Groups: 4}
+	rects := datagen.MustRects(datagen.Spec{N: 64, Dims: 2, Domain: dom, Seed: 8})
+	spans := datagen.MustRects(datagen.Spec{N: 64, Dims: 1, Domain: dom, Seed: 9})
+	var pts []geo.Point
+	for _, r := range rects {
+		pts = append(pts, geo.Point{r[0].Lo, r[1].Lo})
+	}
+
+	t.Run("join", func(t *testing.T) {
+		mk := func() *spatial.JoinEstimator {
+			e, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: dom, Sizing: sz, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		src, dst := mk(), mk()
+		var recs []spatial.UpdateRecord
+		src.SetUpdateTap(collectTap(&recs))
+		if err := src.InsertLeftBulk(rects[:32]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.InsertRight(rects[40]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.DeleteLeft(rects[3]); err != nil {
+			t.Fatal(err)
+		}
+		replayAndCompare(t, recs, dst.Apply, src.Marshal, dst.Marshal)
+	})
+	t.Run("range", func(t *testing.T) {
+		mk := func() *spatial.RangeEstimator {
+			e, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 1, DomainSize: dom, Sizing: sz, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		src, dst := mk(), mk()
+		var recs []spatial.UpdateRecord
+		src.SetUpdateTap(collectTap(&recs))
+		if err := src.InsertBulk(spans[:20]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Delete(spans[5]); err != nil {
+			t.Fatal(err)
+		}
+		replayAndCompare(t, recs, dst.Apply, src.Marshal, dst.Marshal)
+	})
+	t.Run("epsjoin", func(t *testing.T) {
+		mk := func() *spatial.EpsJoinEstimator {
+			e, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{Dims: 2, DomainSize: dom, Eps: 4, Sizing: sz, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		src, dst := mk(), mk()
+		var recs []spatial.UpdateRecord
+		src.SetUpdateTap(collectTap(&recs))
+		if err := src.InsertLeftBulk(pts[:16]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.InsertRightBulk(pts[16:32]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.DeleteRight(pts[20]); err != nil {
+			t.Fatal(err)
+		}
+		replayAndCompare(t, recs, dst.Apply, src.Marshal, dst.Marshal)
+	})
+	t.Run("containment", func(t *testing.T) {
+		mk := func() *spatial.ContainmentEstimator {
+			e, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{Dims: 2, DomainSize: dom, Sizing: sz, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		src, dst := mk(), mk()
+		var recs []spatial.UpdateRecord
+		src.SetUpdateTap(collectTap(&recs))
+		if err := src.InsertInnerBulk(rects[:16]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.InsertOuter(rects[30]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.DeleteInner(rects[2]); err != nil {
+			t.Fatal(err)
+		}
+		replayAndCompare(t, recs, dst.Apply, src.Marshal, dst.Marshal)
+	})
+}
+
+// replayAndCompare routes recs through the binary codec (as a WAL would),
+// applies them to the destination and compares snapshot bytes.
+func replayAndCompare(t *testing.T, recs []spatial.UpdateRecord,
+	apply func(spatial.UpdateRecord) error, srcMarshal, dstMarshal func() ([]byte, error)) {
+	t.Helper()
+	if len(recs) == 0 {
+		t.Fatal("tap observed no records")
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = r.AppendBinary(buf)
+	}
+	for len(buf) > 0 {
+		rec, n, err := spatial.DecodeUpdateRecord(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[n:]
+		if err := apply(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := srcMarshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dstMarshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("replayed estimator snapshot differs from the tapped source")
+	}
+}
+
+// TestTapErrorAbortsUpdate verifies write-ahead ordering: a failing tap
+// aborts the update before any sketch is touched, and removing the tap
+// restores normal updates.
+func TestTapErrorAbortsUpdate(t *testing.T) {
+	est, err := spatial.NewJoinEstimator(spatial.JoinConfig{
+		Dims: 2, DomainSize: 1 << 10,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("log unavailable")
+	est.SetUpdateTap(func([]spatial.UpdateRecord) error { return boom })
+	if err := est.InsertLeft(geo.Rect(1, 5, 2, 6)); err != boom {
+		t.Fatalf("tapped insert returned %v, want the tap error", err)
+	}
+	if err := est.InsertRightBulk([]geo.HyperRect{geo.Rect(1, 5, 2, 6)}); err != boom {
+		t.Fatalf("tapped bulk insert returned %v, want the tap error", err)
+	}
+	if l, r := est.LeftCount(), est.RightCount(); l != 0 || r != 0 {
+		t.Fatalf("aborted updates still landed: counts (%d, %d)", l, r)
+	}
+	// Invalid input fails validation before the tap runs.
+	called := false
+	est.SetUpdateTap(func([]spatial.UpdateRecord) error { called = true; return nil })
+	if err := est.InsertLeft(geo.HyperRect{{Lo: 9, Hi: 5}, {Lo: 0, Hi: 2}}); err == nil || called {
+		t.Fatalf("invalid input: err %v, tap called %v", err, called)
+	}
+	est.SetUpdateTap(nil)
+	if err := est.InsertLeft(geo.Rect(1, 5, 2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if est.LeftCount() != 1 {
+		t.Fatalf("untapped insert lost: count %d", est.LeftCount())
+	}
+}
