@@ -1,0 +1,1228 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	spatial "repro"
+	"repro/internal/cluster"
+	"repro/internal/wal"
+)
+
+// Cluster mode: consistent-hash partitioned ingest with exact
+// scatter-gather estimates.
+//
+// Every estimator is split into a fixed number of partitions. Partition p
+// of estimator "name" lives in the owning node's local registry under the
+// shard key "name#p"; ownership is decided by the cluster partition map
+// (consistent-hash ring + rebalance overrides, see internal/cluster). Any
+// node accepts any client request and routes it:
+//
+//   - updates are split per record by a stable routing hash and forwarded
+//     to each partition's owner, where they run through the ordinary local
+//     update path (tap -> WAL -> sharded ingest);
+//   - estimates scatter a snapshot fetch to every partition's owner and
+//     gather by MergeSnapshot - sketches are linear projections, so the
+//     merged counters (and hence the estimate) are bit-identical to a
+//     single-node build of the same update stream;
+//   - create/delete fan out per partition; list/info aggregate.
+//
+// Rebalancing moves one shard to a new owner without losing an update:
+// snapshot at an exact WAL cut (the PR4 checkpoint gate), stream the
+// snapshot, catch up by shipping the WAL suffix of that shard, then seal
+// under the exclusive gate - final suffix, ownership flip, map broadcast -
+// and drop the local copy. See docs/CLUSTER.md.
+
+// Internal request/response headers of the cluster protocol.
+const (
+	// headerInternal marks node-to-node requests so routing handlers
+	// apply them locally instead of re-routing (forwarding loops are
+	// structurally impossible: internal requests never fan out).
+	headerInternal = "X-Spatial-Internal"
+	// headerWalPos carries the exact WAL cut of a bootstrap response.
+	headerWalPos = "X-Spatial-Wal-Pos"
+	// headerWalNext carries the resume position of a WAL shipping response.
+	headerWalNext = "X-Spatial-Wal-Next"
+)
+
+// errNotOwner reports a shard request that landed on a node the current
+// partition map no longer (or does not yet) name as the shard's owner -
+// the router's signal to refresh its map and retry.
+var errNotOwner = errors.New("not the owner of this shard (stale partition map); refresh /admin/ring and retry")
+
+// ClusterOptions configures cluster mode for a server.
+type ClusterOptions struct {
+	// SelfID is this node's identity in the partition map.
+	SelfID string
+	// Map is the initial partition map (typically version 1, built from
+	// identical -peers flags on every node).
+	Map *cluster.Map
+	// Partitions is the number of partitions per estimator; it must agree
+	// across the cluster. 0 means DefaultPartitions.
+	Partitions int
+	// Client overrides the fan-out client (tests); nil builds a default.
+	Client *cluster.Client
+}
+
+// DefaultPartitions is the per-estimator partition count when
+// ClusterOptions does not set one.
+const DefaultPartitions = 8
+
+// clusterNode is the cluster-mode state of one server: the published
+// partition map, the fan-out client, and the handoff machinery.
+type clusterNode struct {
+	srv    *Server
+	selfID string
+	parts  int
+	client *cluster.Client
+
+	// mapPath, when non-empty, is where adopted maps are persisted so
+	// rebalance overrides survive a full-cluster restart (the -peers
+	// flags only rebuild the version-1 map).
+	mapPath string
+	saveMu  sync.Mutex
+
+	pmap atomic.Pointer[cluster.Map]
+
+	// gate is the mutation gate of non-persistent nodes: shared around
+	// every local shard mutation, exclusive around a handoff's cut. On
+	// persistent nodes the persister's WAL cut gate plays this role (see
+	// Server.mutGate).
+	gate sync.RWMutex
+
+	// rebalanceMu serializes outbound handoffs from this node.
+	rebalanceMu sync.Mutex
+}
+
+// EnableCluster switches the server into cluster mode. It must be called
+// before the server starts accepting traffic.
+func (s *Server) EnableCluster(opts ClusterOptions) error {
+	if opts.SelfID == "" {
+		return fmt.Errorf("cluster mode needs a node id")
+	}
+	if opts.Map == nil {
+		return fmt.Errorf("cluster mode needs a partition map")
+	}
+	if err := opts.Map.Validate(); err != nil {
+		return err
+	}
+	if _, ok := opts.Map.NodeByID(opts.SelfID); !ok {
+		return fmt.Errorf("node id %q is not in the peer list", opts.SelfID)
+	}
+	parts := opts.Partitions
+	if parts <= 0 {
+		parts = DefaultPartitions
+	}
+	client := opts.Client
+	if client == nil {
+		client = cluster.NewClient(10*time.Second, 150*time.Millisecond)
+	}
+	c := &clusterNode{srv: s, selfID: opts.SelfID, parts: parts, client: client}
+	m := opts.Map
+	if s.persist != nil {
+		c.mapPath = filepath.Join(s.persist.opts.DataDir, "cluster-map.json")
+		// A persisted map newer than the flag-derived one carries the
+		// rebalance overrides laid down before the restart; without them a
+		// full-cluster restart would strand every moved shard on a node
+		// the version-1 ring does not name. Only the VERSION and the
+		// OVERRIDES come from the saved map - membership and addressing
+		// stay with the flags, so operators add, remove and repoint nodes
+		// by editing -peers. An override naming a node no longer in the
+		// flags is dropped (its shard reverts to the ring owner), loudly.
+		if saved := c.loadSavedMap(); saved != nil && saved.Version > m.Version {
+			merged := m.Clone()
+			merged.Version = saved.Version
+			for key, id := range saved.Overrides {
+				if _, ok := merged.NodeByID(id); !ok {
+					logfServer("spatialserve: dropping saved override %s -> %s: node no longer in -peers", key, id)
+					continue
+				}
+				if merged.Overrides == nil {
+					merged.Overrides = make(map[string]string)
+				}
+				merged.Overrides[key] = id
+			}
+			m = merged
+		}
+	}
+	c.pmap.Store(m.EnsureRing())
+	s.cluster = c
+	return nil
+}
+
+// loadSavedMap reads the persisted partition map, nil when absent or
+// unusable (an unusable file is logged and ignored; the flag map still
+// brings the node up).
+func (c *clusterNode) loadSavedMap() *cluster.Map {
+	data, err := os.ReadFile(c.mapPath)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			logfServer("spatialserve: reading saved cluster map: %v", err)
+		}
+		return nil
+	}
+	var m cluster.Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		logfServer("spatialserve: corrupt saved cluster map %s: %v", c.mapPath, err)
+		return nil
+	}
+	if err := m.Validate(); err != nil {
+		logfServer("spatialserve: invalid saved cluster map %s: %v", c.mapPath, err)
+		return nil
+	}
+	return &m
+}
+
+// saveMap persists the current map (atomic rename, best-effort: a write
+// failure costs override durability, not availability).
+func (c *clusterNode) saveMap() {
+	if c.mapPath == "" {
+		return
+	}
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	m := c.map_()
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp := c.mapPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		logfServer("spatialserve: saving cluster map: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, c.mapPath); err != nil {
+		logfServer("spatialserve: saving cluster map: %v", err)
+	}
+}
+
+// mutGate returns the RWMutex bracketing logged/owned mutations: the
+// persister's WAL cut gate when durability is on, the cluster handoff
+// gate in in-memory cluster mode, nil otherwise.
+func (s *Server) mutGate() *sync.RWMutex {
+	if s.persist != nil {
+		return &s.persist.gate
+	}
+	if s.cluster != nil {
+		return &s.cluster.gate
+	}
+	return nil
+}
+
+// isInternal reports whether the request came from a peer node rather
+// than a client.
+func isInternal(r *http.Request) bool { return r.Header.Get(headerInternal) != "" }
+
+// internalHeader returns the header set marking node-to-node requests.
+func internalHeader() http.Header {
+	return http.Header{headerInternal: []string{"1"}, "Content-Type": []string{"application/json"}}
+}
+
+// map_ returns the current partition map.
+func (c *clusterNode) map_() *cluster.Map { return c.pmap.Load() }
+
+// self returns this node's map entry (URL included) when present.
+func (c *clusterNode) self() cluster.Node {
+	if n, ok := c.map_().NodeByID(c.selfID); ok {
+		return n
+	}
+	return cluster.Node{ID: c.selfID}
+}
+
+// owns reports whether this node owns the shard under the current map.
+func (c *clusterNode) owns(shard string) bool {
+	n, ok := c.map_().Owner(shard)
+	return ok && n.ID == c.selfID
+}
+
+// adopt installs m if it is valid and strictly newer than the current
+// map, reporting whether it was adopted.
+func (c *clusterNode) adopt(m *cluster.Map) bool {
+	if m == nil || m.Validate() != nil {
+		return false
+	}
+	for {
+		cur := c.pmap.Load()
+		if m.Version <= cur.Version {
+			return false
+		}
+		if c.pmap.CompareAndSwap(cur, m.EnsureRing()) {
+			c.saveMap()
+			return true
+		}
+	}
+}
+
+// refreshFrom pulls /admin/ring from a peer and adopts a newer map -
+// how a router heals after racing a rebalance.
+func (c *clusterNode) refreshFrom(ctx context.Context, baseURL string) {
+	resp, err := c.client.Do(ctx, http.MethodGet, baseURL+"/admin/ring", nil, internalHeader())
+	if err != nil || resp.Status != http.StatusOK {
+		return
+	}
+	var rr ringResponse
+	if json.Unmarshal(resp.Body, &rr) == nil {
+		c.adopt(rr.Map)
+	}
+}
+
+// broadcastMap pushes the current map to every peer, best-effort (a peer
+// that misses it self-heals through refreshFrom on its next stale hit).
+func (c *clusterNode) broadcastMap(ctx context.Context) {
+	m := c.map_()
+	body, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	for _, n := range m.Nodes {
+		if n.ID == c.selfID {
+			continue
+		}
+		if _, err := c.client.Do(ctx, http.MethodPost, n.URL+"/admin/ring", body, internalHeader()); err != nil {
+			logfServer("spatialserve: map broadcast to %s failed: %v", n.ID, err)
+		}
+	}
+}
+
+// shardPath returns the URL path of a shard's estimator endpoint.
+func shardPath(shard, suffix string) string {
+	return "/v1/estimators/" + url.PathEscape(shard) + suffix
+}
+
+// logfServer is the cluster/replication layer's logger; a variable so
+// tests can capture or silence it.
+var logfServer = log.Printf
+
+// ---- routing: create / delete ----
+
+// routeCreate fans an estimator creation out to every partition owner.
+func (c *clusterNode) routeCreate(ctx context.Context, w http.ResponseWriter, req *createRequest) {
+	if strings.Contains(req.Name, "#") {
+		writeError(w, http.StatusBadRequest, "estimator names must not contain %q in cluster mode (reserved for shard keys)", "#")
+		return
+	}
+	// Validate kind/config once up front so a bad request gets a clean 400
+	// and cannot create a partial fan-out. Building (and discarding) a
+	// real estimator is a deliberate tradeoff: it is the one validator
+	// that can never drift from what the shards will accept, and create
+	// is a cold path.
+	if _, err := buildServable(req.Kind, req.Config); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	existed, errs := cluster.Scatter(c.parts, func(p int) (bool, error) {
+		shard := cluster.ShardName(req.Name, p)
+		screq := *req
+		screq.Name = shard
+		return c.createShard(ctx, shard, &screq)
+	})
+	if err := cluster.FirstError(errs); err != nil {
+		writeError(w, http.StatusBadGateway, "partitioned create incomplete (re-issue the create or delete the name): %v", err)
+		return
+	}
+	// Existing shards count as created - that is what makes re-issuing a
+	// partially failed create converge - but if EVERY shard already
+	// existed, this is a plain duplicate create and says so.
+	all := true
+	for _, e := range existed {
+		all = all && e
+	}
+	if all {
+		writeError(w, http.StatusConflict, "estimator %q already exists", req.Name)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": req.Name, "kind": req.Kind, "config": req.Config, "partitions": c.parts,
+	})
+}
+
+// createShard creates one shard at its owner (an already existing shard
+// counts as success and is reported), retrying through a map refresh when
+// the owner moved.
+func (c *clusterNode) createShard(ctx context.Context, shard string, req *createRequest) (existed bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		owner, ok := c.map_().Owner(shard)
+		if !ok {
+			return false, fmt.Errorf("no owner for %q", shard)
+		}
+		if owner.ID == c.selfID {
+			_, err := c.srv.createLocal(req)
+			if err == nil {
+				return false, nil
+			}
+			if errors.Is(err, errAlreadyExists) {
+				return true, nil
+			}
+			lastErr = err
+		} else {
+			resp, err := c.client.Do(ctx, http.MethodPost, owner.URL+"/v1/estimators", body, internalHeader())
+			if err != nil {
+				lastErr = err
+			} else if resp.Status == http.StatusCreated {
+				return false, nil
+			} else if resp.Status == http.StatusConflict {
+				return true, nil
+			} else {
+				lastErr = fmt.Errorf("creating %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+			}
+			c.refreshFrom(ctx, owner.URL)
+		}
+	}
+	return false, lastErr
+}
+
+// routeDelete fans a delete out to every partition owner. Missing shards
+// are tolerated (a half-created name can still be deleted); only when NO
+// shard existed is 404 returned.
+func (c *clusterNode) routeDelete(ctx context.Context, w http.ResponseWriter, name string) {
+	found, errs := cluster.Scatter(c.parts, func(p int) (bool, error) {
+		return c.deleteShard(ctx, cluster.ShardName(name, p))
+	})
+	if err := cluster.FirstError(errs); err != nil {
+		writeError(w, http.StatusBadGateway, "partitioned delete incomplete: %v", err)
+		return
+	}
+	any := false
+	for _, f := range found {
+		any = any || f
+	}
+	if !any {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// deleteShard removes one shard at its owner, reporting whether it
+// existed.
+func (c *clusterNode) deleteShard(ctx context.Context, shard string) (bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		owner, ok := c.map_().Owner(shard)
+		if !ok {
+			return false, fmt.Errorf("no owner for %q", shard)
+		}
+		if owner.ID == c.selfID {
+			found, err := c.srv.deleteLocal(shard)
+			if err == nil {
+				return found, nil
+			}
+			lastErr = err
+		} else {
+			resp, err := c.client.Do(ctx, http.MethodDelete, owner.URL+shardPath(shard, ""), nil, internalHeader())
+			if err != nil {
+				lastErr = err
+			} else if resp.Status == http.StatusOK {
+				return true, nil
+			} else if resp.Status == http.StatusNotFound {
+				return false, nil
+			} else {
+				lastErr = fmt.Errorf("deleting %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+			}
+			c.refreshFrom(ctx, owner.URL)
+		}
+	}
+	return false, lastErr
+}
+
+// ---- routing: updates ----
+
+// sideFromWire maps the wire side string to the library side for routing.
+func sideFromWire(side string) spatial.UpdateSide {
+	switch side {
+	case "left":
+		return spatial.SideLeft
+	case "right":
+		return spatial.SideRight
+	case "inner":
+		return spatial.SideInner
+	case "outer":
+		return spatial.SideOuter
+	}
+	return spatial.SideData
+}
+
+// routeUpdate splits an update batch per record by routing hash and
+// forwards each partition's sub-batch to its owner. Partition sub-batches
+// are applied independently: on a partial failure the applied count and
+// the error are both reported, and re-sending the failed records is safe
+// only for batches that are not yet acknowledged (sketches count every
+// application).
+func (c *clusterNode) routeUpdate(w http.ResponseWriter, name string, req *updateRequest) {
+	if cluster.IsShardName(name) {
+		writeError(w, http.StatusBadRequest, "shard keys are internal; update the base estimator name")
+		return
+	}
+	side := sideFromWire(req.Side)
+	op := spatial.OpInsert
+	if req.Op == "delete" {
+		op = spatial.OpDelete
+	}
+	// Split per record. The routing hash ignores the operation, so a
+	// delete always lands on the partition holding its insert.
+	rectParts := make([][][][2]uint64, c.parts)
+	pointParts := make([][][]uint64, c.parts)
+	for _, r := range req.Rects {
+		rec := spatial.UpdateRecord{Op: op, Side: side, Rect: decodeQuery(r)}
+		p := cluster.PartitionOf(rec.RoutingHash(), c.parts)
+		rectParts[p] = append(rectParts[p], r)
+	}
+	for _, pt := range req.Points {
+		rec := spatial.UpdateRecord{Op: op, Side: side, Point: pt}
+		p := cluster.PartitionOf(rec.RoutingHash(), c.parts)
+		pointParts[p] = append(pointParts[p], pt)
+	}
+	// Deliberately NOT the request context: once an update fan-out starts,
+	// cancelling between partitions would silently drop sub-batches while
+	// others applied; running to completion keeps the applied-count report
+	// truthful even when the client disconnects.
+	ctx := context.Background()
+	hadWork := make([]bool, c.parts)
+	applied, errs := cluster.Scatter(c.parts, func(p int) (int, error) {
+		if len(rectParts[p]) == 0 && len(pointParts[p]) == 0 {
+			return 0, nil
+		}
+		hadWork[p] = true
+		sub := updateRequest{Op: req.Op, Side: req.Side, Rects: rectParts[p], Points: pointParts[p]}
+		return c.applyShardUpdate(ctx, cluster.ShardName(name, p), &sub)
+	})
+	total := 0
+	for _, a := range applied {
+		total += a
+	}
+	// Classify: every worked partition missing => the estimator does not
+	// exist (404, like single-node mode); a shard holder's 4xx is the
+	// client's mistake (400); anything else is a cluster-side failure
+	// (502, with the applied count - partition sub-batches are not
+	// atomic, see docs/CLUSTER.md).
+	allMissing, anyErr := true, false
+	var clientErr *shardClientError
+	for p, err := range errs {
+		if !hadWork[p] {
+			continue
+		}
+		if err != nil {
+			anyErr = true
+			errors.As(err, &clientErr)
+		}
+		if !errors.Is(err, errShardMissing) {
+			allMissing = false
+		}
+	}
+	switch {
+	case anyErr && allMissing:
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+	case clientErr != nil:
+		writeError(w, http.StatusBadRequest, "%v", clientErr)
+	case anyErr:
+		writeError(w, http.StatusBadGateway, "partitioned update incomplete (%d records applied): %v",
+			total, cluster.FirstError(errs))
+	default:
+		writeJSON(w, http.StatusOK, updateResponse{Applied: total})
+	}
+}
+
+// shardClientError marks a shard holder's 4xx rejection - the client's
+// mistake (wrong side, bad geometry), reported as 400, never retried.
+type shardClientError struct{ msg string }
+
+// Error returns the shard holder's rejection message.
+func (e *shardClientError) Error() string { return e.msg }
+
+// applyShardUpdate applies one partition's sub-batch at its owner,
+// healing through a map refresh when the shard just moved. Only
+// definitely-not-applied rejections (ownership, missing shard) are
+// retried; transport errors after the body was sent are not, because the
+// update may have been applied. A shard still missing after a map
+// refresh reports errShardMissing (the estimator likely does not exist);
+// the owner's 4xx reports shardClientError.
+func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *updateRequest) (int, error) {
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return 0, err
+	}
+	var lastErr error
+	missing := 0
+	for attempt := 0; attempt < 4; attempt++ {
+		owner, ok := c.map_().Owner(shard)
+		if !ok {
+			return 0, fmt.Errorf("no owner for %q", shard)
+		}
+		if owner.ID == c.selfID {
+			applied, err := c.srv.applyUpdateLocal(shard, sub)
+			switch {
+			case err == nil:
+				return applied, nil
+			case errors.Is(err, errNotFoundLocal):
+				missing++
+				if missing >= 2 {
+					return 0, fmt.Errorf("%w: %q", errShardMissing, shard)
+				}
+				lastErr = err
+			case errors.Is(err, errNotOwner) || err == errStaleBinding:
+				lastErr = err // moved away mid-flight: refresh below and retry
+			default:
+				var lf *logFailure
+				if errors.As(err, &lf) {
+					return 0, err
+				}
+				return 0, &shardClientError{err.Error()}
+			}
+			c.refreshAny(ctx)
+		} else {
+			resp, err := c.client.Do(ctx, http.MethodPost, owner.URL+shardPath(shard, "/update"), body, internalHeader())
+			if err != nil {
+				return 0, fmt.Errorf("updating %q on %s: %w", shard, owner.ID, err)
+			}
+			switch resp.Status {
+			case http.StatusOK:
+				var ur updateResponse
+				if err := json.Unmarshal(resp.Body, &ur); err != nil {
+					return 0, err
+				}
+				return ur.Applied, nil
+			case http.StatusNotFound:
+				missing++
+				if missing >= 2 {
+					return 0, fmt.Errorf("%w: %q on %s", errShardMissing, shard, owner.ID)
+				}
+				lastErr = fmt.Errorf("updating %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				c.refreshFrom(ctx, owner.URL)
+			case http.StatusConflict:
+				lastErr = fmt.Errorf("updating %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				c.refreshFrom(ctx, owner.URL)
+			case http.StatusBadRequest:
+				var er errorResponse
+				if json.Unmarshal(resp.Body, &er) == nil && er.Error != "" {
+					return 0, &shardClientError{er.Error}
+				}
+				return 0, &shardClientError{string(resp.Body)}
+			default:
+				return 0, fmt.Errorf("updating %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+			}
+		}
+		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+	}
+	return 0, lastErr
+}
+
+// refreshAny refreshes the map from any reachable peer.
+func (c *clusterNode) refreshAny(ctx context.Context) {
+	for _, n := range c.map_().Nodes {
+		if n.ID != c.selfID {
+			c.refreshFrom(ctx, n.URL)
+			return
+		}
+	}
+}
+
+// ---- routing: estimates, snapshots, info, list ----
+
+// errShardMissing marks a partition whose owner has no copy of the shard.
+var errShardMissing = errors.New("shard not found at its owner")
+
+// gather fetches every partition's snapshot from its owner and merges
+// them into one servable estimator - the scatter-gather read path. The
+// merge is exact by linearity; each partition is read at its owner's
+// current state (per-partition consistency; see docs/CLUSTER.md for the
+// cross-partition story under concurrent writes).
+func (c *clusterNode) gather(ctx context.Context, name string) (servable, error) {
+	snaps, errs := cluster.Scatter(c.parts, func(p int) ([]byte, error) {
+		return c.fetchShardSnapshot(ctx, cluster.ShardName(name, p))
+	})
+	missing := 0
+	for i, err := range errs {
+		if errors.Is(err, errShardMissing) {
+			missing++
+			errs[i] = nil
+		}
+	}
+	if missing == c.parts {
+		return nil, errNotFoundLocal
+	}
+	if err := cluster.FirstError(errs); err != nil {
+		return nil, err
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("estimator %q is missing %d of %d partitions (partial create?)", name, missing, c.parts)
+	}
+	var est servable
+	for _, snap := range snaps {
+		if est == nil {
+			var err error
+			if est, err = restoreServable(snap); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := est.mergeSnapshot(snap); err != nil {
+			return nil, err
+		}
+	}
+	return est, nil
+}
+
+// fetchShardSnapshot reads one shard's snapshot from its owner, healing
+// through a map refresh when the shard just moved.
+func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		owner, ok := c.map_().Owner(shard)
+		if !ok {
+			return nil, fmt.Errorf("no owner for %q", shard)
+		}
+		if owner.ID == c.selfID {
+			if est, ok := c.srv.lookup(shard); ok && c.owns(shard) {
+				return est.snapshot()
+			}
+			lastErr = errShardMissing
+			c.refreshAny(ctx)
+		} else {
+			resp, err := c.client.Get(ctx, owner.URL+shardPath(shard, "/snapshot"), internalHeader())
+			if err != nil {
+				lastErr = err
+			} else if resp.Status == http.StatusOK {
+				return resp.Body, nil
+			} else if resp.Status == http.StatusNotFound || resp.Status == http.StatusConflict {
+				lastErr = fmt.Errorf("%w (status %d on %s)", errShardMissing, resp.Status, owner.ID)
+				c.refreshFrom(ctx, owner.URL)
+			} else {
+				return nil, fmt.Errorf("snapshot of %q from %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+			}
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// routeEstimate answers an estimate for a base estimator name by
+// gathering every partition and estimating on the merged synopsis - exact
+// by linearity: the merged counters equal a single-node build's.
+func (c *clusterNode) routeEstimate(ctx context.Context, w http.ResponseWriter, name string, req *estimateRequest) {
+	est, err := c.gather(ctx, name)
+	if errors.Is(err, errNotFoundLocal) {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	serveEstimate(w, est, req)
+}
+
+// routeInfo serves a base estimator's info document from the gathered
+// merged synopsis (counts sum across partitions).
+func (c *clusterNode) routeInfo(ctx context.Context, w http.ResponseWriter, name string) {
+	est, err := c.gather(ctx, name)
+	if errors.Is(err, errNotFoundLocal) {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoResponse{
+		Name: name, Kind: est.kind().String(), Config: est.configJSON(),
+		Counts: est.counts(), Instances: est.instances(), SpaceWords: est.spaceWords(),
+	})
+}
+
+// routeList aggregates the estimator listings of every node, mapping
+// shard keys back to their base estimator names.
+func (c *clusterNode) routeList(ctx context.Context, w http.ResponseWriter) {
+	type entry struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	m := c.map_()
+	lists, errs := cluster.Scatter(len(m.Nodes), func(i int) ([]entry, error) {
+		n := m.Nodes[i]
+		if n.ID == c.selfID {
+			var out []entry
+			c.srv.mu.RLock()
+			for name, e := range c.srv.ests {
+				out = append(out, entry{Name: name, Kind: e.kind().String()})
+			}
+			c.srv.mu.RUnlock()
+			return out, nil
+		}
+		resp, err := c.client.Get(ctx, n.URL+"/v1/estimators", internalHeader())
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != http.StatusOK {
+			return nil, fmt.Errorf("listing on %s: status %d", n.ID, resp.Status)
+		}
+		var body struct {
+			Estimators []entry `json:"estimators"`
+		}
+		if err := json.Unmarshal(resp.Body, &body); err != nil {
+			return nil, err
+		}
+		return body.Estimators, nil
+	})
+	if err := cluster.FirstError(errs); err != nil {
+		writeError(w, http.StatusBadGateway, "cluster list incomplete: %v", err)
+		return
+	}
+	kinds := map[string]string{}
+	for _, list := range lists {
+		for _, e := range list {
+			name := e.Name
+			if base, _, ok := cluster.SplitShardName(name); ok {
+				name = base
+			}
+			kinds[name] = e.Kind
+		}
+	}
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]entry, len(names))
+	for i, name := range names {
+		out[i] = entry{Name: name, Kind: kinds[name]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"estimators": out})
+}
+
+// ---- admin: ring status, map adoption, rebalance ----
+
+// ringResponse is the /admin/ring status document: the node's identity,
+// the partition map, and - where applicable - the WAL frontier and the
+// replication state.
+type ringResponse struct {
+	// Clustered reports whether cluster mode is on.
+	Clustered bool `json:"clustered"`
+	// Self is this node's ID (cluster mode only).
+	Self string `json:"self,omitempty"`
+	// Partitions is the per-estimator partition count (cluster mode only).
+	Partitions int `json:"partitions,omitempty"`
+	// Map is the current partition map (cluster mode only).
+	Map *cluster.Map `json:"map,omitempty"`
+	// WalPos is the current WAL frontier (persistent nodes only).
+	WalPos string `json:"walPos,omitempty"`
+	// Replica is the replication status (followers only).
+	Replica *replicaStatus `json:"replica,omitempty"`
+}
+
+// handleRingGet serves the node's cluster/replication status.
+func (s *Server) handleRingGet(w http.ResponseWriter, r *http.Request) {
+	resp := ringResponse{}
+	if s.cluster != nil {
+		resp.Clustered = true
+		resp.Self = s.cluster.selfID
+		resp.Partitions = s.cluster.parts
+		resp.Map = s.cluster.map_()
+	}
+	if s.persist != nil {
+		resp.WalPos = s.persist.w.Pos().String()
+	}
+	if s.replica != nil {
+		resp.Replica = s.replica.status()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRingAdopt ingests a broadcast partition map, adopting it when it
+// is strictly newer, and always answers with the current map.
+func (s *Server) handleRingAdopt(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusConflict, "cluster mode is disabled (start with -peers/-node-id)")
+		return
+	}
+	var m cluster.Map
+	if !decodeJSON(w, r, &m) {
+		return
+	}
+	if err := m.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cluster.adopt(&m)
+	writeJSON(w, http.StatusOK, map[string]any{"map": s.cluster.map_()})
+}
+
+// rebalanceRequest asks the cluster to move one partition of one
+// estimator to an explicit target node.
+type rebalanceRequest struct {
+	// Name is the base estimator name.
+	Name string `json:"name"`
+	// Partition is the partition index to move.
+	Partition int `json:"partition"`
+	// Target is the node ID that should own the partition afterwards.
+	Target string `json:"target"`
+}
+
+// handleRebalance moves one shard to a new owner. Any node accepts the
+// request and forwards it to the shard's current owner, which runs the
+// handoff protocol.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeError(w, http.StatusConflict, "cluster mode is disabled (start with -peers/-node-id)")
+		return
+	}
+	var req rebalanceRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Partition < 0 || req.Partition >= c.parts {
+		writeError(w, http.StatusBadRequest, "partition %d outside [0, %d)", req.Partition, c.parts)
+		return
+	}
+	m := c.map_()
+	target, ok := m.NodeByID(req.Target)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "target node %q is not in the partition map", req.Target)
+		return
+	}
+	shard := cluster.ShardName(req.Name, req.Partition)
+	owner, ok := m.Owner(shard)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "no owner for %q", shard)
+		return
+	}
+	if owner.ID == target.ID {
+		writeJSON(w, http.StatusOK, map[string]any{"moved": false, "shard": shard, "owner": owner.ID})
+		return
+	}
+	if owner.ID != c.selfID {
+		if isInternal(r) {
+			writeError(w, http.StatusConflict, "%v", errNotOwner)
+			return
+		}
+		body, _ := json.Marshal(req)
+		resp, err := c.client.Do(r.Context(), http.MethodPost, owner.URL+"/admin/rebalance", body, internalHeader())
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "forwarding rebalance to %s: %v", owner.ID, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+		return
+	}
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	if err := c.handoff(r.Context(), shard, target); err != nil {
+		writeError(w, http.StatusInternalServerError, "handoff of %q to %s: %v", shard, target.ID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moved": true, "shard": shard, "from": c.selfID, "to": target.ID,
+		"mapVersion": c.map_().Version,
+	})
+}
+
+// handoff moves one local shard to target without losing an update:
+//
+//  1. Cut: under a brief exclusive gate (no logged mutation in flight),
+//     record the WAL position and marshal the shard - in-memory work
+//     only, the same cost as a checkpoint cut.
+//  2. Stream: PUT the snapshot to the target, then ship the shard's WAL
+//     suffix (the updates that kept landing here since the cut) in
+//     catch-up passes, all off the gate.
+//  3. Seal: retake the gate exclusively, ship the final (tiny) suffix,
+//     flip ownership in the partition map, release. From that instant
+//     every router either sends to the new owner or gets a stale-map
+//     rejection here and heals.
+//
+// Without a WAL (in-memory cluster) the whole move runs under the
+// exclusive gate instead - a freeze-move, acceptable because there is no
+// durability to preserve and snapshots are small.
+func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.Node) error {
+	s := c.srv
+	est, ok := s.lookup(shard)
+	if !ok {
+		return fmt.Errorf("shard %q is not on this node", shard)
+	}
+	gate := s.mutGate()
+	if s.persist != nil {
+		gate.Lock()
+		cut := s.persist.w.Pos()
+		snap, err := est.snapshot()
+		gate.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := c.shipSnapshot(ctx, target, shard, snap); err != nil {
+			return err
+		}
+		pos := cut
+		for pass := 0; pass < 8; pass++ {
+			recs, count, next, err := s.persist.updateSuffix(pos, shard)
+			if err != nil {
+				return err
+			}
+			if count == 0 {
+				break
+			}
+			if err := c.shipRecords(ctx, target, shard, recs, count); err != nil {
+				return err
+			}
+			pos = next
+		}
+		gate.Lock()
+		recs, count, _, err := s.persist.updateSuffix(pos, shard)
+		if err == nil && count > 0 {
+			err = c.shipRecords(ctx, target, shard, recs, count)
+		}
+		if err == nil {
+			err = c.flipOwnership(ctx, shard, target)
+		}
+		gate.Unlock()
+		if err != nil {
+			return err
+		}
+	} else {
+		gate.Lock()
+		snap, err := est.snapshot()
+		if err == nil {
+			err = c.shipSnapshot(ctx, target, shard, snap)
+		}
+		if err == nil {
+			err = c.flipOwnership(ctx, shard, target)
+		}
+		gate.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	c.broadcastMap(ctx)
+	// Ownership has moved and the target acknowledged its map; no new
+	// update can land here, so the local copy is garbage. A failure only
+	// leaks memory until the next restart.
+	if _, err := s.deleteLocal(shard); err != nil {
+		logfServer("spatialserve: dropping handed-off shard %q: %v", shard, err)
+	}
+	return nil
+}
+
+// flipOwnership publishes shard's new owner: the override map is pushed
+// to the TARGET first (it must know it owns the shard before the source
+// lets go - a best-effort broadcast is not enough for the only node that
+// will serve it), then installed locally. Called under the exclusive
+// gate, so an abort here leaves ownership fully unchanged: the target
+// merely holds an inert copy the next attempt replaces.
+func (c *clusterNode) flipOwnership(ctx context.Context, shard string, target cluster.Node) error {
+	m := c.overriddenMap(shard, target.ID)
+	acked := false
+	var lastErr error
+	for attempt := 0; attempt < 3 && !acked; attempt++ {
+		body, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(ctx, http.MethodPost, target.URL+"/admin/ring", body, internalHeader())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Status != http.StatusOK {
+			lastErr = fmt.Errorf("pushing map to %s: status %d: %s", target.ID, resp.Status, resp.Body)
+			continue
+		}
+		// The adopt answers with the target's CURRENT map; confirm the
+		// override actually landed. If the target already held a newer map
+		// (a concurrent rebalance elsewhere), rebase our override on it
+		// and push again.
+		var ack struct {
+			Map *cluster.Map `json:"map"`
+		}
+		if err := json.Unmarshal(resp.Body, &ack); err != nil || ack.Map == nil {
+			lastErr = fmt.Errorf("pushing map to %s: unreadable ack", target.ID)
+			continue
+		}
+		if ack.Map.Overrides[shard] == target.ID {
+			acked = true
+			break
+		}
+		c.adopt(ack.Map)
+		m = c.overriddenMapFrom(ack.Map, shard, target.ID)
+		lastErr = fmt.Errorf("pushing map to %s: target kept version %d without the override", target.ID, ack.Map.Version)
+	}
+	if !acked {
+		return fmt.Errorf("ownership flip aborted (target never acknowledged the map): %w", lastErr)
+	}
+	// Install locally with a CAS loop so a concurrently adopted newer map
+	// is extended rather than clobbered (the extended map's higher version
+	// then wins the broadcast).
+	for {
+		cur := c.pmap.Load()
+		next := c.overriddenMapFrom(cur, shard, target.ID)
+		if c.pmap.CompareAndSwap(cur, next.EnsureRing()) {
+			c.saveMap()
+			return nil
+		}
+	}
+}
+
+// overriddenMap builds (without installing) the current map plus one
+// ownership override, version bumped.
+func (c *clusterNode) overriddenMap(shard, targetID string) *cluster.Map {
+	return c.overriddenMapFrom(c.map_(), shard, targetID)
+}
+
+// overriddenMapFrom is overriddenMap against an explicit base map.
+func (c *clusterNode) overriddenMapFrom(base *cluster.Map, shard, targetID string) *cluster.Map {
+	m := base.Clone()
+	if m.Overrides == nil {
+		m.Overrides = make(map[string]string)
+	}
+	m.Overrides[shard] = targetID
+	m.Version++
+	return m
+}
+
+// shipSnapshot PUTs a shard snapshot at the target node.
+func (c *clusterNode) shipSnapshot(ctx context.Context, target cluster.Node, shard string, snap []byte) error {
+	resp, err := c.client.Do(ctx, http.MethodPut, target.URL+shardPath(shard, "/snapshot"), snap, internalHeader())
+	if err != nil {
+		return fmt.Errorf("shipping snapshot of %q: %w", shard, err)
+	}
+	if resp.Status != http.StatusOK {
+		return fmt.Errorf("shipping snapshot of %q: status %d: %s", shard, resp.Status, resp.Body)
+	}
+	return nil
+}
+
+// shipRecords POSTs a batch of raw update records to the target's apply
+// endpoint.
+func (c *clusterNode) shipRecords(ctx context.Context, target cluster.Node, shard string, recs []byte, count uint64) error {
+	body := binary.AppendUvarint(nil, count)
+	body = append(body, recs...)
+	resp, err := c.client.Do(ctx, http.MethodPost, target.URL+shardPath(shard, "/apply"), body, internalHeader())
+	if err != nil {
+		return fmt.Errorf("shipping %d records of %q: %w", count, shard, err)
+	}
+	if resp.Status != http.StatusOK {
+		return fmt.Errorf("shipping %d records of %q: status %d: %s", count, shard, resp.Status, resp.Body)
+	}
+	return nil
+}
+
+// updateSuffix collects the raw update records logged for name after
+// `from`, returning their concatenated binary encoding, the record count
+// and the position one past the last WAL record examined. A registry
+// operation (create/delete/put/merge) on the name inside the suffix
+// aborts the caller's handoff - those do not commute with the move.
+func (p *persister) updateSuffix(from wal.Pos, name string) (recs []byte, count uint64, next wal.Pos, err error) {
+	next, err = p.w.ReadFrom(from, 0, func(pos wal.Pos, payload []byte) error {
+		op, rname, rest, perr := parseWalPayload(payload)
+		if perr != nil {
+			return fmt.Errorf("wal record at %v: %w", pos, perr)
+		}
+		if rname != name {
+			return nil
+		}
+		if op != walOpUpdate {
+			return fmt.Errorf("registry operation (op %d) on %q at %v during handoff; retry the rebalance", op, name, pos)
+		}
+		n, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return fmt.Errorf("wal update for %q at %v: truncated record count", name, pos)
+		}
+		count += n
+		recs = append(recs, rest[k:]...)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, wal.Pos{}, err
+	}
+	return recs, count, next, nil
+}
+
+// handleApply applies a batch of binary update records (uvarint count
+// followed by UpdateRecord encodings) to one estimator through its public
+// update path - the WAL-suffix shipping channel of rebalancing. The
+// records run through the estimator's tap, so on a persistent node they
+// are re-logged locally before they are applied.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, "node is a read-only replica (POST /admin/promote to take over)")
+		return
+	}
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		writeError(w, http.StatusBadRequest, "truncated record count")
+		return
+	}
+	rest := data[k:]
+	// Every record costs at least 3 bytes (flags, side, dims), so a count
+	// the payload cannot possibly hold is rejected before it sizes an
+	// allocation - same hostile-header discipline as the snapshot decoder.
+	if count > uint64(len(rest))/3 {
+		writeError(w, http.StatusBadRequest, "record count %d exceeds what %d payload bytes can hold", count, len(rest))
+		return
+	}
+	recs := make([]spatial.UpdateRecord, 0, min(count, 65536))
+	for i := uint64(0); i < count; i++ {
+		rec, used, err := spatial.DecodeUpdateRecord(rest)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+			return
+		}
+		rest = rest[used:]
+		recs = append(recs, rec)
+	}
+	if len(rest) != 0 {
+		writeError(w, http.StatusBadRequest, "%d trailing bytes after %d records", len(rest), count)
+		return
+	}
+	// NOTE: no shard-ownership check here - this endpoint receives a
+	// rebalance's suffix records while the SOURCE still owns the shard.
+	err := s.withEstimator(name, est, func() error {
+		for _, rec := range recs {
+			if err := est.applyRecord(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var lf *logFailure
+	if errors.As(err, &lf) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err == errStaleBinding {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Applied: len(recs)})
+}

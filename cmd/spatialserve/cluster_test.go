@@ -1,0 +1,609 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/cluster"
+)
+
+// In-process cluster tests: several Servers wired together over real HTTP
+// (httptest listeners), all race-clean. The exactness claims are checked
+// the strongest way possible - merged cluster snapshots must be
+// BYTE-identical to a loss-free single-node build of the same stream.
+
+const testPartitions = 4
+
+// startCluster brings up n in-process cluster nodes (persistent when dirs
+// is non-nil) and returns the servers and their base URLs.
+func startCluster(t *testing.T, n int, persistent bool) ([]*Server, []string) {
+	t.Helper()
+	srvs := make([]*Server, n)
+	hts := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if persistent {
+			srvs[i], err = NewPersistentServer(PersistOptions{DataDir: filepath.Join(t.TempDir(), "node")})
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			srvs[i] = NewServer()
+		}
+		hts[i] = httptest.NewServer(srvs[i])
+		urls[i] = hts[i].URL
+		t.Cleanup(hts[i].Close)
+		srv := srvs[i]
+		t.Cleanup(func() { srv.Close() })
+	}
+	m := &cluster.Map{Version: 1}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, cluster.Node{ID: fmt.Sprintf("n%d", i), URL: urls[i]})
+	}
+	for i := 0; i < n; i++ {
+		if err := srvs[i].EnableCluster(ClusterOptions{
+			SelfID:     fmt.Sprintf("n%d", i),
+			Map:        m.Clone(),
+			Partitions: testPartitions,
+			Client:     cluster.NewClient(10*time.Second, 0),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srvs, urls
+}
+
+func httpDo(t testing.TB, method, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func mustDo(t testing.TB, method, url string, body []byte, want int) []byte {
+	t.Helper()
+	resp, data := httpDo(t, method, url, body, nil)
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d: %s", method, url, resp.StatusCode, want, data)
+	}
+	return data
+}
+
+// clusterRefs builds the four reference estimators matching the test
+// create requests (same configs, single node, loss-free).
+type clusterRefs struct {
+	j *spatial.JoinEstimator
+	r *spatial.RangeEstimator
+	e *spatial.EpsJoinEstimator
+	c *spatial.ContainmentEstimator
+}
+
+func newClusterRefs(t *testing.T, dom uint64) *clusterRefs {
+	t.Helper()
+	sz := spatial.Sizing{Instances: 64, Groups: 4}
+	j, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: dom, Seed: 1, Sizing: sz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 1, DomainSize: dom, Seed: 2, Sizing: sz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{Dims: 2, DomainSize: dom, Eps: 8, Seed: 3, Sizing: sz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spatial.NewContainmentEstimator(spatial.ContainmentConfig{Dims: 2, DomainSize: dom, Seed: 4, Sizing: sz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &clusterRefs{j: j, r: r, e: e, c: c}
+}
+
+func createFour(t *testing.T, base string, dom uint64) {
+	t.Helper()
+	for _, c := range []createRequest{
+		{Name: "j", Kind: "join", Config: configRequest{Dims: 2, DomainSize: dom, Seed: 1, Instances: 64, Groups: 4}},
+		{Name: "r", Kind: "range", Config: configRequest{Dims: 1, DomainSize: dom, Seed: 2, Instances: 64, Groups: 4}},
+		{Name: "e", Kind: "epsjoin", Config: configRequest{Dims: 2, DomainSize: dom, Eps: 8, Seed: 3, Instances: 64, Groups: 4}},
+		{Name: "c", Kind: "containment", Config: configRequest{Dims: 2, DomainSize: dom, Seed: 4, Instances: 64, Groups: 4}},
+	} {
+		body, _ := json.Marshal(c)
+		mustDo(t, "POST", base+"/v1/estimators", body, http.StatusCreated)
+	}
+}
+
+// TestClusterExactScatterGather is the headline exactness test: a 3-node
+// cluster ingests a mixed stream (all four estimator kinds, routed
+// through rotating nodes, deletes included) and every merged cluster
+// snapshot - hence every estimate - is byte-identical to a loss-free
+// single-node build of the same stream.
+func TestClusterExactScatterGather(t *testing.T) {
+	const dom = 1 << 12
+	const n = 160
+	_, urls := startCluster(t, 3, false)
+	createFour(t, urls[0], dom)
+	refs := newClusterRefs(t, dom)
+
+	rng := rand.New(rand.NewSource(77))
+	post := func(via int, name string, req updateRequest) {
+		body, _ := json.Marshal(req)
+		mustDo(t, "POST", urls[via]+"/v1/estimators/"+name+"/update", body, http.StatusOK)
+	}
+	var rects []geo.HyperRect
+	for i := 0; i < n; i++ {
+		wr := randRect(rng, dom)
+		rect := geo.Rect(wr[0][0], wr[0][1], wr[1][0], wr[1][1])
+		rects = append(rects, rect)
+		ws := randRect(rng, dom)
+		span := geo.Span1D(ws[0][0], ws[0][1])
+		pt := geo.Point{rng.Uint64() % dom, rng.Uint64() % dom}
+		via := i % 3
+		switch i % 4 {
+		case 0:
+			post(via, "j", updateRequest{Side: "left", Rects: [][][2]uint64{wr}})
+			if err := refs.j.InsertLeft(rect); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			post(via, "j", updateRequest{Side: "right", Rects: [][][2]uint64{wr}})
+			if err := refs.j.InsertRight(rect); err != nil {
+				t.Fatal(err)
+			}
+			post(via, "r", updateRequest{Rects: [][][2]uint64{wireRect(span)}})
+			if err := refs.r.Insert(span); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			side, ins := "left", refs.e.InsertLeft
+			if i%8 == 2 {
+				side, ins = "right", refs.e.InsertRight
+			}
+			post(via, "e", updateRequest{Side: side, Points: [][]uint64{pt}})
+			if err := ins(pt); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			side, ins := "inner", refs.c.InsertInner
+			if i%8 == 3 {
+				side, ins = "outer", refs.c.InsertOuter
+			}
+			post(via, "c", updateRequest{Side: side, Rects: [][][2]uint64{wr}})
+			if err := ins(rect); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Deletes must cancel exactly across the partitioned ingest (the
+	// routing hash sends a delete to the partition holding its insert).
+	for i := 0; i < 16; i += 4 {
+		post(i%3, "j", updateRequest{Op: "delete", Side: "left", Rects: [][][2]uint64{wireRect(rects[i])}})
+		if err := refs.j.DeleteLeft(rects[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantSnaps := map[string][]byte{}
+	for name, ref := range map[string]interface{ Marshal() ([]byte, error) }{
+		"j": refs.j, "r": refs.r, "e": refs.e, "c": refs.c,
+	} {
+		want, err := ref.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSnaps[name] = want
+		// Gathered snapshots must be identical no matter which node serves.
+		for via := 0; via < 3; via++ {
+			got := mustDo(t, "GET", urls[via]+"/v1/estimators/"+name+"/snapshot", nil, http.StatusOK)
+			if !bytes.Equal(got, want) {
+				t.Errorf("estimator %q via node %d: merged cluster snapshot differs from the single-node build", name, via)
+			}
+		}
+	}
+
+	// Estimates are computed from the merged counters, so they are
+	// bit-identical to the single-node estimates.
+	jEst, _, _, err := refs.j.CardinalityWithCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got estimateResponse
+	if err := json.Unmarshal(mustDo(t, "GET", urls[2]+"/v1/estimators/j/estimate", nil, http.StatusOK), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != jEst.Value || got.Mean != jEst.Mean {
+		t.Errorf("cluster join estimate (%v, %v) != single-node (%v, %v)", got.Value, got.Mean, jEst.Value, jEst.Mean)
+	}
+
+	// List aggregates shard names back to base names; info sums counts.
+	var list struct {
+		Estimators []struct{ Name, Kind string } `json:"estimators"`
+	}
+	if err := json.Unmarshal(mustDo(t, "GET", urls[1]+"/v1/estimators", nil, http.StatusOK), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Estimators) != 4 {
+		t.Fatalf("cluster list has %d entries, want 4: %+v", len(list.Estimators), list.Estimators)
+	}
+	var info infoResponse
+	if err := json.Unmarshal(mustDo(t, "GET", urls[0]+"/v1/estimators/r", nil, http.StatusOK), &info); err != nil {
+		t.Fatal(err)
+	}
+	if want := refs.r.Count(); info.Counts["data"] != want {
+		t.Errorf("cluster info count %d, want %d", info.Counts["data"], want)
+	}
+
+	// Delete fans out; afterwards every node answers 404.
+	mustDo(t, "DELETE", urls[0]+"/v1/estimators/e", nil, http.StatusOK)
+	mustDo(t, "GET", urls[1]+"/v1/estimators/e/estimate", nil, http.StatusNotFound)
+}
+
+// TestClusterRebalanceMidIngest moves every partition of an estimator to
+// a different node WHILE concurrent writers stream updates through all
+// three nodes, then proves the merged snapshot still matches a loss-free
+// single-node replay - the handoff protocol (snapshot at a WAL cut +
+// suffix shipping + sealed flip) must not lose or double-apply a record.
+func TestClusterRebalanceMidIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node handoff under concurrent load")
+	}
+	const dom = 1 << 12
+	srvs, urls := startCluster(t, 3, true)
+	_ = srvs
+	body, _ := json.Marshal(createRequest{Name: "j", Kind: "join",
+		Config: configRequest{Dims: 2, DomainSize: dom, Seed: 9, Instances: 64, Groups: 4}})
+	mustDo(t, "POST", urls[0]+"/v1/estimators", body, http.StatusCreated)
+
+	var mu sync.Mutex
+	var sent []geo.HyperRect
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wr := randRect(rng, dom)
+				req, _ := json.Marshal(updateRequest{Side: "left", Rects: [][][2]uint64{wr}})
+				resp, data := httpDo(t, "POST", urls[g]+"/v1/estimators/j/update", req, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d: update failed mid-rebalance: %d: %s", g, resp.StatusCode, data)
+					return
+				}
+				mu.Lock()
+				sent = append(sent, geo.Rect(wr[0][0], wr[0][1], wr[1][0], wr[1][1]))
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	// Let the writers get going, then move every partition to the next
+	// node over, issuing each move through a different (often non-owner)
+	// node so forwarding is exercised too.
+	time.Sleep(200 * time.Millisecond)
+	for p := 0; p < testPartitions; p++ {
+		target := fmt.Sprintf("n%d", (p+1)%3)
+		rb, _ := json.Marshal(rebalanceRequest{Name: "j", Partition: p, Target: target})
+		resp, data := httpDo(t, "POST", urls[p%3]+"/admin/rebalance", rb, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rebalance of partition %d: %d: %s", p, resp.StatusCode, data)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ref, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: dom, Seed: 9,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	all := append([]geo.HyperRect(nil), sent...)
+	mu.Unlock()
+	for _, r := range all {
+		if err := ref.InsertLeft(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for via := 0; via < 3; via++ {
+		got := mustDo(t, "GET", urls[via]+"/v1/estimators/j/snapshot", nil, http.StatusOK)
+		if !bytes.Equal(got, want) {
+			t.Errorf("after rebalances: snapshot via node %d differs from the loss-free replay (%d updates)", via, len(all))
+		}
+	}
+	t.Logf("rebalanced all %d partitions under %d concurrent updates, exactness preserved", testPartitions, len(all))
+
+	// The map settled on a newer version with overrides on every node.
+	var rr ringResponse
+	if err := json.Unmarshal(mustDo(t, "GET", urls[2]+"/admin/ring", nil, http.StatusOK), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Map == nil || rr.Map.Version < 2 {
+		t.Errorf("ring did not advance past rebalances: %+v", rr.Map)
+	}
+}
+
+// TestClusterRingAdoption checks map versioning: stale broadcasts are
+// ignored, newer ones win.
+func TestClusterRingAdoption(t *testing.T) {
+	srvs, urls := startCluster(t, 2, false)
+	m := srvs[0].cluster.map_().Clone()
+	m.Version = 5
+	m.Overrides = map[string]string{cluster.ShardName("x", 0): "n1"}
+	body, _ := json.Marshal(m)
+	mustDo(t, "POST", urls[0]+"/admin/ring", body, http.StatusOK)
+	if got := srvs[0].cluster.map_().Version; got != 5 {
+		t.Fatalf("newer map not adopted: version %d", got)
+	}
+	stale := m.Clone()
+	stale.Version = 3
+	stale.Overrides = nil
+	body, _ = json.Marshal(stale)
+	mustDo(t, "POST", urls[0]+"/admin/ring", body, http.StatusOK)
+	cur := srvs[0].cluster.map_()
+	if cur.Version != 5 || len(cur.Overrides) != 1 {
+		t.Fatalf("stale map overwrote a newer one: %+v", cur)
+	}
+}
+
+// TestReplicaFollowAndPromote runs a leader and a WAL-shipped follower:
+// the follower bootstraps from an exact cut, tails the leader's log
+// (applying through UpdateRecord.Apply), rejects external writes, and on
+// promotion serves estimators byte-identical to a loss-free replay - then
+// accepts writes as an ordinary durable node.
+func TestReplicaFollowAndPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process replication timing")
+	}
+	const dom = 1 << 12
+	leader, err := NewPersistentServer(PersistOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh := httptest.NewServer(leader)
+	refs := newClusterRefs(t, dom)
+	createFour(t, lh.URL, dom)
+
+	rng := rand.New(rand.NewSource(55))
+	ingest := func(n int) {
+		for i := 0; i < n; i++ {
+			wr := randRect(rng, dom)
+			rect := geo.Rect(wr[0][0], wr[0][1], wr[1][0], wr[1][1])
+			body, _ := json.Marshal(updateRequest{Side: "left", Rects: [][][2]uint64{wr}})
+			mustDo(t, "POST", lh.URL+"/v1/estimators/j/update", body, http.StatusOK)
+			if err := refs.j.InsertLeft(rect); err != nil {
+				t.Fatal(err)
+			}
+			ws := randRect(rng, dom)
+			span := geo.Span1D(ws[0][0], ws[0][1])
+			body, _ = json.Marshal(updateRequest{Rects: [][][2]uint64{wireRect(span)}})
+			mustDo(t, "POST", lh.URL+"/v1/estimators/r/update", body, http.StatusOK)
+			if err := refs.r.Insert(span); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingest(30) // pre-bootstrap history
+
+	follower, err := NewPersistentServer(PersistOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := httptest.NewServer(follower)
+	defer fh.Close()
+	defer follower.Close()
+	if err := follower.StartReplica(lh.URL, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	ingest(30) // shipped via WAL tailing
+
+	// Wait until the follower's applied position reaches the leader's
+	// frontier.
+	leaderPos := func() string {
+		var rr ringResponse
+		if err := json.Unmarshal(mustDo(t, "GET", lh.URL+"/admin/ring", nil, http.StatusOK), &rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr.WalPos
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var rr ringResponse
+		if err := json.Unmarshal(mustDo(t, "GET", fh.URL+"/admin/ring", nil, http.StatusOK), &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Replica == nil {
+			t.Fatal("follower reports no replica status")
+		}
+		if rr.Replica.Pos == leaderPos() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: at %s, leader at %s (lastError %q)",
+				rr.Replica.Pos, leaderPos(), rr.Replica.LastError)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Read-only while replicating.
+	body, _ := json.Marshal(updateRequest{Side: "left", Rects: [][][2]uint64{randRect(rng, dom)}})
+	resp, _ := httpDo(t, "POST", fh.URL+"/v1/estimators/j/update", body, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("follower accepted an external write: %d", resp.StatusCode)
+	}
+
+	// Leader dies; promote the follower and verify bit-identical state.
+	lh.Close()
+	leader.Close()
+	mustDo(t, "POST", fh.URL+"/admin/promote", nil, http.StatusOK)
+	for name, ref := range map[string]interface{ Marshal() ([]byte, error) }{
+		"j": refs.j, "r": refs.r, "e": refs.e, "c": refs.c,
+	} {
+		want, err := ref.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustDo(t, "GET", fh.URL+"/v1/estimators/"+name+"/snapshot", nil, http.StatusOK)
+		if !bytes.Equal(got, want) {
+			t.Errorf("promoted follower: estimator %q differs from the loss-free replay", name)
+		}
+	}
+
+	// The promoted node is an ordinary read-write durable server now.
+	wr := randRect(rng, dom)
+	body, _ = json.Marshal(updateRequest{Side: "left", Rects: [][][2]uint64{wr}})
+	mustDo(t, "POST", fh.URL+"/v1/estimators/j/update", body, http.StatusOK)
+	if err := refs.j.InsertLeft(geo.Rect(wr[0][0], wr[0][1], wr[1][0], wr[1][1])); err != nil {
+		t.Fatal(err)
+	}
+	want, err := refs.j.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDo(t, "GET", fh.URL+"/v1/estimators/j/snapshot", nil, http.StatusOK)
+	if !bytes.Equal(got, want) {
+		t.Error("post-promotion write diverged from the reference")
+	}
+}
+
+// TestClusterMapPersistsAcrossRestart: rebalance overrides must survive a
+// full-cluster restart - the saved partition map restores ownership while
+// the (possibly changed) -peers flags stay authoritative for node
+// addresses - or every moved shard would be stranded on a node the
+// version-1 ring does not name.
+func TestClusterMapPersistsAcrossRestart(t *testing.T) {
+	const dom = 1 << 10
+	dirs := []string{t.TempDir(), t.TempDir()}
+	ids := []string{"n0", "n1"}
+
+	boot := func() ([]*Server, []*httptest.Server, []string) {
+		srvs := make([]*Server, 2)
+		hts := make([]*httptest.Server, 2)
+		urls := make([]string, 2)
+		for i := 0; i < 2; i++ {
+			var err error
+			srvs[i], err = NewPersistentServer(PersistOptions{DataDir: dirs[i]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hts[i] = httptest.NewServer(srvs[i])
+			urls[i] = hts[i].URL
+		}
+		m := &cluster.Map{Version: 1, Nodes: []cluster.Node{
+			{ID: ids[0], URL: urls[0]}, {ID: ids[1], URL: urls[1]}}}
+		for i := 0; i < 2; i++ {
+			if err := srvs[i].EnableCluster(ClusterOptions{
+				SelfID: ids[i], Map: m.Clone(), Partitions: testPartitions,
+				Client: cluster.NewClient(10*time.Second, 0),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return srvs, hts, urls
+	}
+	srvs, hts, urls := boot()
+	body, _ := json.Marshal(createRequest{Name: "m", Kind: "range",
+		Config: configRequest{Dims: 1, DomainSize: dom, Seed: 21, Instances: 32, Groups: 4}})
+	mustDo(t, "POST", urls[0]+"/v1/estimators", body, http.StatusCreated)
+
+	ref, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 1, DomainSize: dom, Seed: 21,
+		Sizing: spatial.Sizing{Instances: 32, Groups: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		lo := rng.Uint64() % (dom - 2)
+		hi := lo + 1 + rng.Uint64()%(dom-lo-1)
+		ub, _ := json.Marshal(updateRequest{Rects: [][][2]uint64{{{lo, hi}}}})
+		mustDo(t, "POST", urls[i%2]+"/v1/estimators/m/update", ub, http.StatusOK)
+		if err := ref.Insert(geo.Span1D(lo, hi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move partitions 0 and 2 to whichever node does not own them.
+	for _, p := range []int{0, 2} {
+		shard := cluster.ShardName("m", p)
+		owner, _ := srvs[0].cluster.map_().Owner(shard)
+		target := ids[0]
+		if owner.ID == ids[0] {
+			target = ids[1]
+		}
+		rb, _ := json.Marshal(rebalanceRequest{Name: "m", Partition: p, Target: target})
+		mustDo(t, "POST", urls[0]+"/admin/rebalance", rb, http.StatusOK)
+	}
+	want, err := ref.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDo(t, "GET", urls[1]+"/v1/estimators/m/snapshot", nil, http.StatusOK); !bytes.Equal(got, want) {
+		t.Fatal("pre-restart snapshot differs from reference")
+	}
+
+	// Full-cluster restart: new processes, NEW addresses (httptest picks
+	// fresh ports), same data dirs and identities.
+	for i := 0; i < 2; i++ {
+		hts[i].Close()
+		if err := srvs[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvs2, hts2, urls2 := boot()
+	defer func() {
+		for i := 0; i < 2; i++ {
+			hts2[i].Close()
+			srvs2[i].Close()
+		}
+	}()
+	if v := srvs2[0].cluster.map_().Version; v < 3 {
+		t.Fatalf("restarted node lost the rebalanced map: version %d", v)
+	}
+	for via := 0; via < 2; via++ {
+		got := mustDo(t, "GET", urls2[via]+"/v1/estimators/m/snapshot", nil, http.StatusOK)
+		if !bytes.Equal(got, want) {
+			t.Errorf("post-restart snapshot via node %d differs from reference", via)
+		}
+	}
+}

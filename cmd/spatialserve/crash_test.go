@@ -44,7 +44,14 @@ func TestMain(m *testing.M) {
 // returns its base URL and the process handle.
 func startHelper(t *testing.T, dir string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], "-addr=127.0.0.1:0", "-data-dir="+dir, "-checkpoint-interval=0")
+	return startHelperArgs(t, "-addr=127.0.0.1:0", "-data-dir="+dir, "-checkpoint-interval=0")
+}
+
+// startHelperArgs launches the server helper process with explicit flags
+// (cluster smoke tests pass peer lists and node identities).
+func startHelperArgs(t *testing.T, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), crashHelperEnv+"=1")
 	cmd.Stderr = io.Discard
 	stdout, err := cmd.StdoutPipe()

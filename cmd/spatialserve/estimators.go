@@ -231,22 +231,40 @@ func (s *rangeServable) estimate(req *estimateRequest) (*estimateResponse, error
 	return estimateWire(spatial.KindRange, est, counts, float64(count)), nil
 }
 
+// estimateBatch answers a Queries batch with per-query error isolation:
+// malformed queries (empty, wrong dimensionality, inverted or
+// out-of-domain intervals) yield a result carrying an Error, and every
+// valid query is still answered - all from ONE pinned view, so the valid
+// results stay mutually consistent. Fan-out aggregators rely on this: one
+// bad query in a scattered batch must not poison the node's whole answer.
 func (s *rangeServable) estimateBatch(req *estimateRequest) (*batchEstimateResponse, error) {
-	qs := make([]geo.HyperRect, len(req.Queries))
+	resp := &batchEstimateResponse{Results: make([]*estimateResponse, len(req.Queries))}
+	var valid []geo.HyperRect
+	var validIdx []int
 	for i, q := range req.Queries {
 		if len(q) == 0 {
-			return nil, fmt.Errorf("batch query %d is empty", i)
+			resp.Results[i] = &estimateResponse{Kind: spatial.KindRange.String(),
+				Error: fmt.Sprintf("batch query %d is empty", i)}
+			continue
 		}
-		qs[i] = decodeQuery(q)
+		hq := decodeQuery(q)
+		if err := s.e.ValidateQuery(hq); err != nil {
+			resp.Results[i] = &estimateResponse{Kind: spatial.KindRange.String(),
+				Error: fmt.Sprintf("batch query %d: %v", i, err)}
+			continue
+		}
+		valid = append(valid, hq)
+		validIdx = append(validIdx, i)
 	}
-	ests, count, err := s.e.EstimateBatch(qs)
-	if err != nil {
-		return nil, err
-	}
-	counts := map[string]int64{"data": count}
-	resp := &batchEstimateResponse{Results: make([]*estimateResponse, len(ests))}
-	for i, est := range ests {
-		resp.Results[i] = estimateWire(spatial.KindRange, est, counts, float64(count))
+	if len(valid) > 0 {
+		ests, count, err := s.e.EstimateBatch(valid)
+		if err != nil {
+			return nil, err
+		}
+		counts := map[string]int64{"data": count}
+		for j, est := range ests {
+			resp.Results[validIdx[j]] = estimateWire(spatial.KindRange, est, counts, float64(count))
+		}
 	}
 	return resp, nil
 }

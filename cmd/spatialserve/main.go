@@ -42,13 +42,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // errUsage signals that the flag package already reported a usage problem
 // (message plus usage text); main exits non-zero without re-printing it.
 var errUsage = errors.New("invalid arguments")
+
+// parsePeers turns the -peers flag ("id=url,id=url,...") into a version-1
+// partition map.
+func parsePeers(peers string, vnodes int) (*cluster.Map, error) {
+	m := &cluster.Map{Version: 1, VNodes: vnodes}
+	for _, part := range strings.Split(peers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q is not id=url", part)
+		}
+		m.Nodes = append(m.Nodes, cluster.Node{ID: strings.TrimSpace(id), URL: strings.TrimRight(strings.TrimSpace(u), "/")})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -70,6 +94,12 @@ func run(args []string, out *os.File) error {
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every acknowledged mutation (power-loss durability; off, mutations still survive process crashes)")
 	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with -data-dir (0 disables periodic checkpoints)")
 	segBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 64 MiB)")
+	nodeID := fs.String("node-id", "", "cluster mode: this node's stable identity (must appear in -peers)")
+	peers := fs.String("peers", "", "cluster mode: comma-separated id=url membership, identical on every node (e.g. a=http://h1:8080,b=http://h2:8080)")
+	partitions := fs.Int("partitions", DefaultPartitions, "cluster mode: partitions per estimator, identical on every node")
+	vnodes := fs.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0 = default)")
+	follow := fs.String("follow", "", "replica mode: leader base URL to bootstrap from and tail (node serves reads only until /admin/promote)")
+	replicaPoll := fs.Duration("replica-poll", 500*time.Millisecond, "replica mode: WAL tail poll interval")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage was printed, exit 0
@@ -93,9 +123,34 @@ func run(args []string, out *os.File) error {
 		srv = NewServer()
 	}
 
+	if (*peers == "") != (*nodeID == "") {
+		fmt.Fprintln(os.Stderr, "spatialserve: -peers and -node-id must be set together")
+		return errUsage
+	}
+	if *peers != "" {
+		m, err := parsePeers(*peers, *vnodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+			return errUsage
+		}
+		if err := srv.EnableCluster(ClusterOptions{SelfID: *nodeID, Map: m, Partitions: *partitions}); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+			return errUsage
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *follow != "" {
+		// Bootstrap synchronously so the node never serves an empty
+		// registry; the listener is already bound, so peers retrying the
+		// address see a slow accept, not a refused connection.
+		if err := srv.StartReplica(*follow, *replicaPoll); err != nil {
+			ln.Close()
+			return err
+		}
 	}
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	fmt.Fprintf(out, "spatialserve listening on %s\n", ln.Addr())

@@ -321,19 +321,29 @@ func (p *persister) updateTap(name string) spatial.UpdateTap {
 
 // ---- replay ----
 
+// parseWalPayload splits a WAL record payload into its op byte, the
+// estimator name and the op-specific rest - shared by recovery replay,
+// rebalance suffix filtering and replication apply.
+func parseWalPayload(payload []byte) (op byte, name string, rest []byte, err error) {
+	if len(payload) < 1 {
+		return 0, "", nil, fmt.Errorf("empty wal payload")
+	}
+	op = payload[0]
+	nameLen, n := binary.Uvarint(payload[1:])
+	if n <= 0 || uint64(len(payload)-1-n) < nameLen {
+		return 0, "", nil, fmt.Errorf("truncated wal record name")
+	}
+	name = string(payload[1+n : 1+n+int(nameLen)])
+	return op, name, payload[1+n+int(nameLen):], nil
+}
+
 // applyLogged applies one WAL record to the recovering registry. No taps
 // are attached during recovery, so nothing is re-logged.
 func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
-	if len(payload) < 1 {
-		return fmt.Errorf("wal record at %v: empty payload", pos)
+	op, name, rest, err := parseWalPayload(payload)
+	if err != nil {
+		return fmt.Errorf("wal record at %v: %w", pos, err)
 	}
-	op := payload[0]
-	nameLen, n := binary.Uvarint(payload[1:])
-	if n <= 0 || uint64(len(payload)-1-n) < nameLen {
-		return fmt.Errorf("wal record at %v: truncated name", pos)
-	}
-	name := string(payload[1+n : 1+n+int(nameLen)])
-	rest := payload[1+n+int(nameLen):]
 	switch op {
 	case walOpCreate:
 		var req createRequest
@@ -566,15 +576,17 @@ func syncDir(dir string) error {
 // ---- handler-side gating helpers ----
 
 // withEstimator runs fn - a logged mutation of one estimator - under the
-// shared gate, re-verifying that name still binds to est (binding changes
-// hold the gate exclusively, so the binding cannot change while fn runs).
-// Without persistence it just runs fn.
+// shared mutation gate, re-verifying that name still binds to est
+// (binding changes hold the gate exclusively, so the binding cannot
+// change while fn runs). Without a gate (no persistence, no cluster) it
+// just runs fn.
 func (s *Server) withEstimator(name string, est servable, fn func() error) error {
-	if s.persist == nil {
+	gate := s.mutGate()
+	if gate == nil {
 		return fn()
 	}
-	s.persist.gate.RLock()
-	defer s.persist.gate.RUnlock()
+	gate.RLock()
+	defer gate.RUnlock()
 	cur, ok := s.lookup(name)
 	if !ok || cur != est {
 		return errStaleBinding

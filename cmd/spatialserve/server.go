@@ -1,16 +1,22 @@
 package main
 
 import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	spatial "repro"
 	"repro/geo"
+	"repro/internal/cluster"
 )
 
 // Server exposes a registry of named estimators over HTTP: the
@@ -42,6 +48,14 @@ type Server struct {
 	// persist, when non-nil, write-ahead-logs every mutation and owns
 	// checkpoints and recovery (see persist.go).
 	persist *persister
+
+	// cluster, when non-nil, routes requests across the partition map
+	// (see cluster.go).
+	cluster *clusterNode
+
+	// replica, when non-nil, tails a leader's WAL; while active the node
+	// is read-only (see replica.go).
+	replica *replicaState
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -79,7 +93,14 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /v1/estimators/{name}/snapshot", s.handleSnapshotGet)
 	s.mux.HandleFunc("PUT /v1/estimators/{name}/snapshot", s.handleSnapshotPut)
 	s.mux.HandleFunc("POST /v1/estimators/{name}/merge", s.handleMerge)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/apply", s.handleApply)
 	s.mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /admin/ring", s.handleRingGet)
+	s.mux.HandleFunc("POST /admin/ring", s.handleRingAdopt)
+	s.mux.HandleFunc("POST /admin/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("GET /admin/bootstrap", s.handleBootstrap)
+	s.mux.HandleFunc("GET /admin/wal", s.handleWalShip)
+	s.mux.HandleFunc("POST /admin/promote", s.handlePromote)
 	return s
 }
 
@@ -98,10 +119,11 @@ func NewPersistentServer(opts PersistOptions) (*Server, error) {
 	return s, nil
 }
 
-// Close takes a final checkpoint (when persistence is enabled), flushes
-// and closes the WAL. The in-memory registry remains queryable; Close is
-// for graceful shutdown.
+// Close stops replication tailing, takes a final checkpoint (when
+// persistence is enabled), flushes and closes the WAL. The in-memory
+// registry remains queryable; Close is for graceful shutdown.
 func (s *Server) Close() error {
+	s.stopReplica()
 	if s.persist == nil {
 		return nil
 	}
@@ -182,13 +204,19 @@ type estimateRequest struct {
 }
 
 // batchEstimateResponse answers a Queries batch: one result per query, in
-// request order, all computed against the same view.
+// request order, all valid queries computed against the same view. A
+// malformed query yields a result whose Error field is set instead of
+// failing the whole batch - fan-out aggregators depend on the other
+// queries still being answered.
 type batchEstimateResponse struct {
 	Results []*estimateResponse `json:"results"`
 }
 
 type estimateResponse struct {
 	Kind string `json:"kind"`
+	// Error reports a per-query failure inside a batch response; when set,
+	// the other fields are meaningless.
+	Error string `json:"error,omitempty"`
 	// Cardinality is the boosted estimate clamped to be non-negative.
 	Cardinality float64 `json:"cardinality"`
 	// Value is the raw boosted estimate (median of group means).
@@ -229,13 +257,95 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // few MB; update batches should be chunked by the client).
 const maxBodyBytes = 64 << 20
 
+// readBody reads a (possibly gzip-encoded) binary request body. The
+// decompressed size is bounded by maxBodyBytes like the raw size, so a
+// tiny gzip bomb cannot smuggle an oversized snapshot past the limit.
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var rd io.Reader = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(rd)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad gzip body: %v", err)
+			return nil, false
+		}
+		defer gz.Close()
+		rd = io.LimitReader(gz, maxBodyBytes+1)
+	}
+	data, err := io.ReadAll(rd)
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 		return nil, false
 	}
+	if len(data) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "decompressed body exceeds %d bytes", maxBodyBytes)
+		return nil, false
+	}
 	return data, true
+}
+
+// writeSnapshot serves SPE1 snapshot bytes with a strong ETag (truncated
+// SHA-256 of the uncompressed snapshot) honoring If-None-Match, and gzip
+// content encoding when the client accepts it - snapshots cross the
+// network during rebalances and replica bootstraps, and the envelope's
+// counter planes compress well.
+func writeSnapshot(w http.ResponseWriter, r *http.Request, kind spatial.Kind, data []byte) {
+	sum := sha256.Sum256(data)
+	// Strong ETags are representation-specific (RFC 9110): the gzip
+	// variant gets its own tag (nginx's convention) so a cache can never
+	// pair an identity body with a gzip validator or vice versa.
+	gz := acceptsGzip(r)
+	etag := `"` + hex.EncodeToString(sum[:16])
+	if gz {
+		etag += "-gzip"
+	}
+	etag += `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Vary", "Accept-Encoding")
+	w.Header().Set("X-Spatial-Kind", kind.String())
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if gz {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(w)
+		zw.Write(data)
+		zw.Close()
+		return
+	}
+	w.Write(data)
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding accepts
+// gzip - honoring "gzip;q=0", which explicitly refuses it (RFC 9110).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		q, ok := strings.CutPrefix(strings.ReplaceAll(strings.TrimSpace(params), " ", ""), "q=")
+		if ok {
+			if v, err := strconv.ParseFloat(q, 64); err == nil && v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// etagMatches implements If-None-Match comparison against one strong tag.
+func etagMatches(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -248,7 +358,90 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// errAlreadyExists reports a create against a taken name.
+var errAlreadyExists = errors.New("estimator already exists")
+
+// errNotFoundLocal reports a mutation against a name this node does not
+// hold.
+var errNotFoundLocal = errors.New("estimator not found")
+
+// readOnlyReplicaMsg answers external mutations on an active follower.
+const readOnlyReplicaMsg = "node is a read-only replica (POST /admin/promote to take over)"
+
+// createLocal builds and registers an estimator: a registry-binding
+// change, so it holds the mutation gate exclusively and is logged before
+// it becomes visible.
+func (s *Server) createLocal(req *createRequest) (servable, error) {
+	est, err := buildServable(req.Kind, req.Config)
+	if err != nil {
+		return nil, err
+	}
+	if gate := s.mutGate(); gate != nil {
+		gate.Lock()
+		defer gate.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.ests[req.Name]; exists {
+		return nil, fmt.Errorf("%w: %q", errAlreadyExists, req.Name)
+	}
+	if s.persist != nil {
+		if err := s.persist.logCreate(req); err != nil {
+			return nil, err
+		}
+		est.setTap(s.persist.updateTap(req.Name))
+	}
+	s.ests[req.Name] = est
+	return est, nil
+}
+
+// deleteLocal removes an estimator binding (logged, exclusive gate),
+// reporting whether it existed.
+func (s *Server) deleteLocal(name string) (bool, error) {
+	if gate := s.mutGate(); gate != nil {
+		gate.Lock()
+		defer gate.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ests[name]; !ok {
+		return false, nil
+	}
+	if s.persist != nil {
+		if err := s.persist.logDelete(name); err != nil {
+			return true, err
+		}
+	}
+	delete(s.ests, name)
+	return true, nil
+}
+
+// applyUpdateLocal applies an update batch to a locally held estimator
+// under the shared mutation gate, re-verifying the name binding and - in
+// cluster mode - shard ownership, so a rebalance flip can never lose an
+// update raced against it.
+func (s *Server) applyUpdateLocal(name string, req *updateRequest) (int, error) {
+	est, ok := s.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", errNotFoundLocal, name)
+	}
+	var applied int
+	err := s.withEstimator(name, est, func() error {
+		if s.cluster != nil && cluster.IsShardName(name) && !s.cluster.owns(name) {
+			return errNotOwner
+		}
+		var uerr error
+		applied, uerr = est.update(req)
+		return uerr
+	})
+	return applied, err
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
 	var req createRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -257,31 +450,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "estimator name is required")
 		return
 	}
-	est, err := buildServable(req.Kind, req.Config)
+	if s.cluster != nil && !isInternal(r) {
+		s.cluster.routeCreate(r.Context(), w, &req)
+		return
+	}
+	est, err := s.createLocal(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// Creating a name is a registry-binding change: under persistence it
-	// holds the gate exclusively and is logged before it becomes visible.
-	if s.persist != nil {
-		s.persist.gate.Lock()
-		defer s.persist.gate.Unlock()
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.ests[req.Name]; exists {
-		writeError(w, http.StatusConflict, "estimator %q already exists", req.Name)
-		return
-	}
-	if s.persist != nil {
-		if err := s.persist.logCreate(&req); err != nil {
-			writeError(w, http.StatusInternalServerError, "logging create: %v", err)
-			return
+		status := http.StatusBadRequest
+		var lf *logFailure
+		switch {
+		case errors.Is(err, errAlreadyExists):
+			status = http.StatusConflict
+		case errors.As(err, &lf):
+			status = http.StatusInternalServerError
 		}
-		est.setTap(s.persist.updateTap(req.Name))
+		writeError(w, status, "%v", err)
+		return
 	}
-	s.ests[req.Name] = est
 	writeJSON(w, http.StatusCreated, infoResponse{
 		Name: req.Name, Kind: est.kind().String(), Config: est.configJSON(),
 		Counts: est.counts(), Instances: est.instances(), SpaceWords: est.spaceWords(),
@@ -289,6 +474,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil && !isInternal(r) {
+		s.cluster.routeList(r.Context(), w)
+		return
+	}
 	s.mu.RLock()
 	names := make([]string, 0, len(s.ests))
 	for name := range s.ests {
@@ -313,6 +502,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		s.cluster.routeInfo(r.Context(), w, name)
+		return
+	}
 	est, ok := s.lookup(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
@@ -325,23 +518,21 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
 	name := r.PathValue("name")
-	if s.persist != nil {
-		s.persist.gate.Lock()
-		defer s.persist.gate.Unlock()
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		s.cluster.routeDelete(r.Context(), w, name)
+		return
 	}
-	s.mu.Lock()
-	_, ok := s.ests[name]
-	if ok && s.persist != nil {
-		if err := s.persist.logDelete(name); err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, "logging delete: %v", err)
-			return
-		}
+	found, err := s.deleteLocal(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "logging delete: %v", err)
+		return
 	}
-	delete(s.ests, name)
-	s.mu.Unlock()
-	if !ok {
+	if !found {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
 		return
 	}
@@ -349,12 +540,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	est, ok := s.lookup(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no estimator %q", name)
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
 		return
 	}
+	name := r.PathValue("name")
 	var req updateRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -366,16 +556,20 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "op %q is neither insert nor delete", req.Op)
 		return
 	}
+	if s.cluster != nil && !isInternal(r) {
+		s.cluster.routeUpdate(w, name, &req)
+		return
+	}
 	// Under persistence, the gate brackets the whole logged mutation (the
 	// estimator's update tap appends to the WAL before applying), so a
-	// checkpoint cut never splits it.
-	var applied int
-	err := s.withEstimator(name, est, func() error {
-		var uerr error
-		applied, uerr = est.update(&req)
-		return uerr
-	})
-	if err == errStaleBinding {
+	// checkpoint cut never splits it; in cluster mode the same gate hold
+	// orders the update against rebalance ownership flips.
+	applied, err := s.applyUpdateLocal(name, &req)
+	if errors.Is(err, errNotFoundLocal) {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	if err == errStaleBinding || errors.Is(err, errNotOwner) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -390,28 +584,42 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{Applied: applied, Counts: est.counts()})
+	var counts map[string]int64
+	if est, ok := s.lookup(name); ok {
+		counts = est.counts()
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Applied: applied, Counts: counts})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	est, ok := s.lookup(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no estimator %q", name)
-		return
-	}
 	var req estimateRequest
 	if r.Method == http.MethodPost && r.ContentLength != 0 {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
 	}
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		s.cluster.routeEstimate(r.Context(), w, name, &req)
+		return
+	}
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	serveEstimate(w, est, &req)
+}
+
+// serveEstimate answers a decoded estimate request from one estimator -
+// shared by the local path and the cluster's gathered path.
+func serveEstimate(w http.ResponseWriter, est servable, req *estimateRequest) {
 	if len(req.Queries) > 0 {
 		if len(req.Query) > 0 {
 			writeError(w, http.StatusBadRequest, "use either query or queries, not both")
 			return
 		}
-		resp, err := est.estimateBatch(&req)
+		resp, err := est.estimateBatch(req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -419,7 +627,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp, err := est.estimate(&req)
+	resp, err := est.estimate(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -429,9 +637,36 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		// The cluster-wide snapshot: gather every partition and serve the
+		// merged envelope - bit-identical to a single-node build of the
+		// same update stream.
+		est, err := s.cluster.gather(r.Context(), name)
+		if errors.Is(err, errNotFoundLocal) {
+			writeError(w, http.StatusNotFound, "no estimator %q", name)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		data, err := est.snapshot()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeSnapshot(w, r, est.kind(), data)
+		return
+	}
 	est, ok := s.lookup(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	if s.cluster != nil && cluster.IsShardName(name) && !s.cluster.owns(name) {
+		// A scatter reading this shard here would race the rebalance that
+		// just moved it; send the reader back to the map.
+		writeError(w, http.StatusConflict, "%v", errNotOwner)
 		return
 	}
 	data, err := est.snapshot()
@@ -439,13 +674,20 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Spatial-Kind", est.kind().String())
-	w.Write(data)
+	writeSnapshot(w, r, est.kind(), data)
 }
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
 	name := r.PathValue("name")
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		writeError(w, http.StatusConflict,
+			"snapshot PUT of a whole estimator is not supported in cluster mode; PUT individual shards or create and re-ingest")
+		return
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -462,9 +704,11 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	// registry lock: the exclusive gate already serializes this against
 	// every other logged mutation, and holding s.mu across a group commit
 	// would stall read traffic for the whole write.
+	if gate := s.mutGate(); gate != nil {
+		gate.Lock()
+		defer gate.Unlock()
+	}
 	if s.persist != nil {
-		s.persist.gate.Lock()
-		defer s.persist.gate.Unlock()
 		if err := s.persist.logSnapshot(walOpPut, name, data); err != nil {
 			writeError(w, http.StatusInternalServerError, "logging snapshot put: %v", err)
 			return
@@ -481,7 +725,16 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
 	name := r.PathValue("name")
+	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
+		writeError(w, http.StatusConflict,
+			"merge into a partitioned estimator is not supported in cluster mode; merge into individual shards")
+		return
+	}
 	est, ok := s.lookup(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)

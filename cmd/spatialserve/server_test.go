@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -146,14 +149,23 @@ func TestServerLifecycle(t *testing.T) {
 	if batch.Results[0].Value != single.Value || batch.Results[0].Counts["data"] != single.Counts["data"] {
 		t.Fatalf("batch result %+v != single result %+v", batch.Results[0], single)
 	}
-	// Mixing query and queries, batching a queryless kind, and empty batch
-	// entries are rejected.
+	// Mixing query and queries, and batching a queryless kind, are request
+	// errors; a malformed entry INSIDE a batch is a per-result error (the
+	// rest of the batch still answers - see TestEstimateBatchPerQueryErrors).
 	qb, _ = json.Marshal(estimateRequest{Query: [][2]uint64{{0, 300}}, Queries: [][][2]uint64{{{0, 300}}}})
 	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusBadRequest)
 	qb, _ = json.Marshal(estimateRequest{Queries: [][][2]uint64{{{0, 300}}}})
 	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/estimate", qb), http.StatusBadRequest)
 	qb, _ = json.Marshal(estimateRequest{Queries: [][][2]uint64{{}}})
-	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/estimate", qb), http.StatusBadRequest)
+	we := do(t, h, "POST", "/v1/estimators/r/estimate", qb)
+	mustStatus(t, we, http.StatusOK)
+	var errBatch batchEstimateResponse
+	if err := json.Unmarshal(we.Body.Bytes(), &errBatch); err != nil {
+		t.Fatal(err)
+	}
+	if len(errBatch.Results) != 1 || errBatch.Results[0].Error == "" {
+		t.Fatalf("empty batch entry did not produce a per-result error: %s", we.Body.String())
+	}
 
 	// Snapshot round trip through PUT restore: identical estimates.
 	snap := do(t, h, "GET", "/v1/estimators/j/snapshot", nil)
@@ -264,4 +276,165 @@ func TestServeConcurrentMixed(t *testing.T) {
 // workload with durability enabled.
 func BenchmarkServeMixed(b *testing.B) {
 	benchServeMixed(b, NewServer())
+}
+
+// TestSnapshotGzipAndETag covers the snapshot transfer satellites:
+// gzip-encoded GET (with Vary), strong ETag + If-None-Match 304, and
+// gzip-encoded PUT bodies.
+func TestSnapshotGzipAndETag(t *testing.T) {
+	h := NewServer()
+	const dom = 1 << 10
+	createJoin(t, h, "j", dom)
+	rng := rand.New(rand.NewSource(31))
+	var rects [][][2]uint64
+	for i := 0; i < 20; i++ {
+		rects = append(rects, randRect(rng, dom))
+	}
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/update", updateBody(t, "left", rects)), http.StatusOK)
+
+	plain := do(t, h, "GET", "/v1/estimators/j/snapshot", nil)
+	mustStatus(t, plain, http.StatusOK)
+	etag := plain.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("snapshot GET carries no ETag")
+	}
+
+	// gzip negotiation.
+	req := httptest.NewRequest("GET", "/v1/estimators/j/snapshot", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	mustStatus(t, w, http.StatusOK)
+	if w.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatal("gzip accepted but not applied")
+	}
+	// Strong ETags are representation-specific: the gzip variant must
+	// carry its own tag, derived from the same content hash.
+	wantGz := strings.TrimSuffix(etag, `"`) + `-gzip"`
+	if got := w.Header().Get("ETag"); got != wantGz {
+		t.Fatalf("gzip ETag %q, want %q", got, wantGz)
+	}
+	// Conditional GET with the gzip validator also revalidates.
+	reqGz := httptest.NewRequest("GET", "/v1/estimators/j/snapshot", nil)
+	reqGz.Header.Set("Accept-Encoding", "gzip")
+	reqGz.Header.Set("If-None-Match", wantGz)
+	wGz := httptest.NewRecorder()
+	h.ServeHTTP(wGz, reqGz)
+	mustStatus(t, wGz, http.StatusNotModified)
+	gz, err := gzip.NewReader(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plain.Body.Bytes()) {
+		t.Fatal("gzip body does not decompress to the plain snapshot")
+	}
+	if len(w.Body.Bytes()) >= len(unzipped) {
+		t.Errorf("gzip did not shrink the snapshot (%d >= %d)", len(w.Body.Bytes()), len(unzipped))
+	}
+
+	// Conditional GET.
+	req = httptest.NewRequest("GET", "/v1/estimators/j/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	mustStatus(t, w, http.StatusNotModified)
+	if w.Body.Len() != 0 {
+		t.Fatal("304 carried a body")
+	}
+
+	// A mutation changes the tag, so the conditional GET misses again.
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/j/update",
+		updateBody(t, "left", [][][2]uint64{randRect(rng, dom)})), http.StatusOK)
+	req = httptest.NewRequest("GET", "/v1/estimators/j/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	mustStatus(t, w, http.StatusOK)
+
+	// gzip-encoded PUT round-trips to the same registry state.
+	snap := w.Body.Bytes()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(snap)
+	zw.Close()
+	req = httptest.NewRequest("PUT", "/v1/estimators/j2/snapshot", bytes.NewReader(buf.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	w2 := httptest.NewRecorder()
+	h.ServeHTTP(w2, req)
+	mustStatus(t, w2, http.StatusOK)
+	got := do(t, h, "GET", "/v1/estimators/j2/snapshot", nil)
+	mustStatus(t, got, http.StatusOK)
+	if !bytes.Equal(got.Body.Bytes(), snap) {
+		t.Fatal("gzip PUT did not restore the snapshot bit-identically")
+	}
+	// A garbage gzip body is a client error, not a server crash.
+	req = httptest.NewRequest("PUT", "/v1/estimators/j3/snapshot", bytes.NewReader([]byte("not gzip")))
+	req.Header.Set("Content-Encoding", "gzip")
+	w3 := httptest.NewRecorder()
+	h.ServeHTTP(w3, req)
+	mustStatus(t, w3, http.StatusBadRequest)
+}
+
+// TestEstimateBatchPerQueryErrors: one malformed query inside a batch
+// yields a per-result error while every valid query is still answered
+// (fan-out aggregation depends on it).
+func TestEstimateBatchPerQueryErrors(t *testing.T) {
+	h := NewServer()
+	const dom = 1 << 10
+	body, _ := json.Marshal(createRequest{Name: "r", Kind: "range",
+		Config: configRequest{Dims: 1, DomainSize: dom, Seed: 7, Instances: 64, Groups: 4}})
+	mustStatus(t, do(t, h, "POST", "/v1/estimators", body), http.StatusCreated)
+	rng := rand.New(rand.NewSource(13))
+	var rects [][][2]uint64
+	for i := 0; i < 30; i++ {
+		lo := rng.Uint64() % (dom - 2)
+		rects = append(rects, [][2]uint64{{lo, lo + 1 + rng.Uint64()%(dom-lo-1)}})
+	}
+	mustStatus(t, do(t, h, "POST", "/v1/estimators/r/update", updateBody(t, "", rects)), http.StatusOK)
+
+	batch, _ := json.Marshal(estimateRequest{Queries: [][][2]uint64{
+		{{10, 200}},          // valid
+		{},                   // empty
+		{{10, 20}, {30, 40}}, // wrong dimensionality
+		{{50, dom + 5}},      // outside the domain
+		{{30, 20}},           // inverted interval
+		{{100, 900}},         // valid
+	}})
+	w := do(t, h, "POST", "/v1/estimators/r/estimate", batch)
+	mustStatus(t, w, http.StatusOK)
+	var resp batchEstimateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(resp.Results))
+	}
+	for _, i := range []int{1, 2, 3, 4} {
+		if resp.Results[i] == nil || resp.Results[i].Error == "" {
+			t.Errorf("malformed query %d carries no error: %+v", i, resp.Results[i])
+		}
+	}
+	for _, i := range []int{0, 5} {
+		if resp.Results[i] == nil || resp.Results[i].Error != "" {
+			t.Fatalf("valid query %d was not answered: %+v", i, resp.Results[i])
+		}
+	}
+	// The per-query answers match individually issued queries.
+	for qi, q := range [][][2]uint64{{{10, 200}}, {{100, 900}}} {
+		single, _ := json.Marshal(estimateRequest{Query: q})
+		sw := do(t, h, "POST", "/v1/estimators/r/estimate", single)
+		mustStatus(t, sw, http.StatusOK)
+		var sr estimateResponse
+		if err := json.Unmarshal(sw.Body.Bytes(), &sr); err != nil {
+			t.Fatal(err)
+		}
+		batchIdx := []int{0, 5}[qi]
+		if sr.Value != resp.Results[batchIdx].Value {
+			t.Errorf("batch result %d (%v) differs from the single query (%v)", batchIdx, resp.Results[batchIdx].Value, sr.Value)
+		}
+	}
 }

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func threeNodeMap() *Map {
+	return &Map{
+		Version: 1,
+		Nodes: []Node{
+			{ID: "a", URL: "http://a"},
+			{ID: "b", URL: "http://b"},
+			{ID: "c", URL: "http://c"},
+		},
+	}
+}
+
+func TestRingOwnershipDeterministic(t *testing.T) {
+	m1, m2 := threeNodeMap(), threeNodeMap()
+	for _, name := range []string{"est", "other", "zz"} {
+		for p := 0; p < 32; p++ {
+			key := ShardName(name, p)
+			n1, ok1 := m1.Owner(key)
+			n2, ok2 := m2.Owner(key)
+			if !ok1 || !ok2 {
+				t.Fatalf("no owner for %q", key)
+			}
+			if n1 != n2 {
+				t.Fatalf("owner of %q differs across identical maps: %v vs %v", key, n1, n2)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsPartitions(t *testing.T) {
+	m := threeNodeMap()
+	counts := map[string]int{}
+	const parts = 256
+	for p := 0; p < parts; p++ {
+		n, _ := m.Owner(ShardName("est", p))
+		counts[n.ID]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("256 partitions landed on %d of 3 nodes: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		if c < parts/10 {
+			t.Errorf("node %s owns only %d/%d partitions (poor spread)", id, c, parts)
+		}
+	}
+}
+
+func TestRingMembershipStability(t *testing.T) {
+	// Consistent hashing: removing one node must not move keys between the
+	// surviving nodes.
+	m3 := threeNodeMap()
+	m2 := &Map{Version: 2, Nodes: []Node{{ID: "a", URL: "http://a"}, {ID: "c", URL: "http://c"}}}
+	moved := 0
+	const parts = 512
+	for p := 0; p < parts; p++ {
+		key := ShardName("est", p)
+		n3, _ := m3.Owner(key)
+		n2, _ := m2.Owner(key)
+		if n3.ID == "b" {
+			continue // had to move somewhere
+		}
+		if n3.ID != n2.ID {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving nodes when b left", moved)
+	}
+}
+
+func TestOverrideWinsAndClone(t *testing.T) {
+	m := threeNodeMap()
+	key := ShardName("est", 0)
+	ringOwner, _ := m.Owner(key)
+	var other string
+	for _, n := range m.Nodes {
+		if n.ID != ringOwner.ID {
+			other = n.ID
+			break
+		}
+	}
+	c := m.Clone()
+	if c.Overrides == nil {
+		c.Overrides = map[string]string{}
+	}
+	c.Overrides[key] = other
+	c.Version++
+	got, _ := c.Owner(key)
+	if got.ID != other {
+		t.Fatalf("override ignored: owner %s, want %s", got.ID, other)
+	}
+	if orig, _ := m.Owner(key); orig.ID != ringOwner.ID {
+		t.Fatalf("Clone leaked the override into the original map")
+	}
+	// Ring hashes IDs only: a URL change must not move ownership.
+	u := c.Clone()
+	u.Nodes[0].URL = "http://promoted-replica"
+	if got2, _ := u.Owner(ShardName("est", 7)); func() bool {
+		want, _ := c.Owner(ShardName("est", 7))
+		return got2.ID != want.ID
+	}() {
+		t.Fatalf("changing a node URL moved ownership")
+	}
+}
+
+func TestMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Map
+	}{
+		{"no nodes", Map{Version: 1}},
+		{"empty id", Map{Version: 1, Nodes: []Node{{ID: "", URL: "http://x"}}}},
+		{"no url", Map{Version: 1, Nodes: []Node{{ID: "a"}}}},
+		{"dup id", Map{Version: 1, Nodes: []Node{{ID: "a", URL: "u"}, {ID: "a", URL: "v"}}}},
+		{"bad override", Map{Version: 1, Nodes: []Node{{ID: "a", URL: "u"}},
+			Overrides: map[string]string{"k": "ghost"}}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid map", c.name)
+		}
+	}
+	if err := threeNodeMap().Validate(); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	m := threeNodeMap()
+	m.Overrides = map[string]string{ShardName("est", 3): "c"}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Map
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 64; p++ {
+		key := ShardName("est", p)
+		a, _ := m.Owner(key)
+		b, _ := back.Owner(key)
+		if a != b {
+			t.Fatalf("ownership of %q changed across JSON round trip", key)
+		}
+	}
+}
+
+func TestShardNames(t *testing.T) {
+	name, part, ok := SplitShardName(ShardName("parks", 12))
+	if !ok || name != "parks" || part != 12 {
+		t.Fatalf("SplitShardName(ShardName) = %q, %d, %v", name, part, ok)
+	}
+	// Estimator names with the separator in them still split on the LAST
+	// separator, which is why client-facing names must reject it.
+	if _, _, ok := SplitShardName("plain"); ok {
+		t.Error("plain name parsed as a shard")
+	}
+	if _, _, ok := SplitShardName("x#notanumber"); ok {
+		t.Error("malformed partition index parsed as a shard")
+	}
+	if !IsShardName("a#0") || IsShardName("a") {
+		t.Error("IsShardName misclassifies")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	if PartitionOf(12345, 1) != 0 || PartitionOf(12345, 0) != 0 {
+		t.Fatal("degenerate partition counts must map to 0")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		p := PartitionOf(Hash(ShardName("k", i)), 8)
+		if p < 0 || p > 7 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("1000 keys hit only %d/8 partitions", len(seen))
+	}
+	if HashBytes([]byte("abc")) != Hash("abc") {
+		t.Error("HashBytes disagrees with Hash")
+	}
+}

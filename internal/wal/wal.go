@@ -30,6 +30,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -468,6 +469,154 @@ func (w *WAL) Close() error {
 		}
 	}
 	return w.f.Close()
+}
+
+// ErrTruncatedHistory reports a read position older than the oldest
+// retained segment: a checkpoint has truncated the history the reader
+// needs, and the reader must re-bootstrap from a snapshot instead.
+var ErrTruncatedHistory = errors.New("wal: position predates the oldest retained segment")
+
+// ErrFuturePosition reports a read position beyond the log's end. A
+// reader can legitimately get here: it read records a leader later lost
+// (a crash dropped an unsynced tail), so the history it sits on no
+// longer exists - like ErrTruncatedHistory, the remedy is a fresh
+// bootstrap, not a retry.
+var ErrFuturePosition = errors.New("wal: read position beyond the log end")
+
+// ReadFrom reads committed records of the OPEN log from position `from`
+// (the zero Pos means the beginning), calling fn with each record's
+// position and payload, and returns the position one past the last record
+// delivered - the `from` of the next call. At most maxBytes of framed
+// records are delivered per call (at least one record is always delivered
+// when available); maxBytes <= 0 means no limit.
+//
+// This is the segment read API behind WAL shipping: replication followers
+// and rebalance moves tail a live log through it. Pending appends are
+// drained first, so every record acknowledged before the call is visible;
+// records are never torn (only positions at or before the drained end are
+// read). A `from` older than the oldest retained segment returns
+// ErrTruncatedHistory - the signal to re-bootstrap from a snapshot.
+// fn must not retain the payload slice.
+func (w *WAL) ReadFrom(from Pos, maxBytes int64, fn func(pos Pos, payload []byte) error) (Pos, error) {
+	w.mu.Lock()
+	if err := w.usableLocked(); err != nil {
+		w.mu.Unlock()
+		return Pos{}, err
+	}
+	if err := w.drainLocked(); err != nil {
+		w.mu.Unlock()
+		return Pos{}, err
+	}
+	end := w.end
+	w.mu.Unlock()
+
+	seqs, err := listSegments(w.opts.Dir)
+	if err != nil {
+		return Pos{}, err
+	}
+	if len(seqs) == 0 {
+		return Pos{}, fmt.Errorf("wal: open log has no segments")
+	}
+	if from.IsZero() {
+		from = Pos{Seg: seqs[0], Off: segHeaderSize}
+	}
+	if from.Seg < seqs[0] {
+		return Pos{}, fmt.Errorf("%w: reading from %v, oldest segment is %d", ErrTruncatedHistory, from, seqs[0])
+	}
+	if end.Less(from) {
+		return Pos{}, fmt.Errorf("%w: reading from %v, log ends at %v", ErrFuturePosition, from, end)
+	}
+	next := from
+	budget := maxBytes
+	seen := false
+	for i, seq := range seqs {
+		if seq < from.Seg || seq > end.Seg {
+			continue
+		}
+		if !seen && seq != from.Seg {
+			return Pos{}, fmt.Errorf("wal: segment %d holding read position %v is missing", from.Seg, from)
+		}
+		seen = true
+		if i > 0 && seqs[i-1] >= from.Seg && seq != seqs[i-1]+1 {
+			return Pos{}, fmt.Errorf("wal: segment gap between %d and %d", seqs[i-1], seq)
+		}
+		stop, err := w.readSegment(seq, &next, end, &budget, maxBytes > 0, fn)
+		if err != nil {
+			return Pos{}, err
+		}
+		if stop {
+			return next, nil
+		}
+		if seq < end.Seg {
+			// Advance past this fully-read segment; the next one's records
+			// start right after its header.
+			next = Pos{Seg: seq + 1, Off: segHeaderSize}
+		}
+	}
+	return next, nil
+}
+
+// readSegment delivers the committed records of one segment from *next up
+// to the drained end, decrementing *budget per frame. It reports stop=true
+// when the byte budget is exhausted.
+func (w *WAL) readSegment(seq uint64, next *Pos, end Pos, budget *int64, budgeted bool, fn func(Pos, []byte) error) (stop bool, err error) {
+	f, err := os.Open(segPath(w.opts.Dir, seq))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, fmt.Errorf("%w: segment %d removed mid-read", ErrTruncatedHistory, seq)
+		}
+		return false, err
+	}
+	defer f.Close()
+	if err := checkSegHeader(f, seq); err != nil {
+		return false, err
+	}
+	limit := end.Off
+	if seq < end.Seg {
+		info, err := f.Stat()
+		if err != nil {
+			return false, err
+		}
+		limit = info.Size()
+	}
+	off := next.Off
+	if seq > next.Seg || off < segHeaderSize {
+		off = segHeaderSize
+	}
+	var buf []byte
+	for off < limit {
+		var hdr [recHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return false, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
+		n := int64(binary.LittleEndian.Uint32(hdr[4:]))
+		if n > MaxRecordBytes || off+recHeaderSize+n > limit {
+			return false, fmt.Errorf("wal: segment %d offset %d: malformed committed record", seq, off)
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := f.ReadAt(buf, off+recHeaderSize); err != nil {
+			return false, err
+		}
+		if crc32.Checksum(buf, castagnoli) != wantCRC {
+			return false, fmt.Errorf("wal: segment %d offset %d: checksum mismatch on a committed record", seq, off)
+		}
+		if err := fn(Pos{Seg: seq, Off: off}, buf); err != nil {
+			return false, err
+		}
+		off += recHeaderSize + n
+		*next = Pos{Seg: seq, Off: off}
+		if budgeted {
+			*budget -= recHeaderSize + n
+			if *budget <= 0 {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }
 
 // Replay reads the log in dir from position `from` (the zero Pos means the

@@ -368,6 +368,72 @@ func DecodeUpdateRecord(data []byte) (UpdateRecord, int, error) {
 	return u, n, nil
 }
 
+// RoutingHash returns a stable 64-bit hash of the record's routing
+// identity - side and geometry, deliberately NOT the operation - so an
+// insert and the delete that later cancels it land on the same partition
+// of a partitioned ingest. Any partitioning of a record stream is exact
+// under merge (sketches are linear), so the hash only balances load; but
+// op-independence keeps per-partition object counts non-negative, which
+// makes partition counts individually meaningful.
+func (u UpdateRecord) RoutingHash() uint64 {
+	norm := u
+	norm.Op = OpInsert
+	// FNV-1a over the canonical binary encoding of the normalized record.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range norm.AppendBinary(make([]byte, 0, 64)) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// MergeSnapshots folds any number of SPE1 snapshots of same-config
+// estimators into one snapshot, exactly as if every underlying update had
+// been applied to a single estimator (sketches are linear projections, so
+// the merged counters are bit-identical to a single build). This is the
+// gather half of scatter-gather estimation over a partitioned cluster:
+// fetch every partition's snapshot, merge, estimate. Config mismatches
+// between the snapshots are rejected, and the merged snapshot's kind is
+// returned for dispatch.
+func MergeSnapshots(snaps ...[]byte) ([]byte, Kind, error) {
+	if len(snaps) == 0 {
+		return nil, 0, fmt.Errorf("spatial: MergeSnapshots needs at least one snapshot")
+	}
+	kind, err := SnapshotKind(snaps[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	type mergeable interface {
+		MergeSnapshot(data []byte) error
+		Marshal() ([]byte, error)
+	}
+	var est mergeable
+	switch kind {
+	case KindJoin:
+		est, err = UnmarshalJoinEstimator(snaps[0])
+	case KindRange:
+		est, err = UnmarshalRangeEstimator(snaps[0])
+	case KindEpsJoin:
+		est, err = UnmarshalEpsJoinEstimator(snaps[0])
+	case KindContainment:
+		est, err = UnmarshalContainmentEstimator(snaps[0])
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, s := range snaps[1:] {
+		if err := est.MergeSnapshot(s); err != nil {
+			return nil, 0, err
+		}
+	}
+	out, err := est.Marshal()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, kind, nil
+}
+
 // SnapshotKind reports which estimator type produced the snapshot, so
 // registries can dispatch to the matching Unmarshal<Kind>Estimator. Only
 // the fixed-size header prefix is examined - the payload is not parsed,

@@ -223,6 +223,17 @@ func (e *RangeEstimator) Selectivity(q geo.HyperRect) (float64, error) {
 	return est.Clamped() / float64(n), nil
 }
 
+// ValidateQuery checks a range query against the estimator's public
+// configuration - dimensionality, interval sanity, domain bounds - without
+// running it. Batch servers use it to reject individual malformed queries
+// up front and still answer the rest of the batch.
+func (e *RangeEstimator) ValidateQuery(q geo.HyperRect) error {
+	if err := e.check(q); err != nil {
+		return fmt.Errorf("spatial: bad range query: %w", err)
+	}
+	return nil
+}
+
 // EstimateBatch answers many range queries against ONE pinned view with one
 // scratch set: the view is resolved once for the whole batch (so all
 // results are mutually consistent even under concurrent writers) and the

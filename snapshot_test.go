@@ -416,3 +416,78 @@ func snapJoinForFuzz(f *testing.F, mode spatial.Mode) []byte {
 	}
 	return data
 }
+
+// TestMergeSnapshotsGather proves the scatter-gather identity behind
+// cluster estimates: partition an update stream arbitrarily across
+// several estimators, merge their snapshots with MergeSnapshots, and the
+// result is BYTE-identical to a single estimator that saw the whole
+// stream.
+func TestMergeSnapshotsGather(t *testing.T) {
+	cfg := spatial.RangeConfig{Dims: 2, DomainSize: 300,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 5}
+	whole, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parts = 3
+	var shards [parts]*spatial.RangeEstimator
+	for i := range shards {
+		if shards[i], err = spatial.NewRangeEstimator(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 90, Dims: 2, Domain: 300, Seed: 9, MeanLen: []float64{30, 30}})
+	for i, r := range rects {
+		if err := whole.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[i%parts].Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := make([][]byte, parts)
+	for i, sh := range shards {
+		if snaps[i], err = sh.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, kind, err := spatial.MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != spatial.KindRange {
+		t.Fatalf("kind = %v, want range", kind)
+	}
+	want, err := whole.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, want) {
+		t.Fatal("merged partition snapshots differ from the single-build snapshot")
+	}
+	// Config mismatches and empty input are rejected.
+	other, err := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 2, DomainSize: 301,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSnap, err := other.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := spatial.MergeSnapshots(snaps[0], badSnap); err == nil {
+		t.Fatal("MergeSnapshots accepted a config mismatch")
+	}
+	if _, _, err := spatial.MergeSnapshots(); err == nil {
+		t.Fatal("MergeSnapshots accepted zero snapshots")
+	}
+	// All four kinds dispatch.
+	j := snapJoin(t, spatial.ModeTransform)
+	js, err := j.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, kind, err := spatial.MergeSnapshots(js, js); err != nil || kind != spatial.KindJoin {
+		t.Fatalf("join dispatch: kind %v, err %v", kind, err)
+	}
+}

@@ -254,3 +254,115 @@ func TestTapErrorAbortsUpdate(t *testing.T) {
 		t.Fatalf("untapped insert lost: count %d", est.LeftCount())
 	}
 }
+
+// FuzzUpdateRecord fuzzes the update-record codec: any bytes the decoder
+// accepts must re-encode canonically and decode back to the same record -
+// the property replication replay and WAL shipping rely on.
+func FuzzUpdateRecord(f *testing.F) {
+	for _, rec := range []spatial.UpdateRecord{
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Rect: geo.Rect(10, 50, 20, 80)},
+		{Op: spatial.OpDelete, Side: spatial.SideRight, Rect: geo.Rect(0, 1, 1<<40, 1<<40+7)},
+		{Op: spatial.OpInsert, Side: spatial.SideData, Rect: geo.Span1D(3, 9)},
+		{Op: spatial.OpDelete, Side: spatial.SideOuter, Rect: geo.Rect(5, 6, 7, 8)},
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Point: geo.Point{1, 2, 3}},
+		{Op: spatial.OpDelete, Side: spatial.SideRight, Point: geo.Point{1 << 60}},
+	} {
+		f.Add(rec.AppendBinary(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Add([]byte{0x02, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := spatial.DecodeUpdateRecord(data)
+		if err != nil {
+			return // rejection is fine; no panic, no allocation blow-up
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decoder consumed %d of %d bytes", n, len(data))
+		}
+		enc := rec.AppendBinary(nil)
+		rec2, n2, err := spatial.DecodeUpdateRecord(enc)
+		if err != nil {
+			t.Fatalf("re-decoding the canonical encoding failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical encoding is %d bytes but re-decode consumed %d", len(enc), n2)
+		}
+		if rec2.Op != rec.Op || rec2.Side != rec.Side ||
+			fmt.Sprint(rec2.Rect) != fmt.Sprint(rec.Rect) || fmt.Sprint(rec2.Point) != fmt.Sprint(rec.Point) {
+			t.Fatalf("round trip changed the record: %+v -> %+v", rec, rec2)
+		}
+		if !bytes.Equal(enc, rec2.AppendBinary(nil)) {
+			t.Fatalf("encoding is not stable across a round trip")
+		}
+		if rec.RoutingHash() != rec2.RoutingHash() {
+			t.Fatalf("routing hash changed across a round trip")
+		}
+		del := rec
+		del.Op = spatial.OpDelete
+		if del.RoutingHash() != rec.RoutingHash() {
+			t.Fatalf("routing hash depends on the operation: insert and its delete would split partitions")
+		}
+	})
+}
+
+// TestApplyMismatchedKind replays records against estimators of the wrong
+// kind (or wrong side/geometry) and demands a clean error with no state
+// change - replication ships these records across nodes, so a mis-routed
+// record must never corrupt counters.
+func TestApplyMismatchedKind(t *testing.T) {
+	sz := spatial.Sizing{Instances: 16, Groups: 4}
+	join, err := spatial.NewJoinEstimator(spatial.JoinConfig{Dims: 2, DomainSize: 64, Sizing: sz, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err2 := spatial.NewRangeEstimator(spatial.RangeConfig{Dims: 2, DomainSize: 64, Sizing: sz, Seed: 2})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	eps, err3 := spatial.NewEpsJoinEstimator(spatial.EpsJoinConfig{Dims: 2, DomainSize: 64, Eps: 4, Sizing: sz, Seed: 3})
+	if err3 != nil {
+		t.Fatal(err3)
+	}
+	cont, err4 := spatial.NewContainmentEstimator(spatial.ContainmentConfig{Dims: 2, DomainSize: 64, Sizing: sz, Seed: 4})
+	if err4 != nil {
+		t.Fatal(err4)
+	}
+	rect := geo.Rect(1, 5, 2, 6)
+	pt := geo.Point{1, 2}
+	type applier interface {
+		Apply(spatial.UpdateRecord) error
+	}
+	cases := []struct {
+		name string
+		est  applier
+		rec  spatial.UpdateRecord
+	}{
+		{"join gets a point", join, spatial.UpdateRecord{Side: spatial.SideLeft, Point: pt}},
+		{"join gets a data-side record", join, spatial.UpdateRecord{Side: spatial.SideData, Rect: rect}},
+		{"join gets an inner-side record", join, spatial.UpdateRecord{Side: spatial.SideInner, Rect: rect}},
+		{"range gets a point", rng, spatial.UpdateRecord{Side: spatial.SideData, Point: pt}},
+		{"range gets a left-side record", rng, spatial.UpdateRecord{Side: spatial.SideLeft, Rect: rect}},
+		{"epsjoin gets a rect", eps, spatial.UpdateRecord{Side: spatial.SideLeft, Rect: rect}},
+		{"epsjoin gets an outer-side record", eps, spatial.UpdateRecord{Side: spatial.SideOuter, Point: pt}},
+		{"containment gets a point", cont, spatial.UpdateRecord{Side: spatial.SideInner, Point: pt}},
+		{"containment gets a right-side record", cont, spatial.UpdateRecord{Side: spatial.SideRight, Rect: rect}},
+	}
+	for _, c := range cases {
+		if err := c.est.Apply(c.rec); err == nil {
+			t.Errorf("%s: Apply accepted a mismatched record", c.name)
+		}
+	}
+	if n := join.LeftCount() + join.RightCount(); n != 0 {
+		t.Errorf("join counters moved on rejected records: %d", n)
+	}
+	if n := rng.Count(); n != 0 {
+		t.Errorf("range counter moved on rejected records: %d", n)
+	}
+	if n := eps.LeftCount() + eps.RightCount(); n != 0 {
+		t.Errorf("epsjoin counters moved on rejected records: %d", n)
+	}
+	if n := cont.InnerCount() + cont.OuterCount(); n != 0 {
+		t.Errorf("containment counters moved on rejected records: %d", n)
+	}
+}
