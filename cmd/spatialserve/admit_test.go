@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Admission control contract tests: overload is answered with an
+// immediate 429 + Retry-After, never a slow timeout; internal fan-out and
+// health/admin traffic bypasses the gates; /readyz tells orchestrators
+// the truth about the WAL, the cluster map and replica bootstrap.
+
+func TestAdmitInflightGates(t *testing.T) {
+	a := newAdmitter(AdmitOptions{MaxInflightReads: 1, MaxInflightWrites: 2})
+
+	get := httptest.NewRequest("GET", "/v1/estimators/x/estimate", nil)
+	rel1, ok := a.admit(httptest.NewRecorder(), get)
+	if !ok {
+		t.Fatal("first read rejected under its limit")
+	}
+	rec := httptest.NewRecorder()
+	if _, ok := a.admit(rec, get); ok {
+		t.Fatal("second concurrent read admitted past MaxInflightReads=1")
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("rejection status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer", ra)
+	}
+
+	// Writes are a separate class: the read gate being full must not
+	// block ingest.
+	post := httptest.NewRequest("POST", "/v1/estimators/x/update", nil)
+	relW, ok := a.admit(httptest.NewRecorder(), post)
+	if !ok {
+		t.Fatal("write rejected while only the read gate is full")
+	}
+	relW()
+
+	// Releasing the read admits the next one.
+	rel1()
+	rel2, ok := a.admit(httptest.NewRecorder(), get)
+	if !ok {
+		t.Fatal("read rejected after the previous one released")
+	}
+	rel2()
+
+	// POST .../estimate carries a query batch: read class, not write.
+	postEst := httptest.NewRequest("POST", "/v1/estimators/x/estimate", nil)
+	if !readClass(postEst) {
+		t.Fatal("POST /estimate classified as a write")
+	}
+	if readClass(post) {
+		t.Fatal("POST /update classified as a read")
+	}
+}
+
+func TestAdmitTokenBucketShed(t *testing.T) {
+	a := newAdmitter(AdmitOptions{ShedQPS: 2, ShedBurst: 2})
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	get := httptest.NewRequest("GET", "/v1/estimators", nil)
+	for i := 0; i < 2; i++ {
+		if _, ok := a.admit(httptest.NewRecorder(), get); !ok {
+			t.Fatalf("request %d shed inside the burst allowance", i)
+		}
+	}
+	rec := httptest.NewRecorder()
+	if _, ok := a.admit(rec, get); ok {
+		t.Fatal("request admitted with the bucket empty")
+	}
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("shed response: status %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	// Half a second at 2 qps refills one token.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := a.admit(httptest.NewRecorder(), get); !ok {
+		t.Fatal("request shed after the bucket refilled")
+	}
+	if _, ok := a.admit(httptest.NewRecorder(), get); ok {
+		t.Fatal("refill credited more than elapsed-time tokens")
+	}
+}
+
+func TestAdmitExemptions(t *testing.T) {
+	// Bucket of size 1, immediately drained: only exempt traffic passes.
+	a := newAdmitter(AdmitOptions{ShedQPS: 0.001, ShedBurst: 1})
+	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil)); !ok {
+		t.Fatal("burst token not granted")
+	}
+	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil)); ok {
+		t.Fatal("client request admitted with the bucket drained")
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/admin/ring"} {
+		if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", path, nil)); !ok {
+			t.Fatalf("%s not exempt from shedding", path)
+		}
+	}
+	internal := httptest.NewRequest("POST", "/v1/estimators/x/update", nil)
+	internal.Header.Set(headerInternal, "1")
+	if _, ok := a.admit(httptest.NewRecorder(), internal); !ok {
+		t.Fatal("internal fan-out sub-request shed: retry amplification hazard")
+	}
+}
+
+// TestOverloadAnswers429NotTimeout is the end-to-end acceptance check: a
+// server under rate overload answers immediately with 429, and the
+// responses carry the machine-readable retry hint.
+func TestOverloadAnswers429NotTimeout(t *testing.T) {
+	srv := NewServer()
+	srv.EnableAdmission(AdmitOptions{ShedQPS: 1, ShedBurst: 1})
+	shed := 0
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/estimators", nil))
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("request %d took %v under overload; must shed immediately", i, d)
+		}
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("429 body is not the standard error document: %s", rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("burst of 5 requests against a 1 qps bucket shed nothing")
+	}
+	// Health probes still answer during the overload.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz shed under overload: %d", rec.Code)
+	}
+}
+
+func readyzDoc(t *testing.T, srv *Server) (int, readyResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var doc readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("readyz body: %v: %s", err, rec.Body.Bytes())
+	}
+	return rec.Code, doc
+}
+
+func TestReadyzInMemory(t *testing.T) {
+	code, doc := readyzDoc(t, NewServer())
+	if code != http.StatusOK || !doc.Ready {
+		t.Fatalf("fresh in-memory server not ready: %d %+v", code, doc)
+	}
+}
+
+// TestReadyzWALPoisoned proves readiness tracks WAL health: after a
+// write-path disk failure the node keeps answering liveness but reports
+// not-ready, so an orchestrator can rotate it out.
+func TestReadyzWALPoisoned(t *testing.T) {
+	in := faultinject.New(3)
+	srv, err := NewPersistentServer(PersistOptions{DataDir: t.TempDir(), WALHooks: in.WALHooks("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, doc := readyzDoc(t, srv); code != http.StatusOK || doc.Checks["wal"] != "ok" {
+		t.Fatalf("healthy persistent server not ready: %d %+v", code, doc)
+	}
+
+	in.Add(faultinject.Rule{To: "a", Kind: faultinject.KindWALWrite})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/estimators",
+		bytes.NewReader(mustJSON(t, createRequest{Name: "x", Kind: "join", Config: configRequest{Dims: 2, DomainSize: 1 << 10, Instances: 8, Groups: 2}}))))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("create with a failing WAL: status %d, want 500", rec.Code)
+	}
+
+	code, doc := readyzDoc(t, srv)
+	if code != http.StatusServiceUnavailable || doc.Ready || doc.Checks["wal"] == "ok" {
+		t.Fatalf("poisoned-WAL server still ready: %d %+v", code, doc)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("liveness failed on a merely not-ready node: %d", rec.Code)
+	}
+}
+
+// TestReadyzReplicaStates pins the replica readiness transitions:
+// bootstrapping and wedged followers are not ready; a caught-up follower
+// is.
+func TestReadyzReplicaStates(t *testing.T) {
+	srv := NewServer()
+	srv.replica = &replicaState{active: true}
+	if code, doc := readyzDoc(t, srv); code != http.StatusServiceUnavailable || doc.Checks["replica"] != "bootstrap in progress" {
+		t.Fatalf("bootstrapping replica: %d %+v", code, doc)
+	}
+	srv.replica.ready = true
+	if code, doc := readyzDoc(t, srv); code != http.StatusOK || doc.Checks["replica"] != "ok" {
+		t.Fatalf("caught-up replica: %d %+v", code, doc)
+	}
+	srv.replica.wedged = true
+	if code, _ := readyzDoc(t, srv); code != http.StatusServiceUnavailable {
+		t.Fatalf("wedged replica still ready: %d", code)
+	}
+	// A promoted (inactive) replica no longer gates readiness.
+	srv.replica.active = false
+	if code, _ := readyzDoc(t, srv); code != http.StatusOK {
+		t.Fatalf("promoted replica not ready: %d", code)
+	}
+}

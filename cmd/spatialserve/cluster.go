@@ -75,6 +75,9 @@ type ClusterOptions struct {
 	Partitions int
 	// Client overrides the fan-out client (tests); nil builds a default.
 	Client *cluster.Client
+	// Health overrides the per-node health registry (tests tune breaker
+	// thresholds and clocks); nil builds a default.
+	Health *cluster.Health
 }
 
 // DefaultPartitions is the per-estimator partition count when
@@ -88,6 +91,14 @@ type clusterNode struct {
 	selfID string
 	parts  int
 	client *cluster.Client
+
+	// health tracks per-peer consecutive failures, EWMA latency and the
+	// circuit breaker gating calls to each peer.
+	health *cluster.Health
+	// backoff paces every refresh-and-retry loop in this file; bounded
+	// exponential with full jitter so routers that failed together do not
+	// retry together.
+	backoff cluster.Backoff
 
 	// mapPath, when non-empty, is where adopted maps are persisted so
 	// rebalance overrides survive a full-cluster restart (the -peers
@@ -130,7 +141,11 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 	if client == nil {
 		client = cluster.NewClient(10*time.Second, 150*time.Millisecond)
 	}
-	c := &clusterNode{srv: s, selfID: opts.SelfID, parts: parts, client: client}
+	health := opts.Health
+	if health == nil {
+		health = cluster.NewHealth(cluster.HealthOptions{})
+	}
+	c := &clusterNode{srv: s, selfID: opts.SelfID, parts: parts, client: client, health: health}
 	m := opts.Map
 	if s.persist != nil {
 		c.mapPath = filepath.Join(s.persist.opts.DataDir, "cluster-map.json")
@@ -229,6 +244,36 @@ func isInternal(r *http.Request) bool { return r.Header.Get(headerInternal) != "
 // internalHeader returns the header set marking node-to-node requests.
 func internalHeader() http.Header {
 	return http.Header{headerInternal: []string{"1"}, "Content-Type": []string{"application/json"}}
+}
+
+// errBreakerOpen marks a call refused locally: the target node's circuit
+// breaker is open, so the router fails fast instead of burning a timeout
+// on a peer that has been failing consecutively.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// callNode runs one request against a peer, gated by and recorded into
+// the per-node health registry: an open breaker refuses the call without
+// touching the network, and every outcome (transport error or 5xx counts
+// as failure) feeds the breaker and the latency EWMA.
+func (c *clusterNode) callNode(ctx context.Context, node cluster.Node, method, url string, body []byte, hdr http.Header) (*cluster.Response, error) {
+	if !c.health.Allow(node.ID) {
+		return nil, fmt.Errorf("%w: node %s", errBreakerOpen, node.ID)
+	}
+	start := time.Now()
+	resp, err := c.client.Do(ctx, method, url, body, hdr)
+	c.health.Record(node.ID, err == nil && resp.Status < 500, time.Since(start))
+	return resp, err
+}
+
+// callNodeGet is callNode for hedged idempotent reads (Client.Get).
+func (c *clusterNode) callNodeGet(ctx context.Context, node cluster.Node, url string, hdr http.Header) (*cluster.Response, error) {
+	if !c.health.Allow(node.ID) {
+		return nil, fmt.Errorf("%w: node %s", errBreakerOpen, node.ID)
+	}
+	start := time.Now()
+	resp, err := c.client.Get(ctx, url, hdr)
+	c.health.Record(node.ID, err == nil && resp.Status < 500, time.Since(start))
+	return resp, err
 }
 
 // map_ returns the current partition map.
@@ -359,6 +404,9 @@ func (c *clusterNode) createShard(ctx context.Context, shard string, req *create
 	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if err := c.backoff.Wait(ctx, attempt); err != nil {
+			break
+		}
 		owner, ok := c.map_().Owner(shard)
 		if !ok {
 			return false, fmt.Errorf("no owner for %q", shard)
@@ -373,7 +421,7 @@ func (c *clusterNode) createShard(ctx context.Context, shard string, req *create
 			}
 			lastErr = err
 		} else {
-			resp, err := c.client.Do(ctx, http.MethodPost, owner.URL+"/v1/estimators", body, internalHeader())
+			resp, err := c.callNode(ctx, owner, http.MethodPost, owner.URL+"/v1/estimators", body, internalHeader())
 			if err != nil {
 				lastErr = err
 			} else if resp.Status == http.StatusCreated {
@@ -416,6 +464,9 @@ func (c *clusterNode) routeDelete(ctx context.Context, w http.ResponseWriter, na
 func (c *clusterNode) deleteShard(ctx context.Context, shard string) (bool, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if err := c.backoff.Wait(ctx, attempt); err != nil {
+			break
+		}
 		owner, ok := c.map_().Owner(shard)
 		if !ok {
 			return false, fmt.Errorf("no owner for %q", shard)
@@ -427,7 +478,7 @@ func (c *clusterNode) deleteShard(ctx context.Context, shard string) (bool, erro
 			}
 			lastErr = err
 		} else {
-			resp, err := c.client.Do(ctx, http.MethodDelete, owner.URL+shardPath(shard, ""), nil, internalHeader())
+			resp, err := c.callNode(ctx, owner, http.MethodDelete, owner.URL+shardPath(shard, ""), nil, internalHeader())
 			if err != nil {
 				lastErr = err
 			} else if resp.Status == http.StatusOK {
@@ -562,6 +613,9 @@ func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *u
 	var lastErr error
 	missing := 0
 	for attempt := 0; attempt < 4; attempt++ {
+		if err := c.backoff.Wait(ctx, attempt); err != nil {
+			break
+		}
 		owner, ok := c.map_().Owner(shard)
 		if !ok {
 			return 0, fmt.Errorf("no owner for %q", shard)
@@ -588,7 +642,15 @@ func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *u
 			}
 			c.refreshAny(ctx)
 		} else {
-			resp, err := c.client.Do(ctx, http.MethodPost, owner.URL+shardPath(shard, "/update"), body, internalHeader())
+			resp, err := c.callNode(ctx, owner, http.MethodPost, owner.URL+shardPath(shard, "/update"), body, internalHeader())
+			if errors.Is(err, errBreakerOpen) {
+				// Refused locally, definitely not applied: safe to retry
+				// after the backoff (the breaker may half-open, or the map
+				// may route the shard elsewhere).
+				lastErr = err
+				c.refreshAny(ctx)
+				continue
+			}
 			if err != nil {
 				return 0, fmt.Errorf("updating %q on %s: %w", shard, owner.ID, err)
 			}
@@ -619,7 +681,6 @@ func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *u
 				return 0, fmt.Errorf("updating %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
 			}
 		}
-		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
 	}
 	return 0, lastErr
 }
@@ -645,6 +706,19 @@ var errShardMissing = errors.New("shard not found at its owner")
 // current state (per-partition consistency; see docs/CLUSTER.md for the
 // cross-partition story under concurrent writes).
 func (c *clusterNode) gather(ctx context.Context, name string) (servable, error) {
+	est, _, _, err := c.gatherPartial(ctx, name, false)
+	return est, err
+}
+
+// gatherPartial is gather with graceful degradation: with partial set,
+// partitions whose owners cannot answer are skipped and the merge of the
+// REACHABLE partitions is returned along with how many were answered -
+// a bounded under-count (sketches are linear, so the partial merge is
+// exact over the partitions it includes). With partial false it behaves
+// exactly like the strict read path: any unreachable partition fails the
+// whole request.
+func (c *clusterNode) gatherPartial(ctx context.Context, name string, partial bool) (est servable, answered, total int, err error) {
+	total = c.parts
 	snaps, errs := cluster.Scatter(c.parts, func(p int) ([]byte, error) {
 		return c.fetchShardSnapshot(ctx, cluster.ShardName(name, p))
 	})
@@ -653,31 +727,46 @@ func (c *clusterNode) gather(ctx context.Context, name string) (servable, error)
 		if errors.Is(err, errShardMissing) {
 			missing++
 			errs[i] = nil
+			snaps[i] = nil
 		}
 	}
 	if missing == c.parts {
-		return nil, errNotFoundLocal
+		return nil, 0, total, errNotFoundLocal
 	}
-	if err := cluster.FirstError(errs); err != nil {
-		return nil, err
+	if !partial {
+		if err := cluster.FirstError(errs); err != nil {
+			return nil, 0, total, err
+		}
+		if missing > 0 {
+			return nil, 0, total, fmt.Errorf("estimator %q is missing %d of %d partitions (partial create?)", name, missing, c.parts)
+		}
 	}
-	if missing > 0 {
-		return nil, fmt.Errorf("estimator %q is missing %d of %d partitions (partial create?)", name, missing, c.parts)
-	}
-	var est servable
-	for _, snap := range snaps {
-		if est == nil {
-			var err error
-			if est, err = restoreServable(snap); err != nil {
-				return nil, err
+	var firstErr error
+	for i, snap := range snaps {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
 			}
 			continue
 		}
-		if err := est.mergeSnapshot(snap); err != nil {
-			return nil, err
+		if snap == nil {
+			continue
 		}
+		if est == nil {
+			if est, err = restoreServable(snap); err != nil {
+				return nil, 0, total, err
+			}
+		} else if err := est.mergeSnapshot(snap); err != nil {
+			return nil, 0, total, err
+		}
+		answered++
 	}
-	return est, nil
+	if est == nil {
+		// Partial mode with every reachable partition failing: nothing to
+		// merge, so degrade no further - report the failure.
+		return nil, 0, total, firstErr
+	}
+	return est, answered, total, nil
 }
 
 // fetchShardSnapshot reads one shard's snapshot from its owner, healing
@@ -685,7 +774,11 @@ func (c *clusterNode) gather(ctx context.Context, name string) (servable, error)
 func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		owner, ok := c.map_().Owner(shard)
+		if err := c.backoff.Wait(ctx, attempt); err != nil {
+			break
+		}
+		m := c.map_()
+		owner, ok := m.Owner(shard)
 		if !ok {
 			return nil, fmt.Errorf("no owner for %q", shard)
 		}
@@ -696,9 +789,15 @@ func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]b
 			lastErr = errShardMissing
 			c.refreshAny(ctx)
 		} else {
-			resp, err := c.client.Get(ctx, owner.URL+shardPath(shard, "/snapshot"), internalHeader())
+			resp, err := c.callNodeGet(ctx, owner, owner.URL+shardPath(shard, "/snapshot"), internalHeader())
 			if err != nil {
 				lastErr = err
+				// The owner is unreachable (breaker open or transport
+				// failure): its attached WAL-shipped replica, when the map
+				// names one, serves the read instead.
+				if data, rerr := c.replicaSnapshot(ctx, m, owner, shard); rerr == nil {
+					return data, nil
+				}
 			} else if resp.Status == http.StatusOK {
 				return resp.Body, nil
 			} else if resp.Status == http.StatusNotFound || resp.Status == http.StatusConflict {
@@ -708,16 +807,43 @@ func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]b
 				return nil, fmt.Errorf("snapshot of %q from %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
 			}
 		}
-		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
 	}
 	return nil, lastErr
 }
 
+// replicaSnapshot reads one shard's snapshot from the owner's attached
+// read replica (-follow). The replica has its own breaker entry in the
+// health registry, keyed "replica:<owner id>", so a dead replica fails
+// fast too.
+func (c *clusterNode) replicaSnapshot(ctx context.Context, m *cluster.Map, owner cluster.Node, shard string) ([]byte, error) {
+	rurl, ok := m.ReplicaURL(owner.ID)
+	if !ok {
+		return nil, fmt.Errorf("no replica attached to node %s", owner.ID)
+	}
+	rid := "replica:" + owner.ID
+	if !c.health.Allow(rid) {
+		return nil, fmt.Errorf("%w: %s", errBreakerOpen, rid)
+	}
+	start := time.Now()
+	resp, err := c.client.Get(ctx, rurl+shardPath(shard, "/snapshot"), internalHeader())
+	c.health.Record(rid, err == nil && resp.Status == http.StatusOK, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != http.StatusOK {
+		return nil, fmt.Errorf("replica snapshot of %q from %s: status %d: %s", shard, rid, resp.Status, resp.Body)
+	}
+	return resp.Body, nil
+}
+
 // routeEstimate answers an estimate for a base estimator name by
 // gathering every partition and estimating on the merged synopsis - exact
-// by linearity: the merged counters equal a single-node build's.
-func (c *clusterNode) routeEstimate(ctx context.Context, w http.ResponseWriter, name string, req *estimateRequest) {
-	est, err := c.gather(ctx, name)
+// by linearity: the merged counters equal a single-node build's. With
+// partialOK (the client sent ?partial=ok), unreachable partitions degrade
+// the answer instead of failing it: the response merges the reachable
+// partitions and reports partial/partitions_answered/partitions_total.
+func (c *clusterNode) routeEstimate(ctx context.Context, w http.ResponseWriter, name string, req *estimateRequest, partialOK bool) {
+	est, answered, total, err := c.gatherPartial(ctx, name, partialOK)
 	if errors.Is(err, errNotFoundLocal) {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
 		return
@@ -726,7 +852,41 @@ func (c *clusterNode) routeEstimate(ctx context.Context, w http.ResponseWriter, 
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
+	if partialOK && answered < total {
+		servePartialEstimate(w, est, req, answered, total)
+		return
+	}
 	serveEstimate(w, est, req)
+}
+
+// servePartialEstimate is serveEstimate with the degraded-read report
+// stamped on the response.
+func servePartialEstimate(w http.ResponseWriter, est servable, req *estimateRequest, answered, total int) {
+	if len(req.Queries) > 0 {
+		if len(req.Query) > 0 {
+			writeError(w, http.StatusBadRequest, "use either query or queries, not both")
+			return
+		}
+		resp, err := est.estimateBatch(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Partial = true
+		resp.PartitionsAnswered = answered
+		resp.PartitionsTotal = total
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp, err := est.estimate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp.Partial = true
+	resp.PartitionsAnswered = answered
+	resp.PartitionsTotal = total
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // routeInfo serves a base estimator's info document from the gathered
@@ -766,7 +926,7 @@ func (c *clusterNode) routeList(ctx context.Context, w http.ResponseWriter) {
 			c.srv.mu.RUnlock()
 			return out, nil
 		}
-		resp, err := c.client.Get(ctx, n.URL+"/v1/estimators", internalHeader())
+		resp, err := c.callNodeGet(ctx, n, n.URL+"/v1/estimators", internalHeader())
 		if err != nil {
 			return nil, err
 		}
@@ -821,6 +981,9 @@ type ringResponse struct {
 	Partitions int `json:"partitions,omitempty"`
 	// Map is the current partition map (cluster mode only).
 	Map *cluster.Map `json:"map,omitempty"`
+	// Health is this router's per-peer breaker and latency view (cluster
+	// mode only).
+	Health []cluster.NodeHealth `json:"health,omitempty"`
 	// WalPos is the current WAL frontier (persistent nodes only).
 	WalPos string `json:"walPos,omitempty"`
 	// Replica is the replication status (followers only).
@@ -835,6 +998,7 @@ func (s *Server) handleRingGet(w http.ResponseWriter, r *http.Request) {
 		resp.Self = s.cluster.selfID
 		resp.Partitions = s.cluster.parts
 		resp.Map = s.cluster.map_()
+		resp.Health = s.cluster.health.Snapshot()
 	}
 	if s.persist != nil {
 		resp.WalPos = s.persist.w.Pos().String()

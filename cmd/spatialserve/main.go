@@ -74,6 +74,24 @@ func parsePeers(peers string, vnodes int) (*cluster.Map, error) {
 	return m, nil
 }
 
+// parseReplicas turns the -read-replicas flag ("id=url,...") into the
+// map's replica attachments (validated against membership by the caller).
+func parseReplicas(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("read-replica %q is not id=url", part)
+		}
+		out[strings.TrimSpace(id)] = strings.TrimRight(strings.TrimSpace(u), "/")
+	}
+	return out, nil
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		if errors.Is(err, errUsage) {
@@ -100,6 +118,11 @@ func run(args []string, out *os.File) error {
 	vnodes := fs.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0 = default)")
 	follow := fs.String("follow", "", "replica mode: leader base URL to bootstrap from and tail (node serves reads only until /admin/promote)")
 	replicaPoll := fs.Duration("replica-poll", 500*time.Millisecond, "replica mode: WAL tail poll interval")
+	readReplicas := fs.String("read-replicas", "", "cluster mode: comma-separated id=url read-replica attachments; fan-out reads fall back to a node's replica when its breaker is open")
+	maxReads := fs.Int("max-inflight-reads", 0, "admission control: max concurrently served read-class requests (0 = unlimited)")
+	maxWrites := fs.Int("max-inflight-writes", 0, "admission control: max concurrently served write-class requests (0 = unlimited)")
+	shedQPS := fs.Float64("shed-qps", 0, "admission control: token-bucket request rate above which requests are shed with 429 (0 = off)")
+	shedBurst := fs.Int("shed-burst", 0, "admission control: token-bucket burst capacity (0 = one second of -shed-qps)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage was printed, exit 0
@@ -133,11 +156,27 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
 			return errUsage
 		}
+		if *readReplicas != "" {
+			if m.Replicas, err = parseReplicas(*readReplicas); err != nil {
+				fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+				return errUsage
+			}
+			if err := m.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+				return errUsage
+			}
+		}
 		if err := srv.EnableCluster(ClusterOptions{SelfID: *nodeID, Map: m, Partitions: *partitions}); err != nil {
 			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
 			return errUsage
 		}
 	}
+	srv.EnableAdmission(AdmitOptions{
+		MaxInflightReads:  *maxReads,
+		MaxInflightWrites: *maxWrites,
+		ShedQPS:           *shedQPS,
+		ShedBurst:         *shedBurst,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -90,6 +90,9 @@ type PersistOptions struct {
 	SegmentBytes int64
 	// Logf receives progress and warning lines; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// WALHooks, when set, intercepts WAL segment writes and fsyncs - the
+	// fault-injection surface of the durability layer (tests only).
+	WALHooks wal.FileHooks
 }
 
 // persister owns the WAL, the checkpoint files and the mutation gate of
@@ -187,7 +190,7 @@ func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
 	// Open (trimming any torn tail) before replaying, so replay sees the
 	// repaired files; appends start only after recovery anyway.
 	walDir := filepath.Join(opts.DataDir, walSubdir)
-	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf})
+	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf, Hooks: opts.WALHooks})
 	if err != nil {
 		return nil, err
 	}

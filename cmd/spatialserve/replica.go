@@ -48,6 +48,8 @@ type replicaState struct {
 	mu      sync.Mutex
 	pos     wal.Pos // applied through (exclusive)
 	lastErr string  // sticky apply/fetch error, surfaced in /admin/ring
+	ready   bool    // bootstrap finished; gates /readyz
+	wedged  bool    // tail loop stopped on an unappliable record
 
 	active  bool // false after promote
 	stop    chan struct{}
@@ -105,6 +107,9 @@ func (s *Server) StartReplica(leaderURL string, poll time.Duration) error {
 		close(rs.done) // tail loop never starts; let stopReplica return
 		return fmt.Errorf("bootstrapping from %s: %w", rs.leader, err)
 	}
+	rs.mu.Lock()
+	rs.ready = true
+	rs.mu.Unlock()
 	go s.tailLeader(rs)
 	return nil
 }
@@ -210,6 +215,7 @@ func (s *Server) tailLeader(rs *replicaState) {
 			if err != nil {
 				rs.mu.Lock()
 				rs.lastErr = err.Error()
+				rs.wedged = errors.Is(err, errReplicaWedged)
 				rs.mu.Unlock()
 				if errors.Is(err, errReplicaWedged) {
 					// Deterministic apply failure: retrying would only

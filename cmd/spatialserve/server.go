@@ -56,6 +56,10 @@ type Server struct {
 	// replica, when non-nil, tails a leader's WAL; while active the node
 	// is read-only (see replica.go).
 	replica *replicaState
+
+	// admit, when non-nil, runs admission control (inflight gates + rate
+	// shedding) in front of the mux (see admit.go).
+	admit *admitter
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -83,6 +87,7 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/estimators", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/estimators", s.handleList)
 	s.mux.HandleFunc("GET /v1/estimators/{name}", s.handleInfo)
@@ -130,8 +135,18 @@ func (s *Server) Close() error {
 	return s.persist.close(false)
 }
 
-// ServeHTTP dispatches to the registry's endpoint handlers.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP runs admission control (when enabled), then dispatches to the
+// registry's endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a := s.admit; a != nil {
+		release, ok := a.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // lookup fetches an estimator by name under the registry read lock.
 func (s *Server) lookup(name string) (servable, bool) {
@@ -210,6 +225,11 @@ type estimateRequest struct {
 // queries still being answered.
 type batchEstimateResponse struct {
 	Results []*estimateResponse `json:"results"`
+	// Partial, PartitionsAnswered and PartitionsTotal mirror the single
+	// estimate response's degraded-read report (see estimateResponse).
+	Partial            bool `json:"partial,omitempty"`
+	PartitionsAnswered int  `json:"partitions_answered,omitempty"`
+	PartitionsTotal    int  `json:"partitions_total,omitempty"`
 }
 
 type estimateResponse struct {
@@ -230,6 +250,16 @@ type estimateResponse struct {
 	Selectivity *float64         `json:"selectivity,omitempty"`
 	Counts      map[string]int64 `json:"counts"`
 	Instances   int              `json:"instances"`
+	// Partial reports a degraded cluster read: the estimate merges only
+	// the reachable partitions (a bounded under-count; sketches are
+	// linear, so the answer is exact over the partitions it did reach).
+	Partial bool `json:"partial,omitempty"`
+	// PartitionsAnswered is how many partitions the merge includes (only
+	// set on partial responses).
+	PartitionsAnswered int `json:"partitions_answered,omitempty"`
+	// PartitionsTotal is the estimator's partition count (only set on
+	// partial responses).
+	PartitionsTotal int `json:"partitions_total,omitempty"`
 }
 
 type infoResponse struct {
@@ -600,7 +630,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.cluster != nil && !isInternal(r) && !cluster.IsShardName(name) {
-		s.cluster.routeEstimate(r.Context(), w, name, &req)
+		partialOK := r.URL.Query().Get("partial") == "ok"
+		s.cluster.routeEstimate(r.Context(), w, name, &req, partialOK)
 		return
 	}
 	est, ok := s.lookup(name)

@@ -275,7 +275,12 @@ func TestServeConcurrentMixed(t *testing.T) {
 // handler stack. BenchmarkServeMixedWAL (persist_test.go) runs the same
 // workload with durability enabled.
 func BenchmarkServeMixed(b *testing.B) {
-	benchServeMixed(b, NewServer())
+	srv := NewServer()
+	// Admission control stays ON with generous gates: the benchmark
+	// gates the cost of the admission checks themselves (token bucket +
+	// class gates on every request), not shedding.
+	srv.EnableAdmission(AdmitOptions{MaxInflightReads: 1 << 20, MaxInflightWrites: 1 << 20, ShedQPS: 1e9})
+	benchServeMixed(b, srv)
 }
 
 // TestSnapshotGzipAndETag covers the snapshot transfer satellites:

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a bounded exponential-backoff-with-full-jitter policy for
+// cluster retry paths. The zero value is usable and uses the defaults;
+// a Backoff is an immutable policy, safe to share across goroutines.
+//
+// Full jitter (each delay drawn uniformly from [0, cap]) decorrelates the
+// retries of routers that failed together - after a node death every
+// router sees the same error at the same instant, and unjittered backoff
+// would re-synchronize their retry storms forever.
+type Backoff struct {
+	// Base is the cap of the first delay (default DefaultBackoffBase).
+	Base time.Duration
+	// Max caps the exponential growth (default DefaultBackoffMax).
+	Max time.Duration
+}
+
+// Default backoff policy bounds.
+const (
+	// DefaultBackoffBase is the first-attempt delay cap.
+	DefaultBackoffBase = 5 * time.Millisecond
+	// DefaultBackoffMax bounds the exponential growth of the delay cap.
+	DefaultBackoffMax = 250 * time.Millisecond
+)
+
+// jitterMu guards the package-level jitter source. Retry delays are rare
+// relative to requests, so one locked source is not a contention point.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Delay returns the jittered delay before retry `attempt` (0-based): a
+// uniform draw from [0, min(Base<<attempt, Max)].
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	limit := base
+	for i := 0; i < attempt && limit < max; i++ {
+		limit *= 2
+	}
+	if limit > max {
+		limit = max
+	}
+	jitterMu.Lock()
+	d := time.Duration(jitterRng.Int63n(int64(limit) + 1))
+	jitterMu.Unlock()
+	return d
+}
+
+// Wait sleeps the jittered delay for retry `attempt`, returning early with
+// the context's error if it is cancelled first. Attempt 0 returns
+// immediately so loops can call Wait unconditionally at the top.
+func (b Backoff) Wait(ctx context.Context, attempt int) error {
+	if attempt <= 0 {
+		return ctx.Err()
+	}
+	d := b.Delay(attempt - 1)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one node.
+type BreakerState int
+
+// The breaker states: Closed passes traffic, Open fails fast, HalfOpen
+// admits a single probe to test recovery.
+const (
+	// BreakerClosed is the healthy state: requests flow, failures count.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the node exceeded the failure threshold and
+	// requests are not attempted until the open interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one in-flight probe; its outcome closes or
+	// re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the breaker state for logs and operator endpoints.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// HealthOptions tunes a Health registry.
+type HealthOptions struct {
+	// FailureThreshold is how many consecutive failures open a node's
+	// breaker (default DefaultFailureThreshold).
+	FailureThreshold int
+	// OpenFor is how long an open breaker fails fast before admitting a
+	// half-open probe (default DefaultOpenFor).
+	OpenFor time.Duration
+	// EWMAAlpha weights the latest latency sample in the moving average
+	// (default DefaultEWMAAlpha).
+	EWMAAlpha float64
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// Default health-tracking parameters.
+const (
+	// DefaultFailureThreshold opens a breaker after this many consecutive
+	// failures.
+	DefaultFailureThreshold = 5
+	// DefaultOpenFor is how long an open breaker rests before probing.
+	DefaultOpenFor = 2 * time.Second
+	// DefaultEWMAAlpha is the EWMA weight of the newest latency sample.
+	DefaultEWMAAlpha = 0.3
+)
+
+// Health tracks per-node health: consecutive-failure counts, an EWMA of
+// request latency, and a circuit breaker with half-open probing. One
+// registry is shared by all callers fanning out to the same cluster; all
+// methods are safe for concurrent use.
+type Health struct {
+	opts  HealthOptions
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+}
+
+// nodeHealth is the tracked state of one node.
+type nodeHealth struct {
+	consecFails int
+	ewmaMs      float64 // 0 until the first sample
+	state       BreakerState
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// NodeHealth is a point-in-time snapshot of one node's health, for
+// operator endpoints and tests.
+type NodeHealth struct {
+	// Node is the node ID.
+	Node string `json:"node"`
+	// State is the breaker state name.
+	State string `json:"state"`
+	// ConsecutiveFailures is the current consecutive-failure count.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// EWMALatencyMs is the smoothed request latency in milliseconds.
+	EWMALatencyMs float64 `json:"ewma_latency_ms"`
+}
+
+// NewHealth returns a Health registry with the given options.
+func NewHealth(opts HealthOptions) *Health {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = DefaultFailureThreshold
+	}
+	if opts.OpenFor <= 0 {
+		opts.OpenFor = DefaultOpenFor
+	}
+	if opts.EWMAAlpha <= 0 || opts.EWMAAlpha > 1 {
+		opts.EWMAAlpha = DefaultEWMAAlpha
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Health{opts: opts, nodes: make(map[string]*nodeHealth)}
+}
+
+// node returns (creating if needed) the entry for id. Caller holds mu.
+func (h *Health) node(id string) *nodeHealth {
+	n := h.nodes[id]
+	if n == nil {
+		n = &nodeHealth{}
+		h.nodes[id] = n
+	}
+	return n
+}
+
+// Allow reports whether a request to the node should be attempted.
+// Closed: yes. Open: no, until OpenFor has elapsed - then the breaker
+// half-opens and THIS caller becomes the probe. Half-open: only the probe
+// is in flight; everyone else fails fast. Callers that get true must
+// report the outcome via Record.
+func (h *Health) Allow(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.node(id)
+	switch n.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if h.opts.Now().Sub(n.openedAt) >= h.opts.OpenFor {
+			n.state = BreakerHalfOpen
+			n.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if !n.probing {
+			n.probing = true
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// Record reports one request outcome for the node: success resets the
+// failure count and closes the breaker, failure counts toward the
+// threshold (and re-opens a half-open breaker immediately). Latency is
+// folded into the EWMA on success; pass 0 to skip the sample.
+func (h *Health) Record(id string, ok bool, latency time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.node(id)
+	n.probing = false
+	if ok {
+		n.consecFails = 0
+		n.state = BreakerClosed
+		if latency > 0 {
+			ms := float64(latency) / float64(time.Millisecond)
+			if n.ewmaMs == 0 {
+				n.ewmaMs = ms
+			} else {
+				a := h.opts.EWMAAlpha
+				n.ewmaMs = a*ms + (1-a)*n.ewmaMs
+			}
+		}
+		return
+	}
+	n.consecFails++
+	if n.state == BreakerHalfOpen || n.consecFails >= h.opts.FailureThreshold {
+		n.state = BreakerOpen
+		n.openedAt = h.opts.Now()
+	}
+}
+
+// State returns the node's current breaker state.
+func (h *Health) State(id string) BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.node(id).state
+}
+
+// Snapshot returns the health of every tracked node, in no particular
+// order.
+func (h *Health) Snapshot() []NodeHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeHealth, 0, len(h.nodes))
+	for id, n := range h.nodes {
+		out = append(out, NodeHealth{
+			Node:                id,
+			State:               n.state.String(),
+			ConsecutiveFailures: n.consecFails,
+			EWMALatencyMs:       n.ewmaMs,
+		})
+	}
+	return out
+}
+
+// Forget drops a node's tracked state (it left the cluster map).
+func (h *Health) Forget(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.nodes, id)
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		limit := 10 * time.Millisecond << attempt
+		if limit > 80*time.Millisecond {
+			limit = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := b.Delay(attempt); d < 0 || d > limit {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, limit)
+			}
+		}
+	}
+}
+
+func TestBackoffWaitRespectsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Wait(ctx, 3); err == nil {
+		t.Fatal("want context error")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Wait ignored cancelled context for %v", d)
+	}
+	// Attempt 0 never sleeps.
+	if err := (Backoff{}).Wait(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testClock is a manually advanced clock for breaker timing.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	h := NewHealth(HealthOptions{FailureThreshold: 3, OpenFor: time.Second, Now: clk.now})
+
+	// Closed: failures below threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !h.Allow("a") {
+			t.Fatal("closed breaker refused")
+		}
+		h.Record("a", false, 0)
+	}
+	if got := h.State("a"); got != BreakerClosed {
+		t.Fatalf("state after 2 fails = %v", got)
+	}
+	// Third consecutive failure opens it.
+	h.Record("a", false, 0)
+	if got := h.State("a"); got != BreakerOpen {
+		t.Fatalf("state after threshold = %v", got)
+	}
+	if h.Allow("a") {
+		t.Fatal("open breaker allowed a request")
+	}
+
+	// After OpenFor, exactly one probe is admitted.
+	clk.advance(time.Second)
+	if !h.Allow("a") {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if h.Allow("a") {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe failure re-opens immediately (no threshold).
+	h.Record("a", false, 0)
+	if got := h.State("a"); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", got)
+	}
+
+	// Next probe succeeds: breaker closes, traffic flows.
+	clk.advance(time.Second)
+	if !h.Allow("a") {
+		t.Fatal("second probe refused")
+	}
+	h.Record("a", true, 5*time.Millisecond)
+	if got := h.State("a"); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v", got)
+	}
+	if !h.Allow("a") || !h.Allow("a") {
+		t.Fatal("closed breaker throttling")
+	}
+}
+
+func TestHealthEWMAAndSnapshot(t *testing.T) {
+	h := NewHealth(HealthOptions{EWMAAlpha: 0.5})
+	h.Record("a", true, 10*time.Millisecond)
+	h.Record("a", true, 20*time.Millisecond)
+	snap := h.Snapshot()
+	if len(snap) != 1 || snap[0].Node != "a" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap[0].EWMALatencyMs; got != 15 {
+		t.Fatalf("EWMA after 10,20ms at alpha 0.5 = %v, want 15", got)
+	}
+	if snap[0].State != "closed" || snap[0].ConsecutiveFailures != 0 {
+		t.Fatalf("snapshot = %+v", snap[0])
+	}
+	h.Forget("a")
+	if len(h.Snapshot()) != 0 {
+		t.Fatal("Forget left state behind")
+	}
+}
+
+func TestMapReplicas(t *testing.T) {
+	m := &Map{
+		Version:  1,
+		Nodes:    []Node{{ID: "a", URL: "http://a"}, {ID: "b", URL: "http://b"}},
+		Replicas: map[string]string{"a": "http://a-replica"},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if url, ok := m.ReplicaURL("a"); !ok || url != "http://a-replica" {
+		t.Fatalf("ReplicaURL(a) = %q, %v", url, ok)
+	}
+	if _, ok := m.ReplicaURL("b"); ok {
+		t.Fatal("node b has no replica")
+	}
+	c := m.Clone()
+	c.Replicas["a"] = "changed"
+	if m.Replicas["a"] != "http://a-replica" {
+		t.Fatal("Clone shares the Replicas map")
+	}
+	bad := &Map{Version: 1, Nodes: m.Nodes, Replicas: map[string]string{"zz": "http://x"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("replica for unknown node must fail validation")
+	}
+}

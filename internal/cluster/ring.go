@@ -54,6 +54,10 @@ type Map struct {
 	// Overrides pins specific shard keys to a node ID, overriding the
 	// ring. A completed rebalance is recorded here.
 	Overrides map[string]string `json:"overrides,omitempty"`
+	// Replicas maps a node ID to the base URL of its attached WAL-shipped
+	// read replica (-follow). Fan-out reads fall back to it when the
+	// owner's circuit breaker is open; it never serves writes.
+	Replicas map[string]string `json:"replicas,omitempty"`
 
 	ring []ringPoint // lazily built, nil until first Owner call
 }
@@ -89,7 +93,22 @@ func (m *Map) Validate() error {
 			return fmt.Errorf("cluster: override %q names unknown node %q", key, id)
 		}
 	}
+	for id, url := range m.Replicas {
+		if !seen[id] {
+			return fmt.Errorf("cluster: replica for unknown node %q", id)
+		}
+		if url == "" {
+			return fmt.Errorf("cluster: replica for node %q has no url", id)
+		}
+	}
 	return nil
+}
+
+// ReplicaURL returns the read-replica base URL attached to the node, if
+// one is registered in the map.
+func (m *Map) ReplicaURL(id string) (string, bool) {
+	url, ok := m.Replicas[id]
+	return url, ok && url != ""
 }
 
 // vnodes resolves the virtual-node count.
@@ -170,6 +189,12 @@ func (m *Map) Clone() *Map {
 		c.Overrides = make(map[string]string, len(m.Overrides))
 		for k, v := range m.Overrides {
 			c.Overrides[k] = v
+		}
+	}
+	if m.Replicas != nil {
+		c.Replicas = make(map[string]string, len(m.Replicas))
+		for k, v := range m.Replicas {
+			c.Replicas[k] = v
 		}
 	}
 	return c

@@ -1,0 +1,64 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SoakSpec is the env-gated configuration of the CI chaos soak: a fixed
+// seed for reproducibility and knobs that scale the run.
+type SoakSpec struct {
+	// Seed seeds both the injector and the soak's traffic generators.
+	Seed int64
+	// Rounds is how many fault/heal cycles the soak runs.
+	Rounds int
+	// Writers is the concurrent ingest-worker count.
+	Writers int
+}
+
+// DefaultSoakSpec is the configuration used when the env var sets only
+// some (or none) of the knobs.
+var DefaultSoakSpec = SoakSpec{Seed: 1, Rounds: 6, Writers: 4}
+
+// ParseSoakSpec parses a "seed=7,rounds=12,writers=4" spec string; empty
+// or missing keys keep DefaultSoakSpec values. Unknown keys are errors so
+// CI typos fail loudly instead of silently running the default soak.
+func ParseSoakSpec(s string) (SoakSpec, error) {
+	spec := DefaultSoakSpec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("faultinject: malformed spec entry %q", kv)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("faultinject: spec %q: %v", kv, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "seed":
+			spec.Seed = n
+		case "rounds":
+			spec.Rounds = int(n)
+		case "writers":
+			spec.Writers = int(n)
+		default:
+			return spec, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+	}
+	return spec, nil
+}
+
+// SoakSpecFromEnv reads and parses the named environment variable
+// (conventionally SPATIAL_CHAOS). Unset or empty yields DefaultSoakSpec.
+func SoakSpecFromEnv(key string) (SoakSpec, error) {
+	return ParseSoakSpec(os.Getenv(key))
+}

@@ -1,0 +1,273 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startEcho runs a test server that records whether it was reached.
+func startEcho(t *testing.T) (*httptest.Server, *int64) {
+	t.Helper()
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(strings.Repeat("x", 256)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func TestRefuseDoesNotForward(t *testing.T) {
+	srv, hits := startEcho(t)
+	in := New(1)
+	host := strings.TrimPrefix(srv.URL, "http://")
+	in.NameHost(host, "b")
+	in.Add(Rule{From: "a", To: "b", Kind: KindRefuse})
+	client := &http.Client{Transport: in.Transport("a", nil)}
+	if _, err := client.Post(srv.URL+"/v1/estimators", "application/json", bytes.NewReader([]byte("{}"))); err == nil {
+		t.Fatal("want refused connection, got success")
+	}
+	if *hits != 0 {
+		t.Fatalf("request was forwarded despite refuse rule: %d hits", *hits)
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Kind != "refuse" || ev[0].From != "a" || ev[0].To != "b" {
+		t.Fatalf("bad event log: %+v", ev)
+	}
+}
+
+func TestStatusFabricatedWithoutForwarding(t *testing.T) {
+	srv, hits := startEcho(t)
+	in := New(1)
+	in.NameHost(strings.TrimPrefix(srv.URL, "http://"), "b")
+	in.Add(Rule{To: "b", Kind: KindStatus, Status: 503})
+	client := &http.Client{Transport: in.Transport("a", nil)}
+	resp, err := client.Get(srv.URL + "/v1/estimators")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if *hits != 0 {
+		t.Fatalf("request was forwarded despite status rule: %d hits", *hits)
+	}
+}
+
+func TestTruncateTearsResponse(t *testing.T) {
+	srv, hits := startEcho(t)
+	in := New(1)
+	in.NameHost(strings.TrimPrefix(srv.URL, "http://"), "b")
+	in.Add(Rule{To: "b", Methods: "GET", Kind: KindTruncate})
+	client := &http.Client{Transport: in.Transport("a", nil)}
+	resp, err := client.Get(srv.URL + "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("want torn read, got clean %d bytes", len(body))
+	}
+	if len(body) == 0 || len(body) >= 256 {
+		t.Fatalf("truncated body length = %d, want a strict prefix", len(body))
+	}
+	if *hits != 1 {
+		t.Fatalf("hits = %d, want 1 (truncate must forward)", *hits)
+	}
+	// The method filter must exempt POSTs.
+	resp, err = client.Post(srv.URL+"/big", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatalf("POST should be exempt from GET-only truncation: %v", err)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	srv, hits := startEcho(t)
+	in := New(1)
+	in.NameHost(strings.TrimPrefix(srv.URL, "http://"), "b")
+	in.Add(Rule{To: "b", Kind: KindLatency, Latency: 5 * time.Second})
+	client := &http.Client{Transport: in.Transport("a", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/x", strings.NewReader("{}"))
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("want context error during latency spike")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("latency fault ignored context: took %v", d)
+	}
+	if *hits != 0 {
+		t.Fatalf("deadline-killed request was still forwarded: %d hits", *hits)
+	}
+}
+
+func TestProbabilityAndSeedDeterminism(t *testing.T) {
+	fire := func(seed int64) []bool {
+		in := New(seed)
+		in.Add(Rule{Kind: KindRefuse, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = in.match("a", "b", "GET", false, "probe")
+		}
+		return out
+	}
+	a, b := fire(42), fire(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("P=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestPartitionAsymmetry(t *testing.T) {
+	in := New(1)
+	id := in.Partition("a", "b")
+	if _, ok := in.match("a", "b", "GET", false, ""); !ok {
+		t.Fatal("a->b should be cut")
+	}
+	if _, ok := in.match("b", "a", "GET", false, ""); ok {
+		t.Fatal("partition must be asymmetric: b->a should pass")
+	}
+	in.Remove(id)
+	if _, ok := in.match("a", "b", "GET", false, ""); ok {
+		t.Fatal("removed partition still firing")
+	}
+}
+
+func TestWALHooks(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *os.File {
+		f, err := os.OpenFile(filepath.Join(dir, "seg"), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	in := New(1)
+	h := in.WALHooks("a")
+
+	f := open()
+	in.Add(Rule{To: "a", Kind: KindWALWrite})
+	n, err := h.Write(f, []byte("hello world"))
+	if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("full-fail write: n=%d err=%v, want 0, ENOSPC", n, err)
+	}
+	if st, _ := f.Stat(); st.Size() != 0 {
+		t.Fatalf("full-fail write landed %d bytes", st.Size())
+	}
+
+	in.Heal()
+	in.Add(Rule{To: "a", Kind: KindWALShortWrite})
+	f = open()
+	n, err = h.Write(f, []byte("hello world"))
+	if n != 5 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write: n=%d err=%v, want 5, ENOSPC", n, err)
+	}
+	if st, _ := f.Stat(); st.Size() != 5 {
+		t.Fatalf("short write landed %d bytes, want 5", st.Size())
+	}
+
+	in.Heal()
+	in.Add(Rule{To: "a", Kind: KindWALSync})
+	if err := h.Sync(f); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync fault: %v, want EIO", err)
+	}
+	// A sync-only rule must not disturb writes.
+	if n, err := h.Write(f, []byte("ok")); n != 2 || err != nil {
+		t.Fatalf("write under sync-only rule: n=%d err=%v", n, err)
+	}
+
+	in.Heal()
+	if err := h.Sync(f); err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+	f.Close()
+}
+
+func TestWALRulesDoNotMatchHTTP(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Kind: KindWALWrite})
+	if _, ok := in.match("a", "b", "GET", false, ""); ok {
+		t.Fatal("WAL rule fired on an HTTP probe")
+	}
+	in.Heal()
+	in.Add(Rule{Kind: KindRefuse})
+	if _, ok := in.match("", "a", "", true, ""); ok {
+		t.Fatal("HTTP rule fired on a WAL probe")
+	}
+}
+
+func TestParseSoakSpec(t *testing.T) {
+	spec, err := ParseSoakSpec("seed=9, rounds=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 9 || spec.Rounds != 3 || spec.Writers != DefaultSoakSpec.Writers {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := ParseSoakSpec("bogus=1"); err == nil {
+		t.Fatal("unknown key should error")
+	}
+	if _, err := ParseSoakSpec("seed"); err == nil {
+		t.Fatal("malformed entry should error")
+	}
+	spec, err = ParseSoakSpec("")
+	if err != nil || spec != DefaultSoakSpec {
+		t.Fatalf("empty spec: %+v, %v", spec, err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{From: "a", To: "b", Kind: KindRefuse})
+	in.match("a", "b", "GET", false, "GET /v1/x")
+	var buf bytes.Buffer
+	if err := in.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kind=refuse from=a to=b GET /v1/x") {
+		t.Fatalf("dump output: %q", buf.String())
+	}
+}
+
+// TestURLHostResolution checks host:port extraction matches url.URL.Host.
+func TestURLHostResolution(t *testing.T) {
+	u, _ := url.Parse("http://127.0.0.1:9999/v1/x")
+	in := New(1)
+	in.NameHost("127.0.0.1:9999", "n1")
+	if got := in.nodeName(u.Host); got != "n1" {
+		t.Fatalf("nodeName = %q, want n1", got)
+	}
+	if got := in.nodeName("unknown:1"); got != "unknown:1" {
+		t.Fatalf("unknown host should pass through, got %q", got)
+	}
+}

@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// WALHooks satisfies internal/wal's FileHooks without importing it:
+// segment writes and fsyncs on the named node are routed through the
+// injector's WAL rules (KindWALWrite, KindWALShortWrite, KindWALSync).
+type WALHooks struct {
+	in   *Injector
+	node string
+}
+
+// WALHooks returns the WAL file-op hook for the named node; pass it to
+// wal.Options.Hooks (or PersistOptions.WALHooks) in tests.
+func (in *Injector) WALHooks(node string) *WALHooks {
+	return &WALHooks{in: in, node: node}
+}
+
+// Write performs (or faults) one segment write. KindWALWrite fails with
+// ENOSPC before any byte lands; KindWALShortWrite writes roughly half the
+// buffer and then fails with ENOSPC, leaving a torn tail on disk.
+func (h *WALHooks) Write(f *os.File, p []byte) (int, error) {
+	r, ok := h.in.match("", h.node, "", true, fmt.Sprintf("write %d bytes", len(p)), KindWALWrite, KindWALShortWrite)
+	if ok {
+		switch r.Kind {
+		case KindWALWrite:
+			return 0, &os.PathError{Op: "write", Path: f.Name(), Err: syscall.ENOSPC}
+		case KindWALShortWrite:
+			n, err := f.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, &os.PathError{Op: "write", Path: f.Name(), Err: syscall.ENOSPC}
+		}
+	}
+	return f.Write(p)
+}
+
+// Sync performs (or faults) one segment fsync. KindWALSync fails with EIO
+// after the write already landed in the page cache.
+func (h *WALHooks) Sync(f *os.File) error {
+	r, ok := h.in.match("", h.node, "", true, "fsync", KindWALSync)
+	if ok && r.Kind == KindWALSync {
+		return &os.PathError{Op: "fsync", Path: f.Name(), Err: syscall.EIO}
+	}
+	return f.Sync()
+}

@@ -106,6 +106,21 @@ type Options struct {
 	// Logf, when set, receives operational notices - in particular how
 	// many torn-tail bytes Open truncated away after a crash.
 	Logf func(format string, args ...any)
+	// Hooks, when set, intercepts segment-file writes and fsyncs on the
+	// append path. It exists for fault-injection tests (short writes,
+	// ENOSPC, fsync errors); production leaves it nil.
+	Hooks FileHooks
+}
+
+// FileHooks intercepts the WAL's segment-file writes and fsyncs so tests
+// can inject I/O failures. Implementations must either perform the real
+// operation on f or return the injected error (a short write returns the
+// bytes actually written).
+type FileHooks interface {
+	// Write performs (or faults) one segment write.
+	Write(f *os.File, p []byte) (int, error)
+	// Sync performs (or faults) one segment fsync.
+	Sync(f *os.File) error
 }
 
 // WAL is an open write-ahead log. All methods are safe for concurrent use.
@@ -280,9 +295,9 @@ func (w *WAL) flushLoop() {
 		w.flushing = true
 		w.mu.Unlock()
 
-		_, err := f.Write(buf)
+		_, err := w.write(f, buf)
 		if err == nil && w.opts.Fsync {
-			err = f.Sync()
+			err = w.sync(f)
 		}
 
 		w.mu.Lock()
@@ -300,6 +315,31 @@ func (w *WAL) flushLoop() {
 	}
 	w.mu.Unlock()
 	close(w.flusherDone)
+}
+
+// write routes a segment write through the fault-injection hooks.
+func (w *WAL) write(f *os.File, p []byte) (int, error) {
+	if w.opts.Hooks != nil {
+		return w.opts.Hooks.Write(f, p)
+	}
+	return f.Write(p)
+}
+
+// sync routes a segment fsync through the fault-injection hooks.
+func (w *WAL) sync(f *os.File) error {
+	if w.opts.Hooks != nil {
+		return w.opts.Hooks.Sync(f)
+	}
+	return f.Sync()
+}
+
+// Err returns the sticky I/O error that has poisoned the log, or nil if
+// the log is still appendable. Health probes use it to answer "is the WAL
+// writable" without issuing a write.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 func (w *WAL) usableLocked() error {
@@ -339,7 +379,7 @@ func (w *WAL) Sync() error {
 	if err := w.drainLocked(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	return w.sync(w.f)
 }
 
 // Rotate drains pending appends, cuts a fresh segment and returns its
@@ -387,7 +427,7 @@ func (w *WAL) maybeRotateLocked(frame int64) error {
 // next one.
 func (w *WAL) switchSegmentLocked() error {
 	if w.opts.Fsync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.sync(w.f); err != nil {
 			return err
 		}
 	}

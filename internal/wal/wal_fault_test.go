@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// gateHooks blocks the first group-commit write until released, so a test
+// can pile waiters into the pending batch, then fail the flush and watch
+// every coalesced waiter receive the error.
+type gateHooks struct {
+	hold    chan struct{} // closed to release the blocked write
+	entered chan struct{} // closed when the first write is in flight
+	failErr error
+	once    sync.Once
+	first   sync.Once
+}
+
+func (g *gateHooks) Write(f *os.File, p []byte) (int, error) {
+	blocked := false
+	g.first.Do(func() { blocked = true })
+	if blocked {
+		g.once.Do(func() { close(g.entered) })
+		<-g.hold
+		return 0, g.failErr
+	}
+	return f.Write(p)
+}
+
+func (g *gateHooks) Sync(f *os.File) error { return f.Sync() }
+
+// TestGroupCommitFaultFailsAllWaiters injects an ENOSPC mid-group-commit
+// and asserts every coalesced waiter gets a clean error, the log poisons,
+// and nothing unacknowledged was acknowledged.
+func TestGroupCommitFaultFailsAllWaiters(t *testing.T) {
+	dir := t.TempDir()
+	g := &gateHooks{
+		hold:    make(chan struct{}),
+		entered: make(chan struct{}),
+		failErr: &os.PathError{Op: "write", Path: "seg", Err: syscall.ENOSPC},
+	}
+	w, err := Open(Options{Dir: dir, Hooks: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 7
+	errs := make(chan error, waiters)
+	// First append enters the (blocked) flush; the rest pile into pending.
+	go func() {
+		_, err := w.Append([]byte("first"))
+		errs <- err
+	}()
+	<-g.entered
+	for i := 1; i < waiters; i++ {
+		go func(i int) {
+			_, err := w.Append([]byte(fmt.Sprintf("queued-%d", i)))
+			errs <- err
+		}(i)
+	}
+	// Give the queued appends time to land in pending, then fail the flush.
+	time.Sleep(50 * time.Millisecond)
+	close(g.hold)
+
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("waiter %d: err = %v, want ENOSPC", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d never acknowledged: group commit wedged", i)
+		}
+	}
+	if err := w.Err(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Err() = %v, want the poisoning ENOSPC", err)
+	}
+	// The poisoned log must refuse further appends immediately.
+	if _, err := w.Append([]byte("late")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append after poison: %v, want sticky ENOSPC", err)
+	}
+	w.Close()
+
+	// The segment must reopen cleanly, and none of the failed records may
+	// replay (the fault wrote zero bytes).
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	defer w2.Close()
+	recs, _ := collect(t, dir, Pos{})
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records, want 0: an unacked record resurfaced", len(recs))
+	}
+	if _, err := w2.Append([]byte("recovered")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// TestInjectedWALFaults drives the injector's three WAL fault kinds
+// through a real log: acked records must replay after reopen, the failed
+// segment must stay reopenable, and disk-full faults must leave no trace.
+func TestInjectedWALFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		kind  faultinject.Kind
+		exact bool // replay must contain ONLY the acked records
+	}{
+		{"enospc", faultinject.KindWALWrite, true},
+		{"short-write", faultinject.KindWALShortWrite, false},
+		{"fsync-error", faultinject.KindWALSync, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			in := faultinject.New(7)
+			w, err := Open(Options{Dir: dir, Fsync: true, Hooks: in.WALHooks("n")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var acked [][]byte
+			for i := 0; i < 5; i++ {
+				p := []byte(fmt.Sprintf("acked-%d", i))
+				if _, err := w.Append(p); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, p)
+			}
+
+			in.Add(faultinject.Rule{To: "n", Kind: tc.kind})
+			var wg sync.WaitGroup
+			var failed int32
+			var mu sync.Mutex
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, err := w.Append([]byte(fmt.Sprintf("doomed-%d", i))); err != nil {
+						mu.Lock()
+						failed++
+						mu.Unlock()
+					}
+				}(i)
+			}
+			wg.Wait()
+			if failed != 8 {
+				t.Fatalf("%d/8 appends failed; an append was acked despite the injected fault", failed)
+			}
+			if w.Err() == nil {
+				t.Fatal("log not poisoned after injected fault")
+			}
+			w.Close()
+
+			// Faults clear; the segment must reopen (truncating any torn
+			// tail) and every acked record must replay, in order.
+			in.Heal()
+			w2, err := Open(Options{Dir: dir, Fsync: true, Hooks: in.WALHooks("n")})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", tc.name, err)
+			}
+			recs, _ := collect(t, dir, Pos{})
+			if len(recs) < len(acked) {
+				t.Fatalf("replayed %d records, want at least the %d acked", len(recs), len(acked))
+			}
+			for i, want := range acked {
+				if string(recs[i]) != string(want) {
+					t.Fatalf("record %d = %q, want acked %q", i, recs[i], want)
+				}
+			}
+			if tc.exact && len(recs) != len(acked) {
+				t.Fatalf("disk-full wrote zero bytes yet %d extra records replayed", len(recs)-len(acked))
+			}
+			// The reopened log accepts appends.
+			if _, err := w2.Append([]byte("post-recovery")); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
