@@ -51,10 +51,49 @@ type admitter struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 
+	bucket *tokenBucket
+}
+
+// tokenBucket is a clock-injectable token bucket, shared by the global
+// shedder and the per-tenant rate gates.
+type tokenBucket struct {
 	mu     sync.Mutex
+	qps    float64
+	burst  float64
 	tokens float64
 	last   time.Time
 	now    func() time.Time
+}
+
+// newTokenBucket builds a full bucket refilling at qps with the given
+// burst capacity (0 defaults to one second of qps, at least one token).
+func newTokenBucket(qps float64, burst int) *tokenBucket {
+	if burst <= 0 {
+		burst = int(qps)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tokenBucket{qps: qps, burst: float64(burst), tokens: float64(burst), now: time.Now}
+}
+
+// take draws one token, reporting whether one was available.
+func (b *tokenBucket) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.qps
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 // newAdmitter builds an admitter; returns nil when every gate is disabled
@@ -63,13 +102,11 @@ func newAdmitter(opts AdmitOptions) *admitter {
 	if opts.MaxInflightReads <= 0 && opts.MaxInflightWrites <= 0 && opts.ShedQPS <= 0 {
 		return nil
 	}
-	if opts.ShedBurst <= 0 {
-		opts.ShedBurst = int(opts.ShedQPS)
-		if opts.ShedBurst < 1 {
-			opts.ShedBurst = 1
-		}
+	a := &admitter{opts: opts}
+	if opts.ShedQPS > 0 {
+		a.bucket = newTokenBucket(opts.ShedQPS, opts.ShedBurst)
 	}
-	return &admitter{opts: opts, tokens: float64(opts.ShedBurst), now: time.Now}
+	return a
 }
 
 // EnableAdmission installs admission control on the server. Call before
@@ -85,7 +122,7 @@ func admitExempt(r *http.Request) bool {
 		return true
 	}
 	p := r.URL.Path
-	return p == "/healthz" || p == "/readyz" || strings.HasPrefix(p, "/admin/")
+	return p == "/healthz" || p == "/readyz" || p == "/metrics" || strings.HasPrefix(p, "/admin/")
 }
 
 // readClass reports whether the request is read-class: all GETs plus the
@@ -100,12 +137,15 @@ func readClass(r *http.Request) bool {
 
 // admit runs both gates. It returns a release func and true to serve, or
 // writes the 429 itself and returns false. The caller must invoke release
-// when the request finishes.
-func (a *admitter) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// when the request finishes. m (optional) counts shed requests.
+func (a *admitter) admit(w http.ResponseWriter, r *http.Request, m *serverMetrics) (release func(), ok bool) {
 	if admitExempt(r) {
 		return func() {}, true
 	}
-	if !a.takeToken() {
+	if a.bucket != nil && !a.bucket.take() {
+		if m != nil {
+			m.admissionRejected("rate", requestTenant(r))
+		}
 		reject(w, retryAfterForRate(a.opts.ShedQPS))
 		return nil, false
 	}
@@ -116,35 +156,15 @@ func (a *admitter) admit(w http.ResponseWriter, r *http.Request) (release func()
 	if limit > 0 {
 		if gate.Add(1) > int64(limit) {
 			gate.Add(-1)
+			if m != nil {
+				m.admissionRejected("inflight", requestTenant(r))
+			}
 			reject(w, 1)
 			return nil, false
 		}
 		return func() { gate.Add(-1) }, true
 	}
 	return func() {}, true
-}
-
-// takeToken draws one token from the shedding bucket (always true when
-// rate shedding is off).
-func (a *admitter) takeToken() bool {
-	if a.opts.ShedQPS <= 0 {
-		return true
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	now := a.now()
-	if !a.last.IsZero() {
-		a.tokens += now.Sub(a.last).Seconds() * a.opts.ShedQPS
-		if max := float64(a.opts.ShedBurst); a.tokens > max {
-			a.tokens = max
-		}
-	}
-	a.last = now
-	if a.tokens < 1 {
-		return false
-	}
-	a.tokens--
-	return true
 }
 
 // retryAfterForRate suggests how long a shed client should wait: the time

@@ -21,12 +21,12 @@ func TestAdmitInflightGates(t *testing.T) {
 	a := newAdmitter(AdmitOptions{MaxInflightReads: 1, MaxInflightWrites: 2})
 
 	get := httptest.NewRequest("GET", "/v1/estimators/x/estimate", nil)
-	rel1, ok := a.admit(httptest.NewRecorder(), get)
+	rel1, ok := a.admit(httptest.NewRecorder(), get, nil)
 	if !ok {
 		t.Fatal("first read rejected under its limit")
 	}
 	rec := httptest.NewRecorder()
-	if _, ok := a.admit(rec, get); ok {
+	if _, ok := a.admit(rec, get, nil); ok {
 		t.Fatal("second concurrent read admitted past MaxInflightReads=1")
 	}
 	if rec.Code != http.StatusTooManyRequests {
@@ -41,7 +41,7 @@ func TestAdmitInflightGates(t *testing.T) {
 	// Writes are a separate class: the read gate being full must not
 	// block ingest.
 	post := httptest.NewRequest("POST", "/v1/estimators/x/update", nil)
-	relW, ok := a.admit(httptest.NewRecorder(), post)
+	relW, ok := a.admit(httptest.NewRecorder(), post, nil)
 	if !ok {
 		t.Fatal("write rejected while only the read gate is full")
 	}
@@ -49,7 +49,7 @@ func TestAdmitInflightGates(t *testing.T) {
 
 	// Releasing the read admits the next one.
 	rel1()
-	rel2, ok := a.admit(httptest.NewRecorder(), get)
+	rel2, ok := a.admit(httptest.NewRecorder(), get, nil)
 	if !ok {
 		t.Fatal("read rejected after the previous one released")
 	}
@@ -68,16 +68,16 @@ func TestAdmitInflightGates(t *testing.T) {
 func TestAdmitTokenBucketShed(t *testing.T) {
 	a := newAdmitter(AdmitOptions{ShedQPS: 2, ShedBurst: 2})
 	now := time.Unix(1000, 0)
-	a.now = func() time.Time { return now }
+	a.bucket.now = func() time.Time { return now }
 
 	get := httptest.NewRequest("GET", "/v1/estimators", nil)
 	for i := 0; i < 2; i++ {
-		if _, ok := a.admit(httptest.NewRecorder(), get); !ok {
+		if _, ok := a.admit(httptest.NewRecorder(), get, nil); !ok {
 			t.Fatalf("request %d shed inside the burst allowance", i)
 		}
 	}
 	rec := httptest.NewRecorder()
-	if _, ok := a.admit(rec, get); ok {
+	if _, ok := a.admit(rec, get, nil); ok {
 		t.Fatal("request admitted with the bucket empty")
 	}
 	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
@@ -86,10 +86,10 @@ func TestAdmitTokenBucketShed(t *testing.T) {
 
 	// Half a second at 2 qps refills one token.
 	now = now.Add(500 * time.Millisecond)
-	if _, ok := a.admit(httptest.NewRecorder(), get); !ok {
+	if _, ok := a.admit(httptest.NewRecorder(), get, nil); !ok {
 		t.Fatal("request shed after the bucket refilled")
 	}
-	if _, ok := a.admit(httptest.NewRecorder(), get); ok {
+	if _, ok := a.admit(httptest.NewRecorder(), get, nil); ok {
 		t.Fatal("refill credited more than elapsed-time tokens")
 	}
 }
@@ -97,20 +97,20 @@ func TestAdmitTokenBucketShed(t *testing.T) {
 func TestAdmitExemptions(t *testing.T) {
 	// Bucket of size 1, immediately drained: only exempt traffic passes.
 	a := newAdmitter(AdmitOptions{ShedQPS: 0.001, ShedBurst: 1})
-	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil)); !ok {
+	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil), nil); !ok {
 		t.Fatal("burst token not granted")
 	}
-	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil)); ok {
+	if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/estimators", nil), nil); ok {
 		t.Fatal("client request admitted with the bucket drained")
 	}
 	for _, path := range []string{"/healthz", "/readyz", "/admin/ring"} {
-		if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", path, nil)); !ok {
+		if _, ok := a.admit(httptest.NewRecorder(), httptest.NewRequest("GET", path, nil), nil); !ok {
 			t.Fatalf("%s not exempt from shedding", path)
 		}
 	}
 	internal := httptest.NewRequest("POST", "/v1/estimators/x/update", nil)
 	internal.Header.Set(headerInternal, "1")
-	if _, ok := a.admit(httptest.NewRecorder(), internal); !ok {
+	if _, ok := a.admit(httptest.NewRecorder(), internal, nil); !ok {
 		t.Fatal("internal fan-out sub-request shed: retry amplification hazard")
 	}
 }

@@ -116,6 +116,11 @@ type clusterNode struct {
 
 	// rebalanceMu serializes outbound handoffs from this node.
 	rebalanceMu sync.Mutex
+
+	// readCache remembers the last gathered snapshots and merge per base
+	// name, revalidated by partition ETag (see readcache.go).
+	readCacheMu sync.Mutex
+	readCache   map[string]*gatherCacheEntry
 }
 
 // EnableCluster switches the server into cluster mode. It must be called
@@ -143,7 +148,13 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 	}
 	health := opts.Health
 	if health == nil {
-		health = cluster.NewHealth(cluster.HealthOptions{})
+		health = cluster.NewHealth(cluster.HealthOptions{
+			OnTransition: func(node string, from, to cluster.BreakerState) {
+				if m := s.metrics; m != nil {
+					m.observeBreaker(node, from, to)
+				}
+			},
+		})
 	}
 	c := &clusterNode{srv: s, selfID: opts.SelfID, parts: parts, client: client, health: health}
 	m := opts.Map
@@ -260,7 +271,7 @@ func (c *clusterNode) callNode(ctx context.Context, node cluster.Node, method, u
 		return nil, fmt.Errorf("%w: node %s", errBreakerOpen, node.ID)
 	}
 	start := time.Now()
-	resp, err := c.client.Do(ctx, method, url, body, hdr)
+	resp, err := c.client.Do(ctx, method, url, body, withTraceHeader(ctx, hdr))
 	c.health.Record(node.ID, err == nil && resp.Status < 500, time.Since(start))
 	return resp, err
 }
@@ -271,9 +282,25 @@ func (c *clusterNode) callNodeGet(ctx context.Context, node cluster.Node, url st
 		return nil, fmt.Errorf("%w: node %s", errBreakerOpen, node.ID)
 	}
 	start := time.Now()
-	resp, err := c.client.Get(ctx, url, hdr)
+	resp, err := c.client.Get(ctx, url, withTraceHeader(ctx, hdr))
 	c.health.Record(node.ID, err == nil && resp.Status < 500, time.Since(start))
 	return resp, err
+}
+
+// withTraceHeader stamps the context's trace ID onto a copy of hdr so a
+// scatter-gather's sub-requests carry the originating request's ID and
+// the whole fan-out can be reconstructed from per-node logs.
+func withTraceHeader(ctx context.Context, hdr http.Header) http.Header {
+	rid := requestIDFrom(ctx)
+	if rid == "" {
+		return hdr
+	}
+	h := hdr.Clone()
+	if h == nil {
+		h = http.Header{}
+	}
+	h.Set(headerRequestID, rid)
+	return h
 }
 
 // map_ returns the current partition map.
@@ -364,8 +391,16 @@ func (c *clusterNode) routeCreate(ctx context.Context, w http.ResponseWriter, re
 	// real estimator is a deliberate tradeoff: it is the one validator
 	// that can never drift from what the shards will accept, and create
 	// is a cold path.
-	if _, err := buildServable(req.Kind, req.Config); err != nil {
+	probe, err := buildServable(req.Kind, req.Config)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if be, terr := c.checkClusterBudget(ctx, req.Name, probe); terr != nil {
+		writeError(w, http.StatusBadGateway, "checking tenant budget: %v", terr)
+		return
+	} else if be != nil {
+		writeBudgetError(w, be)
 		return
 	}
 	existed, errs := cluster.Scatter(c.parts, func(p int) (bool, error) {
@@ -412,7 +447,7 @@ func (c *clusterNode) createShard(ctx context.Context, shard string, req *create
 			return false, fmt.Errorf("no owner for %q", shard)
 		}
 		if owner.ID == c.selfID {
-			_, err := c.srv.createLocal(req)
+			_, err := c.srv.createLocal(req, false)
 			if err == nil {
 				return false, nil
 			}
@@ -441,6 +476,7 @@ func (c *clusterNode) createShard(ctx context.Context, shard string, req *create
 // are tolerated (a half-created name can still be deleted); only when NO
 // shard existed is 404 returned.
 func (c *clusterNode) routeDelete(ctx context.Context, w http.ResponseWriter, name string) {
+	c.readCacheDrop(name)
 	found, errs := cluster.Scatter(c.parts, func(p int) (bool, error) {
 		return c.deleteShard(ctx, cluster.ShardName(name, p))
 	})
@@ -706,8 +742,7 @@ var errShardMissing = errors.New("shard not found at its owner")
 // current state (per-partition consistency; see docs/CLUSTER.md for the
 // cross-partition story under concurrent writes).
 func (c *clusterNode) gather(ctx context.Context, name string) (servable, error) {
-	est, _, _, err := c.gatherPartial(ctx, name, false)
-	return est, err
+	return c.gatherCached(ctx, name)
 }
 
 // gatherPartial is gather with graceful degradation: with partial set,
@@ -772,6 +807,17 @@ func (c *clusterNode) gatherPartial(ctx context.Context, name string, partial bo
 // fetchShardSnapshot reads one shard's snapshot from its owner, healing
 // through a map refresh when the shard just moved.
 func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]byte, error) {
+	data, _, _, err := c.fetchShardSnapshotCond(ctx, shard, "")
+	return data, err
+}
+
+// fetchShardSnapshotCond is fetchShardSnapshot with revalidation: a
+// non-empty ifNoneMatch rides the request as If-None-Match, and a 304
+// from the owner reports notModified with no body transferred. The
+// returned etag is the owner's validator for the body ("" when the read
+// was served by a replica or a local copy without one - such a result is
+// never revalidatable and the cache refetches it next time).
+func (c *clusterNode) fetchShardSnapshotCond(ctx context.Context, shard, ifNoneMatch string) (data []byte, etag string, notModified bool, err error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if err := c.backoff.Wait(ctx, attempt); err != nil {
@@ -780,35 +826,49 @@ func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]b
 		m := c.map_()
 		owner, ok := m.Owner(shard)
 		if !ok {
-			return nil, fmt.Errorf("no owner for %q", shard)
+			return nil, "", false, fmt.Errorf("no owner for %q", shard)
 		}
 		if owner.ID == c.selfID {
 			if est, ok := c.srv.lookup(shard); ok && c.owns(shard) {
-				return est.snapshot()
+				data, err := est.snapshot()
+				if err != nil {
+					return nil, "", false, err
+				}
+				etag := snapshotETag(data)
+				if ifNoneMatch != "" && ifNoneMatch == etag {
+					return nil, etag, true, nil
+				}
+				return data, etag, false, nil
 			}
 			lastErr = errShardMissing
 			c.refreshAny(ctx)
 		} else {
-			resp, err := c.callNodeGet(ctx, owner, owner.URL+shardPath(shard, "/snapshot"), internalHeader())
+			hdr := internalHeader()
+			if ifNoneMatch != "" {
+				hdr.Set("If-None-Match", ifNoneMatch)
+			}
+			resp, err := c.callNodeGet(ctx, owner, owner.URL+shardPath(shard, "/snapshot"), hdr)
 			if err != nil {
 				lastErr = err
 				// The owner is unreachable (breaker open or transport
 				// failure): its attached WAL-shipped replica, when the map
 				// names one, serves the read instead.
 				if data, rerr := c.replicaSnapshot(ctx, m, owner, shard); rerr == nil {
-					return data, nil
+					return data, "", false, nil
 				}
+			} else if resp.Status == http.StatusNotModified {
+				return nil, ifNoneMatch, true, nil
 			} else if resp.Status == http.StatusOK {
-				return resp.Body, nil
+				return resp.Body, resp.Header.Get("ETag"), false, nil
 			} else if resp.Status == http.StatusNotFound || resp.Status == http.StatusConflict {
 				lastErr = fmt.Errorf("%w (status %d on %s)", errShardMissing, resp.Status, owner.ID)
 				c.refreshFrom(ctx, owner.URL)
 			} else {
-				return nil, fmt.Errorf("snapshot of %q from %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				return nil, "", false, fmt.Errorf("snapshot of %q from %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
 			}
 		}
 	}
-	return nil, lastErr
+	return nil, "", false, lastErr
 }
 
 // replicaSnapshot reads one shard's snapshot from the owner's attached
@@ -843,7 +903,14 @@ func (c *clusterNode) replicaSnapshot(ctx context.Context, m *cluster.Map, owner
 // the answer instead of failing it: the response merges the reachable
 // partitions and reports partial/partitions_answered/partitions_total.
 func (c *clusterNode) routeEstimate(ctx context.Context, w http.ResponseWriter, name string, req *estimateRequest, partialOK bool) {
-	est, answered, total, err := c.gatherPartial(ctx, name, partialOK)
+	var est servable
+	var answered, total int
+	var err error
+	if partialOK {
+		est, answered, total, err = c.gatherPartial(ctx, name, true)
+	} else {
+		est, err = c.gatherCached(ctx, name)
+	}
 	if errors.Is(err, errNotFoundLocal) {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
 		return
@@ -965,6 +1032,149 @@ func (c *clusterNode) routeList(ctx context.Context, w http.ResponseWriter) {
 		out[i] = entry{Name: name, Kind: kinds[name]}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"estimators": out})
+}
+
+// ---- routing: tenants ----
+
+// broadcastTenant installs (PUT) or removes (DELETE) a tenant config on
+// every node, self included. Tenant configs are cluster metadata: each
+// node enforces admission locally and any router must be able to enforce
+// the budget, so the fan-out must fully succeed - a partial failure is
+// reported to the client for re-issue (both operations are idempotent).
+func (c *clusterNode) broadcastTenant(ctx context.Context, method, tenant string, cfg *TenantConfig) error {
+	m := c.map_()
+	var body []byte
+	if cfg != nil {
+		var err error
+		if body, err = json.Marshal(cfg); err != nil {
+			return err
+		}
+	}
+	_, errs := cluster.Scatter(len(m.Nodes), func(i int) (struct{}, error) {
+		n := m.Nodes[i]
+		if n.ID == c.selfID {
+			if method == http.MethodDelete {
+				_, err := c.srv.deleteTenantLocal(tenant)
+				return struct{}{}, err
+			}
+			return struct{}{}, c.srv.setTenantLocal(tenant, *cfg)
+		}
+		resp, err := c.callNode(ctx, n, method, n.URL+"/v1/tenants/"+url.PathEscape(tenant), body, internalHeader())
+		if err != nil {
+			return struct{}{}, err
+		}
+		// A DELETE on a node that never saw the config answers 404; the
+		// config is equally gone there, so that counts as success.
+		if resp.Status != http.StatusOK && !(method == http.MethodDelete && resp.Status == http.StatusNotFound) {
+			return struct{}{}, fmt.Errorf("tenant %s on %s: status %d: %s", method, n.ID, resp.Status, resp.Body)
+		}
+		return struct{}{}, nil
+	})
+	return cluster.FirstError(errs)
+}
+
+// clusterTenantUsage sums a tenant's SpaceWords across every node,
+// itemized per base estimator name (shard partitions fold into their
+// base key, so the breakdown reads like the single-node one).
+func (c *clusterNode) clusterTenantUsage(ctx context.Context, tenant string) (int64, []budgetEntry, error) {
+	m := c.map_()
+	perNode, errs := cluster.Scatter(len(m.Nodes), func(i int) ([]budgetEntry, error) {
+		n := m.Nodes[i]
+		if n.ID == c.selfID {
+			c.srv.mu.RLock()
+			_, entries := c.srv.tenantUsageLocked(tenant)
+			c.srv.mu.RUnlock()
+			return entries, nil
+		}
+		resp, err := c.callNodeGet(ctx, n, n.URL+"/v1/tenants/"+url.PathEscape(tenant), internalHeader())
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != http.StatusOK {
+			return nil, fmt.Errorf("tenant usage on %s: status %d: %s", n.ID, resp.Status, resp.Body)
+		}
+		var info tenantInfoResponse
+		if err := json.Unmarshal(resp.Body, &info); err != nil {
+			return nil, err
+		}
+		return info.Estimators, nil
+	})
+	if err := cluster.FirstError(errs); err != nil {
+		return 0, nil, err
+	}
+	perBase := map[string]int64{}
+	var used int64
+	for _, entries := range perNode {
+		for _, e := range entries {
+			name := e.Name
+			if base, _, ok := cluster.SplitShardName(name); ok {
+				name = base
+			}
+			perBase[name] += e.SpaceWords
+			used += e.SpaceWords
+		}
+	}
+	names := make([]string, 0, len(perBase))
+	for n := range perBase {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make([]budgetEntry, len(names))
+	for i, n := range names {
+		entries[i] = budgetEntry{Name: n, SpaceWords: perBase[n]}
+	}
+	return used, entries, nil
+}
+
+// checkClusterBudget enforces the tenant's memory budget for a
+// partitioned create at the routing node: the cost is partitions x the
+// per-shard SpaceWords (every partition is built from the same config),
+// charged against the tenant's cluster-wide usage. Shard owners skip
+// their local check for internal creates, so the router's verdict is the
+// only one. A non-nil *budgetError is a real rejection (413); the plain
+// error reports an unreachable node (502).
+func (c *clusterNode) checkClusterBudget(ctx context.Context, name string, probe servable) (*budgetError, error) {
+	tenant, _ := splitTenant(name)
+	ts := c.srv.tenants.get(tenant)
+	if ts == nil || ts.cfg.MemoryBudgetWords <= 0 {
+		return nil, nil
+	}
+	used, entries, err := c.clusterTenantUsage(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	cost := int64(probe.spaceWords()) * int64(c.parts)
+	if used+cost <= ts.cfg.MemoryBudgetWords {
+		return nil, nil
+	}
+	return &budgetError{breakdown: budgetBreakdown{
+		Tenant:         tenant,
+		BudgetWords:    ts.cfg.MemoryBudgetWords,
+		UsedWords:      used,
+		RequestedWords: cost,
+		Estimators:     entries,
+	}}, nil
+}
+
+// routeTenantInfo answers GET /v1/tenants/{tenant} in cluster mode: the
+// local config copy (the broadcast keeps every node in sync) plus the
+// cluster-wide usage.
+func (c *clusterNode) routeTenantInfo(ctx context.Context, w http.ResponseWriter, tenant string) {
+	ts := c.srv.tenants.get(tenant)
+	if ts == nil && tenant != DefaultTenant {
+		writeError(w, http.StatusNotFound, "no tenant %q", tenant)
+		return
+	}
+	used, entries, err := c.clusterTenantUsage(ctx, tenant)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "gathering tenant usage: %v", err)
+		return
+	}
+	var cfg TenantConfig
+	if ts != nil {
+		cfg = ts.cfg
+	}
+	writeJSON(w, http.StatusOK, tenantInfoResponse{Tenant: tenant, Config: cfg, UsedWords: used, Estimators: entries})
 }
 
 // ---- admin: ring status, map adoption, rebalance ----

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/geo"
+	"repro/internal/metrics"
 )
 
 // The 3-node smoke: REAL server processes (the re-executed test binary,
@@ -194,6 +195,28 @@ func TestClusterSmokeSIGKILLFailover(t *testing.T) {
 	}
 	if got.Value != want.Value {
 		t.Errorf("post-failover estimate %v != loss-free %v", got.Value, want.Value)
+	}
+
+	// Every node's /metrics must serve a lint-clean exposition carrying
+	// the core series - including the WAL and fan-out instruments that
+	// only real persistent cluster processes exercise.
+	for i, base := range urls {
+		body := mustDo(t, "GET", base+"/metrics", nil, http.StatusOK)
+		if err := metrics.Lint(body); err != nil {
+			t.Errorf("node %d /metrics fails lint: %v", i, err)
+			continue
+		}
+		for _, series := range []string{
+			"spatialserve_request_seconds",
+			"spatialserve_requests_total",
+			"spatialserve_wal_append_seconds",
+			"spatialserve_wal_fsync_seconds",
+			"spatialserve_wal_commit_records_total",
+		} {
+			if !metrics.HasSeries(body, series) {
+				t.Errorf("node %d /metrics missing core series %s", i, series)
+			}
+		}
 	}
 	t.Logf("3-node SIGKILL failover: %d updates, estimates exact (join estimate %.1f)", n, got.Value)
 }

@@ -13,6 +13,15 @@
 // records tolerated. See docs/ARCHITECTURE.md for the design and
 // docs/SNAPSHOT_FORMAT.md for the on-disk formats.
 //
+// Tenants are namespaces with limits: register one with PUT
+// /v1/tenants/{t} (memory budget in exact counter words, rate limits)
+// and reach its estimators under /v1/tenants/{t}/estimators/... - the
+// bare /v1/estimators routes are the built-in "default" tenant. Every
+// server also exposes Prometheus metrics on GET /metrics (per-tenant
+// latency, admission sheds, WAL lag, cache hit rates; exempt from
+// admission shedding) and echoes/propagates X-Request-Id trace IDs.
+// See docs/OPERATIONS.md for the series reference and quota runbook.
+//
 // Usage:
 //
 //	spatialserve -addr :8080 \

@@ -1,0 +1,314 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	spatial "repro"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// Observability layer: every server carries a metrics registry
+// (internal/metrics, Prometheus text exposition, no dependencies) wired
+// into GET /metrics, and every request carries a trace ID (X-Request-Id,
+// accepted or generated) that flows into structured logs and cluster
+// fan-out sub-requests so a scatter-gather can be reconstructed across
+// nodes. /metrics bypasses admission control for the same reason
+// /healthz does: observing an overloaded server is the point.
+
+// headerRequestID is the trace-ID header, accepted from clients and
+// propagated to fan-out sub-requests.
+const headerRequestID = "X-Request-Id"
+
+// serverMetrics bundles the server's instruments. It is always on - the
+// hot-path cost is two clock reads, a histogram observe and a counter
+// increment per request.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	reqSeconds  *metrics.HistogramVec // endpoint, tenant
+	reqTotal    *metrics.CounterVec   // endpoint, tenant, code
+	admRejected *metrics.CounterVec   // reason, tenant
+
+	walAppendSeconds *metrics.HistogramVec
+	walFsyncSeconds  *metrics.HistogramVec
+	walCommitRecords *metrics.CounterVec
+	walCommitBytes   *metrics.CounterVec
+
+	checkpointSeconds *metrics.HistogramVec
+	checkpointTotal   *metrics.CounterVec // result
+
+	breakerTransitions *metrics.CounterVec // peer, to
+	readCacheHits      *metrics.Counter
+	readCacheMisses    *metrics.Counter
+}
+
+// newServerMetrics builds the registry and registers every family,
+// including the scrape-time collectors that read library state (view
+// cache) and cluster state (breaker gauges, admission inflight).
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		reqSeconds: reg.Histogram("spatialserve_request_seconds",
+			"Request latency by endpoint and tenant.", nil, "endpoint", "tenant"),
+		reqTotal: reg.Counter("spatialserve_requests_total",
+			"Requests served, by endpoint, tenant and status code.", "endpoint", "tenant", "code"),
+		admRejected: reg.Counter("spatialserve_admission_rejected_total",
+			"Requests shed by admission control, by reason (rate, inflight, tenant_rate, tenant_inflight) and tenant.", "reason", "tenant"),
+		walAppendSeconds: reg.Histogram("spatialserve_wal_append_seconds",
+			"WAL append lag: enqueue to group-commit acknowledgement (includes the fsync when enabled).", nil),
+		walFsyncSeconds: reg.Histogram("spatialserve_wal_fsync_seconds",
+			"WAL fsync duration per group commit (fsync mode only).", nil),
+		walCommitRecords: reg.Counter("spatialserve_wal_commit_records_total",
+			"Records acknowledged by WAL group commits."),
+		walCommitBytes: reg.Counter("spatialserve_wal_commit_bytes_total",
+			"Framed bytes written by WAL group commits."),
+		checkpointSeconds: reg.Histogram("spatialserve_checkpoint_seconds",
+			"Checkpoint duration, cut to durable manifest.", nil),
+		checkpointTotal: reg.Counter("spatialserve_checkpoint_total",
+			"Checkpoints by result.", "result"),
+		breakerTransitions: reg.Counter("spatialserve_breaker_transitions_total",
+			"Circuit-breaker state changes by peer and new state.", "peer", "to"),
+	}
+	rc := reg.Counter("spatialserve_cluster_readcache_events_total",
+		"Cluster read-cache outcomes: hit means every partition revalidated 304 and the cached merge was reused.", "outcome")
+	m.readCacheHits = rc.With("hit")
+	m.readCacheMisses = rc.With("miss")
+
+	// Pre-touch the label-less WAL instruments so the series exist at
+	// zero from the first scrape - dashboards and the CI smoke can rely
+	// on their presence instead of inferring "no data yet" from absence.
+	m.walAppendSeconds.With()
+	m.walFsyncSeconds.With()
+	m.walCommitRecords.With()
+	m.walCommitBytes.With()
+	m.checkpointSeconds.With()
+
+	reg.CounterFunc("spatialserve_viewcache_hits_total",
+		"Library epoch view-cache hits (reads served from an adopted cached view).", nil,
+		func(emit func([]string, float64)) {
+			h, _ := spatial.ViewCacheStats()
+			emit(nil, float64(h))
+		})
+	reg.CounterFunc("spatialserve_viewcache_misses_total",
+		"Library epoch view-cache misses (reads that rebuilt the merged view).", nil,
+		func(emit func([]string, float64)) {
+			_, mi := spatial.ViewCacheStats()
+			emit(nil, float64(mi))
+		})
+	reg.GaugeFunc("spatialserve_breaker_state",
+		"Per-peer circuit-breaker state: 0 closed, 1 half-open, 2 open.", []string{"peer"},
+		func(emit func([]string, float64)) {
+			c := s.cluster
+			if c == nil || c.health == nil {
+				return
+			}
+			for _, nh := range c.health.Snapshot() {
+				emit([]string{nh.Node}, breakerStateValue(nh.State))
+			}
+		})
+	reg.GaugeFunc("spatialserve_peer_latency_ewma_ms",
+		"Per-peer EWMA request latency in milliseconds.", []string{"peer"},
+		func(emit func([]string, float64)) {
+			c := s.cluster
+			if c == nil || c.health == nil {
+				return
+			}
+			for _, nh := range c.health.Snapshot() {
+				emit([]string{nh.Node}, nh.EWMALatencyMs)
+			}
+		})
+	reg.GaugeFunc("spatialserve_inflight_requests",
+		"Currently admitted requests by class (admission control only).", []string{"class"},
+		func(emit func([]string, float64)) {
+			a := s.admit
+			if a == nil {
+				return
+			}
+			emit([]string{"read"}, float64(a.reads.Load()))
+			emit([]string{"write"}, float64(a.writes.Load()))
+		})
+	return m
+}
+
+// breakerStateValue maps a breaker state name to its gauge value.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case cluster.BreakerHalfOpen.String():
+		return 1
+	case cluster.BreakerOpen.String():
+		return 2
+	}
+	return 0
+}
+
+// admissionRejected counts one shed request.
+func (m *serverMetrics) admissionRejected(reason, tenant string) {
+	if tenant == "" {
+		tenant = "none"
+	}
+	m.admRejected.With(reason, tenant).Inc()
+}
+
+// observeWALCommit is the wal.Options.OnCommit observer: fsync lag and
+// batch volume per group commit.
+func (m *serverMetrics) observeWALCommit(st wal.CommitStats) {
+	if st.SyncDuration > 0 {
+		m.walFsyncSeconds.With().Observe(st.SyncDuration.Seconds())
+	}
+	m.walCommitRecords.With().Add(uint64(st.Records))
+	m.walCommitBytes.With().Add(uint64(st.Bytes))
+}
+
+// observeBreaker is the cluster.HealthOptions.OnTransition observer.
+func (m *serverMetrics) observeBreaker(node string, _, to cluster.BreakerState) {
+	m.breakerTransitions.With(node, to.String()).Inc()
+}
+
+// handleMetrics serves the Prometheus exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// statusRecorder captures the response status for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// classifyEndpoint maps a request to a bounded endpoint label - the
+// route shape, never raw client paths, so label cardinality stays fixed.
+func classifyEndpoint(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz":
+		return "healthz"
+	case p == "/readyz":
+		return "readyz"
+	case p == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(p, "/admin/"):
+		return "admin"
+	}
+	// Tenant-scoped estimator routes re-dispatch through the flat routes;
+	// classify both by their operation suffix.
+	isTenants := strings.HasPrefix(r.URL.EscapedPath(), "/v1/tenants/")
+	isEsts := strings.HasPrefix(r.URL.EscapedPath(), "/v1/estimators")
+	if !isTenants && !isEsts {
+		return "other"
+	}
+	if isTenants && !strings.Contains(strings.TrimPrefix(r.URL.EscapedPath(), "/v1/tenants/"), "/") {
+		return "tenant_config"
+	}
+	if isTenants && strings.HasSuffix(p, "/estimators") {
+		if r.Method == http.MethodPost {
+			return "create"
+		}
+		return "list"
+	}
+	switch {
+	case strings.HasSuffix(p, "/update"):
+		return "update"
+	case strings.HasSuffix(p, "/estimate"):
+		return "estimate"
+	case strings.HasSuffix(p, "/snapshot"):
+		if r.Method == http.MethodPut {
+			return "snapshot_put"
+		}
+		return "snapshot_get"
+	case strings.HasSuffix(p, "/merge"):
+		return "merge"
+	case strings.HasSuffix(p, "/apply"):
+		return "apply"
+	case p == "/v1/estimators" || p == "/v1/tenants":
+		if r.Method == http.MethodPost {
+			return "create"
+		}
+		return "list"
+	case r.Method == http.MethodDelete:
+		return "delete"
+	default:
+		return "info"
+	}
+}
+
+// metricsTenant returns the bounded tenant label for a request: the
+// default tenant, a registered tenant's name, or "other" for anything
+// unregistered (so hostile paths cannot mint unbounded label values).
+func (s *Server) metricsTenant(r *http.Request) string {
+	t := requestTenant(r)
+	if t == "" || t == DefaultTenant {
+		return DefaultTenant
+	}
+	if s.tenants.get(t) != nil {
+		return t
+	}
+	return "other"
+}
+
+// ---- trace IDs ----
+
+// ridKey is the context key carrying the request's trace ID.
+type ridKey struct{}
+
+// requestIDFrom returns the trace ID stored in ctx, empty when absent.
+func requestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// newRequestID mints a 16-hex-digit random trace ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds accepted client trace IDs: 1-64 characters from
+// a log-safe alphabet, so hostile values cannot corrupt log lines.
+func validRequestID(rid string) bool {
+	if rid == "" || len(rid) > 64 {
+		return false
+	}
+	for _, c := range rid {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceRequest accepts or mints the request's trace ID, reflects it on
+// the response and stores it in the request context for fan-out
+// propagation and logging.
+func traceRequest(w http.ResponseWriter, r *http.Request) *http.Request {
+	rid := r.Header.Get(headerRequestID)
+	if !validRequestID(rid) {
+		rid = newRequestID()
+	}
+	w.Header().Set(headerRequestID, rid)
+	return r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+}

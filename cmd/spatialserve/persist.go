@@ -63,6 +63,10 @@ const (
 	walOpUpdate byte = 3 // rest: uvarint record count | UpdateRecord*
 	walOpMerge  byte = 4 // rest: raw SPE1 snapshot to fold in
 	walOpPut    byte = 5 // rest: raw SPE1 snapshot to create/replace from
+
+	// Tenant-config records: the "name" field carries the tenant name.
+	walOpTenantPut    byte = 6 // rest: JSON TenantConfig
+	walOpTenantDelete byte = 7 // rest: empty
 )
 
 const (
@@ -143,6 +147,9 @@ type manifest struct {
 	WALSegment uint64          `json:"walSegment"`
 	WALOffset  int64           `json:"walOffset"`
 	Estimators []manifestEntry `json:"estimators"`
+	// Tenants carries the tenant configs at the cut (absent in manifests
+	// written before tenants existed - recovery treats that as empty).
+	Tenants map[string]TenantConfig `json:"tenants,omitempty"`
 }
 
 // manifestEntry binds one registered estimator name to its snapshot file.
@@ -174,6 +181,9 @@ func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
 		p.seq = m.Seq
 		from = wal.Pos{Seg: m.WALSegment, Off: m.WALOffset}
 		p.lastCut = from
+		for t, cfg := range m.Tenants {
+			srv.tenants.set(t, cfg)
+		}
 		for _, e := range m.Estimators {
 			data, err := os.ReadFile(filepath.Join(opts.DataDir, ckptSubdir, e.File))
 			if err != nil {
@@ -190,7 +200,12 @@ func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
 	// Open (trimming any torn tail) before replaying, so replay sees the
 	// repaired files; appends start only after recovery anyway.
 	walDir := filepath.Join(opts.DataDir, walSubdir)
-	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf, Hooks: opts.WALHooks})
+	onCommit := func(st wal.CommitStats) {
+		if m := srv.metrics; m != nil {
+			m.observeWALCommit(st)
+		}
+	}
+	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf, Hooks: opts.WALHooks, OnCommit: onCommit})
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +287,21 @@ func appendName(dst []byte, name string) []byte {
 	return append(dst, name...)
 }
 
+// appendRecord writes one framed record to the WAL, timing the
+// enqueue-to-acknowledgement lag (the latency a mutation pays for
+// durability) into the metrics registry.
+func (p *persister) appendRecord(payload []byte) error {
+	start := time.Now()
+	_, err := p.w.Append(payload)
+	if m := p.srv.metrics; m != nil {
+		m.walAppendSeconds.With().Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		return &logFailure{err}
+	}
+	return nil
+}
+
 // logCreate writes the create record. Caller holds the exclusive gate and
 // the registry lock.
 func (p *persister) logCreate(req *createRequest) error {
@@ -280,28 +310,33 @@ func (p *persister) logCreate(req *createRequest) error {
 		return err
 	}
 	payload := appendName([]byte{walOpCreate}, req.Name)
-	if _, err := p.w.Append(append(payload, body...)); err != nil {
-		return &logFailure{err}
-	}
-	return nil
+	return p.appendRecord(append(payload, body...))
 }
 
 // logDelete writes the delete record. Caller holds the exclusive gate and
 // the registry lock.
 func (p *persister) logDelete(name string) error {
-	if _, err := p.w.Append(appendName([]byte{walOpDelete}, name)); err != nil {
-		return &logFailure{err}
-	}
-	return nil
+	return p.appendRecord(appendName([]byte{walOpDelete}, name))
 }
 
 // logSnapshot writes a merge or put record carrying raw SPE1 bytes.
 func (p *persister) logSnapshot(op byte, name string, snapshot []byte) error {
 	payload := appendName([]byte{op}, name)
-	if _, err := p.w.Append(append(payload, snapshot...)); err != nil {
-		return &logFailure{err}
+	return p.appendRecord(append(payload, snapshot...))
+}
+
+// logTenant writes a tenant-config record (put carries the JSON config,
+// delete carries nothing). Caller holds the exclusive gate.
+func (p *persister) logTenant(op byte, tenant string, cfg TenantConfig) error {
+	payload := appendName([]byte{op}, tenant)
+	if op == walOpTenantPut {
+		body, err := json.Marshal(cfg)
+		if err != nil {
+			return err
+		}
+		payload = append(payload, body...)
 	}
-	return nil
+	return p.appendRecord(payload)
 }
 
 // updateTap returns the UpdateTap feeding name's update stream into the
@@ -315,10 +350,7 @@ func (p *persister) updateTap(name string) spatial.UpdateTap {
 		for _, r := range recs {
 			payload = r.AppendBinary(payload)
 		}
-		if _, err := p.w.Append(payload); err != nil {
-			return &logFailure{err}
-		}
-		return nil
+		return p.appendRecord(payload)
 	}
 }
 
@@ -403,6 +435,14 @@ func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
 			return fmt.Errorf("wal put %q at %v: %w", name, pos, err)
 		}
 		p.srv.ests[name] = est
+	case walOpTenantPut:
+		var cfg TenantConfig
+		if err := json.Unmarshal(rest, &cfg); err != nil {
+			return fmt.Errorf("wal tenant put %q at %v: %w", name, pos, err)
+		}
+		p.srv.tenants.set(name, cfg)
+	case walOpTenantDelete:
+		p.srv.tenants.delete(name)
 	default:
 		return fmt.Errorf("wal record at %v: unknown op %d", pos, op)
 	}
@@ -423,14 +463,28 @@ type checkpointResult struct {
 // cut, makes the new manifest durable, then garbage-collects files the
 // previous checkpoint needed. Concurrent checkpoints serialize; a
 // checkpoint with nothing new logged since the last one is a no-op.
-func (p *persister) checkpoint() (checkpointResult, error) {
+func (p *persister) checkpoint() (res checkpointResult, err error) {
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
 
 	if p.w.Pos() == p.lastCut {
+		if m := p.srv.metrics; m != nil {
+			m.checkpointTotal.With("noop").Inc()
+		}
 		return checkpointResult{Seq: p.seq, WALSegment: p.lastCut.Seg, WALOffset: p.lastCut.Off,
 			Estimators: len(p.currentManifestEntries())}, nil
 	}
+	start := time.Now()
+	defer func() {
+		if m := p.srv.metrics; m != nil {
+			m.checkpointSeconds.With().Observe(time.Since(start).Seconds())
+			result := "ok"
+			if err != nil {
+				result = "error"
+			}
+			m.checkpointTotal.With(result).Inc()
+		}
+	}()
 
 	// The cut: exclusive gate, so no logged mutation is in flight - the
 	// rotated WAL position and the marshaled states agree exactly. Only
@@ -445,6 +499,7 @@ func (p *persister) checkpoint() (checkpointResult, error) {
 	// TruncateBefore still releases every older segment, so the log on
 	// disk is bounded by one segment plus the traffic since the cut.
 	cut := p.w.Pos()
+	tenants := p.srv.tenants.configs()
 	p.srv.mu.RLock()
 	for name, est := range p.srv.ests {
 		data, err := est.snapshot()
@@ -461,7 +516,7 @@ func (p *persister) checkpoint() (checkpointResult, error) {
 	// Durable phase, off the ingest path.
 	seq := p.seq + 1
 	dir := filepath.Join(p.opts.DataDir, ckptSubdir)
-	m := manifest{Version: manifestVersion, Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off}
+	m := manifest{Version: manifestVersion, Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off, Tenants: tenants}
 	for i, s := range snaps {
 		file := fmt.Sprintf("est-%d-%d.spe1", seq, i)
 		if err := p.writeFile(filepath.Join(dir, file), s.data); err != nil {

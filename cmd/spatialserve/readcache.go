@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Cluster read cache: routing a strict (non-partial) estimate or info
+// request gathers every partition's snapshot and merges them - an
+// O(partitions x snapshot bytes) cost per read. But snapshots carry
+// strong ETags, so a router can remember the last gather per base name
+// and revalidate instead of refetch: steady state on a quiet estimator
+// is N conditional GETs answering 304 with no bodies, and the cached
+// merged servable is reused as-is (a "hit" in /metrics). Any partition
+// answering 200 replaces its cached snapshot and the merge is rebuilt
+// from the cached bytes of the still-fresh partitions plus the new ones
+// (a "miss") - correctness never depends on the cache, only the
+// transfer volume does.
+//
+// The partial read path (?partial=ok) bypasses the cache entirely: a
+// degraded merge must never be remembered as the estimator's state.
+
+// maxReadCacheEntries bounds the router's cache; above it an arbitrary
+// entry is evicted (estimator working sets are small; this is a safety
+// bound, not an LRU).
+const maxReadCacheEntries = 128
+
+// gatherCacheEntry is one base estimator's cached gather: per-partition
+// validators and snapshot bytes, plus the servable merged from them.
+type gatherCacheEntry struct {
+	etags []string
+	snaps [][]byte
+	est   servable
+}
+
+// readCacheGet returns the cached entry for name, nil when absent.
+func (c *clusterNode) readCacheGet(name string) *gatherCacheEntry {
+	c.readCacheMu.Lock()
+	defer c.readCacheMu.Unlock()
+	return c.readCache[name]
+}
+
+// readCachePut installs an entry, evicting arbitrarily at the bound.
+func (c *clusterNode) readCachePut(name string, e *gatherCacheEntry) {
+	c.readCacheMu.Lock()
+	defer c.readCacheMu.Unlock()
+	if c.readCache == nil {
+		c.readCache = make(map[string]*gatherCacheEntry)
+	}
+	if _, ok := c.readCache[name]; !ok && len(c.readCache) >= maxReadCacheEntries {
+		for k := range c.readCache {
+			delete(c.readCache, k)
+			break
+		}
+	}
+	c.readCache[name] = e
+}
+
+// readCacheDrop forgets a name (deleted estimators must not serve stale
+// merges).
+func (c *clusterNode) readCacheDrop(name string) {
+	c.readCacheMu.Lock()
+	defer c.readCacheMu.Unlock()
+	delete(c.readCache, name)
+}
+
+// gatherCached is the strict gather path with revalidation: every
+// partition is fetched conditionally against the cached validator, and
+// the merge is only rebuilt when something actually changed.
+func (c *clusterNode) gatherCached(ctx context.Context, name string) (servable, error) {
+	prev := c.readCacheGet(name)
+	type part struct {
+		snap  []byte
+		etag  string
+		fresh bool // revalidated 304 against prev
+	}
+	parts, errs := cluster.Scatter(c.parts, func(p int) (part, error) {
+		shard := cluster.ShardName(name, p)
+		var inm string
+		if prev != nil {
+			inm = prev.etags[p]
+		}
+		data, etag, notModified, err := c.fetchShardSnapshotCond(ctx, shard, inm)
+		if err != nil {
+			return part{}, err
+		}
+		if notModified {
+			return part{snap: prev.snaps[p], etag: inm, fresh: true}, nil
+		}
+		return part{snap: data, etag: etag}, nil
+	})
+	missing := 0
+	for _, err := range errs {
+		if errors.Is(err, errShardMissing) {
+			missing++
+		}
+	}
+	if missing == c.parts {
+		c.readCacheDrop(name)
+		return nil, errNotFoundLocal
+	}
+	if err := cluster.FirstError(errs); err != nil {
+		return nil, err
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("estimator %q is missing %d of %d partitions (partial create?)", name, missing, c.parts)
+	}
+	allFresh := prev != nil
+	for _, pt := range parts {
+		allFresh = allFresh && pt.fresh
+	}
+	if m := c.srv.metrics; m != nil {
+		if allFresh {
+			m.readCacheHits.Inc()
+		} else {
+			m.readCacheMisses.Inc()
+		}
+	}
+	if allFresh {
+		return prev.est, nil
+	}
+	entry := &gatherCacheEntry{etags: make([]string, c.parts), snaps: make([][]byte, c.parts)}
+	var est servable
+	for p, pt := range parts {
+		if est == nil {
+			var err error
+			if est, err = restoreServable(pt.snap); err != nil {
+				return nil, err
+			}
+		} else if err := est.mergeSnapshot(pt.snap); err != nil {
+			return nil, err
+		}
+		entry.etags[p] = pt.etag
+		entry.snaps[p] = pt.snap
+	}
+	entry.est = est
+	c.readCachePut(name, entry)
+	return est, nil
+}

@@ -341,7 +341,8 @@ func (s *Server) applyReplicated(payload []byte) error {
 		return err
 	}
 	gate := s.mutGate()
-	binding := op == walOpCreate || op == walOpDelete || op == walOpPut
+	binding := op == walOpCreate || op == walOpDelete || op == walOpPut ||
+		op == walOpTenantPut || op == walOpTenantDelete
 	if gate != nil {
 		if binding {
 			gate.Lock()
@@ -420,6 +421,14 @@ func (s *Server) applyReplicatedOp(op byte, name string, rest []byte) error {
 		s.mu.Lock()
 		s.ests[name] = est
 		s.mu.Unlock()
+	case walOpTenantPut:
+		var cfg TenantConfig
+		if err := json.Unmarshal(rest, &cfg); err != nil {
+			return fmt.Errorf("replicated tenant put %q: %w", name, err)
+		}
+		s.tenants.set(name, cfg)
+	case walOpTenantDelete:
+		s.tenants.delete(name)
 	default:
 		return fmt.Errorf("replicated record: unknown op %d", op)
 	}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	spatial "repro"
 	"repro/geo"
@@ -38,7 +39,14 @@ import (
 //	GET    /v1/estimators/{name}/snapshot full-estimator snapshot (binary SPE1 envelope)
 //	PUT    /v1/estimators/{name}/snapshot create/replace the estimator from a snapshot
 //	POST   /v1/estimators/{name}/merge    fold a snapshot into the estimator
+//	PUT    /v1/tenants/{tenant}           register/replace a tenant config
+//	GET    /v1/tenants                    list tenant configs
+//	GET    /v1/tenants/{tenant}           tenant config + word usage breakdown
+//	DELETE /v1/tenants/{tenant}           drop a tenant config (must hold no estimators)
+//	*      /v1/tenants/{tenant}/estimators[/{name}...]  tenant-scoped estimator
+//	       routes: the same operations as /v1/estimators on key "tenant/name"
 //	POST   /admin/checkpoint              force a durable checkpoint (persistence only)
+//	GET    /metrics                       Prometheus text exposition (admission-exempt)
 //	GET    /healthz
 type Server struct {
 	mu   sync.RWMutex
@@ -60,6 +68,14 @@ type Server struct {
 	// admit, when non-nil, runs admission control (inflight gates + rate
 	// shedding) in front of the mux (see admit.go).
 	admit *admitter
+
+	// tenants holds per-tenant configs - memory budgets and admission
+	// limits (see tenant.go).
+	tenants tenantRegistry
+
+	// metrics is the always-on observability registry behind GET /metrics
+	// (see metrics.go).
+	metrics *serverMetrics
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -84,10 +100,27 @@ type servable interface {
 // registry (no durability; see NewPersistentServer).
 func NewServer() *Server {
 	s := &Server{ests: make(map[string]servable), mux: http.NewServeMux()}
+	s.tenants.tenants = make(map[string]*tenantState)
+	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handleTenantPut)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}", s.handleTenantGet)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimators", s.handleTenantCreate)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/estimators", s.handleTenantEstimatorList)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/estimators/{name}", s.tenantEstimatorRoute(""))
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}/estimators/{name}", s.tenantEstimatorRoute(""))
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimators/{name}/update", s.tenantEstimatorRoute("/update"))
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/estimators/{name}/estimate", s.tenantEstimatorRoute("/estimate"))
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimators/{name}/estimate", s.tenantEstimatorRoute("/estimate"))
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/estimators/{name}/snapshot", s.tenantEstimatorRoute("/snapshot"))
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/estimators/{name}/snapshot", s.tenantEstimatorRoute("/snapshot"))
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimators/{name}/merge", s.tenantEstimatorRoute("/merge"))
 	s.mux.HandleFunc("POST /v1/estimators", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/estimators", s.handleList)
 	s.mux.HandleFunc("GET /v1/estimators/{name}", s.handleInfo)
@@ -135,16 +168,34 @@ func (s *Server) Close() error {
 	return s.persist.close(false)
 }
 
-// ServeHTTP runs admission control (when enabled), then dispatches to the
-// registry's endpoint handlers.
+// ServeHTTP attaches the trace ID, runs global then per-tenant admission
+// control, dispatches to the registry's endpoint handlers and records the
+// request metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r = traceRequest(w, r)
+	start := time.Now()
+	sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.serveAdmitted(sw, r)
+	endpoint, tenant := classifyEndpoint(r), s.metricsTenant(r)
+	s.metrics.reqSeconds.With(endpoint, tenant).Observe(time.Since(start).Seconds())
+	s.metrics.reqTotal.With(endpoint, tenant, strconv.Itoa(sw.status)).Inc()
+}
+
+// serveAdmitted runs the admission gates (global, then per-tenant) and
+// the mux.
+func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
 	if a := s.admit; a != nil {
-		release, ok := a.admit(w, r)
+		release, ok := a.admit(w, r, s.metrics)
 		if !ok {
 			return
 		}
 		defer release()
 	}
+	release, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -319,16 +370,14 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 // network during rebalances and replica bootstraps, and the envelope's
 // counter planes compress well.
 func writeSnapshot(w http.ResponseWriter, r *http.Request, kind spatial.Kind, data []byte) {
-	sum := sha256.Sum256(data)
 	// Strong ETags are representation-specific (RFC 9110): the gzip
 	// variant gets its own tag (nginx's convention) so a cache can never
 	// pair an identity body with a gzip validator or vice versa.
 	gz := acceptsGzip(r)
-	etag := `"` + hex.EncodeToString(sum[:16])
+	etag := snapshotETag(data)
 	if gz {
-		etag += "-gzip"
+		etag = etag[:len(etag)-1] + `-gzip"`
 	}
-	etag += `"`
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Vary", "Accept-Encoding")
 	w.Header().Set("X-Spatial-Kind", kind.String())
@@ -345,6 +394,15 @@ func writeSnapshot(w http.ResponseWriter, r *http.Request, kind spatial.Kind, da
 		return
 	}
 	w.Write(data)
+}
+
+// snapshotETag is the identity-representation validator of a snapshot:
+// quoted truncated SHA-256 of the uncompressed bytes. Shared by the
+// snapshot handler and the cluster read cache (which hashes local-owner
+// partitions through the same function so its validators line up).
+func snapshotETag(data []byte) string {
+	sum := sha256.Sum256(data)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
 }
 
 // acceptsGzip reports whether the request's Accept-Encoding accepts
@@ -400,8 +458,11 @@ const readOnlyReplicaMsg = "node is a read-only replica (POST /admin/promote to 
 
 // createLocal builds and registers an estimator: a registry-binding
 // change, so it holds the mutation gate exclusively and is logged before
-// it becomes visible.
-func (s *Server) createLocal(req *createRequest) (servable, error) {
+// it becomes visible. With enforceBudget set (external creates; internal
+// shard creates were budgeted at the routing node) the tenant's memory
+// budget is checked under the registry lock, so concurrent creates
+// cannot slip past it together.
+func (s *Server) createLocal(req *createRequest, enforceBudget bool) (servable, error) {
 	est, err := buildServable(req.Kind, req.Config)
 	if err != nil {
 		return nil, err
@@ -414,6 +475,11 @@ func (s *Server) createLocal(req *createRequest) (servable, error) {
 	defer s.mu.Unlock()
 	if _, exists := s.ests[req.Name]; exists {
 		return nil, fmt.Errorf("%w: %q", errAlreadyExists, req.Name)
+	}
+	if enforceBudget {
+		if err := s.checkBudgetLocked(req.Name, int64(est.spaceWords())); err != nil {
+			return nil, err
+		}
 	}
 	if s.persist != nil {
 		if err := s.persist.logCreate(req); err != nil {
@@ -468,10 +534,6 @@ func (s *Server) applyUpdateLocal(name string, req *updateRequest) (int, error) 
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.replicaReadOnly() {
-		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
-		return
-	}
 	var req createRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -480,12 +542,41 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "estimator name is required")
 		return
 	}
-	if s.cluster != nil && !isInternal(r) {
-		s.cluster.routeCreate(r.Context(), w, &req)
+	s.serveCreate(w, r, &req)
+}
+
+// serveCreate finishes a decoded create - shared by the flat route (the
+// key may carry an explicit "tenant/" prefix) and the tenant-scoped
+// route (which qualified the key already). External creates validate the
+// key syntax, require a registered tenant and enforce its budget;
+// internal shard creates skip all three (the routing node did them).
+func (s *Server) serveCreate(w http.ResponseWriter, r *http.Request, req *createRequest) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
 		return
 	}
-	est, err := s.createLocal(&req)
+	external := !isInternal(r)
+	if external {
+		if err := validateCreateKey(req.Name); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.requireKnownTenant(req.Name); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
+	if s.cluster != nil && external {
+		s.cluster.routeCreate(r.Context(), w, req)
+		return
+	}
+	est, err := s.createLocal(req, external)
 	if err != nil {
+		var be *budgetError
+		if errors.As(err, &be) {
+			writeBudgetError(w, be)
+			return
+		}
 		status := http.StatusBadRequest
 		var lf *logFailure
 		switch {
@@ -719,6 +810,17 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 			"snapshot PUT of a whole estimator is not supported in cluster mode; PUT individual shards or create and re-ingest")
 		return
 	}
+	external := !isInternal(r)
+	if external {
+		if err := validateCreateKey(name); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.requireKnownTenant(name); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -738,6 +840,23 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	if gate := s.mutGate(); gate != nil {
 		gate.Lock()
 		defer gate.Unlock()
+	}
+	if external {
+		// The budget delta of a replace is new minus old words; a shrink
+		// always passes. Checked before the WAL append so a rejected PUT
+		// leaves no log record.
+		s.mu.RLock()
+		var oldWords int64
+		if old, okOld := s.ests[name]; okOld {
+			oldWords = int64(old.spaceWords())
+		}
+		err := s.checkBudgetLocked(name, int64(est.spaceWords())-oldWords)
+		s.mu.RUnlock()
+		var be *budgetError
+		if errors.As(err, &be) {
+			writeBudgetError(w, be)
+			return
+		}
 	}
 	if s.persist != nil {
 		if err := s.persist.logSnapshot(walOpPut, name, data); err != nil {
@@ -770,6 +889,19 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "no estimator %q", name)
 		return
+	}
+	if !isInternal(r) {
+		// A merge never grows the estimator (configs must match), but a
+		// budget lowered below current usage still rejects further folds:
+		// the tenant must shed estimators before adding mass.
+		s.mu.RLock()
+		err := s.checkBudgetLocked(name, 0)
+		s.mu.RUnlock()
+		var be *budgetError
+		if errors.As(err, &be) {
+			writeBudgetError(w, be)
+			return
+		}
 	}
 	data, okBody := readBody(w, r)
 	if !okBody {

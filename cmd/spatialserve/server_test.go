@@ -283,6 +283,15 @@ func BenchmarkServeMixed(b *testing.B) {
 	benchServeMixed(b, srv)
 }
 
+// BenchmarkServeMixedNoObservability runs the same workload straight off
+// the route mux, skipping the tracing + metrics + admission middleware.
+// CI gates BenchmarkServeMixed within 10% of this baseline: the
+// observability layer must stay in the noise.
+func BenchmarkServeMixedNoObservability(b *testing.B) {
+	srv := NewServer()
+	benchServeMixed(b, srv.mux)
+}
+
 // TestSnapshotGzipAndETag covers the snapshot transfer satellites:
 // gzip-encoded GET (with Vary), strong ETag + If-None-Match 304, and
 // gzip-encoded PUT bodies.

@@ -1,0 +1,359 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Tenant-layer contract tests: namespaces keep tenants' estimators
+// apart, memory budgets reject with 413 and the exact word accounting,
+// and one tenant's rate limit cannot degrade another tenant's service.
+
+// putTenant registers a tenant config, failing the test on any error.
+func putTenant(t testing.TB, h http.Handler, tenant string, cfg TenantConfig) {
+	t.Helper()
+	body, _ := json.Marshal(cfg)
+	mustStatus(t, do(t, h, "PUT", "/v1/tenants/"+tenant, body), http.StatusOK)
+}
+
+// tenantCreateBody builds the create body for one of the four kinds with
+// a small fixed sizing.
+func tenantCreateBody(t testing.TB, name, kind string) []byte {
+	t.Helper()
+	cfg := configRequest{Dims: 2, DomainSize: 1 << 10, Seed: 7, Instances: 16, Groups: 4}
+	if kind == "range" {
+		cfg.Dims = 1
+	}
+	if kind == "epsjoin" {
+		cfg.Eps = 4
+	}
+	body, err := json.Marshal(createRequest{Name: name, Kind: kind, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestTenantNamespacesAndRoutes(t *testing.T) {
+	srv := NewServer()
+	putTenant(t, srv, "acme", TenantConfig{})
+	putTenant(t, srv, "umbrella", TenantConfig{})
+
+	// The same local name in two tenants (and the default namespace) are
+	// three distinct estimators.
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "x", "join")), http.StatusCreated)
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/umbrella/estimators", tenantCreateBody(t, "x", "join")), http.StatusCreated)
+	createJoin(t, srv, "x", 1<<10)
+
+	// Tenant-scoped update and estimate reach acme's copy only.
+	rects := [][][2]uint64{{{1, 5}, {2, 6}}}
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators/x/update", updateBody(t, "left", rects)), http.StatusOK)
+	var info infoResponse
+	if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/acme/estimators/x", nil).Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Counts["left"] != 1 {
+		t.Fatalf("acme/x left count %d, want 1", info.Counts["left"])
+	}
+	var other infoResponse
+	if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/umbrella/estimators/x", nil).Body.Bytes(), &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Counts["left"] != 0 {
+		t.Fatalf("umbrella/x saw acme's update: left count %d", other.Counts["left"])
+	}
+
+	// Tenant listings are filtered and un-prefixed.
+	var list struct {
+		Tenant     string                        `json:"tenant"`
+		Estimators []struct{ Name, Kind string } `json:"estimators"`
+	}
+	if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/acme/estimators", nil).Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Estimators) != 1 || list.Estimators[0].Name != "x" {
+		t.Fatalf("acme listing: %+v", list.Estimators)
+	}
+
+	// Unregistered tenants cannot create (404 names the fix).
+	w := do(t, srv, "POST", "/v1/tenants/ghost/estimators", tenantCreateBody(t, "y", "join"))
+	mustStatus(t, w, http.StatusNotFound)
+
+	// Tenant names and local names must not collide with key syntax.
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators",
+		[]byte(`{"name":"a#b","kind":"join","config":{"dims":2,"domainSize":1024,"instances":8,"groups":2}}`)),
+		http.StatusBadRequest)
+
+	// Deleting a tenant that still holds estimators is refused.
+	mustStatus(t, do(t, srv, "DELETE", "/v1/tenants/acme", nil), http.StatusConflict)
+	mustStatus(t, do(t, srv, "DELETE", "/v1/tenants/acme/estimators/x", nil), http.StatusOK)
+	mustStatus(t, do(t, srv, "DELETE", "/v1/tenants/acme", nil), http.StatusOK)
+	mustStatus(t, do(t, srv, "GET", "/v1/tenants/acme", nil), http.StatusNotFound)
+}
+
+// TestTenantBudget413AllKinds proves the memory budget is enforced with
+// the exact Sizing word accounting for every estimator kind: a budget
+// set to exactly one estimator's SpaceWords admits the first create and
+// rejects the second with 413 carrying the full breakdown.
+func TestTenantBudget413AllKinds(t *testing.T) {
+	for _, kind := range []string{"join", "range", "epsjoin", "containment"} {
+		t.Run(kind, func(t *testing.T) {
+			srv := NewServer()
+			putTenant(t, srv, "acme", TenantConfig{})
+			mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "a", kind)), http.StatusCreated)
+			var info infoResponse
+			if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/acme/estimators/a", nil).Body.Bytes(), &info); err != nil {
+				t.Fatal(err)
+			}
+			words := int64(info.SpaceWords)
+			if words <= 0 {
+				t.Fatalf("%s estimator reports %d space words", kind, words)
+			}
+
+			// Budget = exactly one estimator: the second create must not fit.
+			putTenant(t, srv, "acme", TenantConfig{MemoryBudgetWords: words})
+			w := do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "b", kind))
+			mustStatus(t, w, http.StatusRequestEntityTooLarge)
+			var rej struct {
+				Error  string          `json:"error"`
+				Budget budgetBreakdown `json:"budget"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &rej); err != nil {
+				t.Fatalf("413 body: %v: %s", err, w.Body.String())
+			}
+			b := rej.Budget
+			if b.Tenant != "acme" || b.BudgetWords != words || b.UsedWords != words || b.RequestedWords != words {
+				t.Fatalf("413 accounting %+v, want used=requested=budget=%d for acme", b, words)
+			}
+			if len(b.Estimators) != 1 || b.Estimators[0].Name != "acme/a" || b.Estimators[0].SpaceWords != words {
+				t.Fatalf("413 itemization %+v", b.Estimators)
+			}
+
+			// Raising the budget by one estimator admits it.
+			putTenant(t, srv, "acme", TenantConfig{MemoryBudgetWords: 2 * words})
+			mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "b", kind)), http.StatusCreated)
+
+			// A snapshot PUT that replaces in place (delta 0) still fits at a
+			// full budget; the breakdown math is delta-based, not absolute.
+			snap := do(t, srv, "GET", "/v1/tenants/acme/estimators/b/snapshot", nil)
+			mustStatus(t, snap, http.StatusOK)
+			mustStatus(t, do(t, srv, "PUT", "/v1/tenants/acme/estimators/b/snapshot", snap.Body.Bytes()), http.StatusOK)
+
+			// But PUT under a fresh name asks for +words over a full budget: 413.
+			w = do(t, srv, "PUT", "/v1/tenants/acme/estimators/c/snapshot", snap.Body.Bytes())
+			mustStatus(t, w, http.StatusRequestEntityTooLarge)
+		})
+	}
+}
+
+// TestTenantIsolationUnderRateLimit is the isolation acceptance test:
+// tenant A is rate-limited into 429s while tenant B's concurrent traffic
+// sees zero 429s and B's counts stay exact. Run with -race in CI.
+func TestTenantIsolationUnderRateLimit(t *testing.T) {
+	srv := NewServer()
+	putTenant(t, srv, "a", TenantConfig{RateQPS: 0.001, RateBurst: 2})
+	putTenant(t, srv, "b", TenantConfig{})
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/a/estimators", tenantCreateBody(t, "x", "join")), http.StatusCreated)
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/b/estimators", tenantCreateBody(t, "x", "join")), http.StatusCreated)
+
+	const perTenant = 40
+	var aShed, bShed, bOK atomic.Int64
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(9))
+	bodies := make([][]byte, perTenant)
+	for i := range bodies {
+		bodies[i] = updateBody(t, "left", [][][2]uint64{randRect(rng, 1<<10)})
+	}
+	for i := 0; i < perTenant; i++ {
+		wg.Add(2)
+		body := bodies[i]
+		go func() {
+			defer wg.Done()
+			w := do(nil, srv, "POST", "/v1/tenants/a/estimators/x/update", body)
+			if w.Code == http.StatusTooManyRequests {
+				aShed.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			w := do(nil, srv, "POST", "/v1/tenants/b/estimators/x/update", body)
+			switch w.Code {
+			case http.StatusTooManyRequests:
+				bShed.Add(1)
+			case http.StatusOK:
+				bOK.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if aShed.Load() == 0 {
+		t.Fatal("tenant a sent 40 requests against a 2-token bucket and none were shed")
+	}
+	if bShed.Load() != 0 {
+		t.Fatalf("tenant b (unlimited) saw %d 429s during tenant a's overload", bShed.Load())
+	}
+	// Exactness: every accepted update of b landed - counts are exact.
+	var info infoResponse
+	if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/b/estimators/x", nil).Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(info.Counts["left"]); got != bOK.Load() {
+		t.Fatalf("tenant b count %d != %d acknowledged updates", got, bOK.Load())
+	}
+	// The sheds are attributed to tenant a in /metrics.
+	metricsBody := do(t, srv, "GET", "/metrics", nil).Body.String()
+	if !containsSeriesWithLabels(metricsBody, "spatialserve_admission_rejected_total", `tenant="a"`) {
+		t.Fatalf("metrics missing tenant-a shed counter:\n%s", metricsBody)
+	}
+}
+
+// containsSeriesWithLabels reports whether any sample line of the family
+// carries every given label fragment.
+func containsSeriesWithLabels(exposition, name string, labelFrags ...string) bool {
+	for _, line := range splitLines(exposition) {
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if !hasPrefix(line, name) {
+			continue
+		}
+		ok := true
+		for _, f := range labelFrags {
+			if !contains(line, f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTenantConfigDurability proves tenant configs ride the WAL and the
+// checkpoint manifest: both a crash (replay) and a checkpointed restart
+// recover them.
+func TestTenantConfigDurability(t *testing.T) {
+	dir := t.TempDir()
+	srv := openPersistent(t, dir)
+	cfg := TenantConfig{MemoryBudgetWords: 12345, RateQPS: 7}
+	putTenant(t, srv, "acme", cfg)
+	putTenant(t, srv, "gone", TenantConfig{RateQPS: 1})
+	mustStatus(t, do(t, srv, "DELETE", "/v1/tenants/gone", nil), http.StatusOK)
+	// Crash without a checkpoint: recovery replays the tenant records.
+	crash(t, srv)
+	srv2 := openPersistent(t, dir)
+	var info tenantInfoResponse
+	if err := json.Unmarshal(do(t, srv2, "GET", "/v1/tenants/acme", nil).Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Config != cfg {
+		t.Fatalf("recovered config %+v, want %+v", info.Config, cfg)
+	}
+	mustStatus(t, do(t, srv2, "GET", "/v1/tenants/gone", nil), http.StatusNotFound)
+	// Checkpoint, then a clean restart: the manifest alone carries them.
+	mustStatus(t, do(t, srv2, "POST", "/admin/checkpoint", nil), http.StatusOK)
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3 := openPersistent(t, dir)
+	defer srv3.Close()
+	if err := json.Unmarshal(do(t, srv3, "GET", "/v1/tenants/acme", nil).Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Config != cfg {
+		t.Fatalf("checkpoint-restored config %+v, want %+v", info.Config, cfg)
+	}
+	// The budget is live immediately after recovery.
+	big := tenantCreateBody(t, "huge", "join")
+	putTenant(t, srv3, "acme", TenantConfig{MemoryBudgetWords: 1})
+	mustStatus(t, do(t, srv3, "POST", "/v1/tenants/acme/estimators", big), http.StatusRequestEntityTooLarge)
+}
+
+// TestMergeBudgetRecheck pins the merge-time budget re-check: merges add
+// no words (delta 0), but a budget lowered below current usage turns
+// them into 413 until the tenant sheds estimators.
+func TestMergeBudgetRecheck(t *testing.T) {
+	srv := NewServer()
+	putTenant(t, srv, "acme", TenantConfig{})
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "a", "join")), http.StatusCreated)
+	snap := do(t, srv, "GET", "/v1/tenants/acme/estimators/a/snapshot", nil)
+	mustStatus(t, snap, http.StatusOK)
+	// Merging at an adequate budget is fine.
+	var info infoResponse
+	if err := json.Unmarshal(do(t, srv, "GET", "/v1/tenants/acme/estimators/a", nil).Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	putTenant(t, srv, "acme", TenantConfig{MemoryBudgetWords: int64(info.SpaceWords)})
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators/a/merge", snap.Body.Bytes()), http.StatusOK)
+	// Lower the budget below usage: merges are refused with the accounting.
+	putTenant(t, srv, "acme", TenantConfig{MemoryBudgetWords: 1})
+	w := do(t, srv, "POST", "/v1/tenants/acme/estimators/a/merge", snap.Body.Bytes())
+	mustStatus(t, w, http.StatusRequestEntityTooLarge)
+	var rej struct {
+		Budget budgetBreakdown `json:"budget"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rej); err != nil || rej.Budget.BudgetWords != 1 {
+		t.Fatalf("merge 413 body: %v: %s", err, w.Body.String())
+	}
+}
+
+// TestQualifiedKeySplit pins the key scheme helpers the whole layer
+// rides on.
+func TestQualifiedKeySplit(t *testing.T) {
+	cases := []struct{ tenant, name, key string }{
+		{"default", "x", "x"},
+		{"acme", "x", "acme/x"},
+	}
+	for _, c := range cases {
+		if got := qualifiedName(c.tenant, c.name); got != c.key {
+			t.Errorf("qualifiedName(%q,%q) = %q, want %q", c.tenant, c.name, got, c.key)
+		}
+		tn, nm := splitTenant(c.key)
+		if tn != c.tenant || nm != c.name {
+			t.Errorf("splitTenant(%q) = (%q,%q), want (%q,%q)", c.key, tn, nm, c.tenant, c.name)
+		}
+	}
+	if err := validateCreateKey("a/b/c"); err == nil {
+		t.Error("nested tenant separators accepted")
+	}
+	if err := validateCreateKey("a#1"); err == nil {
+		t.Error("shard marker accepted in a create key")
+	}
+	if fmt.Sprintf("%v", validateCreateKey("acme/x")) != "<nil>" {
+		t.Error("valid qualified key rejected")
+	}
+}

@@ -47,6 +47,11 @@ type HealthOptions struct {
 	EWMAAlpha float64
 	// Now overrides the clock, for tests.
 	Now func() time.Time
+	// OnTransition, when set, is called after the registry's lock is
+	// released whenever a node's breaker changes state. Observability
+	// hook (metrics, logs); it must not call back into the Health
+	// registry from the same goroutine path it instruments.
+	OnTransition func(node string, from, to BreakerState)
 }
 
 // Default health-tracking parameters.
@@ -126,26 +131,36 @@ func (h *Health) node(id string) *nodeHealth {
 // report the outcome via Record.
 func (h *Health) Allow(id string) bool {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	n := h.node(id)
+	allowed, from, to := true, n.state, n.state
 	switch n.state {
 	case BreakerClosed:
-		return true
 	case BreakerOpen:
 		if h.opts.Now().Sub(n.openedAt) >= h.opts.OpenFor {
 			n.state = BreakerHalfOpen
 			n.probing = true
-			return true
+			to = BreakerHalfOpen
+		} else {
+			allowed = false
 		}
-		return false
 	case BreakerHalfOpen:
 		if !n.probing {
 			n.probing = true
-			return true
+		} else {
+			allowed = false
 		}
-		return false
 	}
-	return true
+	h.mu.Unlock()
+	h.transitioned(id, from, to)
+	return allowed
+}
+
+// transitioned fires the OnTransition hook for a real state change. It
+// must be called with the registry lock released.
+func (h *Health) transitioned(id string, from, to BreakerState) {
+	if from != to && h.opts.OnTransition != nil {
+		h.opts.OnTransition(id, from, to)
+	}
 }
 
 // Record reports one request outcome for the node: success resets the
@@ -154,9 +169,9 @@ func (h *Health) Allow(id string) bool {
 // folded into the EWMA on success; pass 0 to skip the sample.
 func (h *Health) Record(id string, ok bool, latency time.Duration) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	n := h.node(id)
 	n.probing = false
+	from := n.state
 	if ok {
 		n.consecFails = 0
 		n.state = BreakerClosed
@@ -169,13 +184,16 @@ func (h *Health) Record(id string, ok bool, latency time.Duration) {
 				n.ewmaMs = a*ms + (1-a)*n.ewmaMs
 			}
 		}
-		return
+	} else {
+		n.consecFails++
+		if n.state == BreakerHalfOpen || n.consecFails >= h.opts.FailureThreshold {
+			n.state = BreakerOpen
+			n.openedAt = h.opts.Now()
+		}
 	}
-	n.consecFails++
-	if n.state == BreakerHalfOpen || n.consecFails >= h.opts.FailureThreshold {
-		n.state = BreakerOpen
-		n.openedAt = h.opts.Now()
-	}
+	to := n.state
+	h.mu.Unlock()
+	h.transitioned(id, from, to)
 }
 
 // State returns the node's current breaker state.

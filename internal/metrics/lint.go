@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition for structural validity: every
+// non-comment line must parse as `name{label="value",...} value`, every
+// sample must be preceded by a # TYPE header for its family (histogram
+// _bucket/_sum/_count suffixes resolve to their base family), names and
+// labels must be legal, and values must parse as floats (+Inf/-Inf/NaN
+// allowed). It returns the first problem found, or nil for a clean page.
+// It is intentionally strict enough for CI smoke tests but does not
+// validate metric semantics (monotonicity, bucket cumulativity).
+func Lint(exposition []byte) error {
+	typed := make(map[string]string) // family -> type
+	sc := bufio.NewScanner(strings.NewReader(string(exposition)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := lintName(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && (typed[base] == "histogram" || typed[base] == "summary") {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		// A timestamp suffix is legal in the format; accept and drop it.
+		if i := strings.IndexByte(val, ' '); i >= 0 {
+			if _, err := strconv.ParseInt(strings.TrimSpace(val[i+1:]), 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, val[i+1:])
+			}
+			val = val[:i]
+		}
+		switch val {
+		case "+Inf", "-Inf", "NaN", "Inf":
+		default:
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// lintName parses the metric name and optional label block off a sample
+// line, returning the name and the remainder (the value text).
+func lintName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// Label block: walk it respecting quoted values with escapes.
+	j := i + 1
+	for j < len(line) {
+		// label name
+		k := strings.IndexByte(line[j:], '=')
+		if k < 0 {
+			return "", "", fmt.Errorf("malformed label block in %q", line)
+		}
+		lname := line[j : j+k]
+		if !validName(lname) {
+			return "", "", fmt.Errorf("invalid label name %q", lname)
+		}
+		j += k + 1
+		if j >= len(line) || line[j] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		j++
+		for j < len(line) && line[j] != '"' {
+			if line[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(line) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		j++ // closing quote
+		if j < len(line) && line[j] == ',' {
+			j++
+			continue
+		}
+		if j < len(line) && line[j] == '}' {
+			j++
+			break
+		}
+		return "", "", fmt.Errorf("malformed label block in %q", line)
+	}
+	if j >= len(line) || line[j] != ' ' {
+		return "", "", fmt.Errorf("missing value in %q", line)
+	}
+	return name, line[j+1:], nil
+}
+
+// HasSeries reports whether the exposition contains at least one sample
+// line (not a comment) whose metric name is exactly name or name plus a
+// histogram suffix (_bucket/_sum/_count). Smoke tests use it to require
+// core series without caring about label values.
+func HasSeries(exposition []byte, name string) bool {
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.IndexAny(line, "{ ")
+		if i < 0 {
+			continue
+		}
+		got := line[:i]
+		if got == name || got == name+"_bucket" || got == name+"_sum" || got == name+"_count" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("http_requests_total", "Total requests.", "endpoint", "code")
+	reqs.With("estimate", "200").Add(3)
+	reqs.With("estimate", "429").Inc()
+	g := r.Gauge("inflight", "In-flight requests.")
+	g.With().Set(2.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_total Total requests.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{endpoint="estimate",code="200"} 3`,
+		`http_requests_total{endpoint="estimate",code="429"} 1`,
+		"# TYPE inflight gauge",
+		"inflight 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("Lint rejected own exposition: %v", err)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "tenant")
+	obs := h.With("a")
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		obs.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{tenant="a",le="0.01"} 1`,
+		`latency_seconds_bucket{tenant="a",le="0.1"} 3`,
+		`latency_seconds_bucket{tenant="a",le="1"} 4`,
+		`latency_seconds_bucket{tenant="a",le="+Inf"} 5`,
+		`latency_seconds_count{tenant="a"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `latency_seconds_sum{tenant="a"} 5.605`) {
+		t.Errorf("unexpected sum:\n%s", out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("Lint rejected own exposition: %v", err)
+	}
+	if got := obs.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+}
+
+func TestCallbackFamilies(t *testing.T) {
+	r := NewRegistry()
+	hits := uint64(7)
+	r.CounterFunc("cache_hits_total", "Hits.", nil, func(emit func([]string, float64)) {
+		emit(nil, float64(hits))
+	})
+	r.GaugeFunc("peer_state", "Breaker state.", []string{"peer"}, func(emit func([]string, float64)) {
+		emit([]string{"n1"}, 0)
+		emit([]string{"n2"}, 2)
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cache_hits_total 7", `peer_state{peer="n1"} 0`, `peer_state{peer="n2"} 2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("Lint rejected own exposition: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("odd_total", "Odd values.", "v")
+	c.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+	if err := Lint([]byte(b.String())); err != nil {
+		t.Errorf("Lint rejected escaped label: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "X again.")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "Dashes are illegal.")
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "N.", "who")
+	h := r.Histogram("d_seconds", "D.", nil, "who")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			who := string(rune('a' + i%2))
+			for j := 0; j < 1000; j++ {
+				c.With(who).Inc()
+				h.With(who).Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.With("a").Value() + c.With("b").Value(); got != 8000 {
+		t.Fatalf("counter total = %d, want 8000", got)
+	}
+	if got := h.With("a").Count() + h.With("b").Count(); got != 8000 {
+		t.Fatalf("histogram total = %d, want 8000", got)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no_type_header 1\n",
+		"# TYPE x counter\nx{unclosed=\"v 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x bogus\n",
+		"# TYPE 0bad counter\n0bad 1\n",
+	}
+	for _, c := range cases {
+		if err := Lint([]byte(c)); err == nil {
+			t.Errorf("Lint accepted malformed exposition %q", c)
+		}
+	}
+}
+
+func TestHasSeries(t *testing.T) {
+	page := []byte("# TYPE a counter\na{x=\"1\"} 2\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.1\nh_count 1\n")
+	if !HasSeries(page, "a") || !HasSeries(page, "h") {
+		t.Error("HasSeries missed present series")
+	}
+	if HasSeries(page, "b") || HasSeries(page, "h_b") {
+		t.Error("HasSeries matched absent series")
+	}
+}

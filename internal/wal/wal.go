@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -110,6 +111,28 @@ type Options struct {
 	// append path. It exists for fault-injection tests (short writes,
 	// ENOSPC, fsync errors); production leaves it nil.
 	Hooks FileHooks
+	// OnCommit, when set, is called on the flusher goroutine after every
+	// group commit (successful or not) with that batch's statistics.
+	// Observability hook: it runs on the append hot path between batches,
+	// so it must be fast and must not call back into the WAL.
+	OnCommit func(CommitStats)
+}
+
+// CommitStats describes one group commit for the Options.OnCommit
+// observer: how many records and bytes the batch carried, how long the
+// segment write and the fsync (zero when fsync is off) took, and whether
+// the batch failed (poisoning the log).
+type CommitStats struct {
+	// Records is the number of appended records acknowledged together.
+	Records int
+	// Bytes is the total framed bytes written for the batch.
+	Bytes int
+	// WriteDuration is the wall time of the segment write.
+	WriteDuration time.Duration
+	// SyncDuration is the wall time of the fsync; zero with Fsync off.
+	SyncDuration time.Duration
+	// Err is the write or fsync error, nil on success.
+	Err error
 }
 
 // FileHooks intercepts the WAL's segment-file writes and fsyncs so tests
@@ -295,9 +318,23 @@ func (w *WAL) flushLoop() {
 		w.flushing = true
 		w.mu.Unlock()
 
+		start := time.Now()
 		_, err := w.write(f, buf)
+		wrote := time.Since(start)
+		var synced time.Duration
 		if err == nil && w.opts.Fsync {
+			syncStart := time.Now()
 			err = w.sync(f)
+			synced = time.Since(syncStart)
+		}
+		if w.opts.OnCommit != nil {
+			w.opts.OnCommit(CommitStats{
+				Records:       len(waiters),
+				Bytes:         len(buf),
+				WriteDuration: wrote,
+				SyncDuration:  synced,
+				Err:           err,
+			})
 		}
 
 		w.mu.Lock()

@@ -51,6 +51,20 @@ var ingestShardsOverride int
 // view cache. Test hook for cache/fold equivalence (see export_test.go).
 var viewCacheOff bool
 
+// viewCacheHits / viewCacheMisses count, process-wide across every
+// estimator, reads served from an adopted epoch-cached view versus reads
+// that had to rebuild the merged view. Single-shard estimators borrow
+// state under a read lock and touch neither counter.
+var viewCacheHits, viewCacheMisses atomic.Uint64
+
+// ViewCacheStats returns the process-wide epoch view-cache hit and miss
+// totals since start. A hit is a multi-shard read served from an adopted
+// cached view; a miss is a read that rebuilt (folded) the merged view.
+// Exposed for observability endpoints; both counters are monotone.
+func ViewCacheStats() (hits, misses uint64) {
+	return viewCacheHits.Load(), viewCacheMisses.Load()
+}
+
 // ingestShards picks the shard count for a new estimator.
 func ingestShards() int {
 	n := ingestShardsOverride
@@ -256,6 +270,7 @@ func (ss *shardedState[T]) fresh(v *cachedView[T]) bool {
 // before the call, rebuilding single-flight when the cache is stale.
 func (ss *shardedState[T]) currentView(mk func() T, merge func(dst, src T) error) (*cachedView[T], error) {
 	if v := ss.cache.Load(); v != nil && ss.fresh(v) {
+		viewCacheHits.Add(1)
 		return v, nil
 	}
 	arrive := ss.buildSeq.Load()
@@ -272,8 +287,10 @@ func (ss *shardedState[T]) currentView(mk func() T, merge func(dst, src T) error
 		// order alone would NOT be enough: a view published after this
 		// reader arrived can still have read its first shards before an
 		// update that completed just before this call.
+		viewCacheHits.Add(1)
 		return v, nil
 	}
+	viewCacheMisses.Add(1)
 	v := &cachedView[T]{state: mk(), foldSeq: ss.buildSeq.Add(1)}
 	for i := range ss.shards {
 		sh := &ss.shards[i]
