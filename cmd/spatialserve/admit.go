@@ -116,13 +116,17 @@ func (s *Server) EnableAdmission(opts AdmitOptions) {
 }
 
 // admitExempt reports whether the request bypasses admission control:
-// internal fan-out sub-requests, health probes, and admin operations.
+// internal fan-out sub-requests, health probes, admin operations, and
+// the streaming ingest upgrade - streams run their own per-batch
+// blocking admission (acquireStreamBatch) so overload slows them down
+// instead of 429-storming every connected writer into reconnect loops.
 func admitExempt(r *http.Request) bool {
 	if isInternal(r) {
 		return true
 	}
 	p := r.URL.Path
-	return p == "/healthz" || p == "/readyz" || p == "/metrics" || strings.HasPrefix(p, "/admin/")
+	return p == "/healthz" || p == "/readyz" || p == "/metrics" || p == "/v1/ingest" ||
+		strings.HasPrefix(p, "/admin/")
 }
 
 // readClass reports whether the request is read-class: all GETs plus the
@@ -165,6 +169,35 @@ func (a *admitter) admit(w http.ResponseWriter, r *http.Request, m *serverMetric
 		return func() { gate.Add(-1) }, true
 	}
 	return func() {}, true
+}
+
+// acquireStreamBatch is the streaming-ingest admission gate: it BLOCKS
+// until a rate token and a write slot are both available, up to
+// maxWait. This is deliberate backpressure - a stalled stream stops
+// reading frames, the client's credit window fills, and the writer
+// slows to the server's pace with zero failed requests. waited reports
+// whether the batch stalled at all (the backpressure metric); ok=false
+// means the wait exceeded maxWait and the stream should be shed with a
+// retryable overload error.
+func (a *admitter) acquireStreamBatch(maxWait time.Duration) (release func(), waited bool, ok bool) {
+	deadline := time.Now().Add(maxWait)
+	for {
+		if a.bucket == nil || a.bucket.take() {
+			gate, limit := &a.writes, a.opts.MaxInflightWrites
+			if limit <= 0 {
+				return func() {}, waited, true
+			}
+			if gate.Add(1) <= int64(limit) {
+				return func() { gate.Add(-1) }, waited, true
+			}
+			gate.Add(-1)
+		}
+		waited = true
+		if time.Now().After(deadline) {
+			return nil, true, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // retryAfterForRate suggests how long a shed client should wait: the time

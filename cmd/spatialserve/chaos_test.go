@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -18,6 +19,7 @@ import (
 
 	spatial "repro"
 	"repro/geo"
+	"repro/ingestclient"
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
 )
@@ -346,6 +348,11 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("create: status %d", resp.StatusCode)
 	}
 
+	// Streaming writers ride the whole soak on persistent connections:
+	// duplicate frames, mid-stream connection kills and node kills all
+	// land on live streams, and every round must still end exact.
+	streams := h.startStreams(2)
+
 	// Query traffic runs for the whole soak, through every fault and
 	// every kill: estimates are idempotent, so they also run while nodes
 	// die. Degraded answers must be well-formed (partial => answered in
@@ -407,6 +414,7 @@ func TestChaosSoak(t *testing.T) {
 		}
 
 		h.burst(spec.Seed+int64(round*1000), spec.Writers, perWriter)
+		h.streamRound(spec.Seed+int64(round*1000+500), streams, rng)
 
 		if scenario == 2 && h.ownsAnyJ(victim) {
 			// Drive writes until one lands on a victim-owned partition
@@ -433,10 +441,130 @@ func TestChaosSoak(t *testing.T) {
 			h.kill(victim)
 			h.restart(victim)
 		}
+		h.flushStreams(streams)
 		h.verify()
 	}
 	close(stopQ)
 	qwg.Wait()
+}
+
+// chaosStream is one persistent streaming-ingest writer riding the
+// soak: duplicate frames injected every third batch, a harness-killable
+// connection, and a pending log of everything sent this round that is
+// promoted into the acked log only after Flush proves it durable.
+type chaosStream struct {
+	c       *ingestclient.Client
+	mu      sync.Mutex
+	conn    net.Conn
+	pending []ackedRec
+}
+
+// killConn tears down the writer's live connection mid-stream (the
+// client reconnects, resumes from the server watermark and resends the
+// unacked suffix - the frames the soak must prove are deduped).
+func (cs *chaosStream) killConn() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.conn != nil {
+		cs.conn.Close()
+	}
+}
+
+// startStreams opens one streaming writer per entry node. The raw TCP
+// dial bypasses the injector's HTTP fault plane on purpose: stream
+// traffic meets the faults where they matter for exactness - inside the
+// server (poisoned WALs, kills) and on the injected internal fan-out -
+// while explicit killConn and node kills supply the wire-level chaos.
+func (h *chaosHarness) startStreams(n int) []*chaosStream {
+	h.t.Helper()
+	streams := make([]*chaosStream, n)
+	for i := range streams {
+		cs := &chaosStream{}
+		target := h.nodes[i%len(h.nodes)]
+		u, err := url.Parse(target.ht.URL)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		host := u.Host
+		c, err := ingestclient.Dial(ingestclient.Options{
+			BaseURL:    target.ht.URL,
+			Estimator:  "j",
+			Session:    fmt.Sprintf("soak-w%d", i),
+			DupEvery:   3,
+			MinBackoff: 20 * time.Millisecond,
+			MaxBackoff: 250 * time.Millisecond,
+			Dial: func() (net.Conn, error) {
+				conn, err := net.DialTimeout("tcp", host, 2*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				cs.mu.Lock()
+				cs.conn = conn
+				cs.mu.Unlock()
+				return conn, nil
+			},
+		})
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		cs.c = c
+		h.t.Cleanup(func() { c.Close() })
+		streams[i] = cs
+	}
+	return streams
+}
+
+// streamRound sends this round's seeded insert batches on every stream
+// writer (Send is windowed and non-durable; acks arrive while the
+// round's faults are active) and kills one writer's connection
+// mid-stream.
+func (h *chaosHarness) streamRound(seed int64, streams []*chaosStream, rng *rand.Rand) {
+	h.t.Helper()
+	for si, cs := range streams {
+		srng := rand.New(rand.NewSource(seed + int64(si)))
+		for bi := 0; bi < 3; bi++ {
+			recs := make([]spatial.UpdateRecord, 0, 6)
+			for k := 0; k < 6; k++ {
+				wr := randRect(srng, chaosDom)
+				rec := ackedRec{side: "left", wr: wr}
+				side := spatial.SideLeft
+				if srng.Intn(2) == 1 {
+					rec.side, side = "right", spatial.SideRight
+				}
+				recs = append(recs, spatial.UpdateRecord{Op: spatial.OpInsert, Side: side,
+					Rect: geo.Rect(wr[0][0], wr[0][1], wr[1][0], wr[1][1])})
+				cs.pending = append(cs.pending, rec)
+			}
+			if err := cs.c.Send(recs); err != nil {
+				h.t.Fatalf("stream writer %d: terminal send error under retryable faults: %v", si, err)
+			}
+		}
+	}
+	streams[rng.Intn(len(streams))].killConn()
+}
+
+// flushStreams drains every writer with the faults healed: Flush proves
+// each sent batch acked (durable, exactly once), which promotes the
+// pending records into the acked log the reference replay uses. A
+// writer that cannot drain is a wedged resume loop.
+func (h *chaosHarness) flushStreams(streams []*chaosStream) {
+	h.t.Helper()
+	for si, cs := range streams {
+		done := make(chan error, 1)
+		go func() { done <- cs.c.Flush() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				h.t.Fatalf("stream writer %d: flush: %v", si, err)
+			}
+		case <-time.After(45 * time.Second):
+			h.t.Fatalf("stream writer %d: flush did not drain with faults healed (wedged resume loop?)", si)
+		}
+		h.mu.Lock()
+		h.acked = append(h.acked, cs.pending...)
+		h.mu.Unlock()
+		cs.pending = nil
+	}
 }
 
 // victimIndex returns the node's index in the harness.
@@ -571,7 +699,7 @@ func TestPartialEstimateDegradesExactly(t *testing.T) {
 }
 
 // mustJSON marshals v or fails the test.
-func mustJSON(t *testing.T, v any) []byte {
+func mustJSON(t testing.TB, v any) []byte {
 	t.Helper()
 	b, err := json.Marshal(v)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 
 	spatial "repro"
 	"repro/internal/cluster"
+	"repro/internal/ingest"
 	"repro/internal/wal"
 )
 
@@ -721,6 +722,159 @@ func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *u
 	return 0, lastErr
 }
 
+// errForwardFailed marks an ingest fan-out that exhausted its retries -
+// retryable from the client's side (nothing was acked; owners that did
+// apply their sub-batches dedup the resend).
+var errForwardFailed = errors.New("ingest forward failed after retries")
+
+// routeIngest fans one exactly-once stream batch out to the partition
+// owners, every sub-batch stamped with the SAME (session, seq). Each
+// owner dedups on its own durable (session, shard) watermark, so a
+// partial fan-out failure followed by the client's retry re-applies
+// only at owners that missed it. The routing node's own mark is a pure
+// fast path: advanced only after ALL owners acked durably, it lets a
+// retried batch (and a resumed session's HelloAck) short-circuit
+// without a fan-out; losing it (routing-node restart) merely causes
+// re-forwarding that the owners drop.
+func (c *clusterNode) routeIngest(name, session string, batch ingest.Batch) (int, bool, error) {
+	ent := c.srv.sessions.entry(session, name, true)
+	if ent == nil {
+		return 0, false, errSessionTableFull
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if batch.Seq <= ent.seq.Load() {
+		return 0, true, nil
+	}
+	recs, err := batch.DecodeRecords()
+	if err != nil {
+		return 0, false, &shardClientError{err.Error()}
+	}
+	partRecs := make([][]byte, c.parts)
+	partCount := make([]int, c.parts)
+	for _, rec := range recs {
+		p := cluster.PartitionOf(rec.RoutingHash(), c.parts)
+		partRecs[p] = rec.AppendBinary(partRecs[p])
+		partCount[p]++
+	}
+	// Deliberately not a request context (see routeUpdate): once the
+	// fan-out starts, it runs to completion so the ack decision is made
+	// on the owners' real state, not on a client disconnect.
+	ctx := context.Background()
+	applied, errs := cluster.Scatter(c.parts, func(p int) (int, error) {
+		if partCount[p] == 0 {
+			return 0, nil
+		}
+		return c.forwardShardIngest(ctx, cluster.ShardName(name, p), session, batch.Seq, partCount[p], partRecs[p])
+	})
+	total := 0
+	for _, a := range applied {
+		total += a
+	}
+	if err := cluster.FirstError(errs); err != nil {
+		// Some owners may have applied their sub-batches; the batch is NOT
+		// acked, the client resends it whole, and the owners that applied
+		// drop the duplicate - no double-apply, no loss.
+		return total, false, err
+	}
+	ent.seq.Store(batch.Seq)
+	return total, false, nil
+}
+
+// forwardShardIngest delivers one partition's sub-batch to its owner.
+// Unlike applyShardUpdate, TRANSPORT errors after the body was sent are
+// retried too: the sub-batch carries (session, seq), so re-sending
+// something the owner already committed dedups instead of
+// double-applying - the whole point of the sequenced protocol.
+func (c *clusterNode) forwardShardIngest(ctx context.Context, shard, session string, seq uint64, count int, recs []byte) (int, error) {
+	body := binary.AppendUvarint(nil, uint64(len(session)))
+	body = append(body, session...)
+	body = binary.AppendUvarint(body, seq)
+	body = binary.AppendUvarint(body, uint64(count))
+	body = append(body, recs...)
+	var lastErr error
+	missing := 0
+	for attempt := 0; attempt < 6; attempt++ {
+		if err := c.backoff.Wait(ctx, attempt); err != nil {
+			break
+		}
+		owner, ok := c.map_().Owner(shard)
+		if !ok {
+			return 0, fmt.Errorf("no owner for %q", shard)
+		}
+		if owner.ID == c.selfID {
+			applied, deduped, err := c.srv.applyIngestBatch(shard, session, seq, uint64(count), recs)
+			switch {
+			case err == nil:
+				if deduped {
+					return 0, nil
+				}
+				return applied, nil
+			case errors.Is(err, errNotFoundLocal):
+				missing++
+				if missing >= 2 {
+					return 0, fmt.Errorf("%w: %q", errShardMissing, shard)
+				}
+				lastErr = err
+			case errors.Is(err, errNotOwner) || err == errStaleBinding || errors.Is(err, errSessionTableFull):
+				lastErr = err
+			default:
+				var lf *logFailure
+				if errors.As(err, &lf) {
+					return 0, err
+				}
+				return 0, &shardClientError{err.Error()}
+			}
+			c.refreshAny(ctx)
+		} else {
+			resp, err := c.callNode(ctx, owner, http.MethodPost, owner.URL+shardPath(shard, "/ingest"), body, internalHeader())
+			if err != nil {
+				lastErr = err
+				c.refreshAny(ctx)
+				continue
+			}
+			switch resp.Status {
+			case http.StatusOK:
+				var ir ingestShardResponse
+				if err := json.Unmarshal(resp.Body, &ir); err != nil {
+					return 0, err
+				}
+				if ir.Deduped {
+					return 0, nil
+				}
+				return ir.Applied, nil
+			case http.StatusNotFound:
+				missing++
+				if missing >= 2 {
+					return 0, fmt.Errorf("%w: %q on %s", errShardMissing, shard, owner.ID)
+				}
+				lastErr = fmt.Errorf("ingesting into %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				c.refreshFrom(ctx, owner.URL)
+			case http.StatusConflict:
+				lastErr = fmt.Errorf("ingesting into %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				c.refreshFrom(ctx, owner.URL)
+			case http.StatusTooManyRequests:
+				lastErr = fmt.Errorf("ingesting into %q on %s: overloaded", shard, owner.ID)
+			case http.StatusBadRequest:
+				var er errorResponse
+				if json.Unmarshal(resp.Body, &er) == nil && er.Error != "" {
+					return 0, &shardClientError{er.Error}
+				}
+				return 0, &shardClientError{string(resp.Body)}
+			default:
+				// 5xx at the owner (WAL outage, mid-crash): retryable here
+				// for the same dedup reason as transport errors.
+				lastErr = fmt.Errorf("ingesting into %q on %s: status %d: %s", shard, owner.ID, resp.Status, resp.Body)
+				c.refreshFrom(ctx, owner.URL)
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("retries exhausted")
+	}
+	return 0, fmt.Errorf("%w: %v", errForwardFailed, lastErr)
+}
+
 // refreshAny refreshes the map from any reachable peer.
 func (c *clusterNode) refreshAny(ctx context.Context) {
 	for _, n := range c.map_().Nodes {
@@ -1364,6 +1518,12 @@ func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.
 			err = c.shipRecords(ctx, target, shard, recs, count)
 		}
 		if err == nil {
+			// Under the exclusive gate no batch can advance a mark, so the
+			// shipped set is exact: the target starts with the same dedup
+			// window the source closes with.
+			err = c.shipMarks(ctx, target, shard, s.sessions.marksFor(shard))
+		}
+		if err == nil {
 			err = c.flipOwnership(ctx, shard, target)
 		}
 		gate.Unlock()
@@ -1375,6 +1535,9 @@ func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.
 		snap, err := est.snapshot()
 		if err == nil {
 			err = c.shipSnapshot(ctx, target, shard, snap)
+		}
+		if err == nil {
+			err = c.shipMarks(ctx, target, shard, s.sessions.marksFor(shard))
 		}
 		if err == nil {
 			err = c.flipOwnership(ctx, shard, target)
@@ -1497,11 +1660,35 @@ func (c *clusterNode) shipRecords(ctx context.Context, target cluster.Node, shar
 	return nil
 }
 
+// shipMarks POSTs a shard's ingest session watermarks to the target,
+// which adopts (and logs) any that advance its own. Empty mark sets are
+// skipped.
+func (c *clusterNode) shipMarks(ctx context.Context, target cluster.Node, shard string, marks []sessionMark) error {
+	if len(marks) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(marks)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(ctx, http.MethodPost, target.URL+shardPath(shard, "/ingest-marks"), body, internalHeader())
+	if err != nil {
+		return fmt.Errorf("shipping %d session marks of %q: %w", len(marks), shard, err)
+	}
+	if resp.Status != http.StatusOK {
+		return fmt.Errorf("shipping %d session marks of %q: status %d: %s", len(marks), shard, resp.Status, resp.Body)
+	}
+	return nil
+}
+
 // updateSuffix collects the raw update records logged for name after
 // `from`, returning their concatenated binary encoding, the record count
-// and the position one past the last WAL record examined. A registry
-// operation (create/delete/put/merge) on the name inside the suffix
-// aborts the caller's handoff - those do not commute with the move.
+// and the position one past the last WAL record examined. Ingest
+// records contribute their payload records (the watermark advance ships
+// separately via shipMarks at seal, so re-applying through the target's
+// tapped /apply path is safe). A registry operation
+// (create/delete/put/merge) on the name inside the suffix aborts the
+// caller's handoff - those do not commute with the move.
 func (p *persister) updateSuffix(from wal.Pos, name string) (recs []byte, count uint64, next wal.Pos, err error) {
 	next, err = p.w.ReadFrom(from, 0, func(pos wal.Pos, payload []byte) error {
 		op, rname, rest, perr := parseWalPayload(payload)
@@ -1509,6 +1696,15 @@ func (p *persister) updateSuffix(from wal.Pos, name string) (recs []byte, count 
 			return fmt.Errorf("wal record at %v: %w", pos, perr)
 		}
 		if rname != name {
+			return nil
+		}
+		if op == walOpIngest {
+			_, _, n, irecs, ierr := parseIngestRest(rest)
+			if ierr != nil {
+				return fmt.Errorf("wal ingest for %q at %v: %w", name, pos, ierr)
+			}
+			count += n
+			recs = append(recs, irecs...)
 			return nil
 		}
 		if op != walOpUpdate {

@@ -187,6 +187,10 @@ func (j *joinServable) mergeSnapshot(data []byte) error { return j.e.MergeSnapsh
 
 func (j *joinServable) setTap(tap spatial.UpdateTap)               { j.e.SetUpdateTap(tap) }
 func (j *joinServable) applyRecord(rec spatial.UpdateRecord) error { return j.e.Apply(rec) }
+func (j *joinServable) validateRecord(rec spatial.UpdateRecord) error {
+	return j.e.ValidateRecord(rec)
+}
+func (j *joinServable) applyUntapped(rec spatial.UpdateRecord) error { return j.e.ApplyUntapped(rec) }
 
 // ---- range ----
 
@@ -274,6 +278,10 @@ func (s *rangeServable) mergeSnapshot(data []byte) error { return s.e.MergeSnaps
 
 func (s *rangeServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
 func (s *rangeServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }
+func (s *rangeServable) validateRecord(rec spatial.UpdateRecord) error {
+	return s.e.ValidateRecord(rec)
+}
+func (s *rangeServable) applyUntapped(rec spatial.UpdateRecord) error { return s.e.ApplyUntapped(rec) }
 
 // ---- epsilon-join ----
 
@@ -328,6 +336,12 @@ func (s *epsJoinServable) mergeSnapshot(data []byte) error { return s.e.MergeSna
 
 func (s *epsJoinServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
 func (s *epsJoinServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }
+func (s *epsJoinServable) validateRecord(rec spatial.UpdateRecord) error {
+	return s.e.ValidateRecord(rec)
+}
+func (s *epsJoinServable) applyUntapped(rec spatial.UpdateRecord) error {
+	return s.e.ApplyUntapped(rec)
+}
 
 // ---- containment ----
 
@@ -382,3 +396,9 @@ func (s *containmentServable) mergeSnapshot(data []byte) error { return s.e.Merg
 
 func (s *containmentServable) setTap(tap spatial.UpdateTap)               { s.e.SetUpdateTap(tap) }
 func (s *containmentServable) applyRecord(rec spatial.UpdateRecord) error { return s.e.Apply(rec) }
+func (s *containmentServable) validateRecord(rec spatial.UpdateRecord) error {
+	return s.e.ValidateRecord(rec)
+}
+func (s *containmentServable) applyUntapped(rec spatial.UpdateRecord) error {
+	return s.e.ApplyUntapped(rec)
+}

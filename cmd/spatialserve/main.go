@@ -22,6 +22,13 @@
 // admission shedding) and echoes/propagates X-Request-Id trace IDs.
 // See docs/OPERATIONS.md for the series reference and quota runbook.
 //
+// High-volume writers use POST /v1/ingest, which upgrades to the
+// spatial-ingest/1 binary streaming protocol: sequenced exactly-once
+// batches acked after WAL commit, reconnect-resume from a persisted
+// per-session watermark, credit-based backpressure (see
+// docs/INGEST_PROTOCOL.md; client package repro/ingestclient). The JSON
+// update path gets the same retry safety via an Idempotency-Key header.
+//
 // Usage:
 //
 //	spatialserve -addr :8080 \

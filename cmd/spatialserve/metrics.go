@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	spatial "repro"
@@ -48,6 +49,16 @@ type serverMetrics struct {
 	breakerTransitions *metrics.CounterVec // peer, to
 	readCacheHits      *metrics.Counter
 	readCacheMisses    *metrics.Counter
+
+	ingestBatches    *metrics.CounterVec   // tenant, result (acked | deduped)
+	ingestRecords    *metrics.CounterVec   // tenant
+	ingestStalls     *metrics.CounterVec   // tenant
+	ingestAckSeconds *metrics.HistogramVec // tenant
+
+	// streamMu guards streams, the per-tenant count of live ingest
+	// connections behind the spatialserve_ingest_streams gauge.
+	streamMu sync.Mutex
+	streams  map[string]int
 }
 
 // newServerMetrics builds the registry and registers every family,
@@ -77,6 +88,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Checkpoints by result.", "result"),
 		breakerTransitions: reg.Counter("spatialserve_breaker_transitions_total",
 			"Circuit-breaker state changes by peer and new state.", "peer", "to"),
+		ingestBatches: reg.Counter("spatialserve_ingest_batches_total",
+			"Streaming ingest batches by tenant and result: acked (applied and durable) or deduped (at-or-below the session watermark, dropped and re-acked).", "tenant", "result"),
+		ingestRecords: reg.Counter("spatialserve_ingest_records_total",
+			"Records applied through streaming ingest, by tenant.", "tenant"),
+		ingestStalls: reg.Counter("spatialserve_ingest_stalls_total",
+			"Stream batches that waited on admission control (backpressure), by tenant.", "tenant"),
+		ingestAckSeconds: reg.Histogram("spatialserve_ingest_ack_seconds",
+			"Streaming ingest ack latency: batch frame read to ack written (includes WAL commit).", nil, "tenant"),
+		streams: make(map[string]int),
 	}
 	rc := reg.Counter("spatialserve_cluster_readcache_events_total",
 		"Cluster read-cache outcomes: hit means every partition revalidated 304 and the cached merge was reused.", "outcome")
@@ -126,6 +146,23 @@ func newServerMetrics(s *Server) *serverMetrics {
 				emit([]string{nh.Node}, nh.EWMALatencyMs)
 			}
 		})
+	reg.GaugeFunc("spatialserve_ingest_streams",
+		"Live streaming ingest connections by tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			m.streamMu.Lock()
+			defer m.streamMu.Unlock()
+			for tenant, n := range m.streams {
+				emit([]string{tenant}, float64(n))
+			}
+		})
+	reg.GaugeFunc("spatialserve_ingest_sessions",
+		"Ingest sessions with a tracked high-water mark (bounded table).", nil,
+		func(emit func([]string, float64)) {
+			s.sessions.mu.Lock()
+			n := len(s.sessions.entries)
+			s.sessions.mu.Unlock()
+			emit(nil, float64(n))
+		})
 	reg.GaugeFunc("spatialserve_inflight_requests",
 		"Currently admitted requests by class (admission control only).", []string{"class"},
 		func(emit func([]string, float64)) {
@@ -168,6 +205,45 @@ func (m *serverMetrics) observeWALCommit(st wal.CommitStats) {
 	m.walCommitBytes.With().Add(uint64(st.Bytes))
 }
 
+// streamStarted registers one live ingest connection under its tenant.
+func (m *serverMetrics) streamStarted(tenant string) {
+	m.streamMu.Lock()
+	m.streams[tenant]++
+	m.streamMu.Unlock()
+}
+
+// streamEnded drops a live ingest connection, removing exhausted tenant
+// entries so the gauge reports zero by absence, not forever-zero rows.
+func (m *serverMetrics) streamEnded(tenant string) {
+	m.streamMu.Lock()
+	if m.streams[tenant]--; m.streams[tenant] <= 0 {
+		delete(m.streams, tenant)
+	}
+	m.streamMu.Unlock()
+}
+
+// observeIngestBatch counts one stream batch outcome.
+func (m *serverMetrics) observeIngestBatch(tenant string, deduped bool, records int) {
+	result := "acked"
+	if deduped {
+		result = "deduped"
+	}
+	m.ingestBatches.With(tenant, result).Inc()
+	if records > 0 {
+		m.ingestRecords.With(tenant).Add(uint64(records))
+	}
+}
+
+// ingestStalled counts one batch that waited on admission.
+func (m *serverMetrics) ingestStalled(tenant string) {
+	m.ingestStalls.With(tenant).Inc()
+}
+
+// observeIngestAck records one batch's read-to-ack latency.
+func (m *serverMetrics) observeIngestAck(tenant string, d time.Duration) {
+	m.ingestAckSeconds.With(tenant).Observe(d.Seconds())
+}
+
 // observeBreaker is the cluster.HealthOptions.OnTransition observer.
 func (m *serverMetrics) observeBreaker(node string, _, to cluster.BreakerState) {
 	m.breakerTransitions.With(node, to.String()).Inc()
@@ -207,6 +283,8 @@ func classifyEndpoint(r *http.Request) string {
 		return "metrics"
 	case strings.HasPrefix(p, "/admin/"):
 		return "admin"
+	case p == "/v1/ingest":
+		return "ingest"
 	}
 	// Tenant-scoped estimator routes re-dispatch through the flat routes;
 	// classify both by their operation suffix.
@@ -238,6 +316,8 @@ func classifyEndpoint(r *http.Request) string {
 		return "merge"
 	case strings.HasSuffix(p, "/apply"):
 		return "apply"
+	case strings.HasSuffix(p, "/ingest"), strings.HasSuffix(p, "/ingest-marks"):
+		return "ingest"
 	case p == "/v1/estimators" || p == "/v1/tenants":
 		if r.Method == http.MethodPost {
 			return "create"

@@ -67,6 +67,15 @@ const (
 	// Tenant-config records: the "name" field carries the tenant name.
 	walOpTenantPut    byte = 6 // rest: JSON TenantConfig
 	walOpTenantDelete byte = 7 // rest: empty
+
+	// walOpIngest is one exactly-once ingest batch: the records AND the
+	// session watermark advance in a single atomic record, so recovery
+	// can never apply a batch without remembering it was applied (or
+	// vice versa). rest: uvarint session length | session | uvarint seq |
+	// uvarint record count | UpdateRecord*. A count of 0 is a pure
+	// watermark advance (used when rebalance hands session marks to a
+	// new partition owner).
+	walOpIngest byte = 8
 )
 
 const (
@@ -150,6 +159,10 @@ type manifest struct {
 	// Tenants carries the tenant configs at the cut (absent in manifests
 	// written before tenants existed - recovery treats that as empty).
 	Tenants map[string]TenantConfig `json:"tenants,omitempty"`
+	// Sessions carries every ingest session's durable high-water mark at
+	// the cut, so exactly-once dedup state survives checkpoint + WAL
+	// truncation the same way estimator counters do.
+	Sessions []sessionMark `json:"sessions,omitempty"`
 }
 
 // manifestEntry binds one registered estimator name to its snapshot file.
@@ -184,6 +197,7 @@ func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
 		for t, cfg := range m.Tenants {
 			srv.tenants.set(t, cfg)
 		}
+		srv.sessions.restore(m.Sessions)
 		for _, e := range m.Estimators {
 			data, err := os.ReadFile(filepath.Join(opts.DataDir, ckptSubdir, e.File))
 			if err != nil {
@@ -354,6 +368,44 @@ func (p *persister) updateTap(name string) spatial.UpdateTap {
 	}
 }
 
+// logIngest writes one exactly-once ingest batch record: records plus
+// the session watermark advance, atomically. records is the raw
+// concatenated UpdateRecord encoding (already validated by the caller).
+// Caller holds the shared gate and the session entry's lock.
+func (p *persister) logIngest(name, session string, seq uint64, count int, records []byte) error {
+	payload := appendName([]byte{walOpIngest}, name)
+	payload = appendName(payload, session)
+	payload = binary.AppendUvarint(payload, seq)
+	payload = binary.AppendUvarint(payload, uint64(count))
+	return p.appendRecord(append(payload, records...))
+}
+
+// parseIngestRest splits a walOpIngest record's rest into session, seq,
+// count and the raw record bytes, with the same hostile-count bound as
+// the wire decoder.
+func parseIngestRest(rest []byte) (session string, seq, count uint64, records []byte, err error) {
+	sessLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < sessLen {
+		return "", 0, 0, nil, fmt.Errorf("truncated ingest session")
+	}
+	session = string(rest[n : n+int(sessLen)])
+	rest = rest[n+int(sessLen):]
+	seq, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return "", 0, 0, nil, fmt.Errorf("truncated ingest seq")
+	}
+	rest = rest[n:]
+	count, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return "", 0, 0, nil, fmt.Errorf("truncated ingest count")
+	}
+	records = rest[n:]
+	if count > uint64(len(records))/3 {
+		return "", 0, 0, nil, fmt.Errorf("ingest count %d exceeds body", count)
+	}
+	return session, seq, count, records, nil
+}
+
 // ---- replay ----
 
 // parseWalPayload splits a WAL record payload into its op byte, the
@@ -395,6 +447,9 @@ func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
 			return fmt.Errorf("wal delete %q at %v: estimator not in recovered registry", name, pos)
 		}
 		delete(p.srv.ests, name)
+		// Live deletes drop the estimator's session marks; replay must
+		// reach the identical mark state.
+		p.srv.sessions.dropKey(name)
 	case walOpUpdate:
 		est, ok := p.srv.ests[name]
 		if !ok {
@@ -435,6 +490,35 @@ func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
 			return fmt.Errorf("wal put %q at %v: %w", name, pos, err)
 		}
 		p.srv.ests[name] = est
+	case walOpIngest:
+		est, ok := p.srv.ests[name]
+		if !ok {
+			return fmt.Errorf("wal ingest for %q at %v: estimator not in recovered registry", name, pos)
+		}
+		session, seq, count, recs, err := parseIngestRest(rest)
+		if err != nil {
+			return fmt.Errorf("wal ingest for %q at %v: %w", name, pos, err)
+		}
+		ent := p.srv.sessions.entry(session, name, false)
+		// The live path never logs a batch at-or-below the watermark, but
+		// the same skip keeps replay semantics identical to live apply.
+		if seq <= ent.seq.Load() {
+			return nil
+		}
+		for i := uint64(0); i < count; i++ {
+			rec, used, err := spatial.DecodeUpdateRecord(recs)
+			if err != nil {
+				return fmt.Errorf("wal ingest for %q at %v: %w", name, pos, err)
+			}
+			recs = recs[used:]
+			if err := est.applyUntapped(rec); err != nil {
+				return fmt.Errorf("wal ingest for %q at %v: %w", name, pos, err)
+			}
+		}
+		if len(recs) != 0 {
+			return fmt.Errorf("wal ingest for %q at %v: %d trailing bytes", name, pos, len(recs))
+		}
+		ent.seq.Store(seq)
 	case walOpTenantPut:
 		var cfg TenantConfig
 		if err := json.Unmarshal(rest, &cfg); err != nil {
@@ -500,6 +584,7 @@ func (p *persister) checkpoint() (res checkpointResult, err error) {
 	// disk is bounded by one segment plus the traffic since the cut.
 	cut := p.w.Pos()
 	tenants := p.srv.tenants.configs()
+	sessions := p.srv.sessions.export()
 	p.srv.mu.RLock()
 	for name, est := range p.srv.ests {
 		data, err := est.snapshot()
@@ -516,7 +601,7 @@ func (p *persister) checkpoint() (res checkpointResult, err error) {
 	// Durable phase, off the ingest path.
 	seq := p.seq + 1
 	dir := filepath.Join(p.opts.DataDir, ckptSubdir)
-	m := manifest{Version: manifestVersion, Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off, Tenants: tenants}
+	m := manifest{Version: manifestVersion, Seq: seq, WALSegment: cut.Seg, WALOffset: cut.Off, Tenants: tenants, Sessions: sessions}
 	for i, s := range snaps {
 		file := fmt.Sprintf("est-%d-%d.spe1", seq, i)
 		if err := p.writeFile(filepath.Join(dir, file), s.data); err != nil {

@@ -383,6 +383,9 @@ func (s *Server) applyReplicatedOp(op byte, name string, rest []byte) error {
 		s.mu.Lock()
 		delete(s.ests, name)
 		s.mu.Unlock()
+		// Mirror deleteLocal: marks die with the binding, so a promoted
+		// replica is byte-for-byte the leader's recovery.
+		s.sessions.dropKey(name)
 	case walOpUpdate:
 		est, ok := s.lookup(name)
 		if !ok {
@@ -403,6 +406,34 @@ func (s *Server) applyReplicatedOp(op byte, name string, rest []byte) error {
 				return fmt.Errorf("replicated update for %q: %w", name, err)
 			}
 		}
+	case walOpIngest:
+		// Mirrors the recovery replay in applyLogged: dedup on the session
+		// mark, apply untapped, advance - so the promoted replica's marks
+		// match the leader's exactly and a resumed stream cannot
+		// double-apply across a failover.
+		est, ok := s.lookup(name)
+		if !ok {
+			return fmt.Errorf("replicated ingest for unknown estimator %q", name)
+		}
+		session, seq, count, records, err := parseIngestRest(rest)
+		if err != nil {
+			return fmt.Errorf("replicated ingest for %q: %w", name, err)
+		}
+		ent := s.sessions.entry(session, name, false)
+		if seq <= ent.seq.Load() {
+			return nil
+		}
+		for i := uint64(0); i < count; i++ {
+			rec, used, derr := spatial.DecodeUpdateRecord(records)
+			if derr != nil {
+				return fmt.Errorf("replicated ingest for %q: %w", name, derr)
+			}
+			records = records[used:]
+			if aerr := est.applyUntapped(rec); aerr != nil {
+				return fmt.Errorf("replicated ingest for %q: %w", name, aerr)
+			}
+		}
+		ent.seq.Store(seq)
 	case walOpMerge:
 		est, ok := s.lookup(name)
 		if !ok {

@@ -76,6 +76,11 @@ type Server struct {
 	// metrics is the always-on observability registry behind GET /metrics
 	// (see metrics.go).
 	metrics *serverMetrics
+
+	// sessions holds the per-session ingest high-water marks that give
+	// the streaming path exactly-once semantics (see stream.go). The
+	// marks are persisted through the WAL and checkpoint manifest.
+	sessions sessionTable
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -94,6 +99,14 @@ type servable interface {
 	setTap(tap spatial.UpdateTap)
 	// applyRecord replays one logged update record during recovery.
 	applyRecord(rec spatial.UpdateRecord) error
+	// validateRecord checks a record without applying it - exactly the
+	// validation applyRecord performs, so a record that passes can be
+	// WAL-logged ahead of its apply.
+	validateRecord(rec spatial.UpdateRecord) error
+	// applyUntapped applies one record WITHOUT notifying the update tap,
+	// for the ingest path that journals its own atomic WAL record (a
+	// tapped apply would double-log).
+	applyUntapped(rec spatial.UpdateRecord) error
 }
 
 // NewServer returns a ready-to-serve handler with an empty in-memory
@@ -132,6 +145,9 @@ func NewServer() *Server {
 	s.mux.HandleFunc("PUT /v1/estimators/{name}/snapshot", s.handleSnapshotPut)
 	s.mux.HandleFunc("POST /v1/estimators/{name}/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/estimators/{name}/apply", s.handleApply)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngestStream)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/ingest", s.handleShardIngest)
+	s.mux.HandleFunc("POST /v1/estimators/{name}/ingest-marks", s.handleIngestMarks)
 	s.mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /admin/ring", s.handleRingGet)
 	s.mux.HandleFunc("POST /admin/ring", s.handleRingAdopt)
@@ -254,6 +270,10 @@ type updateRequest struct {
 type updateResponse struct {
 	Applied int              `json:"applied"`
 	Counts  map[string]int64 `json:"counts"`
+	// Deduped reports that an Idempotency-Key request was already applied
+	// by an earlier attempt: nothing changed, Applied is 0, and the 200 is
+	// the replayed acknowledgement.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // estimateRequest parameterizes an estimate. Only range queries need one.
@@ -509,6 +529,15 @@ func (s *Server) deleteLocal(name string) (bool, error) {
 		}
 	}
 	delete(s.ests, name)
+	// Ingest watermarks die with the binding: a recreated estimator must
+	// not inherit them (WAL replay and replicas drop them at the same
+	// point, so the mark state is identical however a node got here).
+	// Deleting a shard also drops the base name's routing-level marks -
+	// they are a non-durable fast path whose loss is always safe.
+	s.sessions.dropKey(name)
+	if base, _, ok := cluster.SplitShardName(name); ok {
+		s.sessions.dropKey(base)
+	}
 	return true, nil
 }
 
@@ -675,6 +704,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Op != "insert" && req.Op != "delete" {
 		writeError(w, http.StatusBadRequest, "op %q is neither insert nor delete", req.Op)
+		return
+	}
+	if key := r.Header.Get("Idempotency-Key"); key != "" && !isInternal(r) {
+		s.serveIdempotentUpdate(w, name, key, &req)
 		return
 	}
 	if s.cluster != nil && !isInternal(r) {

@@ -1,0 +1,639 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	spatial "repro"
+	"repro/internal/cluster"
+	"repro/internal/ingest"
+)
+
+// Exactly-once streaming ingest (POST /v1/ingest, HTTP upgrade to the
+// internal/ingest frame protocol).
+//
+// Sketch updates are not idempotent - a double-applied record skews
+// every later estimate - so the wire path, the one place a retry can
+// double-apply, carries (session, seq) on every batch and the server
+// dedups on a per-session high-water mark. The mark and the batch's
+// records are logged in ONE WAL record (walOpIngest), so recovery can
+// never apply a batch without remembering it, or vice versa; the mark
+// also rides the checkpoint manifest (like tenant configs) and the
+// replica WAL mirror, so dedup survives checkpoint truncation, crash
+// recovery and replica promotion. A batch is acked only after that WAL
+// record is group-committed: the client may retry every ambiguous
+// failure, and anything at-or-below the watermark is dropped (and
+// re-acked) instead of re-applied.
+//
+// Cluster mode forwards each batch per partition with the SAME
+// (session, seq); each owner keeps its own (session, shard) mark, so a
+// partial fan-out failure followed by a client retry re-applies only at
+// owners that missed it. The routing node keeps a non-durable routing
+// mark it advances after ALL owners acked - a pure fast-path dedup and
+// resume hint; losing it merely causes re-forwarding that the owners'
+// durable marks drop.
+
+// maxSessionEntries bounds the session table: entries are tiny, but a
+// hostile client minting sessions must hit a wall before the heap does.
+// When full, new sessions are refused with a retryable overload error.
+const maxSessionEntries = 65536
+
+// streamWindowBatches is the credit window advertised in HelloAck: the
+// maximum unacked batches a client may keep in flight.
+const streamWindowBatches = 32
+
+// streamHelloTimeout bounds how long a fresh connection may sit before
+// completing its handshake.
+const streamHelloTimeout = 10 * time.Second
+
+// streamIdleTimeout bounds how long an established stream may sit with
+// no frame at all before the server reclaims the connection (the client
+// reconnects and resumes; nothing is lost).
+const streamIdleTimeout = 5 * time.Minute
+
+// streamStallLimit bounds how long one batch may wait on admission
+// before the stream is shed with a retryable overload error.
+const streamStallLimit = 30 * time.Second
+
+// errSessionTableFull reports session-table exhaustion (retryable).
+var errSessionTableFull = errors.New("ingest session table is full; retry later")
+
+// sessionKey identifies one watermark: a client session streaming into
+// one registry key (on partition owners the key is the shard name).
+type sessionKey struct {
+	session string
+	key     string
+}
+
+// sessionEntry is one session's dedup state. mu serializes the whole
+// check-log-apply-advance sequence for the session so two connections
+// replaying the same session cannot interleave; seq is atomic so
+// checkpoint export and HelloAck resume reads never need the lock.
+type sessionEntry struct {
+	mu  sync.Mutex
+	seq atomic.Uint64
+}
+
+// sessionMark is the manifest/wire form of one watermark.
+type sessionMark struct {
+	Session   string `json:"session"`
+	Estimator string `json:"estimator"`
+	Seq       uint64 `json:"seq"`
+}
+
+// sessionTable holds every session's high-water mark. The zero value is
+// ready to use.
+type sessionTable struct {
+	mu      sync.Mutex
+	entries map[sessionKey]*sessionEntry
+}
+
+// entry returns (creating if needed) the session's entry. With
+// enforceCap set, a full table refuses NEW sessions with nil - existing
+// sessions keep working, so a session flood cannot evict dedup state.
+// Recovery and replication pass enforceCap=false: what was logged must
+// replay.
+func (t *sessionTable) entry(session, key string, enforceCap bool) *sessionEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.entries == nil {
+		t.entries = make(map[sessionKey]*sessionEntry)
+	}
+	k := sessionKey{session, key}
+	if e, ok := t.entries[k]; ok {
+		return e
+	}
+	if enforceCap && len(t.entries) >= maxSessionEntries {
+		return nil
+	}
+	e := &sessionEntry{}
+	t.entries[k] = e
+	return e
+}
+
+// peek returns the session's watermark (0 when unknown) without
+// creating an entry.
+func (t *sessionTable) peek(session, key string) uint64 {
+	t.mu.Lock()
+	e := t.entries[sessionKey{session, key}]
+	t.mu.Unlock()
+	if e == nil {
+		return 0
+	}
+	return e.seq.Load()
+}
+
+// dropKey removes every session mark for one estimator key - estimator
+// deletion invalidates the marks (a recreated estimator must not
+// inherit them; session IDs must not be reused across recreation).
+func (t *sessionTable) dropKey(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.entries {
+		if k.key == key {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// marksFor returns the marks of one estimator key (rebalance ships a
+// shard's marks to the new owner at seal time).
+func (t *sessionTable) marksFor(key string) []sessionMark {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []sessionMark
+	for k, e := range t.entries {
+		if k.key == key {
+			out = append(out, sessionMark{Session: k.session, Estimator: k.key, Seq: e.seq.Load()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+// export returns every mark, sorted, for the checkpoint manifest.
+// Callers hold the exclusive mutation gate, so no mark is mid-advance.
+func (t *sessionTable) export() []sessionMark {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]sessionMark, 0, len(t.entries))
+	for k, e := range t.entries {
+		out = append(out, sessionMark{Session: k.session, Estimator: k.key, Seq: e.seq.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimator != out[j].Estimator {
+			return out[i].Estimator < out[j].Estimator
+		}
+		return out[i].Session < out[j].Session
+	})
+	return out
+}
+
+// restore seeds the table from a checkpoint manifest (recovery, before
+// WAL replay).
+func (t *sessionTable) restore(marks []sessionMark) {
+	for _, m := range marks {
+		e := t.entry(m.Session, m.Estimator, false)
+		if m.Seq > e.seq.Load() {
+			e.seq.Store(m.Seq)
+		}
+	}
+}
+
+// adopt advances one mark without applying records: rebalance handing a
+// shard's marks to the new owner. Logged (count-0 walOpIngest) so the
+// mark survives the new owner's recovery.
+func (s *Server) adoptMark(name string, est servable, m sessionMark) error {
+	ent := s.sessions.entry(m.Session, name, false)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if m.Seq <= ent.seq.Load() {
+		return nil
+	}
+	return s.withEstimator(name, est, func() error {
+		if s.persist != nil {
+			if err := s.persist.logIngest(name, m.Session, m.Seq, 0, nil); err != nil {
+				return err
+			}
+		}
+		ent.seq.Store(m.Seq)
+		return nil
+	})
+}
+
+// applyIngestBatch is the exactly-once core: dedup against the session
+// watermark, validate every record, log records + watermark advance as
+// one atomic WAL record, apply untapped (the tap would re-log), advance
+// the mark. Returns the applied record count, or deduped=true when the
+// batch is at-or-below the watermark (already durable - the caller acks
+// it again).
+func (s *Server) applyIngestBatch(name, session string, seq, count uint64, records []byte) (applied int, deduped bool, err error) {
+	est, ok := s.lookup(name)
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %q", errNotFoundLocal, name)
+	}
+	ent := s.sessions.entry(session, name, true)
+	if ent == nil {
+		return 0, false, errSessionTableFull
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if seq <= ent.seq.Load() {
+		return 0, true, nil
+	}
+	recs := make([]spatial.UpdateRecord, 0, count)
+	rest := records
+	for i := uint64(0); i < count; i++ {
+		rec, used, derr := spatial.DecodeUpdateRecord(rest)
+		if derr != nil {
+			return 0, false, fmt.Errorf("record %d: %w", i, derr)
+		}
+		rest = rest[used:]
+		recs = append(recs, rec)
+	}
+	if len(rest) != 0 {
+		return 0, false, fmt.Errorf("%d trailing bytes after %d records", len(rest), count)
+	}
+	err = s.withEstimator(name, est, func() error {
+		if s.cluster != nil && cluster.IsShardName(name) && !s.cluster.owns(name) {
+			return errNotOwner
+		}
+		// Validate BEFORE the WAL append: a logged ingest record must
+		// replay cleanly, the same invariant the tap path gets from
+		// estimators validating before the tap fires.
+		for _, rec := range recs {
+			if verr := est.validateRecord(rec); verr != nil {
+				return verr
+			}
+		}
+		if s.persist != nil {
+			if lerr := s.persist.logIngest(name, session, seq, len(recs), records); lerr != nil {
+				return lerr
+			}
+		}
+		for _, rec := range recs {
+			if aerr := est.applyUntapped(rec); aerr != nil {
+				// Validated above; a failure here means the WAL record
+				// and the sketches disagree - surface loudly.
+				return fmt.Errorf("applying validated ingest record: %w", aerr)
+			}
+		}
+		ent.seq.Store(seq)
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return len(recs), false, nil
+}
+
+// ---- the streaming endpoint ----
+
+// handleIngestStream upgrades POST /v1/ingest to the binary frame
+// protocol and serves the stream until the connection dies. Admission
+// is per-batch inside the stream (blocking with a stall bound) rather
+// than per-request 429s: overload slows streams down instead of
+// storming every client into reconnect loops.
+func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
+	if !strings.EqualFold(r.Header.Get("Upgrade"), ingest.Protocol) {
+		w.Header().Set("Upgrade", ingest.Protocol)
+		writeError(w, http.StatusUpgradeRequired, "this endpoint speaks %s; set the Upgrade header", ingest.Protocol)
+		return
+	}
+	conn, rw, err := http.NewResponseController(w).Hijack()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "connection cannot be hijacked: %v", err)
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(rw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n", ingest.Protocol)
+	if err := rw.Flush(); err != nil {
+		return
+	}
+	s.serveStream(conn, rw)
+}
+
+// streamConn bundles one hijacked stream connection with its write
+// mutex (acks and errors are written from the read loop only today, but
+// the lock keeps that a local property rather than a global invariant).
+type streamConn struct {
+	conn net.Conn
+	rw   *bufio.ReadWriter
+	mu   sync.Mutex
+}
+
+// writeFrame writes one pre-encoded frame and flushes it.
+func (sc *streamConn) writeFrame(frame []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, err := sc.rw.Write(frame); err != nil {
+		return err
+	}
+	return sc.rw.Flush()
+}
+
+// fail sends a terminal error frame (best effort) and returns.
+func (sc *streamConn) fail(code ingest.ErrorCode, format string, args ...any) {
+	sc.writeFrame(ingest.AppendError(nil, code, fmt.Sprintf(format, args...)))
+}
+
+// serveStream runs one ingest stream: handshake, then a batch loop that
+// acks each batch after its WAL commit. Processing is sequential per
+// connection - ordering within a session is the protocol's contract -
+// while cross-stream concurrency rides the WAL group commit.
+func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
+	sc := &streamConn{conn: conn, rw: rw}
+
+	conn.SetReadDeadline(time.Now().Add(streamHelloTimeout))
+	ft, body, err := ingest.ReadFrame(rw.Reader)
+	if err != nil || ft != ingest.FrameHello {
+		sc.fail(ingest.CodeBadRequest, "expected hello frame")
+		return
+	}
+	hello, err := ingest.DecodeHello(body)
+	if err != nil {
+		sc.fail(ingest.CodeBadRequest, "%v", err)
+		return
+	}
+	key := hello.Estimator
+	clustered := s.cluster != nil && !cluster.IsShardName(key)
+	if !clustered {
+		if _, ok := s.lookup(key); !ok {
+			sc.fail(ingest.CodeNotFound, "no estimator %q", key)
+			return
+		}
+	}
+	tenant := s.streamTenant(key)
+	s.metrics.streamStarted(tenant)
+	defer s.metrics.streamEnded(tenant)
+
+	// The watermark resumes the client: on a routing node this is the
+	// non-durable routing mark (0 after restart - the client resends and
+	// the owners' durable marks dedup).
+	ack := ingest.AppendHelloAck(nil, ingest.HelloAck{
+		Watermark:     s.sessions.peek(hello.Session, key),
+		WindowBatches: streamWindowBatches,
+	})
+	if sc.writeFrame(ack) != nil {
+		return
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(streamIdleTimeout))
+		ft, body, err := ingest.ReadFrame(rw.Reader)
+		if err != nil {
+			return // closed, killed or idle-timed-out; the client resumes
+		}
+		if ft != ingest.FrameBatch {
+			sc.fail(ingest.CodeBadRequest, "unexpected frame type %d mid-stream", ft)
+			return
+		}
+		batch, err := ingest.DecodeBatch(body)
+		if err != nil {
+			sc.fail(ingest.CodeBadRequest, "%v", err)
+			return
+		}
+		start := time.Now()
+		if a := s.admit; a != nil {
+			release, waited, ok := a.acquireStreamBatch(streamStallLimit)
+			if waited {
+				s.metrics.ingestStalled(tenant)
+			}
+			if !ok {
+				sc.fail(ingest.CodeOverloaded, "admission stalled past %s", streamStallLimit)
+				return
+			}
+			err = s.ingestOneBatch(key, hello.Session, clustered, batch)
+			release()
+		} else {
+			err = s.ingestOneBatch(key, hello.Session, clustered, batch)
+		}
+		if err != nil {
+			code, msg := streamErrorFor(err)
+			sc.fail(code, "%s", msg)
+			return
+		}
+		s.metrics.observeIngestAck(tenant, time.Since(start))
+		if sc.writeFrame(ingest.AppendAck(nil, batch.Seq)) != nil {
+			return
+		}
+	}
+}
+
+// ingestOneBatch applies one stream batch locally or through cluster
+// routing, recording the batch metrics.
+func (s *Server) ingestOneBatch(key, session string, clustered bool, batch ingest.Batch) error {
+	tenant := s.streamTenant(key)
+	var applied int
+	var deduped bool
+	var err error
+	if clustered {
+		applied, deduped, err = s.cluster.routeIngest(key, session, batch)
+	} else {
+		applied, deduped, err = s.applyIngestBatch(key, session, batch.Seq, batch.Count, batch.Records)
+	}
+	if err != nil {
+		return err
+	}
+	s.metrics.observeIngestBatch(tenant, deduped, applied)
+	return nil
+}
+
+// streamErrorFor maps an ingest failure to its wire error code.
+func streamErrorFor(err error) (ingest.ErrorCode, string) {
+	var lf *logFailure
+	var ce *shardClientError
+	switch {
+	case errors.Is(err, errNotFoundLocal) || errors.Is(err, errShardMissing):
+		return ingest.CodeNotFound, err.Error()
+	case errors.Is(err, errSessionTableFull):
+		return ingest.CodeOverloaded, err.Error()
+	case errors.As(err, &lf):
+		return ingest.CodeInternal, err.Error()
+	case err == errStaleBinding || errors.Is(err, errNotOwner):
+		// A rebalance raced the batch; the new owner dedups the resend.
+		return ingest.CodeInternal, err.Error()
+	case errors.As(err, &ce):
+		return ingest.CodeBadRequest, err.Error()
+	case errors.Is(err, errForwardFailed):
+		return ingest.CodeInternal, err.Error()
+	}
+	return ingest.CodeBadRequest, err.Error()
+}
+
+// streamTenant returns the bounded tenant metric label for a registry
+// key.
+func (s *Server) streamTenant(key string) string {
+	t, _ := splitTenant(key)
+	if t == "" || t == DefaultTenant {
+		return DefaultTenant
+	}
+	if s.tenants.get(t) != nil {
+		return t
+	}
+	return "other"
+}
+
+// ---- internal shard endpoints (cluster fan-out) ----
+
+// handleShardIngest applies one forwarded sub-batch at a partition
+// owner: POST body is the walOpIngest rest layout (session | seq |
+// count | records). Internal only - the (session, seq) contract is
+// meaningless for external callers hitting shard keys directly.
+func (s *Server) handleShardIngest(w http.ResponseWriter, r *http.Request) {
+	if !isInternal(r) {
+		writeError(w, http.StatusForbidden, "shard ingest is internal")
+		return
+	}
+	if s.replicaReadOnly() {
+		writeError(w, http.StatusConflict, readOnlyReplicaMsg)
+		return
+	}
+	name := r.PathValue("name")
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	session, seq, count, records, err := parseIngestRest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	applied, deduped, err := s.applyIngestBatch(name, session, seq, count, records)
+	if err != nil {
+		writeIngestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestShardResponse{Applied: applied, Deduped: deduped})
+}
+
+// writeIngestError maps an exactly-once apply failure to its HTTP
+// status, shared by the internal shard endpoint and the
+// Idempotency-Key JSON path.
+func writeIngestError(w http.ResponseWriter, err error) {
+	var lf *logFailure
+	switch {
+	case errors.Is(err, errNotFoundLocal) || errors.Is(err, errShardMissing):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, errSessionTableFull):
+		reject(w, 1)
+	case err == errStaleBinding || errors.Is(err, errNotOwner):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.As(err, &lf), errors.Is(err, errForwardFailed):
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// ingestShardResponse acknowledges one forwarded sub-batch.
+type ingestShardResponse struct {
+	Applied int  `json:"applied"`
+	Deduped bool `json:"deduped"`
+}
+
+// handleIngestMarks adopts session watermarks for one estimator -
+// rebalance ships a shard's marks to the new owner at seal time so the
+// move cannot reopen the dedup window. Body: JSON array of sessionMark.
+func (s *Server) handleIngestMarks(w http.ResponseWriter, r *http.Request) {
+	if !isInternal(r) {
+		writeError(w, http.StatusForbidden, "ingest marks are internal")
+		return
+	}
+	name := r.PathValue("name")
+	est, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no estimator %q", name)
+		return
+	}
+	var marks []sessionMark
+	if !decodeJSON(w, r, &marks) {
+		return
+	}
+	for _, m := range marks {
+		if m.Session == "" || len(m.Session) > ingest.MaxSessionIDBytes {
+			writeError(w, http.StatusBadRequest, "bad session in mark")
+			return
+		}
+		if err := s.adoptMark(name, est, m); err != nil {
+			var lf *logFailure
+			if errors.As(err, &lf) {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"adopted": len(marks)})
+}
+
+// ---- Idempotency-Key on the JSON update path ----
+
+// updateRecords converts a JSON update batch into wire records for the
+// exactly-once machinery.
+func updateRecords(req *updateRequest) ([]spatial.UpdateRecord, error) {
+	op := spatial.OpInsert
+	if req.Op == "delete" {
+		op = spatial.OpDelete
+	}
+	var side spatial.UpdateSide
+	switch req.Side {
+	case "", "data":
+		side = spatial.SideData
+	case "left":
+		side = spatial.SideLeft
+	case "right":
+		side = spatial.SideRight
+	case "inner":
+		side = spatial.SideInner
+	case "outer":
+		side = spatial.SideOuter
+	default:
+		return nil, fmt.Errorf("unknown side %q", req.Side)
+	}
+	recs := make([]spatial.UpdateRecord, 0, len(req.Rects)+len(req.Points))
+	for _, r := range decodeRects(req.Rects) {
+		recs = append(recs, spatial.UpdateRecord{Op: op, Side: side, Rect: r})
+	}
+	for _, p := range decodePoints(req.Points) {
+		recs = append(recs, spatial.UpdateRecord{Op: op, Side: side, Point: p})
+	}
+	return recs, nil
+}
+
+// serveIdempotentUpdate runs one JSON update through the exactly-once
+// ingest machinery: the Idempotency-Key becomes a single-batch session
+// ("idem:<key>", seq 1) whose persisted watermark makes any retry of
+// the same key a durable no-op that still answers 200 (with Deduped
+// set). Keys are single-use by construction; reusing one replays the
+// first request's acknowledgement, not its effect.
+func (s *Server) serveIdempotentUpdate(w http.ResponseWriter, name, key string, req *updateRequest) {
+	if !validRequestID(key) {
+		writeError(w, http.StatusBadRequest, "Idempotency-Key must be 1-64 log-safe characters")
+		return
+	}
+	recs, err := updateRecords(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(recs) == 0 {
+		writeError(w, http.StatusBadRequest, "idempotent update carries no rects or points")
+		return
+	}
+	var enc []byte
+	for _, rec := range recs {
+		enc = rec.AppendBinary(enc)
+	}
+	session := "idem:" + key
+	var applied int
+	var deduped bool
+	if s.cluster != nil && !cluster.IsShardName(name) {
+		applied, deduped, err = s.cluster.routeIngest(name, session,
+			ingest.Batch{Seq: 1, Count: uint64(len(recs)), Records: enc})
+	} else {
+		applied, deduped, err = s.applyIngestBatch(name, session, 1, uint64(len(recs)), enc)
+	}
+	if err != nil {
+		writeIngestError(w, err)
+		return
+	}
+	var counts map[string]int64
+	if est, ok := s.lookup(name); ok {
+		counts = est.counts()
+	}
+	writeJSON(w, http.StatusOK, updateResponse{Applied: applied, Counts: counts, Deduped: deduped})
+}

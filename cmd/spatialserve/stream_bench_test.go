@@ -1,0 +1,69 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	spatial "repro"
+	"repro/ingestclient"
+	"repro/internal/datagen"
+)
+
+// BenchmarkStreamIngest measures per-record cost of the binary streaming
+// ingest path end to end - frame encode, wire, WAL group commit, sketch
+// apply, ack - on the same production-shaped synopsis as the in-process
+// BenchmarkUpdateThroughput (2-d, 1024 instances). The acceptance gate
+// for the wire protocol is staying within ~2x of the in-process number;
+// 256-record batches amortize the framing and the commit.
+func BenchmarkStreamIngest(b *testing.B) {
+	srv, err := NewPersistentServer(PersistOptions{DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ht := httptest.NewServer(srv)
+	defer ht.Close()
+	mustDo(b, "POST", ht.URL+"/v1/estimators", mustJSON(b, createRequest{
+		Name: "j", Kind: "join",
+		Config: configRequest{Dims: 2, DomainSize: 1 << 16, Seed: 1, Instances: 1024, Groups: 8},
+	}), http.StatusCreated)
+
+	rects := datagen.MustRects(datagen.Spec{N: 4096, Dims: 2, Domain: 1 << 16, Seed: 2})
+	recs := make([]spatial.UpdateRecord, len(rects))
+	for i, r := range rects {
+		recs[i] = spatial.UpdateRecord{Op: spatial.OpInsert, Side: spatial.SideLeft, Rect: r}
+	}
+
+	c, err := ingestclient.Dial(ingestclient.Options{BaseURL: ht.URL, Estimator: "j", Session: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// Establish the connection before the clock starts.
+	if err := c.Send(recs[:1]); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; sent += batch {
+		n := batch
+		if rem := b.N - sent; rem < n {
+			n = rem
+		}
+		at := sent % (len(recs) - batch)
+		if err := c.Send(recs[at : at+n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "records/batch")
+}

@@ -128,6 +128,10 @@ func (e *ContainmentEstimator) updateInner(r geo.HyperRect, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideInner, r, nil); err != nil {
 		return err
 	}
+	return e.ingestInner(r, insert)
+}
+
+func (e *ContainmentEstimator) ingestInner(r geo.HyperRect, insert bool) error {
 	pt := core.ContainmentPoint(r)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -150,6 +154,10 @@ func (e *ContainmentEstimator) updateOuter(r geo.HyperRect, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideOuter, r, nil); err != nil {
 		return err
 	}
+	return e.ingestOuter(r, insert)
+}
+
+func (e *ContainmentEstimator) ingestOuter(r geo.HyperRect, insert bool) error {
 	box := core.ContainmentBox(r)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -215,6 +223,31 @@ func (e *ContainmentEstimator) Apply(rec UpdateRecord) error {
 		return e.DeleteOuter(rec.Rect)
 	}
 	return fmt.Errorf("spatial: containment estimators have no %v side", rec.Side)
+}
+
+// ValidateRecord checks rec against this estimator's input contract -
+// exactly the validation Apply performs - without applying it (see
+// JoinEstimator.ValidateRecord).
+func (e *ContainmentEstimator) ValidateRecord(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: containment estimators take rects, record carries a point")
+	}
+	if rec.Side != SideInner && rec.Side != SideOuter {
+		return fmt.Errorf("spatial: containment estimators have no %v side", rec.Side)
+	}
+	return e.check(rec.Rect)
+}
+
+// ApplyUntapped replays rec like Apply but without notifying the update
+// tap (see JoinEstimator.ApplyUntapped).
+func (e *ContainmentEstimator) ApplyUntapped(rec UpdateRecord) error {
+	if err := e.ValidateRecord(rec); err != nil {
+		return err
+	}
+	if rec.Side == SideInner {
+		return e.ingestInner(rec.Rect, rec.Op == OpInsert)
+	}
+	return e.ingestOuter(rec.Rect, rec.Op == OpInsert)
 }
 
 // header returns the full public configuration of this estimator.

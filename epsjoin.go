@@ -175,6 +175,10 @@ func (e *EpsJoinEstimator) updateLeft(p geo.Point, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideLeft, nil, p); err != nil {
 		return err
 	}
+	return e.ingestLeft(p, insert)
+}
+
+func (e *EpsJoinEstimator) ingestLeft(p geo.Point, insert bool) error {
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
 			return s.pts.Insert(p)
@@ -196,6 +200,10 @@ func (e *EpsJoinEstimator) updateRight(p geo.Point, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideRight, nil, p); err != nil {
 		return err
 	}
+	return e.ingestRight(p, insert)
+}
+
+func (e *EpsJoinEstimator) ingestRight(p geo.Point, insert bool) error {
 	ball := geo.Ball(p, e.cfg.Eps, e.cfg.DomainSize)
 	return e.st.ingest(func(s *pointBoxState) error {
 		if insert {
@@ -257,6 +265,31 @@ func (e *EpsJoinEstimator) Apply(rec UpdateRecord) error {
 		return e.DeleteRight(rec.Point)
 	}
 	return fmt.Errorf("spatial: epsilon-join estimators have no %v side", rec.Side)
+}
+
+// ValidateRecord checks rec against this estimator's input contract -
+// exactly the validation Apply performs - without applying it (see
+// JoinEstimator.ValidateRecord).
+func (e *EpsJoinEstimator) ValidateRecord(rec UpdateRecord) error {
+	if rec.Point == nil {
+		return fmt.Errorf("spatial: epsilon-join estimators take points, record carries a rect")
+	}
+	if rec.Side != SideLeft && rec.Side != SideRight {
+		return fmt.Errorf("spatial: epsilon-join estimators have no %v side", rec.Side)
+	}
+	return e.check(rec.Point)
+}
+
+// ApplyUntapped replays rec like Apply but without notifying the update
+// tap (see JoinEstimator.ApplyUntapped).
+func (e *EpsJoinEstimator) ApplyUntapped(rec UpdateRecord) error {
+	if err := e.ValidateRecord(rec); err != nil {
+		return err
+	}
+	if rec.Side == SideLeft {
+		return e.ingestLeft(rec.Point, rec.Op == OpInsert)
+	}
+	return e.ingestRight(rec.Point, rec.Op == OpInsert)
 }
 
 // header returns the full public configuration of this estimator.

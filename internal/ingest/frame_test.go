@@ -1,0 +1,237 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+)
+
+func readOne(t *testing.T, raw []byte) (FrameType, []byte) {
+	t.Helper()
+	ft, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return ft, body
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	raw := AppendHello(nil, Hello{Session: "writer-7", Estimator: "acme/objects"})
+	ft, body := readOne(t, raw)
+	if ft != FrameHello {
+		t.Fatalf("frame type = %d, want hello", ft)
+	}
+	h, err := DecodeHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Session != "writer-7" || h.Estimator != "acme/objects" {
+		t.Fatalf("round trip = %+v", h)
+	}
+}
+
+func TestHelloBounds(t *testing.T) {
+	long := make([]byte, MaxSessionIDBytes+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	cases := []Hello{
+		{Session: "", Estimator: "x"},
+		{Session: string(long), Estimator: "x"},
+		{Session: "s", Estimator: ""},
+	}
+	for _, h := range cases {
+		raw := AppendHello(nil, h)
+		_, body := readOne(t, raw)
+		if _, err := DecodeHello(body); err == nil {
+			t.Errorf("DecodeHello(%+v) accepted", h)
+		}
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	raw := AppendHelloAck(nil, HelloAck{Watermark: 1 << 40, WindowBatches: 64})
+	ft, body := readOne(t, raw)
+	if ft != FrameHelloAck {
+		t.Fatalf("frame type = %d, want hello-ack", ft)
+	}
+	a, err := DecodeHelloAck(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Watermark != 1<<40 || a.WindowBatches != 64 {
+		t.Fatalf("round trip = %+v", a)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	recs := []spatial.UpdateRecord{
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Rect: geo.HyperRect{{Lo: 1, Hi: 5}, {Lo: 2, Hi: 9}}},
+		{Op: spatial.OpDelete, Side: spatial.SideRight, Rect: geo.HyperRect{{Lo: 0, Hi: 3}, {Lo: 4, Hi: 7}}},
+		{Op: spatial.OpInsert, Side: spatial.SideLeft, Point: geo.Point{11, 22}},
+	}
+	var enc []byte
+	for _, r := range recs {
+		enc = r.AppendBinary(enc)
+	}
+	raw := AppendBatch(nil, 42, len(recs), enc)
+	ft, body := readOne(t, raw)
+	if ft != FrameBatch {
+		t.Fatalf("frame type = %d, want batch", ft)
+	}
+	b, err := DecodeBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 42 || b.Count != uint64(len(recs)) {
+		t.Fatalf("batch header = seq %d count %d", b.Seq, b.Count)
+	}
+	got, err := b.DecodeRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		want := recs[i].AppendBinary(nil)
+		if !bytes.Equal(got[i].AppendBinary(nil), want) {
+			t.Errorf("record %d round trip mismatch", i)
+		}
+	}
+}
+
+func TestBatchHostileCount(t *testing.T) {
+	// A tiny body declaring a huge count must be rejected before any
+	// per-record work sizes buffers from the header.
+	body := binary.AppendUvarint(nil, 1)        // seq
+	body = binary.AppendUvarint(body, 1<<40)    // count
+	body = append(body, 0, 0, 2, 1, 2, 3, 4, 5) // a few bytes of "records"
+	if _, err := DecodeBatch(body); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}
+
+func TestBatchSeqZeroReserved(t *testing.T) {
+	body := binary.AppendUvarint(nil, 0)
+	body = binary.AppendUvarint(body, 0)
+	if _, err := DecodeBatch(body); err == nil {
+		t.Fatal("seq 0 accepted")
+	}
+}
+
+func TestAckErrorRoundTrip(t *testing.T) {
+	ft, body := readOne(t, AppendAck(nil, 99))
+	if ft != FrameAck {
+		t.Fatalf("frame type = %d, want ack", ft)
+	}
+	if seq, err := DecodeAck(body); err != nil || seq != 99 {
+		t.Fatalf("ack = %d, %v", seq, err)
+	}
+	ft, body = readOne(t, AppendError(nil, CodeOverloaded, "stream table full"))
+	if ft != FrameError {
+		t.Fatalf("frame type = %d, want error", ft)
+	}
+	se, err := DecodeError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Code != CodeOverloaded || se.Msg != "stream table full" {
+		t.Fatalf("error = %+v", se)
+	}
+	if !se.Code.Retryable() || CodeBadRequest.Retryable() {
+		t.Fatal("retryable classification wrong")
+	}
+}
+
+func TestReadFrameBoundsLength(t *testing.T) {
+	raw := []byte{byte(FrameBatch)}
+	raw = binary.AppendUvarint(raw, MaxFrameBytes+1)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil)))
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestMultipleFramesOneStream(t *testing.T) {
+	raw := AppendHello(nil, Hello{Session: "s", Estimator: "e"})
+	raw = AppendAck(raw, 1)
+	raw = AppendAck(raw, 2)
+	br := bufio.NewReader(bytes.NewReader(raw))
+	want := []FrameType{FrameHello, FrameAck, FrameAck}
+	for i, w := range want {
+		ft, _, err := ReadFrame(br)
+		if err != nil || ft != w {
+			t.Fatalf("frame %d: type %d err %v, want %d", i, ft, err, w)
+		}
+	}
+	if _, _, err := ReadFrame(br); !errors.Is(err, io.EOF) {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+// FuzzIngestFrame throws arbitrary bytes at the full frame decode path:
+// no panic, no unbounded allocation, and anything that decodes as a
+// batch must re-encode to the identical frame (round-trip stability is
+// what lets retried frames dedup byte-exactly).
+func FuzzIngestFrame(f *testing.F) {
+	rec := spatial.UpdateRecord{Op: spatial.OpInsert, Side: spatial.SideLeft,
+		Rect: geo.HyperRect{{Lo: 1, Hi: 5}, {Lo: 2, Hi: 9}}}
+	f.Add(AppendBatch(nil, 7, 1, rec.AppendBinary(nil)))
+	f.Add(AppendHello(nil, Hello{Session: "s", Estimator: "e"}))
+	f.Add(AppendHelloAck(nil, HelloAck{Watermark: 3, WindowBatches: 8}))
+	f.Add(AppendAck(nil, 12))
+	f.Add(AppendError(nil, CodeInternal, "boom"))
+	f.Add([]byte{byte(FrameBatch), 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		ft, body, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch ft {
+		case FrameHello:
+			if h, err := DecodeHello(body); err == nil {
+				round := AppendHello(nil, h)
+				if !bytes.Equal(round, AppendFrame(nil, FrameHello, body)) {
+					t.Fatalf("hello round trip changed bytes")
+				}
+			}
+		case FrameHelloAck:
+			DecodeHelloAck(body)
+		case FrameBatch:
+			b, err := DecodeBatch(body)
+			if err != nil {
+				return
+			}
+			recs, err := b.DecodeRecords()
+			if err != nil {
+				return
+			}
+			var enc []byte
+			for _, r := range recs {
+				enc = r.AppendBinary(enc)
+			}
+			round := AppendBatch(nil, b.Seq, len(recs), enc)
+			if !bytes.Equal(round, AppendFrame(nil, FrameBatch, body)) {
+				t.Fatalf("batch round trip changed bytes")
+			}
+		case FrameAck:
+			DecodeAck(body)
+		case FrameError:
+			DecodeError(body)
+		}
+	})
+}

@@ -225,6 +225,10 @@ func (e *JoinEstimator) updateLeft(r geo.HyperRect, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideLeft, r, nil); err != nil {
 		return err
 	}
+	return e.ingestLeft(r, insert)
+}
+
+func (e *JoinEstimator) ingestLeft(r geo.HyperRect, insert bool) error {
 	return e.st.ingest(func(s *joinState) error {
 		if s.leftCE != nil {
 			if insert {
@@ -247,6 +251,10 @@ func (e *JoinEstimator) updateRight(r geo.HyperRect, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideRight, r, nil); err != nil {
 		return err
 	}
+	return e.ingestRight(r, insert)
+}
+
+func (e *JoinEstimator) ingestRight(r geo.HyperRect, insert bool) error {
 	return e.st.ingest(func(s *joinState) error {
 		if s.rightCE != nil {
 			if insert {
@@ -338,6 +346,33 @@ func (e *JoinEstimator) Apply(rec UpdateRecord) error {
 		return e.DeleteRight(rec.Rect)
 	}
 	return fmt.Errorf("spatial: join estimators have no %v side", rec.Side)
+}
+
+// ValidateRecord checks rec against this estimator's input contract -
+// exactly the validation Apply performs - without applying it. A record
+// that passes can be journaled ahead of its apply: the later
+// Apply/ApplyUntapped cannot fail validation.
+func (e *JoinEstimator) ValidateRecord(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: join estimators take rects, record carries a point")
+	}
+	if rec.Side != SideLeft && rec.Side != SideRight {
+		return fmt.Errorf("spatial: join estimators have no %v side", rec.Side)
+	}
+	return e.checkInput(rec.Rect)
+}
+
+// ApplyUntapped replays rec like Apply but without notifying the update
+// tap - for callers that already journaled the record themselves and
+// must not observe it a second time. Validation is identical to Apply.
+func (e *JoinEstimator) ApplyUntapped(rec UpdateRecord) error {
+	if err := e.ValidateRecord(rec); err != nil {
+		return err
+	}
+	if rec.Side == SideLeft {
+		return e.ingestLeft(rec.Rect, rec.Op == OpInsert)
+	}
+	return e.ingestRight(rec.Rect, rec.Op == OpInsert)
 }
 
 // LeftCount returns the current left input cardinality (inserts minus

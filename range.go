@@ -125,6 +125,10 @@ func (e *RangeEstimator) update(r geo.HyperRect, insert bool) error {
 	if err := e.st.tapRecord1(opOf(insert), SideData, r, nil); err != nil {
 		return err
 	}
+	return e.ingestRect(r, insert)
+}
+
+func (e *RangeEstimator) ingestRect(r geo.HyperRect, insert bool) error {
 	t := geo.TransformKeepRect(r)
 	return e.st.ingest(func(s *core.RangeSketch) error {
 		if insert {
@@ -169,6 +173,28 @@ func (e *RangeEstimator) Apply(rec UpdateRecord) error {
 		return e.Delete(rec.Rect)
 	}
 	return e.Insert(rec.Rect)
+}
+
+// ValidateRecord checks rec against this estimator's input contract -
+// exactly the validation Apply performs - without applying it (see
+// JoinEstimator.ValidateRecord).
+func (e *RangeEstimator) ValidateRecord(rec UpdateRecord) error {
+	if rec.Rect == nil {
+		return fmt.Errorf("spatial: range estimators take rects, record carries a point")
+	}
+	if rec.Side != SideData {
+		return fmt.Errorf("spatial: range estimators have no %v side", rec.Side)
+	}
+	return e.check(rec.Rect)
+}
+
+// ApplyUntapped replays rec like Apply but without notifying the update
+// tap (see JoinEstimator.ApplyUntapped).
+func (e *RangeEstimator) ApplyUntapped(rec UpdateRecord) error {
+	if err := e.ValidateRecord(rec); err != nil {
+		return err
+	}
+	return e.ingestRect(rec.Rect, rec.Op != OpDelete)
 }
 
 // mergeRangeSketch adapts core merging to the shard helper.
