@@ -9,33 +9,23 @@
 // Every benchmark line becomes one record carrying the package (from the
 // preceding "pkg:" header), the benchmark name (GOMAXPROCS suffix split
 // off), the iteration count, and every reported metric - ns/op, B/op,
-// allocs/op, MB/s and custom b.ReportMetric units alike.
+// allocs/op, MB/s and custom b.ReportMetric units alike. The schema
+// (internal/benchfmt) is shared with cmd/spatialload, so load-run
+// reports and micro-benchmark runs land in the same trajectory format.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-type record struct {
-	Pkg        string             `json:"pkg,omitempty"`
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-type document struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []record          `json:"benchmarks"`
-}
-
 func main() {
-	doc := document{Context: map[string]string{}, Benchmarks: []record{}}
+	doc := benchfmt.NewDocument()
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -57,21 +47,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := doc.Encode(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // parseBench decodes one "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line.
-func parseBench(line, pkg string) (record, bool) {
+func parseBench(line, pkg string) (benchfmt.Record, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
-		return record{}, false
+		return benchfmt.Record{}, false
 	}
-	r := record{Pkg: pkg, Metrics: map[string]float64{}}
+	r := benchfmt.Record{Pkg: pkg, Metrics: map[string]float64{}}
 	r.Name = fields[0]
 	if i := strings.LastIndex(r.Name, "-"); i > 0 {
 		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
@@ -80,7 +68,7 @@ func parseBench(line, pkg string) (record, bool) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return record{}, false
+		return benchfmt.Record{}, false
 	}
 	r.Iterations = iters
 	for i := 2; i+1 < len(fields); i += 2 {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// HDR-style latency recording: a fixed array of log-spaced buckets (8
+// sub-buckets per power of two, so bucket width is 12.5% of the value)
+// covers 1ns..~584y with no allocation on the hot path. Quantiles read
+// the bucket lower bound, so a reported p99 is at most one bucket width
+// below the true value - plenty for a load report.
+
+// histSubBits is the per-octave sub-bucket resolution (2^3 = 8).
+const histSubBits = 3
+
+// histBuckets is the bucket count: 64 octaves x 8 sub-buckets.
+const histBuckets = 64 << histSubBits
+
+// hist is one operation class's latency record. Safe for concurrent use.
+type hist struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	n      uint64
+	errs   uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := uint64(d)
+	if ns < 1<<histSubBits {
+		return int(ns) // the first octaves are exact
+	}
+	exp := bits.Len64(ns) - 1
+	sub := (ns >> (uint(exp) - histSubBits)) & (1<<histSubBits - 1)
+	return (exp << histSubBits) | int(sub)
+}
+
+// bucketLow returns the smallest duration mapping to bucket i - the
+// value quantile() reports for samples landing in it.
+func bucketLow(i int) time.Duration {
+	exp := i >> histSubBits
+	sub := uint64(i & (1<<histSubBits - 1))
+	if exp <= histSubBits {
+		return time.Duration(i)
+	}
+	return time.Duration(1<<uint(exp) | sub<<(uint(exp)-histSubBits))
+}
+
+// observe records one successful operation's latency.
+func (h *hist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketFor(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// fail records one failed operation (no latency sample).
+func (h *hist) fail() {
+	h.mu.Lock()
+	h.errs++
+	h.mu.Unlock()
+}
+
+// quantile returns the latency at quantile q in [0,1]. Caller holds mu.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// phaseStats aggregates one phase's histograms by operation class.
+type phaseStats struct {
+	name string
+	dur  time.Duration // workers-active wall time, set at phase end
+
+	mu    sync.Mutex
+	hists map[string]*hist
+}
+
+// hist returns (creating on first use) the histogram for one op class.
+func (p *phaseStats) hist(class string) *hist {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.hists[class]
+	if h == nil {
+		h = &hist{}
+		p.hists[class] = h
+	}
+	return h
+}
+
+// record adds one phase's benchmark records to the report document:
+// Load/<phase>/<class> with p50/p95/p99/max latencies, op and error
+// counts, and throughput over the phase's active window.
+func (p *phaseStats) record(doc *benchfmt.Document) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	classes := make([]string, 0, len(p.hists))
+	for c := range p.hists {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		h := p.hists[c]
+		h.mu.Lock()
+		m := map[string]float64{
+			"ops":    float64(h.n),
+			"errors": float64(h.errs),
+			"p50_ns": float64(h.quantile(0.50)),
+			"p95_ns": float64(h.quantile(0.95)),
+			"p99_ns": float64(h.quantile(0.99)),
+			"max_ns": float64(h.max),
+		}
+		if p.dur > 0 {
+			m["ops_per_sec"] = float64(h.n) / p.dur.Seconds()
+		}
+		doc.Benchmarks = append(doc.Benchmarks, benchfmt.Record{
+			Pkg:        "repro/cmd/spatialload",
+			Name:       "Load/" + p.name + "/" + c,
+			Procs:      1,
+			Iterations: int64(h.n),
+			Metrics:    m,
+		})
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,232 @@
+// Command spatialload is the closed-loop cluster load harness: it brings
+// up a real multi-node spatialserve cluster (separate processes, real
+// WALs, real sockets), drives it with a configurable mixed workload -
+// JSON updates with Idempotency-Key retry safety, spatial-ingest/1
+// streaming sessions, single and batched estimates across all four
+// estimator kinds, multiple tenants, zipf hot-key skew - through a
+// scripted scenario of phases (steady-state, ramp, rebalance-under-load,
+// SIGKILL-failover with replica promote), and verifies the paper's
+// exactness claim the whole way: at every quiesce point, the merged
+// cluster snapshot of every estimator on every node must be
+// byte-identical to an in-process loss-free replay of exactly the acked
+// mutations (the TestChaosSoak oracle, scriptable).
+//
+// Latencies are recorded per operation class and per phase in HDR-style
+// log buckets and reported as p50/p95/p99/max plus throughput, in the
+// benchfmt JSON schema shared with cmd/benchjson - the repo's committed
+// perf trajectory (BENCH_*.json) speaks one dialect.
+//
+// Usage:
+//
+//	go build -o /tmp/spatialserve ./cmd/spatialserve
+//	spatialload -binary /tmp/spatialserve \
+//	    -nodes 3 -partitions 4 \
+//	    -scenario steady:10s,ramp:10s,rebalance:20s,failover:20s \
+//	    -tenants acme \
+//	    -update-workers 4 -stream-workers 2 -estimate-workers 4 \
+//	    -out BENCH_load.json
+//
+// Exit status is non-zero if any phase fails or the oracle finds a
+// single byte of divergence.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/cluster"
+)
+
+// Config parameterizes one load run. Exposed so the smoke test drives
+// runLoad directly.
+type Config struct {
+	// Binary is the spatialserve executable to launch nodes from.
+	Binary string
+	// Nodes is the cluster size (3 exercises real fan-out).
+	Nodes int
+	// Partitions is the per-estimator partition count.
+	Partitions int
+	// DataRoot holds the per-node data directories.
+	DataRoot string
+	// Tenants lists extra tenants to load beyond the default namespace.
+	Tenants []string
+	// UpdateWorkers, StreamWorkers and EstimateWorkers size the fleet.
+	UpdateWorkers, StreamWorkers, EstimateWorkers int
+	// BatchSize is records per streaming-ingest batch.
+	BatchSize int
+	// ZipfS is the zipf skew parameter over targets (>1 enables hot
+	// keys; 0 is uniform).
+	ZipfS float64
+	// Dom is the spatial domain size per dimension.
+	Dom uint64
+	// Seed makes the workload deterministic per worker.
+	Seed int64
+	// Oracle enables the byte-exactness verification at quiesce points.
+	Oracle bool
+	// Phases is the scripted scenario.
+	Phases []Phase
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// Stderr, when non-nil, receives the server processes' stderr.
+	Stderr io.Writer
+}
+
+func main() {
+	fs := flag.NewFlagSet("spatialload", flag.ExitOnError)
+	binary := fs.String("binary", "", "path to the spatialserve binary (required)")
+	nodes := fs.Int("nodes", 3, "cluster size")
+	partitions := fs.Int("partitions", 4, "partitions per estimator")
+	scenario := fs.String("scenario", "steady:10s,rebalance:10s", "comma-separated phase:duration list (steady|ramp|rebalance|failover)")
+	tenants := fs.String("tenants", "acme", "comma-separated extra tenants (empty for default-only)")
+	updateWorkers := fs.Int("update-workers", 4, "JSON update writer goroutines")
+	streamWorkers := fs.Int("stream-workers", 2, "streaming-ingest sessions")
+	estimateWorkers := fs.Int("estimate-workers", 4, "estimate reader goroutines")
+	batch := fs.Int("batch", 32, "records per streaming batch")
+	zipfS := fs.Float64("zipf", 1.2, "zipf skew over targets (<=1 disables)")
+	dom := fs.Uint64("dom", 1<<12, "domain size per dimension")
+	seed := fs.Int64("seed", 1, "workload seed")
+	oracle := fs.Bool("oracle", true, "verify byte-exactness at quiesce points")
+	out := fs.String("out", "-", "report destination ('-' for stdout)")
+	fs.Parse(os.Args[1:])
+
+	if *binary == "" {
+		fmt.Fprintln(os.Stderr, "spatialload: -binary is required")
+		os.Exit(2)
+	}
+	phases, err := parseScenario(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialload: %v\n", err)
+		os.Exit(2)
+	}
+	dataRoot, err := os.MkdirTemp("", "spatialload-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialload: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dataRoot)
+
+	var extraTenants []string
+	for _, t := range strings.Split(*tenants, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			extraTenants = append(extraTenants, t)
+		}
+	}
+	cfg := Config{
+		Binary:          *binary,
+		Nodes:           *nodes,
+		Partitions:      *partitions,
+		DataRoot:        dataRoot,
+		Tenants:         extraTenants,
+		UpdateWorkers:   *updateWorkers,
+		StreamWorkers:   *streamWorkers,
+		EstimateWorkers: *estimateWorkers,
+		BatchSize:       *batch,
+		ZipfS:           *zipfS,
+		Dom:             *dom,
+		Seed:            *seed,
+		Oracle:          *oracle,
+		Phases:          phases,
+		Log:             os.Stderr,
+		Stderr:          os.Stderr,
+	}
+	doc, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialload: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialload: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := doc.Encode(w); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runLoad executes one full load run: cluster up, targets created,
+// phases executed (each ending in quiesce + optional oracle pass),
+// report assembled. The cluster is torn down before return.
+func runLoad(cfg Config) (*benchfmt.Document, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Dom == 0 {
+		cfg.Dom = 1 << 12
+	}
+	cl, err := cluster.LaunchProcCluster(cluster.ProcClusterSpec{
+		Binary:     cfg.Binary,
+		Nodes:      cfg.Nodes,
+		Partitions: cfg.Partitions,
+		DataRoot:   cfg.DataRoot,
+		Stderr:     cfg.Stderr,
+		ExtraArgs:  []string{"-checkpoint-interval=2s"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("launching %d-node cluster: %w", cfg.Nodes, err)
+	}
+	defer cl.Close()
+
+	r := &runner{
+		cfg:   cfg,
+		cl:    cl,
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		nodes: append([]string(nil), cl.URLs...),
+	}
+	if err := r.createTargets(); err != nil {
+		return nil, fmt.Errorf("creating estimators: %w", err)
+	}
+	r.logf("cluster up: %d nodes, %d partitions, %d targets", cfg.Nodes, cfg.Partitions, len(r.targets))
+
+	runctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, ph := range cfg.Phases {
+		if err := r.runPhase(runctx, ph); err != nil {
+			return nil, err
+		}
+	}
+
+	doc := benchfmt.NewDocument()
+	doc.Context["harness"] = "spatialload"
+	doc.Context["goos"] = runtime.GOOS
+	doc.Context["goarch"] = runtime.GOARCH
+	doc.Context["nodes"] = fmt.Sprint(cfg.Nodes)
+	doc.Context["partitions"] = fmt.Sprint(cfg.Partitions)
+	doc.Context["tenants"] = fmt.Sprint(1 + len(cfg.Tenants))
+	doc.Context["targets"] = fmt.Sprint(len(r.targets))
+	doc.Context["workers"] = fmt.Sprintf("update=%d stream=%d estimate=%d",
+		cfg.UpdateWorkers, cfg.StreamWorkers, cfg.EstimateWorkers)
+	doc.Context["zipf"] = fmt.Sprint(cfg.ZipfS)
+	doc.Context["oracle"] = fmt.Sprint(cfg.Oracle)
+	scenarioParts := make([]string, len(cfg.Phases))
+	for i, ph := range cfg.Phases {
+		scenarioParts[i] = ph.Name + ":" + ph.Duration.String()
+	}
+	doc.Context["scenario"] = strings.Join(scenarioParts, ",")
+	r.mu.Lock()
+	doc.Context["acked_ops"] = fmt.Sprint(len(r.acked))
+	phases := r.phases
+	r.mu.Unlock()
+	for _, ps := range phases {
+		ps.record(doc)
+	}
+	doc.Sort()
+	return doc, nil
+}

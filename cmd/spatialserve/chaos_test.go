@@ -86,6 +86,7 @@ type ackedRec struct {
 
 func startChaos(t *testing.T, seed int64) *chaosHarness {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	h := &chaosHarness{t: t, in: faultinject.New(seed)}
 	for i := 0; i < 3; i++ {
 		n := &chaosNode{id: fmt.Sprintf("n%d", i), dir: filepath.Join(t.TempDir(), "node")}

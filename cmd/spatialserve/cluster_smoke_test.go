@@ -3,17 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"math/rand"
-	"net"
 	"net/http"
 	"os/exec"
 	"path/filepath"
-	"strings"
 	"testing"
-	"time"
 
 	"repro/geo"
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 )
 
@@ -24,42 +21,21 @@ import (
 // byte-identical to a loss-free single-node replay. This is the CI
 // cluster smoke job.
 
-// reservePorts grabs n distinct listening ports and releases them for the
-// helper processes to bind (the usual pre-bind trick: a tiny race window,
-// irrelevant for CI).
+// reservePorts and waitHealthy wrap the shared orchestration helpers in
+// internal/cluster (also used by cmd/spatialload) with test fatals.
 func reservePorts(t *testing.T, n int) []string {
 	t.Helper()
-	addrs := make([]string, n)
-	lns := make([]net.Listener, n)
-	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range lns {
-		ln.Close()
+	addrs, err := cluster.ReservePorts(n)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return addrs
 }
 
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("node %s never became healthy", base)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := cluster.WaitHealthy(base, 0); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -76,11 +52,7 @@ func TestClusterSmokeSIGKILLFailover(t *testing.T) {
 	const n = 120
 	addrs := reservePorts(t, 3)
 	ids := []string{"a", "b", "c"}
-	var peerParts []string
-	for i, id := range ids {
-		peerParts = append(peerParts, fmt.Sprintf("%s=http://%s", id, addrs[i]))
-	}
-	peers := strings.Join(peerParts, ",")
+	peers := cluster.PeersFlag(ids, addrs)
 	dirs := make([]string, 3)
 	urls := make([]string, 3)
 	cmds := make([]*exec.Cmd, 3)

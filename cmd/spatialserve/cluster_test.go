@@ -29,6 +29,7 @@ const testPartitions = 4
 // is non-nil) and returns the servers and their base URLs.
 func startCluster(t *testing.T, n int, persistent bool) ([]*Server, []string) {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	srvs := make([]*Server, n)
 	hts := make([]*httptest.Server, n)
 	urls := make([]string, n)

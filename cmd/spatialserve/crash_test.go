@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -10,7 +9,6 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +16,7 @@ import (
 
 	spatial "repro"
 	"repro/geo"
+	"repro/internal/cluster"
 )
 
 // The SIGKILL tests run the real server binary (this test binary,
@@ -48,44 +47,20 @@ func startHelper(t *testing.T, dir string) (string, *exec.Cmd) {
 }
 
 // startHelperArgs launches the server helper process with explicit flags
-// (cluster smoke tests pass peer lists and node identities).
+// (cluster smoke tests pass peer lists and node identities). The
+// spawn-and-discover orchestration lives in internal/cluster so the
+// load harness (cmd/spatialload) shares it.
 func startHelperArgs(t *testing.T, args ...string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], args...)
-	cmd.Env = append(os.Environ(), crashHelperEnv+"=1")
-	cmd.Stderr = io.Discard
-	stdout, err := cmd.StdoutPipe()
+	p, err := cluster.Launch(cluster.LaunchOptions{
+		Binary: os.Args[0],
+		Args:   args,
+		Env:    []string{crashHelperEnv + "=1"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	addrc := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			if rest, ok := strings.CutPrefix(sc.Text(), "spatialserve listening on "); ok {
-				addrc <- rest
-				return
-			}
-		}
-		addrc <- ""
-	}()
-	select {
-	case addr := <-addrc:
-		if addr == "" {
-			cmd.Process.Kill()
-			cmd.Wait()
-			t.Fatal("helper server exited without a listening line")
-		}
-		return "http://" + addr, cmd
-	case <-time.After(30 * time.Second):
-		cmd.Process.Kill()
-		cmd.Wait()
-		t.Fatal("helper server did not come up in 30s")
-	}
-	panic("unreachable")
+	return p.URL, p.Cmd
 }
 
 func sigkill(t *testing.T, cmd *exec.Cmd) {

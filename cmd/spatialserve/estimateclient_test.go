@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/ingestclient"
+)
+
+// Tests of the ingestclient read side against a real server: the typed
+// estimate client must agree byte-for-byte (well, float-for-float) with
+// direct HTTP calls, reach tenant-qualified names, isolate batch row
+// errors, and surface server refusals as errors.
+func TestEstimateClientAgainstServer(t *testing.T) {
+	srv := NewServer()
+	ht := httptest.NewServer(srv)
+	defer ht.Close()
+	putTenant(t, srv, "acme", TenantConfig{})
+
+	const dom = 1 << 10
+	body, _ := json.Marshal(createRequest{Name: "r", Kind: "range",
+		Config: configRequest{Dims: 1, DomainSize: dom, Seed: 9, Instances: 64, Groups: 4}})
+	mustStatus(t, do(t, srv, "POST", "/v1/estimators", body), http.StatusCreated)
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators", tenantCreateBody(t, "r", "range")), http.StatusCreated)
+	createJoin(t, srv, "j", dom)
+
+	rng := rand.New(rand.NewSource(31))
+	var rects, rects2d [][][2]uint64
+	for i := 0; i < 40; i++ {
+		lo := rng.Uint64() % (dom - 2)
+		rects = append(rects, [][2]uint64{{lo, lo + 1 + rng.Uint64()%(dom-lo-1)}})
+		lo2 := rng.Uint64() % (dom - 2)
+		rects2d = append(rects2d, [][2]uint64{{lo, lo + 1 + rng.Uint64()%(dom-lo-1)}, {lo2, lo2 + 1 + rng.Uint64()%(dom-lo2-1)}})
+	}
+	mustStatus(t, do(t, srv, "POST", "/v1/estimators/r/update", updateBody(t, "", rects)), http.StatusOK)
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators/r/update", updateBody(t, "", rects[:10])), http.StatusOK)
+	mustStatus(t, do(t, srv, "POST", "/v1/estimators/j/update", updateBody(t, "left", rects2d)), http.StatusOK)
+	mustStatus(t, do(t, srv, "POST", "/v1/estimators/j/update", updateBody(t, "right", rects2d)), http.StatusOK)
+
+	ec := ingestclient.NewEstimateClient(ht.URL, nil)
+	ctx := context.Background()
+
+	// Single range estimate matches the direct HTTP answer.
+	q := [][2]uint64{{10, 600}}
+	got, err := ec.Estimate(ctx, "r", ingestclient.EstimateOptions{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, _ := json.Marshal(estimateRequest{Query: q})
+	var want estimateResponse
+	if err := json.Unmarshal(do(t, srv, "POST", "/v1/estimators/r/estimate", qb).Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "range" || got.Value != want.Value || got.Counts["data"] != want.Counts["data"] {
+		t.Fatalf("client estimate %+v, direct %+v", got, want)
+	}
+
+	// Tenant-qualified names route to the tenant's copy (different data,
+	// different count).
+	tgot, err := ec.Estimate(ctx, "acme/r", ingestclient.EstimateOptions{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgot.Counts["data"] != 10 {
+		t.Fatalf("tenant estimate count %d, want 10", tgot.Counts["data"])
+	}
+
+	// Parameterless kinds answer without a query.
+	jgot, err := ec.Estimate(ctx, "j", ingestclient.EstimateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jgot.Kind != "join" || jgot.Counts["left"] != 40 {
+		t.Fatalf("join estimate %+v", jgot)
+	}
+
+	// Batch rows: errors isolated per row, valid rows match singles.
+	batch, err := ec.EstimateBatch(ctx, "r", [][][2]uint64{q, {{30, 20}}, {{100, 900}}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[1].Err == "" {
+		t.Fatalf("inverted-interval row carries no error: %+v", batch.Results[1])
+	}
+	if batch.Results[0].Err != "" || batch.Results[0].Value != want.Value {
+		t.Fatalf("batch row 0 %+v, want value %v", batch.Results[0], want.Value)
+	}
+
+	// Server refusals surface as errors naming the status.
+	if _, err := ec.Estimate(ctx, "ghost", ingestclient.EstimateOptions{}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("missing estimator error = %v, want a 404", err)
+	}
+	if _, err := ec.EstimateBatch(ctx, "j", [][][2]uint64{q}, false); err == nil {
+		t.Fatal("batch against a join estimator did not error")
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine-leak checking for the e2e tests: after a test that spins up
+// servers, clusters or streams tears everything down, no goroutine may
+// still be running this repo's code. The filter keys on "repro/" frames,
+// so stdlib helpers (http keepalive conns, DNS, testing machinery) never
+// flake the check, while a forgotten checkpoint loop, replica tailer,
+// session GC or stream handler is caught by name.
+
+// checkGoroutineLeaks registers a cleanup that asserts every
+// repo-code goroutine has exited by the end of the test, retrying
+// briefly so in-flight shutdowns can drain.
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var leaked []string
+		for {
+			leaked = repoGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) still in repo code after teardown:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// repoGoroutines returns the stacks of every goroutine other than the
+// caller's that has a repro/ frame.
+func repoGoroutines() []string {
+	buf := make([]byte, 1<<22)
+	n := runtime.Stack(buf, true)
+	stacks := strings.Split(string(buf[:n]), "\n\n")
+	var out []string
+	for i, g := range stacks {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		// Goroutines whose own frames include the testing machinery are
+		// test runners (TestMain on goroutine 1, parents blocked in
+		// t.Run), not server code; a real leak never has these frames.
+		if strings.Contains(g, "testing.(*M).Run(") || strings.Contains(g, "testing.tRunner(") {
+			continue
+		}
+		if strings.Contains(g, "repro/") {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -139,6 +139,7 @@ func run(args []string, out *os.File) error {
 	maxWrites := fs.Int("max-inflight-writes", 0, "admission control: max concurrently served write-class requests (0 = unlimited)")
 	shedQPS := fs.Float64("shed-qps", 0, "admission control: token-bucket request rate above which requests are shed with 429 (0 = off)")
 	shedBurst := fs.Int("shed-burst", 0, "admission control: token-bucket burst capacity (0 = one second of -shed-qps)")
+	sessionTTL := fs.Duration("session-ttl", 24*time.Hour, "expire streaming-ingest session watermarks idle longer than this (0 disables; sessions with an attached stream never expire)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage was printed, exit 0
@@ -193,6 +194,7 @@ func run(args []string, out *os.File) error {
 		ShedQPS:           *shedQPS,
 		ShedBurst:         *shedBurst,
 	})
+	srv.StartSessionGC(*sessionTTL)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

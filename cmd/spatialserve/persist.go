@@ -76,6 +76,12 @@ const (
 	// watermark advance (used when rebalance hands session marks to a
 	// new partition owner).
 	walOpIngest byte = 8
+
+	// walOpSessionDrop removes one session watermark (TTL/LRU expiry by
+	// the session GC, or an admin drop): logged so recovery and replicas
+	// converge on the same mark state as the live server. rest: uvarint
+	// session length | session.
+	walOpSessionDrop byte = 9
 )
 
 const (
@@ -380,6 +386,23 @@ func (p *persister) logIngest(name, session string, seq uint64, count int, recor
 	return p.appendRecord(append(payload, records...))
 }
 
+// logSessionDrop writes one watermark-removal record. Caller holds the
+// shared gate and the session entry's lock, mirroring logIngest.
+func (p *persister) logSessionDrop(name, session string) error {
+	payload := appendName([]byte{walOpSessionDrop}, name)
+	return p.appendRecord(appendName(payload, session))
+}
+
+// parseSessionDropRest splits a walOpSessionDrop record's rest into the
+// session ID.
+func parseSessionDropRest(rest []byte) (string, error) {
+	sessLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) != sessLen {
+		return "", fmt.Errorf("truncated session-drop record")
+	}
+	return string(rest[n : n+int(sessLen)]), nil
+}
+
 // parseIngestRest splits a walOpIngest record's rest into session, seq,
 // count and the raw record bytes, with the same hostile-count bound as
 // the wire decoder.
@@ -499,7 +522,8 @@ func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
 		if err != nil {
 			return fmt.Errorf("wal ingest for %q at %v: %w", name, pos, err)
 		}
-		ent := p.srv.sessions.entry(session, name, false)
+		ent := p.srv.sessions.lockEntry(session, name, false)
+		defer ent.mu.Unlock()
 		// The live path never logs a batch at-or-below the watermark, but
 		// the same skip keeps replay semantics identical to live apply.
 		if seq <= ent.seq.Load() {
@@ -519,6 +543,14 @@ func (p *persister) applyLogged(pos wal.Pos, payload []byte) error {
 			return fmt.Errorf("wal ingest for %q at %v: %d trailing bytes", name, pos, len(recs))
 		}
 		ent.seq.Store(seq)
+	case walOpSessionDrop:
+		session, err := parseSessionDropRest(rest)
+		if err != nil {
+			return fmt.Errorf("wal session drop for %q at %v: %w", name, pos, err)
+		}
+		// Live drops remove the mark after logging; replay reaches the
+		// identical mark state (the estimator may legitimately be gone).
+		p.srv.sessions.removeMark(session, name)
 	case walOpTenantPut:
 		var cfg TenantConfig
 		if err := json.Unmarshal(rest, &cfg); err != nil {

@@ -419,7 +419,8 @@ func (s *Server) applyReplicatedOp(op byte, name string, rest []byte) error {
 		if err != nil {
 			return fmt.Errorf("replicated ingest for %q: %w", name, err)
 		}
-		ent := s.sessions.entry(session, name, false)
+		ent := s.sessions.lockEntry(session, name, false)
+		defer ent.mu.Unlock()
 		if seq <= ent.seq.Load() {
 			return nil
 		}
@@ -434,6 +435,14 @@ func (s *Server) applyReplicatedOp(op byte, name string, rest []byte) error {
 			}
 		}
 		ent.seq.Store(seq)
+	case walOpSessionDrop:
+		// Mirror the leader's GC/admin drop so a promoted replica's marks
+		// match the leader's exactly.
+		session, err := parseSessionDropRest(rest)
+		if err != nil {
+			return fmt.Errorf("replicated session drop for %q: %w", name, err)
+		}
+		s.sessions.removeMark(session, name)
 	case walOpMerge:
 		est, ok := s.lookup(name)
 		if !ok {

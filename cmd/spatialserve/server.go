@@ -81,6 +81,12 @@ type Server struct {
 	// the streaming path exactly-once semantics (see stream.go). The
 	// marks are persisted through the WAL and checkpoint manifest.
 	sessions sessionTable
+
+	// gcStop/gcDone/gcOnce control the background session-mark GC loop
+	// (see sessions_gc.go); gcStop is nil when GC is not running.
+	gcStop chan struct{}
+	gcDone chan struct{}
+	gcOnce sync.Once
 }
 
 // servable is the kind-erased server view of one estimator.
@@ -155,6 +161,8 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /admin/bootstrap", s.handleBootstrap)
 	s.mux.HandleFunc("GET /admin/wal", s.handleWalShip)
 	s.mux.HandleFunc("POST /admin/promote", s.handlePromote)
+	s.mux.HandleFunc("GET /admin/sessions", s.handleSessionList)
+	s.mux.HandleFunc("DELETE /admin/sessions", s.handleSessionDelete)
 	return s
 }
 
@@ -177,6 +185,7 @@ func NewPersistentServer(opts PersistOptions) (*Server, error) {
 // persistence is enabled), flushes and closes the WAL. The in-memory
 // registry remains queryable; Close is for graceful shutdown.
 func (s *Server) Close() error {
+	s.stopSessionGC()
 	s.stopReplica()
 	if s.persist == nil {
 		return nil

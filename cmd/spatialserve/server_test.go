@@ -68,6 +68,7 @@ func createJoin(t testing.TB, h http.Handler, name string, dom uint64) {
 }
 
 func TestServerLifecycle(t *testing.T) {
+	checkGoroutineLeaks(t)
 	h := NewServer()
 	const dom = 1 << 12
 
@@ -202,6 +203,7 @@ func TestServerLifecycle(t *testing.T) {
 // traffic from many goroutines - the acceptance gate for the concurrency
 // layer, meaningful under -race.
 func TestServeConcurrentMixed(t *testing.T) {
+	checkGoroutineLeaks(t)
 	h := NewServer()
 	const dom = 1 << 12
 	createJoin(t, h, "mix", dom)

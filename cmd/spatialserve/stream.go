@@ -80,7 +80,18 @@ type sessionKey struct {
 type sessionEntry struct {
 	mu  sync.Mutex
 	seq atomic.Uint64
+	// last is the unix-nano time of the entry's latest activity (create,
+	// apply, dedup, mark adoption, resume peek) - the idle clock the
+	// session GC reads.
+	last atomic.Int64
+	// dropped marks an entry removed from the table (GC, admin drop or
+	// estimator deletion) while a racing holder may still carry a stale
+	// pointer; lockEntry re-fetches when it observes the flag.
+	dropped atomic.Bool
 }
+
+// touch stamps the entry's idle clock.
+func (e *sessionEntry) touch() { e.last.Store(time.Now().UnixNano()) }
 
 // sessionMark is the manifest/wire form of one watermark.
 type sessionMark struct {
@@ -94,6 +105,10 @@ type sessionMark struct {
 type sessionTable struct {
 	mu      sync.Mutex
 	entries map[sessionKey]*sessionEntry
+	// pinned counts the live stream connections attached to each
+	// (session, key): the GC never expires a mark a stream is using,
+	// however idle.
+	pinned map[sessionKey]int
 }
 
 // entry returns (creating if needed) the session's entry. With
@@ -115,8 +130,76 @@ func (t *sessionTable) entry(session, key string, enforceCap bool) *sessionEntry
 		return nil
 	}
 	e := &sessionEntry{}
+	e.touch()
 	t.entries[k] = e
 	return e
+}
+
+// lockEntry returns the session's entry with its mutex held, re-fetching
+// when a concurrent GC or admin drop removed the entry between lookup
+// and lock. Returns nil only when enforceCap refuses a new session.
+func (t *sessionTable) lockEntry(session, key string, enforceCap bool) *sessionEntry {
+	for {
+		e := t.entry(session, key, enforceCap)
+		if e == nil {
+			return nil
+		}
+		e.mu.Lock()
+		if !e.dropped.Load() {
+			return e
+		}
+		e.mu.Unlock()
+	}
+}
+
+// pin marks a live stream attached to (session, key); pinned marks are
+// exempt from GC expiry.
+func (t *sessionTable) pin(session, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pinned == nil {
+		t.pinned = make(map[sessionKey]int)
+	}
+	t.pinned[sessionKey{session, key}]++
+}
+
+// unpin releases a pin.
+func (t *sessionTable) unpin(session, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := sessionKey{session, key}
+	if n := t.pinned[k]; n > 1 {
+		t.pinned[k] = n - 1
+	} else {
+		delete(t.pinned, k)
+	}
+}
+
+// isPinned reports whether any live stream is attached to (session, key).
+func (t *sessionTable) isPinned(session, key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pinned[sessionKey{session, key}] > 0
+}
+
+// remove deletes one entry from the table (the caller holds the entry's
+// mutex and has set its dropped flag).
+func (t *sessionTable) remove(session, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, sessionKey{session, key})
+}
+
+// removeMark drops one mark outright - the replay form of a logged
+// session drop (recovery and replica apply, where no batch can race).
+func (t *sessionTable) removeMark(session, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := sessionKey{session, key}
+	if e, ok := t.entries[k]; ok {
+		e.dropped.Store(true)
+		delete(t.entries, k)
+	}
 }
 
 // peek returns the session's watermark (0 when unknown) without
@@ -128,6 +211,7 @@ func (t *sessionTable) peek(session, key string) uint64 {
 	if e == nil {
 		return 0
 	}
+	e.touch() // a resume read is activity; keep the mark out of GC reach
 	return e.seq.Load()
 }
 
@@ -137,8 +221,9 @@ func (t *sessionTable) peek(session, key string) uint64 {
 func (t *sessionTable) dropKey(key string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for k := range t.entries {
+	for k, e := range t.entries {
 		if k.key == key {
+			e.dropped.Store(true)
 			delete(t.entries, k)
 		}
 	}
@@ -192,9 +277,9 @@ func (t *sessionTable) restore(marks []sessionMark) {
 // shard's marks to the new owner. Logged (count-0 walOpIngest) so the
 // mark survives the new owner's recovery.
 func (s *Server) adoptMark(name string, est servable, m sessionMark) error {
-	ent := s.sessions.entry(m.Session, name, false)
-	ent.mu.Lock()
+	ent := s.sessions.lockEntry(m.Session, name, false)
 	defer ent.mu.Unlock()
+	ent.touch()
 	if m.Seq <= ent.seq.Load() {
 		return nil
 	}
@@ -220,12 +305,12 @@ func (s *Server) applyIngestBatch(name, session string, seq, count uint64, recor
 	if !ok {
 		return 0, false, fmt.Errorf("%w: %q", errNotFoundLocal, name)
 	}
-	ent := s.sessions.entry(session, name, true)
+	ent := s.sessions.lockEntry(session, name, true)
 	if ent == nil {
 		return 0, false, errSessionTableFull
 	}
-	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	ent.touch()
 	if seq <= ent.seq.Load() {
 		return 0, true, nil
 	}
@@ -358,6 +443,10 @@ func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 	tenant := s.streamTenant(key)
 	s.metrics.streamStarted(tenant)
 	defer s.metrics.streamEnded(tenant)
+	// Pin the mark for the stream's lifetime: an attached session is
+	// never idle-expired, whatever its frame cadence.
+	s.sessions.pin(hello.Session, key)
+	defer s.sessions.unpin(hello.Session, key)
 
 	// The watermark resumes the client: on a routing node this is the
 	// non-durable routing mark (0 after restart - the client resends and

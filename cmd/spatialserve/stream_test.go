@@ -42,6 +42,7 @@ type streamNode struct {
 
 func startStreamNode(t *testing.T) *streamNode {
 	t.Helper()
+	checkGoroutineLeaks(t)
 	n := &streamNode{t: t, dir: filepath.Join(t.TempDir(), "node")}
 	n.ht = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s := n.cur.Load()

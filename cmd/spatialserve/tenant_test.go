@@ -357,3 +357,78 @@ func TestQualifiedKeySplit(t *testing.T) {
 		t.Error("valid qualified key rejected")
 	}
 }
+
+// TestTenantBatchEstimateMixedRows drives the batched /estimate path
+// through two tenants holding the same-named range estimator with
+// different data: malformed rows come back as per-row errors, valid
+// rows are answered from the right tenant's estimator (each matches
+// that tenant's single-query answer), and a batch against a join
+// estimator is rejected whole with 400 - there is no query to batch.
+func TestTenantBatchEstimateMixedRows(t *testing.T) {
+	srv := NewServer()
+	putTenant(t, srv, "acme", TenantConfig{})
+	putTenant(t, srv, "umbrella", TenantConfig{})
+	for _, tenant := range []string{"acme", "umbrella"} {
+		mustStatus(t, do(t, srv, "POST", "/v1/tenants/"+tenant+"/estimators",
+			tenantCreateBody(t, "r", "range")), http.StatusCreated)
+	}
+	// Distinct streams per tenant so cross-tenant leakage would change
+	// the answers.
+	const dom = 1 << 10
+	rng := rand.New(rand.NewSource(23))
+	for i, tenant := range []string{"acme", "umbrella"} {
+		var rects [][][2]uint64
+		for n := 0; n < 20*(i+1); n++ {
+			lo := rng.Uint64() % (dom - 2)
+			rects = append(rects, [][2]uint64{{lo, lo + 1 + rng.Uint64()%(dom-lo-1)}})
+		}
+		mustStatus(t, do(t, srv, "POST", "/v1/tenants/"+tenant+"/estimators/r/update",
+			updateBody(t, "", rects)), http.StatusOK)
+	}
+
+	batch, _ := json.Marshal(estimateRequest{Queries: [][][2]uint64{
+		{{10, 200}},          // valid
+		{},                   // empty row
+		{{30, 20}},           // inverted interval
+		{{10, 20}, {30, 40}}, // wrong dimensionality
+		{{100, 900}},         // valid
+	}})
+	for _, tenant := range []string{"acme", "umbrella"} {
+		w := do(t, srv, "POST", "/v1/tenants/"+tenant+"/estimators/r/estimate", batch)
+		mustStatus(t, w, http.StatusOK)
+		var resp batchEstimateResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 5 {
+			t.Fatalf("%s: got %d results, want 5", tenant, len(resp.Results))
+		}
+		for _, i := range []int{1, 2, 3} {
+			if resp.Results[i] == nil || resp.Results[i].Error == "" {
+				t.Errorf("%s: malformed row %d carries no error: %+v", tenant, i, resp.Results[i])
+			}
+		}
+		for qi, q := range [][][2]uint64{{{10, 200}}, {{100, 900}}} {
+			i := []int{0, 4}[qi]
+			if resp.Results[i] == nil || resp.Results[i].Error != "" {
+				t.Fatalf("%s: valid row %d was not answered: %+v", tenant, i, resp.Results[i])
+			}
+			single, _ := json.Marshal(estimateRequest{Query: q})
+			sw := do(t, srv, "POST", "/v1/tenants/"+tenant+"/estimators/r/estimate", single)
+			mustStatus(t, sw, http.StatusOK)
+			var sr estimateResponse
+			if err := json.Unmarshal(sw.Body.Bytes(), &sr); err != nil {
+				t.Fatal(err)
+			}
+			if sr.Value != resp.Results[i].Value || sr.Counts["data"] != resp.Results[i].Counts["data"] {
+				t.Errorf("%s: batch row %d (value %v, count %d) differs from the single query (value %v, count %d)",
+					tenant, i, resp.Results[i].Value, resp.Results[i].Counts["data"], sr.Value, sr.Counts["data"])
+			}
+		}
+	}
+
+	// Parameterless kinds reject the whole batch: nothing to vary per row.
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators",
+		tenantCreateBody(t, "j", "join")), http.StatusCreated)
+	mustStatus(t, do(t, srv, "POST", "/v1/tenants/acme/estimators/j/estimate", batch), http.StatusBadRequest)
+}

@@ -1,0 +1,93 @@
+package spatial_test
+
+import (
+	"bytes"
+	"testing"
+
+	spatial "repro"
+	"repro/geo"
+	"repro/internal/datagen"
+)
+
+// Boundary-condition tests for the merge/batch surfaces the cluster
+// fan-out leans on: a single-snapshot merge must be the identity (the
+// degenerate one-partition gather), and an empty batch must be a cheap
+// no-op answer, not an error - an aggregator that filtered every query
+// out still expects a well-formed reply.
+
+// TestMergeSnapshotsSingleInput: merging exactly one snapshot is the
+// identity - byte-identical output - for both a populated and an empty
+// estimator. This is the one-partition corner of scatter-gather: a
+// cluster holding an estimator on a single node must serve the same
+// bytes a direct GET of that node would.
+func TestMergeSnapshotsSingleInput(t *testing.T) {
+	cfg := spatial.RangeConfig{Dims: 2, DomainSize: 300,
+		Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 11}
+	e, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 40, Dims: 2, Domain: 300, Seed: 3, MeanLen: []float64{25, 25}})
+	if err := e.InsertBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, kind, err := spatial.MergeSnapshots(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != spatial.KindRange {
+		t.Fatalf("kind = %v, want range", kind)
+	}
+	if !bytes.Equal(merged, snap) {
+		t.Fatal("one-snapshot merge is not the identity")
+	}
+
+	empty, err := spatial.NewRangeEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptySnap, err := empty.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err = spatial.MergeSnapshots(emptySnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, emptySnap) {
+		t.Fatal("one-snapshot merge of an empty estimator is not the identity")
+	}
+}
+
+// TestEstimateBatchEmptyQueryList: a nil and an empty (but non-nil)
+// query slice both answer with zero results, no error, and the view's
+// relation count - the batch still pins a view, so the count is the
+// same consistent read a populated batch would report.
+func TestEstimateBatchEmptyQueryList(t *testing.T) {
+	e, err := spatial.NewRangeEstimator(spatial.RangeConfig{
+		Dims: 1, DomainSize: 1 << 10, Sizing: spatial.Sizing{Instances: 64, Groups: 4}, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := datagen.MustRects(datagen.Spec{N: 25, Dims: 1, Domain: 1 << 10, Seed: 4, MeanLen: []float64{100}})
+	if err := e.InsertBulk(rects); err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range [][]geo.HyperRect{nil, {}} {
+		out, count, err := e.EstimateBatch(qs)
+		if err != nil {
+			t.Fatalf("EstimateBatch(%v): %v", qs, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("EstimateBatch(%v) returned %d results, want 0", qs, len(out))
+		}
+		if count != 25 {
+			t.Fatalf("EstimateBatch(%v) count = %d, want 25", qs, count)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package ingestclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The read side of the client: typed estimate calls against the same
+// server the streaming writer feeds. Load harnesses and fan-out readers
+// use this instead of hand-rolling HTTP so the request/response wire
+// shapes live in exactly one client package.
+
+// Estimate is one estimate answer as served by spatialserve - the boosted
+// estimator output plus the input sizes it was normalized against. In a
+// batch response, a malformed query's row carries Err and nothing else.
+type Estimate struct {
+	// Kind is the estimator kind that answered ("join", "range",
+	// "epsjoin", "containment").
+	Kind string `json:"kind"`
+	// Err reports a per-query failure inside a batch; when set, the other
+	// fields are meaningless.
+	Err string `json:"error,omitempty"`
+	// Cardinality is the boosted estimate clamped to be non-negative.
+	Cardinality float64 `json:"cardinality"`
+	// Value is the raw boosted estimate (median of group means).
+	Value float64 `json:"value"`
+	// Mean is the grand mean over all atomic instances.
+	Mean float64 `json:"mean"`
+	// StdErr estimates the standard error of one group mean.
+	StdErr float64 `json:"stdErr"`
+	// Selectivity is Cardinality normalized by the input sizes, when the
+	// inputs are non-empty.
+	Selectivity *float64 `json:"selectivity,omitempty"`
+	// Counts holds the input sizes the estimate was computed over.
+	Counts map[string]int64 `json:"counts"`
+	// Partial reports a degraded cluster read covering only the reachable
+	// partitions (a bounded under-count).
+	Partial bool `json:"partial,omitempty"`
+	// PartitionsAnswered is how many partitions a partial answer merged.
+	PartitionsAnswered int `json:"partitions_answered,omitempty"`
+	// PartitionsTotal is the estimator's partition count on a partial
+	// answer.
+	PartitionsTotal int `json:"partitions_total,omitempty"`
+}
+
+// BatchEstimates is the answer to a batched estimate: one row per query
+// in request order, plus the batch-level degraded-read report.
+type BatchEstimates struct {
+	// Results holds one answer per query, in request order.
+	Results []Estimate `json:"results"`
+	// Partial, PartitionsAnswered and PartitionsTotal mirror the
+	// single-estimate degraded-read report for the whole batch.
+	Partial            bool `json:"partial,omitempty"`
+	PartitionsAnswered int  `json:"partitions_answered,omitempty"`
+	PartitionsTotal    int  `json:"partitions_total,omitempty"`
+}
+
+// EstimateOptions parameterizes one estimate call beyond the estimator
+// name. The zero value is the parameterless estimate (join, epsjoin,
+// containment).
+type EstimateOptions struct {
+	// Query is a range query as [dim][lo,hi] pairs (range estimators).
+	Query [][2]uint64
+	// Extended selects the Definition 4 extended join (common-endpoints
+	// join estimators only).
+	Extended bool
+	// AllowPartial accepts a degraded answer covering only the reachable
+	// partitions instead of an error when part of the cluster is down.
+	AllowPartial bool
+}
+
+// EstimateClient issues estimate reads against one spatialserve base URL
+// (any cluster node; the server routes internally). It is stateless and
+// safe for concurrent use.
+type EstimateClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewEstimateClient builds a client for the server at baseURL. A nil
+// httpClient uses a private client with a 30s timeout.
+func NewEstimateClient(baseURL string, httpClient *http.Client) *EstimateClient {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &EstimateClient{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// estimatePath builds the estimate URL for an estimator name, which may
+// be tenant-qualified ("acme/objects" becomes the tenant-scoped route).
+func (c *EstimateClient) estimatePath(estimator string, allowPartial bool) string {
+	var p string
+	if tenant, name, ok := strings.Cut(estimator, "/"); ok {
+		p = c.base + "/v1/tenants/" + tenant + "/estimators/" + name + "/estimate"
+	} else {
+		p = c.base + "/v1/estimators/" + estimator + "/estimate"
+	}
+	if allowPartial {
+		p += "?partial=ok"
+	}
+	return p
+}
+
+// post issues one estimate POST and decodes the response into out,
+// turning non-200 statuses into errors carrying the server's message.
+func (c *EstimateClient) post(ctx context.Context, url string, body any, out any) error {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(enc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("ingestclient: estimate %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// estimateWireRequest is the POST body for /estimate - field names match
+// the server's estimateRequest.
+type estimateWireRequest struct {
+	Query    [][2]uint64   `json:"query,omitempty"`
+	Queries  [][][2]uint64 `json:"queries,omitempty"`
+	Extended bool          `json:"extended,omitempty"`
+}
+
+// Estimate issues one estimate and returns the answer. Works against all
+// four estimator kinds; range estimators need opts.Query.
+func (c *EstimateClient) Estimate(ctx context.Context, estimator string, opts EstimateOptions) (*Estimate, error) {
+	var out Estimate
+	err := c.post(ctx, c.estimatePath(estimator, opts.AllowPartial),
+		estimateWireRequest{Query: opts.Query, Extended: opts.Extended}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EstimateBatch answers many range queries in one request against one
+// pinned server-side view: all rows are mutually consistent, and a
+// malformed query yields a row with Err set while the rest are still
+// answered. Range estimators only.
+func (c *EstimateClient) EstimateBatch(ctx context.Context, estimator string, queries [][][2]uint64, allowPartial bool) (*BatchEstimates, error) {
+	var out BatchEstimates
+	err := c.post(ctx, c.estimatePath(estimator, allowPartial),
+		estimateWireRequest{Queries: queries}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(queries) {
+		return nil, fmt.Errorf("ingestclient: batch estimate returned %d rows for %d queries", len(out.Results), len(queries))
+	}
+	return &out, nil
+}

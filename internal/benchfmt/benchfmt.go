@@ -1,0 +1,58 @@
+// Package benchfmt defines the JSON schema of the repo's committed
+// performance trajectory (the BENCH_*.json artifacts). Two producers
+// share it: cmd/benchjson, which converts `go test -bench` text output,
+// and cmd/spatialload, which reports closed-loop cluster load runs.
+// Keeping the schema in one place means the per-PR artifacts stay
+// diffable across producers and across PRs.
+package benchfmt
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Record is one measured benchmark or load-run series: a name, the
+// iteration (operation) count, and a bag of named float metrics such as
+// ns/op, B/op, p50_ns or ops/s. Pkg carries the Go package for `go
+// test` benchmarks and the operation class/phase origin for load runs.
+type Record struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is a whole benchmark artifact: free-form context about the
+// run (goos, cpu, scenario, node count, ...) plus the measured records.
+type Document struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Record          `json:"benchmarks"`
+}
+
+// NewDocument returns an empty document with both fields non-nil, so
+// encoding never emits JSON null and callers can append immediately.
+func NewDocument() *Document {
+	return &Document{Context: map[string]string{}, Benchmarks: []Record{}}
+}
+
+// Sort orders the records by (Pkg, Name) so documents produced from
+// concurrent measurement are stable and diffable run-to-run.
+func (d *Document) Sort() {
+	sort.Slice(d.Benchmarks, func(i, j int) bool {
+		a, b := d.Benchmarks[i], d.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+}
+
+// Encode writes the document as indented JSON, the on-disk form of the
+// BENCH_*.json artifacts.
+func (d *Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

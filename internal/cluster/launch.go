@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// This file is the process-orchestration layer shared by the e2e tests
+// in cmd/spatialserve and the closed-loop load harness (cmd/spatialload):
+// spawning real spatialserve processes, discovering their :0 ports from
+// the "listening on" line, waiting for health, and wiring several of
+// them into a ring with consistent -peers flags.
+
+// DefaultReadyPrefix is the stdout line prefix a spatialserve process
+// prints once its listener is bound; Launch scans for it to learn the
+// actual address of a ":0" listen.
+const DefaultReadyPrefix = "spatialserve listening on "
+
+// LaunchOptions configures one spawned server process.
+type LaunchOptions struct {
+	// Binary is the executable to run (a spatialserve build, or a test
+	// binary re-executing itself in helper mode).
+	Binary string
+	// Args are the command-line flags passed verbatim.
+	Args []string
+	// Env entries are appended to the parent environment.
+	Env []string
+	// ReadyPrefix overrides DefaultReadyPrefix when non-empty.
+	ReadyPrefix string
+	// StartTimeout bounds the wait for the ready line (default 30s).
+	StartTimeout time.Duration
+	// Stderr receives the child's stderr (default: discarded).
+	Stderr io.Writer
+}
+
+// Proc is a launched server process whose listen address has been
+// discovered from its ready line.
+type Proc struct {
+	// URL is the node's base URL ("http://host:port").
+	URL string
+	// Cmd is the underlying process handle; callers may signal or wait
+	// on it directly (e.g. SIGKILL for crash tests).
+	Cmd *exec.Cmd
+}
+
+// Launch starts the process and blocks until it prints its ready line,
+// returning the discovered base URL. The child is killed and reaped on
+// any failure.
+func Launch(opts LaunchOptions) (*Proc, error) {
+	prefix := opts.ReadyPrefix
+	if prefix == "" {
+		prefix = DefaultReadyPrefix
+	}
+	timeout := opts.StartTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	cmd := exec.Command(opts.Binary, opts.Args...)
+	cmd.Env = append(os.Environ(), opts.Env...)
+	if opts.Stderr != nil {
+		cmd.Stderr = opts.Stderr
+	} else {
+		cmd.Stderr = io.Discard
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), prefix); ok {
+				addrc <- strings.TrimSpace(rest)
+				return
+			}
+		}
+		addrc <- ""
+	}()
+	select {
+	case addr := <-addrc:
+		if addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("cluster: %s exited without a ready line", opts.Binary)
+		}
+		return &Proc{URL: "http://" + addr, Cmd: cmd}, nil
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("cluster: %s not ready within %v", opts.Binary, timeout)
+	}
+}
+
+// Kill SIGKILLs the process and reaps it: no signal handler runs, no
+// graceful flush - the crash the failover tests need. Safe on an
+// already-dead process.
+func (p *Proc) Kill() {
+	if p == nil || p.Cmd == nil || p.Cmd.Process == nil {
+		return
+	}
+	p.Cmd.Process.Kill()
+	p.Cmd.Wait() // the exit status is the kill; only reaping matters
+}
+
+// ReservePorts grabs n distinct listening ports on localhost and
+// releases them for child processes to bind - the usual pre-bind trick
+// with a tiny race window, irrelevant for tests and harnesses.
+func ReservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// PeersFlag renders the -peers value ("id=http://addr,...") for a set
+// of node IDs and their listen addresses.
+func PeersFlag(ids, addrs []string) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=http://%s", id, addrs[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+// WaitHealthy polls base/healthz until it returns 200 or the timeout
+// elapses (default 30s when timeout <= 0).
+func WaitHealthy(base string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: node %s never became healthy", base)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// ProcClusterSpec describes a ring of real server processes to launch.
+type ProcClusterSpec struct {
+	// Binary is the server executable every node runs.
+	Binary string
+	// Env entries are appended to each child's environment.
+	Env []string
+	// Nodes is the ring size (IDs "a", "b", ... are assigned).
+	Nodes int
+	// Partitions is the per-estimator partition count (-partitions).
+	Partitions int
+	// DataRoot holds one "node-<id>" durability dir per member.
+	DataRoot string
+	// ExtraArgs are appended to every node's flag list (checkpoint
+	// cadence, fsync policy, admission limits, ...).
+	ExtraArgs []string
+	// Stderr receives every child's stderr (default: discarded).
+	Stderr io.Writer
+	// StartTimeout bounds each node's ready wait (default 30s).
+	StartTimeout time.Duration
+}
+
+// ProcCluster is a launched ring of server processes. Nodes can be
+// SIGKILLed and restarted on their data dirs by index, preserving
+// identity and peers - the orchestration the failover tests and the
+// load harness's kill/rebalance scenarios share.
+type ProcCluster struct {
+	// Spec is the launch specification, retained for restarts.
+	Spec ProcClusterSpec
+	// IDs are the stable node identities, index-aligned with Addrs.
+	IDs []string
+	// Addrs are the reserved listen addresses ("host:port").
+	Addrs []string
+	// URLs are the node base URLs ("http://host:port").
+	URLs []string
+	// Dirs are the per-node durability roots.
+	Dirs []string
+	// Procs holds the live process handles; nil entries are dead nodes.
+	Procs []*Proc
+}
+
+// LaunchProcCluster reserves ports, assigns identities and data dirs,
+// and starts every node, waiting for each to become healthy.
+func LaunchProcCluster(spec ProcClusterSpec) (*ProcCluster, error) {
+	if spec.Nodes <= 0 || spec.Nodes > 26 {
+		return nil, fmt.Errorf("cluster: node count %d out of range [1,26]", spec.Nodes)
+	}
+	addrs, err := ReservePorts(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &ProcCluster{
+		Spec:  spec,
+		Addrs: addrs,
+		URLs:  make([]string, spec.Nodes),
+		IDs:   make([]string, spec.Nodes),
+		Dirs:  make([]string, spec.Nodes),
+		Procs: make([]*Proc, spec.Nodes),
+	}
+	for i := range c.IDs {
+		c.IDs[i] = string(rune('a' + i))
+		c.URLs[i] = "http://" + addrs[i]
+		c.Dirs[i] = filepath.Join(spec.DataRoot, "node-"+c.IDs[i])
+	}
+	for i := range c.IDs {
+		if err := c.StartNode(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// PeersFlag renders this ring's -peers value.
+func (c *ProcCluster) PeersFlag() string { return PeersFlag(c.IDs, c.Addrs) }
+
+// StartNode launches (or relaunches after a kill) node i on its
+// reserved address and data dir with its stable identity, and waits for
+// it to become healthy.
+func (c *ProcCluster) StartNode(i int) error {
+	args := []string{
+		"-addr=" + c.Addrs[i],
+		"-data-dir=" + c.Dirs[i],
+		"-node-id=" + c.IDs[i],
+		"-peers=" + c.PeersFlag(),
+		fmt.Sprintf("-partitions=%d", c.Spec.Partitions),
+	}
+	args = append(args, c.Spec.ExtraArgs...)
+	p, err := Launch(LaunchOptions{
+		Binary:       c.Spec.Binary,
+		Args:         args,
+		Env:          c.Spec.Env,
+		Stderr:       c.Spec.Stderr,
+		StartTimeout: c.Spec.StartTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %w", c.IDs[i], err)
+	}
+	c.Procs[i] = p
+	return WaitHealthy(p.URL, c.Spec.StartTimeout)
+}
+
+// KillNode SIGKILLs node i (no-op if already dead). The node can be
+// brought back with StartNode.
+func (c *ProcCluster) KillNode(i int) {
+	c.Procs[i].Kill()
+	c.Procs[i] = nil
+}
+
+// Close SIGKILLs every live node.
+func (c *ProcCluster) Close() {
+	for i := range c.Procs {
+		if c.Procs[i] != nil {
+			c.KillNode(i)
+		}
+	}
+}

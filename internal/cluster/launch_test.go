@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestReservePortsDistinctAndBindable(t *testing.T) {
+	addrs, err := ReservePorts(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate reserved address %s", a)
+		}
+		seen[a] = true
+		ln, err := net.Listen("tcp", a)
+		if err != nil {
+			t.Fatalf("reserved address %s not bindable: %v", a, err)
+		}
+		ln.Close()
+	}
+}
+
+func TestPeersFlag(t *testing.T) {
+	got := PeersFlag([]string{"a", "b"}, []string{"127.0.0.1:1", "127.0.0.1:2"})
+	want := "a=http://127.0.0.1:1,b=http://127.0.0.1:2"
+	if got != want {
+		t.Fatalf("PeersFlag = %q, want %q", got, want)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	if err := WaitHealthy(srv.URL, time.Second); err != nil {
+		t.Fatalf("healthy server reported unhealthy: %v", err)
+	}
+	srv.Close()
+	if err := WaitHealthy(srv.URL, 200*time.Millisecond); err == nil {
+		t.Fatal("closed server reported healthy")
+	}
+}
