@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +24,10 @@ const histSubBits = 3
 const histBuckets = 64 << histSubBits
 
 // hist is one operation class's latency record. Safe for concurrent use.
+// Beyond the buckets it pins the worst op: its wall-clock start time and
+// a caller-supplied reference (request ID, trace ID, session/batch), so
+// a bad p-max in the report can be cross-referenced against the cluster's
+// /admin/trace ring and slow-op logs instead of being an anonymous number.
 type hist struct {
 	mu     sync.Mutex
 	counts [histBuckets]uint64
@@ -29,6 +35,8 @@ type hist struct {
 	errs   uint64
 	sum    time.Duration
 	max    time.Duration
+	maxAt  time.Time // wall-clock start of the worst op
+	maxRef string    // caller's identity for the worst op ("" if unknown)
 }
 
 // bucketFor maps a duration to its bucket index.
@@ -53,8 +61,16 @@ func bucketLow(i int) time.Duration {
 	return time.Duration(1<<uint(exp) | sub<<(uint(exp)-histSubBits))
 }
 
-// observe records one successful operation's latency.
+// observe records one successful operation's latency without identity -
+// the worst-op reference stays empty if this sample becomes the max.
 func (h *hist) observe(d time.Duration) {
+	h.observeOp(d, time.Time{}, "")
+}
+
+// observeOp records one successful operation's latency plus when it
+// started and how to find it again (request/trace ID). start and ref are
+// kept only if the op is the class's new maximum.
+func (h *hist) observeOp(d time.Duration, start time.Time, ref string) {
 	if d < 0 {
 		d = 0
 	}
@@ -64,6 +80,8 @@ func (h *hist) observe(d time.Duration) {
 	h.sum += d
 	if d > h.max {
 		h.max = d
+		h.maxAt = start
+		h.maxRef = ref
 	}
 	h.mu.Unlock()
 }
@@ -115,9 +133,59 @@ func (p *phaseStats) hist(class string) *hist {
 	return h
 }
 
+// worstOps returns one formatted line per op class describing the
+// phase's worst op: latency, wall-clock start, and the op's reference.
+// Ordered by class name; classes that never pinned a timestamp (no
+// successful ops) are omitted.
+func (p *phaseStats) worstOps() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	classes := make([]string, 0, len(p.hists))
+	for c := range p.hists {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var out []string
+	for _, c := range classes {
+		h := p.hists[c]
+		h.mu.Lock()
+		if !h.maxAt.IsZero() {
+			line := fmt.Sprintf("%s/%s: worst op %v at %s", p.name, c, h.max, h.maxAt.UTC().Format(time.RFC3339Nano))
+			if h.maxRef != "" {
+				line += " (" + h.maxRef + ")"
+			}
+			out = append(out, line)
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// worstTraceIDs returns the trace IDs embedded in the phase's worst-op
+// refs (the "trace=<id>" field minted by the workers), one per op class
+// that carries one.
+func (p *phaseStats) worstTraceIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, h := range p.hists {
+		h.mu.Lock()
+		ref := h.maxRef
+		h.mu.Unlock()
+		if _, id, ok := strings.Cut(ref, "trace="); ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // record adds one phase's benchmark records to the report document:
 // Load/<phase>/<class> with p50/p95/p99/max latencies, op and error
-// counts, and throughput over the phase's active window.
+// counts, and throughput over the phase's active window. Each class's
+// worst op also lands in the document context ("worst_op <phase>/<class>")
+// with its wall-clock start time and reference - metrics are float64s,
+// and a nanosecond epoch does not survive one.
 func (p *phaseStats) record(doc *benchfmt.Document) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -139,6 +207,13 @@ func (p *phaseStats) record(doc *benchfmt.Document) {
 		}
 		if p.dur > 0 {
 			m["ops_per_sec"] = float64(h.n) / p.dur.Seconds()
+		}
+		if !h.maxAt.IsZero() {
+			v := h.maxAt.UTC().Format(time.RFC3339Nano) + " dur=" + h.max.String()
+			if h.maxRef != "" {
+				v += " " + h.maxRef
+			}
+			doc.Context["worst_op "+p.name+"/"+c] = v
 		}
 		doc.Benchmarks = append(doc.Benchmarks, benchfmt.Record{
 			Pkg:        "repro/cmd/spatialload",

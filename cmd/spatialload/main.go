@@ -71,6 +71,13 @@ type Config struct {
 	Seed int64
 	// Oracle enables the byte-exactness verification at quiesce points.
 	Oracle bool
+	// TraceDump, when non-empty, is a directory that receives each node's
+	// /admin/trace listing before teardown (CI failure artifacts). The
+	// nodes are launched with random sampling disabled and a low slow
+	// threshold, so the bounded ring holds the run's tail-latency and
+	// errored traces rather than the last few seconds of everything -
+	// that is what makes the report's worst_op trace IDs resolve.
+	TraceDump string
 	// Phases is the scripted scenario.
 	Phases []Phase
 	// Log, when non-nil, receives progress lines.
@@ -94,6 +101,7 @@ func main() {
 	dom := fs.Uint64("dom", 1<<12, "domain size per dimension")
 	seed := fs.Int64("seed", 1, "workload seed")
 	oracle := fs.Bool("oracle", true, "verify byte-exactness at quiesce points")
+	traceDump := fs.String("trace-dump", "", "directory to write each node's /admin/trace listing into before teardown (empty disables)")
 	out := fs.String("out", "-", "report destination ('-' for stdout)")
 	fs.Parse(os.Args[1:])
 
@@ -133,6 +141,7 @@ func main() {
 		Dom:             *dom,
 		Seed:            *seed,
 		Oracle:          *oracle,
+		TraceDump:       *traceDump,
 		Phases:          phases,
 		Log:             os.Stderr,
 		Stderr:          os.Stderr,
@@ -171,13 +180,21 @@ func runLoad(cfg Config) (*benchfmt.Document, error) {
 	if cfg.Dom == 0 {
 		cfg.Dom = 1 << 12
 	}
+	extraArgs := []string{"-checkpoint-interval=2s"}
+	if cfg.TraceDump != "" {
+		// Only tail and errored traces enter the ring: retaining
+		// everything (-trace-sample=1) would churn the 256-slot ring in
+		// seconds under load, evicting the worst ops the report points
+		// at before the dump runs.
+		extraArgs = append(extraArgs, "-trace-sample=-1", "-slow-op-threshold=25ms")
+	}
 	cl, err := cluster.LaunchProcCluster(cluster.ProcClusterSpec{
 		Binary:     cfg.Binary,
 		Nodes:      cfg.Nodes,
 		Partitions: cfg.Partitions,
 		DataRoot:   cfg.DataRoot,
 		Stderr:     cfg.Stderr,
-		ExtraArgs:  []string{"-checkpoint-interval=2s"},
+		ExtraArgs:  extraArgs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("launching %d-node cluster: %w", cfg.Nodes, err)
@@ -189,6 +206,11 @@ func runLoad(cfg Config) (*benchfmt.Document, error) {
 		cl:    cl,
 		hc:    &http.Client{Timeout: 30 * time.Second},
 		nodes: append([]string(nil), cl.URLs...),
+	}
+	if cfg.TraceDump != "" {
+		// Runs before cl.Close (deferred later = runs earlier), and runs
+		// on failure returns too - failed runs are when the dump matters.
+		defer r.dumpTraces(cfg.TraceDump)
 	}
 	if err := r.createTargets(); err != nil {
 		return nil, fmt.Errorf("creating estimators: %w", err)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -302,6 +303,9 @@ func (r *runner) failover(streams []*streamWriter) error {
 		"-follow=" + vURL,
 		"-replica-poll=50ms",
 	}
+	if r.cfg.TraceDump != "" {
+		args = append(args, "-trace-sample=-1", "-slow-op-threshold=25ms")
+	}
 	proc, err := cluster.Launch(cluster.LaunchOptions{
 		Binary: r.cfg.Binary, Args: args, Stderr: r.cfg.Stderr,
 	})
@@ -376,6 +380,71 @@ func (r *runner) failover(streams []*streamWriter) error {
 	return nil
 }
 
+// dumpTraces fetches each node's retained-trace listing and writes it to
+// <dir>/trace-<i>.json - the CI artifact that pairs a failed run's
+// latency report with the server-side spans behind it. Best-effort: a
+// dead node (failover leaves corpses) logs a line and is skipped.
+func (r *runner) dumpTraces(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		r.logf("trace dump: %v", err)
+		return
+	}
+	for i, node := range r.nodeList() {
+		path := filepath.Join(dir, fmt.Sprintf("trace-%d.json", i))
+		resp, err := r.hc.Get(node + "/admin/trace?limit=256")
+		if err != nil {
+			r.logf("trace dump: node %d (%s): %v", i, node, err)
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			r.logf("trace dump: node %d (%s): status %d, err %v", i, node, resp.StatusCode, err)
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			r.logf("trace dump: %v", err)
+			continue
+		}
+		r.logf("trace dump: wrote %s (%d bytes)", path, len(data))
+	}
+	// The listing only carries summaries; the worst ops the report points
+	// at deserve their full cross-node trees while the cluster can still
+	// assemble them. Any live node can serve any trace.
+	r.mu.Lock()
+	phases := r.phases
+	r.mu.Unlock()
+	for _, ps := range phases {
+		for _, id := range ps.worstTraceIDs() {
+			r.dumpTraceTree(dir, id)
+		}
+	}
+}
+
+// dumpTraceTree fetches one assembled trace tree from the first node
+// that can serve it and writes <dir>/worst-<id>.json. Best-effort.
+func (r *runner) dumpTraceTree(dir, id string) {
+	for _, node := range r.nodeList() {
+		resp, err := r.hc.Get(node + "/admin/trace/" + id)
+		if err != nil {
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		path := filepath.Join(dir, "worst-"+id+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			r.logf("trace dump: %v", err)
+			return
+		}
+		r.logf("trace dump: wrote %s (%d bytes)", path, len(data))
+		return
+	}
+	r.logf("trace dump: worst-op trace %s not resolvable (evicted or nodes down)", id)
+}
+
 // runPhase runs one phase's worker fleet plus its control events, then
 // quiesces: workers stopped, streams flushed, acked logs harvested.
 func (r *runner) runPhase(runctx context.Context, ph Phase) error {
@@ -419,15 +488,16 @@ func (r *runner) runPhase(runctx context.Context, ph Phase) error {
 	}
 	for i := 0; i < r.cfg.StreamWorkers; i++ {
 		ti := joinTargets[i%len(joinTargets)]
+		session := fmt.Sprintf("load-%s-w%d", ph.Name, i)
 		client, err := ingestclient.Dial(ingestclient.Options{
 			BaseURL:   r.node(i % attach),
 			Estimator: r.targets[ti].qualified(),
-			Session:   fmt.Sprintf("load-%s-w%d", ph.Name, i),
+			Session:   session,
 		})
 		if err != nil {
 			return err
 		}
-		sw := &streamWriter{client: client, target: ti}
+		sw := &streamWriter{client: client, session: session, target: ti}
 		streams = append(streams, sw)
 		wg.Add(1)
 		go func(i int, sw *streamWriter) {
@@ -514,6 +584,9 @@ func (r *runner) runPhase(runctx context.Context, ph Phase) error {
 
 	wg.Wait()
 	ps.dur = time.Since(start)
+	for _, line := range ps.worstOps() {
+		r.logf("%s", line)
+	}
 	select {
 	case err := <-ctrlErr:
 		return fmt.Errorf("phase %s: %w", ph.Name, err)

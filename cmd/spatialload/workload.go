@@ -13,6 +13,7 @@ import (
 	spatial "repro"
 	"repro/geo"
 	"repro/ingestclient"
+	"repro/internal/trace"
 )
 
 // The workload side of the harness: targets (tenant x estimator kind),
@@ -144,12 +145,28 @@ func newZipf(rng *rand.Rand, s float64, n int) *rand.Zipf {
 	return rand.NewZipf(rng, s, 1, uint64(n-1))
 }
 
+// mintTraceparent draws a fresh W3C trace context from the worker's rng
+// and returns the header value plus the trace ID's hex form, so client-
+// side op records and server-side /admin/trace segments share one ID.
+func mintTraceparent(rng *rand.Rand) (header, traceID string) {
+	var tid trace.TraceID
+	var sid trace.SpanID
+	rng.Read(tid[:])
+	rng.Read(sid[:])
+	if tid.IsZero() {
+		tid[15] = 1
+	}
+	return trace.Traceparent(tid, sid), tid.String()
+}
+
 // postUpdate sends one idempotent JSON update and resolves it to a
 // definitive outcome: retries with the same Idempotency-Key ride the
 // server's exactly-once window, so an ambiguous failure (connection
 // error, 5xx during a node kill) never double-applies and never silently
-// drops an acked op. Returns whether the op is durably applied.
-func (r *runner) postUpdate(ctx context.Context, url, key string, body []byte) (bool, error) {
+// drops an acked op. Every attempt carries the op's X-Request-Id and
+// traceparent, so retries of one op land in one trace. Returns whether
+// the op is durably applied.
+func (r *runner) postUpdate(ctx context.Context, url, key, traceparent string, body []byte) (bool, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
@@ -161,6 +178,10 @@ func (r *runner) postUpdate(ctx context.Context, url, key string, body []byte) (
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("Idempotency-Key", key)
+		req.Header.Set("X-Request-Id", key)
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
 		resp, err := r.hc.Do(req)
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
@@ -214,11 +235,12 @@ func (r *runner) updateWorker(phasectx, opctx context.Context, id int, ps *phase
 		}
 		body, _ := json.Marshal(wire)
 		key := fmt.Sprintf("%s-w%d-%d", ps.name, id, n)
+		tp, traceID := mintTraceparent(rng)
 
 		r.gate.RLock()
 		node := r.node(rng.Intn(1 << 20))
 		start := time.Now()
-		applied, err := r.postUpdate(opctx, tg.path(node)+"/update", key, body)
+		applied, err := r.postUpdate(opctx, tg.path(node)+"/update", key, tp, body)
 		d := time.Since(start)
 		r.gate.RUnlock()
 		if err != nil {
@@ -232,7 +254,7 @@ func (r *runner) updateWorker(phasectx, opctx context.Context, id int, ps *phase
 			h.fail()
 			continue
 		}
-		h.observe(d)
+		h.observeOp(d, start, "rid="+key+" trace="+traceID)
 		acked = append(acked, refOp{target: ti, rec: rec})
 		if rec.Op == spatial.OpDelete {
 			history[ti] = removeRec(history[ti], rec)
@@ -276,9 +298,10 @@ func removeRec(hist []spatial.UpdateRecord, rec spatial.UpdateRecord) []spatial.
 // Exactly-once ordered delivery means that after a successful Flush the
 // whole history is acked, in order - the stream's reference log.
 type streamWriter struct {
-	client *ingestclient.Client
-	target int
-	sent   []spatial.UpdateRecord
+	client  *ingestclient.Client
+	session string
+	target  int
+	sent    []spatial.UpdateRecord
 	// history holds the not-yet-deleted inserts, so in-session deletes
 	// always target a present object.
 	history []spatial.UpdateRecord
@@ -291,7 +314,7 @@ type streamWriter struct {
 func (r *runner) streamWorker(phasectx context.Context, id int, ps *phaseStats, sw *streamWriter) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + 104729 + int64(id)*7919))
 	h := ps.hist("stream")
-	for {
+	for batchNo := 1; ; batchNo++ {
 		if phasectx.Err() != nil {
 			return
 		}
@@ -317,7 +340,9 @@ func (r *runner) streamWorker(phasectx context.Context, id int, ps *phaseStats, 
 			r.fatalf("stream worker %d: terminal: %v", id, err)
 			return
 		}
-		h.observe(d)
+		// The server's ingest.batch spans carry (session, seq) attrs; this
+		// reference lets the report's worst batch be found among them.
+		h.observeOp(d, start, fmt.Sprintf("session=%s batch=%d", sw.session, batchNo))
 		sw.sent = append(sw.sent, recs...)
 	}
 }
@@ -339,6 +364,9 @@ func (r *runner) estimateWorker(phasectx context.Context, id int, ps *phaseStats
 		tg := r.targets[ti]
 		ec := ingestclient.NewEstimateClient(r.node(rng.Intn(1<<20)), r.hc)
 		ctx, cancel := context.WithTimeout(phasectx, 10*time.Second)
+		rid := fmt.Sprintf("%s-e%d-%d", ps.name, id, n)
+		tp, traceID := mintTraceparent(rng)
+		ref := "rid=" + rid + " trace=" + traceID
 		var err error
 		h := single
 		if tg.kind == "range" {
@@ -348,28 +376,33 @@ func (r *runner) estimateWorker(phasectx context.Context, id int, ps *phaseStats
 				qs := [][][2]uint64{q, wireRect(geo.HyperRect{geo.NewInterval(r.cfg.Dom/4, r.cfg.Dom-1)})}
 				start := time.Now()
 				_, err = ec.EstimateBatch(ctx, tg.qualified(), qs, allowPartial)
-				recordOutcome(h, time.Since(start), err)
+				recordOutcome(h, start, time.Since(start), err, "")
 				cancel()
 				continue
 			}
 			start := time.Now()
-			_, err = ec.Estimate(ctx, tg.qualified(), ingestclient.EstimateOptions{Query: q, AllowPartial: allowPartial})
-			recordOutcome(h, time.Since(start), err)
+			_, err = ec.Estimate(ctx, tg.qualified(), ingestclient.EstimateOptions{
+				Query: q, AllowPartial: allowPartial, RequestID: rid, Traceparent: tp,
+			})
+			recordOutcome(h, start, time.Since(start), err, ref)
 			cancel()
 			continue
 		}
 		start := time.Now()
-		_, err = ec.Estimate(ctx, tg.qualified(), ingestclient.EstimateOptions{AllowPartial: allowPartial})
-		recordOutcome(h, time.Since(start), err)
+		_, err = ec.Estimate(ctx, tg.qualified(), ingestclient.EstimateOptions{
+			AllowPartial: allowPartial, RequestID: rid, Traceparent: tp,
+		})
+		recordOutcome(h, start, time.Since(start), err, ref)
 		cancel()
 	}
 }
 
-// recordOutcome folds one op's result into its histogram.
-func recordOutcome(h *hist, d time.Duration, err error) {
+// recordOutcome folds one op's result into its histogram, pinning the
+// worst op's start time and reference.
+func recordOutcome(h *hist, start time.Time, d time.Duration, err error, ref string) {
 	if err != nil {
 		h.fail()
 		return
 	}
-	h.observe(d)
+	h.observeOp(d, start, ref)
 }

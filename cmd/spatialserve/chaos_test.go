@@ -337,6 +337,39 @@ func TestChaosSoak(t *testing.T) {
 		}
 		t.Logf("injector event log written to %s", path)
 	})
+	// On failure, also capture each node's retained traces (errored and
+	// slow traces are always retained, so the interesting ones survive
+	// the sample rate) for the CI artifact. Best-effort: a node that is
+	// down or still behind a fault rule just logs and is skipped.
+	t.Cleanup(func() {
+		dir := os.Getenv("SPATIAL_TRACE_DUMP")
+		if !t.Failed() || dir == "" {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("trace dump: %v", err)
+			return
+		}
+		for _, n := range h.nodes {
+			resp, err := h.client.Get(n.ht.URL + "/admin/trace?limit=256")
+			if err != nil {
+				t.Logf("trace dump: node %s: %v", n.id, err)
+				continue
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Logf("trace dump: node %s: status %d, err %v", n.id, resp.StatusCode, err)
+				continue
+			}
+			path := filepath.Join(dir, "trace-"+n.id+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Logf("trace dump: %v", err)
+				continue
+			}
+			t.Logf("trace dump: wrote %s", path)
+		}
+	})
 
 	body, _ := json.Marshal(createRequest{Name: "j", Kind: "join",
 		Config: configRequest{Dims: 2, DomainSize: chaosDom, Seed: 1, Instances: 64, Groups: 4}})

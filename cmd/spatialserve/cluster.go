@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	spatial "repro"
 	"repro/internal/cluster"
 	"repro/internal/ingest"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -187,6 +189,10 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 	}
 	c.pmap.Store(m.EnsureRing())
 	s.cluster = c
+	// Late-bind the node identity onto observability: spans recorded from
+	// here on carry the cluster self ID, so assembled cross-node trace
+	// trees attribute each span to the node that ran it.
+	s.tracer.SetNode(opts.SelfID)
 	return nil
 }
 
@@ -288,19 +294,27 @@ func (c *clusterNode) callNodeGet(ctx context.Context, node cluster.Node, url st
 	return resp, err
 }
 
-// withTraceHeader stamps the context's trace ID onto a copy of hdr so a
-// scatter-gather's sub-requests carry the originating request's ID and
-// the whole fan-out can be reconstructed from per-node logs.
+// withTraceHeader stamps the context's request ID and W3C traceparent
+// onto a copy of hdr so a scatter-gather's sub-requests carry the
+// originating request's identity: the receiving node's root span becomes
+// a child of the caller's active span and the whole fan-out can be
+// reassembled into one tree by GET /admin/trace/{id}.
 func withTraceHeader(ctx context.Context, hdr http.Header) http.Header {
 	rid := requestIDFrom(ctx)
-	if rid == "" {
+	tp := trace.TraceparentFromContext(ctx)
+	if rid == "" && tp == "" {
 		return hdr
 	}
 	h := hdr.Clone()
 	if h == nil {
 		h = http.Header{}
 	}
-	h.Set(headerRequestID, rid)
+	if rid != "" {
+		h.Set(headerRequestID, rid)
+	}
+	if tp != "" {
+		h.Set(headerTraceparent, tp)
+	}
 	return h
 }
 
@@ -448,7 +462,7 @@ func (c *clusterNode) createShard(ctx context.Context, shard string, req *create
 			return false, fmt.Errorf("no owner for %q", shard)
 		}
 		if owner.ID == c.selfID {
-			_, err := c.srv.createLocal(req, false)
+			_, err := c.srv.createLocal(ctx, req, false)
 			if err == nil {
 				return false, nil
 			}
@@ -509,7 +523,7 @@ func (c *clusterNode) deleteShard(ctx context.Context, shard string) (bool, erro
 			return false, fmt.Errorf("no owner for %q", shard)
 		}
 		if owner.ID == c.selfID {
-			found, err := c.srv.deleteLocal(shard)
+			found, err := c.srv.deleteLocal(ctx, shard)
 			if err == nil {
 				return found, nil
 			}
@@ -554,7 +568,7 @@ func sideFromWire(side string) spatial.UpdateSide {
 // the error are both reported, and re-sending the failed records is safe
 // only for batches that are not yet acknowledged (sketches count every
 // application).
-func (c *clusterNode) routeUpdate(w http.ResponseWriter, name string, req *updateRequest) {
+func (c *clusterNode) routeUpdate(ctx context.Context, w http.ResponseWriter, name string, req *updateRequest) {
 	if cluster.IsShardName(name) {
 		writeError(w, http.StatusBadRequest, "shard keys are internal; update the base estimator name")
 		return
@@ -578,11 +592,13 @@ func (c *clusterNode) routeUpdate(w http.ResponseWriter, name string, req *updat
 		p := cluster.PartitionOf(rec.RoutingHash(), c.parts)
 		pointParts[p] = append(pointParts[p], pt)
 	}
-	// Deliberately NOT the request context: once an update fan-out starts,
-	// cancelling between partitions would silently drop sub-batches while
-	// others applied; running to completion keeps the applied-count report
-	// truthful even when the client disconnects.
-	ctx := context.Background()
+	// Deliberately detached from the request's cancellation: once an
+	// update fan-out starts, cancelling between partitions would silently
+	// drop sub-batches while others applied; running to completion keeps
+	// the applied-count report truthful even when the client disconnects.
+	// The context's values (trace, request ID) still flow so sub-requests
+	// stitch into the caller's trace.
+	ctx = context.WithoutCancel(ctx)
 	hadWork := make([]bool, c.parts)
 	applied, errs := cluster.Scatter(c.parts, func(p int) (int, error) {
 		if len(rectParts[p]) == 0 && len(pointParts[p]) == 0 {
@@ -642,7 +658,15 @@ func (e *shardClientError) Error() string { return e.msg }
 // update may have been applied. A shard still missing after a map
 // refresh reports errShardMissing (the estimator likely does not exist);
 // the owner's 4xx reports shardClientError.
-func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *updateRequest) (int, error) {
+func (c *clusterNode) applyShardUpdate(ctx context.Context, shard string, sub *updateRequest) (applied int, err error) {
+	ctx, sp := c.srv.tracer.Start(ctx, "fanout.update")
+	sp.SetAttr("shard", shard)
+	defer func() {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}()
 	body, err := json.Marshal(sub)
 	if err != nil {
 		return 0, err
@@ -736,7 +760,7 @@ var errForwardFailed = errors.New("ingest forward failed after retries")
 // retried batch (and a resumed session's HelloAck) short-circuit
 // without a fan-out; losing it (routing-node restart) merely causes
 // re-forwarding that the owners drop.
-func (c *clusterNode) routeIngest(name, session string, batch ingest.Batch) (int, bool, error) {
+func (c *clusterNode) routeIngest(ctx context.Context, name, session string, batch ingest.Batch) (int, bool, error) {
 	ent := c.srv.sessions.entry(session, name, true)
 	if ent == nil {
 		return 0, false, errSessionTableFull
@@ -757,10 +781,11 @@ func (c *clusterNode) routeIngest(name, session string, batch ingest.Batch) (int
 		partRecs[p] = rec.AppendBinary(partRecs[p])
 		partCount[p]++
 	}
-	// Deliberately not a request context (see routeUpdate): once the
+	// Deliberately detached from cancellation (see routeUpdate): once the
 	// fan-out starts, it runs to completion so the ack decision is made
-	// on the owners' real state, not on a client disconnect.
-	ctx := context.Background()
+	// on the owners' real state, not on a client disconnect. Trace values
+	// still flow.
+	ctx = context.WithoutCancel(ctx)
 	applied, errs := cluster.Scatter(c.parts, func(p int) (int, error) {
 		if partCount[p] == 0 {
 			return 0, nil
@@ -786,7 +811,16 @@ func (c *clusterNode) routeIngest(name, session string, batch ingest.Batch) (int
 // retried too: the sub-batch carries (session, seq), so re-sending
 // something the owner already committed dedups instead of
 // double-applying - the whole point of the sequenced protocol.
-func (c *clusterNode) forwardShardIngest(ctx context.Context, shard, session string, seq uint64, count int, recs []byte) (int, error) {
+func (c *clusterNode) forwardShardIngest(ctx context.Context, shard, session string, seq uint64, count int, recs []byte) (applied int, err error) {
+	ctx, sp := c.srv.tracer.Start(ctx, "fanout.ingest")
+	sp.SetAttr("shard", shard)
+	sp.SetAttr("seq", strconv.FormatUint(seq, 10))
+	defer func() {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}()
 	body := binary.AppendUvarint(nil, uint64(len(session)))
 	body = append(body, session...)
 	body = binary.AppendUvarint(body, seq)
@@ -803,7 +837,7 @@ func (c *clusterNode) forwardShardIngest(ctx context.Context, shard, session str
 			return 0, fmt.Errorf("no owner for %q", shard)
 		}
 		if owner.ID == c.selfID {
-			applied, deduped, err := c.srv.applyIngestBatch(shard, session, seq, uint64(count), recs)
+			applied, deduped, err := c.srv.applyIngestBatch(ctx, shard, session, seq, uint64(count), recs)
 			switch {
 			case err == nil:
 				if deduped {
@@ -972,6 +1006,14 @@ func (c *clusterNode) fetchShardSnapshot(ctx context.Context, shard string) ([]b
 // was served by a replica or a local copy without one - such a result is
 // never revalidatable and the cache refetches it next time).
 func (c *clusterNode) fetchShardSnapshotCond(ctx context.Context, shard, ifNoneMatch string) (data []byte, etag string, notModified bool, err error) {
+	ctx, sp := c.srv.tracer.Start(ctx, "fanout.snapshot")
+	sp.SetAttr("shard", shard)
+	defer func() {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}()
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if err := c.backoff.Wait(ctx, attempt); err != nil {
@@ -1208,10 +1250,10 @@ func (c *clusterNode) broadcastTenant(ctx context.Context, method, tenant string
 		n := m.Nodes[i]
 		if n.ID == c.selfID {
 			if method == http.MethodDelete {
-				_, err := c.srv.deleteTenantLocal(tenant)
+				_, err := c.srv.deleteTenantLocal(ctx, tenant)
 				return struct{}{}, err
 			}
-			return struct{}{}, c.srv.setTenantLocal(tenant, *cfg)
+			return struct{}{}, c.srv.setTenantLocal(ctx, tenant, *cfg)
 		}
 		resp, err := c.callNode(ctx, n, method, n.URL+"/v1/tenants/"+url.PathEscape(tenant), body, internalHeader())
 		if err != nil {
@@ -1480,7 +1522,16 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 // Without a WAL (in-memory cluster) the whole move runs under the
 // exclusive gate instead - a freeze-move, acceptable because there is no
 // durability to preserve and snapshots are small.
-func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.Node) error {
+func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.Node) (err error) {
+	ctx, sp := c.srv.tracer.Start(ctx, "rebalance.handoff")
+	sp.SetAttr("shard", shard)
+	sp.SetAttr("target", target.ID)
+	defer func() {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}()
 	s := c.srv
 	est, ok := s.lookup(shard)
 	if !ok {
@@ -1551,8 +1602,8 @@ func (c *clusterNode) handoff(ctx context.Context, shard string, target cluster.
 	// Ownership has moved and the target acknowledged its map; no new
 	// update can land here, so the local copy is garbage. A failure only
 	// leaks memory until the next restart.
-	if _, err := s.deleteLocal(shard); err != nil {
-		logfServer("spatialserve: dropping handed-off shard %q: %v", shard, err)
+	if _, derr := s.deleteLocal(ctx, shard); derr != nil {
+		logfServer("spatialserve: dropping handed-off shard %q: %v", shard, derr)
 	}
 	return nil
 }

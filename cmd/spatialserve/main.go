@@ -140,6 +140,9 @@ func run(args []string, out *os.File) error {
 	shedQPS := fs.Float64("shed-qps", 0, "admission control: token-bucket request rate above which requests are shed with 429 (0 = off)")
 	shedBurst := fs.Int("shed-burst", 0, "admission control: token-bucket burst capacity (0 = one second of -shed-qps)")
 	sessionTTL := fs.Duration("session-ttl", 24*time.Hour, "expire streaming-ingest session watermarks idle longer than this (0 disables; sessions with an attached stream never expire)")
+	slowOp := fs.Duration("slow-op-threshold", 0, "log a structured JSON line (stderr) for requests and ingest batches at or above this duration, and always retain their traces (0 disables)")
+	traceSample := fs.Float64("trace-sample", 0, "probability of retaining a fast, error-free trace in /admin/trace (0 = default 0.05; negative disables sampling, slow and errored traces are still kept)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (admission-exempt)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage was printed, exit 0
@@ -195,6 +198,15 @@ func run(args []string, out *os.File) error {
 		ShedBurst:         *shedBurst,
 	})
 	srv.StartSessionGC(*sessionTTL)
+	if *slowOp > 0 {
+		srv.EnableSlowOpLog(os.Stderr, *slowOp)
+	}
+	if *traceSample != 0 {
+		srv.Tracer().SetSampleRate(*traceSample)
+	}
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	spatial "repro"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -383,12 +384,18 @@ func validRequestID(rid string) bool {
 
 // traceRequest accepts or mints the request's trace ID, reflects it on
 // the response and stores it in the request context for fan-out
-// propagation and logging.
+// propagation and logging. An incoming W3C traceparent header is parsed
+// into the context as the remote parent, so the root span opened by
+// ServeHTTP joins the caller's trace instead of starting a new one.
 func traceRequest(w http.ResponseWriter, r *http.Request) *http.Request {
 	rid := r.Header.Get(headerRequestID)
 	if !validRequestID(rid) {
 		rid = newRequestID()
 	}
 	w.Header().Set(headerRequestID, rid)
-	return r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	ctx := context.WithValue(r.Context(), ridKey{}, rid)
+	if id, parent, ok := trace.ParseTraceparent(r.Header.Get(headerTraceparent)); ok {
+		ctx = trace.ContextWithRemote(ctx, id, parent)
+	}
+	return r.WithContext(ctx)
 }

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	spatial "repro"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -225,7 +228,16 @@ func newPersister(srv *Server, opts PersistOptions) (*persister, error) {
 			m.observeWALCommit(st)
 		}
 	}
-	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf, Hooks: opts.WALHooks, OnCommit: onCommit})
+	// Group commits become standalone spans (no single request owns a
+	// batch), so a slow fsync is retained by the tail sampler on its
+	// duration alone and shows up beside the requests it stalled.
+	onCommitSpan := func(start time.Time, st wal.CommitStats) {
+		srv.tracer.RecordSpan(context.Background(), "wal.commit", start, time.Since(start), st.Err,
+			trace.Attr{K: "records", V: strconv.Itoa(st.Records)},
+			trace.Attr{K: "bytes", V: strconv.Itoa(st.Bytes)},
+			trace.Attr{K: "sync_ns", V: strconv.FormatInt(st.SyncDuration.Nanoseconds(), 10)})
+	}
+	p.w, err = wal.Open(wal.Options{Dir: walDir, Fsync: opts.Fsync, SegmentBytes: opts.SegmentBytes, Logf: p.logf, Hooks: opts.WALHooks, OnCommit: onCommit, OnCommitSpan: onCommitSpan})
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +278,7 @@ func (p *persister) checkpointLoop() {
 		case <-p.stop:
 			return
 		case <-t.C:
-			if _, err := p.checkpoint(); err != nil {
+			if _, err := p.checkpoint(context.Background()); err != nil {
 				p.logf("spatialserve: background checkpoint failed: %v", err)
 			}
 		}
@@ -285,7 +297,7 @@ func (p *persister) close(abrupt bool) error {
 		<-p.loopDone
 		var err error
 		if !abrupt {
-			if _, cerr := p.checkpoint(); cerr != nil {
+			if _, cerr := p.checkpoint(context.Background()); cerr != nil {
 				err = cerr
 			}
 			if serr := p.w.Sync(); serr != nil && err == nil {
@@ -309,12 +321,21 @@ func appendName(dst []byte, name string) []byte {
 
 // appendRecord writes one framed record to the WAL, timing the
 // enqueue-to-acknowledgement lag (the latency a mutation pays for
-// durability) into the metrics registry.
-func (p *persister) appendRecord(payload []byte) error {
+// durability) into the metrics registry. When the context carries an
+// active span (a traced request paying for durability) the wait is also
+// recorded as a child "wal.append" span; untraced paths - the update
+// tap, background GC - skip the span rather than mint a standalone
+// trace per record.
+func (p *persister) appendRecord(ctx context.Context, payload []byte) error {
 	start := time.Now()
 	_, err := p.w.Append(payload)
+	d := time.Since(start)
 	if m := p.srv.metrics; m != nil {
-		m.walAppendSeconds.With().Observe(time.Since(start).Seconds())
+		m.walAppendSeconds.With().Observe(d.Seconds())
+	}
+	if trace.FromContext(ctx) != nil {
+		p.srv.tracer.RecordSpan(ctx, "wal.append", start, d, err,
+			trace.Attr{K: "bytes", V: strconv.Itoa(len(payload))})
 	}
 	if err != nil {
 		return &logFailure{err}
@@ -324,30 +345,30 @@ func (p *persister) appendRecord(payload []byte) error {
 
 // logCreate writes the create record. Caller holds the exclusive gate and
 // the registry lock.
-func (p *persister) logCreate(req *createRequest) error {
+func (p *persister) logCreate(ctx context.Context, req *createRequest) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
 	payload := appendName([]byte{walOpCreate}, req.Name)
-	return p.appendRecord(append(payload, body...))
+	return p.appendRecord(ctx, append(payload, body...))
 }
 
 // logDelete writes the delete record. Caller holds the exclusive gate and
 // the registry lock.
-func (p *persister) logDelete(name string) error {
-	return p.appendRecord(appendName([]byte{walOpDelete}, name))
+func (p *persister) logDelete(ctx context.Context, name string) error {
+	return p.appendRecord(ctx, appendName([]byte{walOpDelete}, name))
 }
 
 // logSnapshot writes a merge or put record carrying raw SPE1 bytes.
-func (p *persister) logSnapshot(op byte, name string, snapshot []byte) error {
+func (p *persister) logSnapshot(ctx context.Context, op byte, name string, snapshot []byte) error {
 	payload := appendName([]byte{op}, name)
-	return p.appendRecord(append(payload, snapshot...))
+	return p.appendRecord(ctx, append(payload, snapshot...))
 }
 
 // logTenant writes a tenant-config record (put carries the JSON config,
 // delete carries nothing). Caller holds the exclusive gate.
-func (p *persister) logTenant(op byte, tenant string, cfg TenantConfig) error {
+func (p *persister) logTenant(ctx context.Context, op byte, tenant string, cfg TenantConfig) error {
 	payload := appendName([]byte{op}, tenant)
 	if op == walOpTenantPut {
 		body, err := json.Marshal(cfg)
@@ -356,7 +377,7 @@ func (p *persister) logTenant(op byte, tenant string, cfg TenantConfig) error {
 		}
 		payload = append(payload, body...)
 	}
-	return p.appendRecord(payload)
+	return p.appendRecord(ctx, payload)
 }
 
 // updateTap returns the UpdateTap feeding name's update stream into the
@@ -370,7 +391,10 @@ func (p *persister) updateTap(name string) spatial.UpdateTap {
 		for _, r := range recs {
 			payload = r.AppendBinary(payload)
 		}
-		return p.appendRecord(payload)
+		// The tap has no request context by design (the library calls
+		// it); the durability wait still surfaces per-request through
+		// the handlers' own spans and per-batch through wal.commit.
+		return p.appendRecord(context.Background(), payload)
 	}
 }
 
@@ -378,19 +402,19 @@ func (p *persister) updateTap(name string) spatial.UpdateTap {
 // the session watermark advance, atomically. records is the raw
 // concatenated UpdateRecord encoding (already validated by the caller).
 // Caller holds the shared gate and the session entry's lock.
-func (p *persister) logIngest(name, session string, seq uint64, count int, records []byte) error {
+func (p *persister) logIngest(ctx context.Context, name, session string, seq uint64, count int, records []byte) error {
 	payload := appendName([]byte{walOpIngest}, name)
 	payload = appendName(payload, session)
 	payload = binary.AppendUvarint(payload, seq)
 	payload = binary.AppendUvarint(payload, uint64(count))
-	return p.appendRecord(append(payload, records...))
+	return p.appendRecord(ctx, append(payload, records...))
 }
 
 // logSessionDrop writes one watermark-removal record. Caller holds the
 // shared gate and the session entry's lock, mirroring logIngest.
-func (p *persister) logSessionDrop(name, session string) error {
+func (p *persister) logSessionDrop(ctx context.Context, name, session string) error {
 	payload := appendName([]byte{walOpSessionDrop}, name)
-	return p.appendRecord(appendName(payload, session))
+	return p.appendRecord(ctx, appendName(payload, session))
 }
 
 // parseSessionDropRest splits a walOpSessionDrop record's rest into the
@@ -578,8 +602,10 @@ type checkpointResult struct {
 // checkpoint snapshots every registered estimator at one consistent WAL
 // cut, makes the new manifest durable, then garbage-collects files the
 // previous checkpoint needed. Concurrent checkpoints serialize; a
-// checkpoint with nothing new logged since the last one is a no-op.
-func (p *persister) checkpoint() (res checkpointResult, err error) {
+// checkpoint with nothing new logged since the last one is a no-op. The
+// context ties the work to the requesting trace: admin-triggered
+// checkpoints land as child spans, background ones as standalone spans.
+func (p *persister) checkpoint(ctx context.Context) (res checkpointResult, err error) {
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
 
@@ -592,14 +618,18 @@ func (p *persister) checkpoint() (res checkpointResult, err error) {
 	}
 	start := time.Now()
 	defer func() {
+		d := time.Since(start)
 		if m := p.srv.metrics; m != nil {
-			m.checkpointSeconds.With().Observe(time.Since(start).Seconds())
+			m.checkpointSeconds.With().Observe(d.Seconds())
 			result := "ok"
 			if err != nil {
 				result = "error"
 			}
 			m.checkpointTotal.With(result).Inc()
 		}
+		p.srv.tracer.RecordSpan(ctx, "checkpoint", start, d, err,
+			trace.Attr{K: "estimators", V: strconv.Itoa(res.Estimators)},
+			trace.Attr{K: "seq", V: strconv.FormatUint(res.Seq, 10)})
 	}()
 
 	// The cut: exclusive gate, so no logged mutation is in flight - the

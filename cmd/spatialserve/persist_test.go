@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -245,7 +246,7 @@ func TestPersistCheckpointRacingWriters(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := s.persist.checkpoint(); err != nil {
+			if _, err := s.persist.checkpoint(context.Background()); err != nil {
 				t.Errorf("racing checkpoint: %v", err)
 				return
 			}

@@ -15,6 +15,7 @@ import (
 
 	spatial "repro"
 	"repro/internal/cluster"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -173,7 +174,7 @@ func (s *Server) bootstrapReplica(rs *replicaState) error {
 			continue
 		}
 		if s.persist != nil {
-			if err := s.persist.logDelete(name); err != nil {
+			if err := s.persist.logDelete(context.Background(), name); err != nil {
 				return err
 			}
 		}
@@ -181,7 +182,7 @@ func (s *Server) bootstrapReplica(rs *replicaState) error {
 	}
 	for i, name := range names {
 		if s.persist != nil {
-			if err := s.persist.logSnapshot(walOpPut, name, snaps[i]); err != nil {
+			if err := s.persist.logSnapshot(context.Background(), walOpPut, name, snaps[i]); err != nil {
 				return err
 			}
 		}
@@ -247,7 +248,17 @@ const maxShipBytes = 4 << 20
 // position rests exactly on frame i, so the next poll resumes there and
 // frames 0..i-1 are never applied twice - re-applying a sketch update is
 // not idempotent and would diverge the replica permanently.
-func (s *Server) fetchAndApply(rs *replicaState) (int, error) {
+func (s *Server) fetchAndApply(rs *replicaState) (n int, err error) {
+	// Idle polls (no frames, no error) stay out of the tracer; a poll
+	// that shipped data or failed becomes a standalone span so replica
+	// lag shows up in the trace ring next to the traffic causing it.
+	start := time.Now()
+	defer func() {
+		if n > 0 || err != nil {
+			s.tracer.RecordSpan(context.Background(), "replica.apply", start, time.Since(start), err,
+				trace.Attr{K: "frames", V: strconv.Itoa(n)})
+		}
+	}()
 	rs.mu.Lock()
 	from := rs.pos
 	rs.mu.Unlock()

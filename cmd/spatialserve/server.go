@@ -2,6 +2,7 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -18,6 +19,7 @@ import (
 	spatial "repro"
 	"repro/geo"
 	"repro/internal/cluster"
+	"repro/internal/trace"
 )
 
 // Server exposes a registry of named estimators over HTTP: the
@@ -82,6 +84,14 @@ type Server struct {
 	// marks are persisted through the WAL and checkpoint manifest.
 	sessions sessionTable
 
+	// tracer records request spans into a bounded tail-sampled ring
+	// served by GET /admin/trace (see trace.go). Never nil.
+	tracer *trace.Tracer
+
+	// slowLog is the structured slow-op JSON log (disabled until
+	// EnableSlowOpLog; see trace.go). Never nil.
+	slowLog *trace.SlowOpLogger
+
 	// gcStop/gcDone/gcOnce control the background session-mark GC loop
 	// (see sessions_gc.go); gcStop is nil when GC is not running.
 	gcStop chan struct{}
@@ -121,6 +131,8 @@ func NewServer() *Server {
 	s := &Server{ests: make(map[string]servable), mux: http.NewServeMux()}
 	s.tenants.tenants = make(map[string]*tenantState)
 	s.metrics = newServerMetrics(s)
+	s.initTracing()
+	s.observeViewRebuilds()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -163,6 +175,8 @@ func NewServer() *Server {
 	s.mux.HandleFunc("POST /admin/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /admin/sessions", s.handleSessionList)
 	s.mux.HandleFunc("DELETE /admin/sessions", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /admin/trace", s.handleTraceList)
+	s.mux.HandleFunc("GET /admin/trace/{id}", s.handleTraceGet)
 	return s
 }
 
@@ -193,17 +207,57 @@ func (s *Server) Close() error {
 	return s.persist.close(false)
 }
 
-// ServeHTTP attaches the trace ID, runs global then per-tenant admission
-// control, dispatches to the registry's endpoint handlers and records the
-// request metrics.
+// ServeHTTP attaches the request/trace IDs, opens the request's root
+// span (a child of an incoming traceparent, so fan-out sub-requests
+// stitch into the caller's trace), runs global then per-tenant admission
+// control, dispatches to the registry's endpoint handlers, and records
+// the request metrics - with the trace ID attached as an exemplar when
+// the trace was retained - plus a structured slow-op line when the
+// request crossed the slow threshold.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r = traceRequest(w, r)
+	endpoint := classifyEndpoint(r)
+	ctx, sp := s.tracer.Start(r.Context(), "http "+endpoint)
+	if sp != nil {
+		sp.SetAttr("endpoint", endpoint)
+		if rid := requestIDFrom(ctx); rid != "" {
+			sp.SetAttr("request_id", rid)
+		}
+		r = r.WithContext(ctx)
+	}
 	start := time.Now()
 	sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.serveAdmitted(sw, r)
-	endpoint, tenant := classifyEndpoint(r), s.metricsTenant(r)
-	s.metrics.reqSeconds.With(endpoint, tenant).Observe(time.Since(start).Seconds())
-	s.metrics.reqTotal.With(endpoint, tenant, strconv.Itoa(sw.status)).Inc()
+	d := time.Since(start)
+	tenant := s.metricsTenant(r)
+	status := strconv.Itoa(sw.status)
+	sp.SetAttr("tenant", tenant)
+	sp.SetAttr("status", status)
+	if sw.status >= http.StatusInternalServerError {
+		sp.Fail("status " + status)
+	}
+	traceID := sp.TraceID()
+	hist := s.metrics.reqSeconds.With(endpoint, tenant)
+	if sp.End() {
+		hist.ObserveExemplar(d.Seconds(), traceID.String())
+	} else {
+		hist.Observe(d.Seconds())
+	}
+	s.metrics.reqTotal.With(endpoint, tenant, status).Inc()
+	if s.slowLog.Enabled(d) {
+		op := trace.SlowOp{
+			Op:        "http " + endpoint,
+			RequestID: requestIDFrom(r.Context()),
+			Tenant:    tenant,
+			Endpoint:  endpoint,
+			Status:    sw.status,
+			Duration:  d,
+		}
+		if !traceID.IsZero() {
+			op.TraceID = traceID.String()
+		}
+		s.slowLog.Observe(op)
+	}
 }
 
 // serveAdmitted runs the admission gates (global, then per-tenant) and
@@ -491,7 +545,7 @@ const readOnlyReplicaMsg = "node is a read-only replica (POST /admin/promote to 
 // shard creates were budgeted at the routing node) the tenant's memory
 // budget is checked under the registry lock, so concurrent creates
 // cannot slip past it together.
-func (s *Server) createLocal(req *createRequest, enforceBudget bool) (servable, error) {
+func (s *Server) createLocal(ctx context.Context, req *createRequest, enforceBudget bool) (servable, error) {
 	est, err := buildServable(req.Kind, req.Config)
 	if err != nil {
 		return nil, err
@@ -511,7 +565,7 @@ func (s *Server) createLocal(req *createRequest, enforceBudget bool) (servable, 
 		}
 	}
 	if s.persist != nil {
-		if err := s.persist.logCreate(req); err != nil {
+		if err := s.persist.logCreate(ctx, req); err != nil {
 			return nil, err
 		}
 		est.setTap(s.persist.updateTap(req.Name))
@@ -522,7 +576,7 @@ func (s *Server) createLocal(req *createRequest, enforceBudget bool) (servable, 
 
 // deleteLocal removes an estimator binding (logged, exclusive gate),
 // reporting whether it existed.
-func (s *Server) deleteLocal(name string) (bool, error) {
+func (s *Server) deleteLocal(ctx context.Context, name string) (bool, error) {
 	if gate := s.mutGate(); gate != nil {
 		gate.Lock()
 		defer gate.Unlock()
@@ -533,7 +587,7 @@ func (s *Server) deleteLocal(name string) (bool, error) {
 		return false, nil
 	}
 	if s.persist != nil {
-		if err := s.persist.logDelete(name); err != nil {
+		if err := s.persist.logDelete(ctx, name); err != nil {
 			return true, err
 		}
 	}
@@ -608,7 +662,7 @@ func (s *Server) serveCreate(w http.ResponseWriter, r *http.Request, req *create
 		s.cluster.routeCreate(r.Context(), w, req)
 		return
 	}
-	est, err := s.createLocal(req, external)
+	est, err := s.createLocal(r.Context(), req, external)
 	if err != nil {
 		var be *budgetError
 		if errors.As(err, &be) {
@@ -686,7 +740,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.cluster.routeDelete(r.Context(), w, name)
 		return
 	}
-	found, err := s.deleteLocal(name)
+	found, err := s.deleteLocal(r.Context(), name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "logging delete: %v", err)
 		return
@@ -716,11 +770,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if key := r.Header.Get("Idempotency-Key"); key != "" && !isInternal(r) {
-		s.serveIdempotentUpdate(w, name, key, &req)
+		s.serveIdempotentUpdate(r.Context(), w, name, key, &req)
 		return
 	}
 	if s.cluster != nil && !isInternal(r) {
-		s.cluster.routeUpdate(w, name, &req)
+		s.cluster.routeUpdate(r.Context(), w, name, &req)
 		return
 	}
 	// Under persistence, the gate brackets the whole logged mutation (the
@@ -901,7 +955,7 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.persist != nil {
-		if err := s.persist.logSnapshot(walOpPut, name, data); err != nil {
+		if err := s.persist.logSnapshot(r.Context(), walOpPut, name, data); err != nil {
 			writeError(w, http.StatusInternalServerError, "logging snapshot put: %v", err)
 			return
 		}
@@ -953,7 +1007,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		if s.persist != nil {
 			// Logged before the config check: a rejected merge replays as
 			// the same deterministic rejection (see persist.go).
-			if err := s.persist.logSnapshot(walOpMerge, name, data); err != nil {
+			if err := s.persist.logSnapshot(r.Context(), walOpMerge, name, data); err != nil {
 				return err
 			}
 		}
@@ -978,7 +1032,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "persistence is disabled (start with -data-dir)")
 		return
 	}
-	res, err := s.persist.checkpoint()
+	res, err := s.persist.checkpoint(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return

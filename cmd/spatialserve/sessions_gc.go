@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"sort"
@@ -110,7 +111,7 @@ func (s *Server) dropSessionMark(session, key string, minIdle time.Duration, now
 	}
 	if est, ok := s.lookup(key); ok && s.persist != nil {
 		err := s.withEstimator(key, est, func() error {
-			return s.persist.logSessionDrop(key, session)
+			return s.persist.logSessionDrop(context.Background(), key, session)
 		})
 		if errors.Is(err, errStaleBinding) {
 			// The binding changed under us; the delete/replace path owns

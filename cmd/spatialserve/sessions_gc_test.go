@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -30,7 +31,7 @@ func encodeRecords(recs []spatial.UpdateRecord) (uint64, []byte) {
 func ingestOnce(t *testing.T, s *Server, session string, seq uint64, recs []spatial.UpdateRecord) {
 	t.Helper()
 	count, enc := encodeRecords(recs)
-	applied, deduped, err := s.applyIngestBatch("j", session, seq, count, enc)
+	applied, deduped, err := s.applyIngestBatch(context.Background(), "j", session, seq, count, enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSessionGCExpiresIdleDurably(t *testing.T) {
 	// The active session's window stays closed: a retry is deduped, not
 	// re-applied.
 	count, enc := encodeRecords(liveRecs)
-	if _, deduped, err := s.applyIngestBatch("j", "gc-live", 1, count, enc); err != nil || !deduped {
+	if _, deduped, err := s.applyIngestBatch(context.Background(), "j", "gc-live", 1, count, enc); err != nil || !deduped {
 		t.Fatalf("retry after gc: deduped=%v err=%v, want dedup", deduped, err)
 	}
 	mustMatchRef(t, n.ht.URL, ref, "after expiry")
@@ -98,7 +99,7 @@ func TestSessionGCExpiresIdleDurably(t *testing.T) {
 	if got := s.sessions.peek("gc-live", "j"); got != 1 {
 		t.Fatalf("recovered active mark: seq %d, want 1", got)
 	}
-	if _, deduped, err := s.applyIngestBatch("j", "gc-live", 1, count, enc); err != nil || !deduped {
+	if _, deduped, err := s.applyIngestBatch(context.Background(), "j", "gc-live", 1, count, enc); err != nil || !deduped {
 		t.Fatalf("retry after recovery: deduped=%v err=%v, want dedup", deduped, err)
 	}
 	mustMatchRef(t, n.ht.URL, ref, "after recovery")

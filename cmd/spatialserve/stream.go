@@ -2,11 +2,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	spatial "repro"
 	"repro/internal/cluster"
 	"repro/internal/ingest"
+	"repro/internal/trace"
 )
 
 // Exactly-once streaming ingest (POST /v1/ingest, HTTP upgrade to the
@@ -276,7 +279,7 @@ func (t *sessionTable) restore(marks []sessionMark) {
 // adopt advances one mark without applying records: rebalance handing a
 // shard's marks to the new owner. Logged (count-0 walOpIngest) so the
 // mark survives the new owner's recovery.
-func (s *Server) adoptMark(name string, est servable, m sessionMark) error {
+func (s *Server) adoptMark(ctx context.Context, name string, est servable, m sessionMark) error {
 	ent := s.sessions.lockEntry(m.Session, name, false)
 	defer ent.mu.Unlock()
 	ent.touch()
@@ -285,7 +288,7 @@ func (s *Server) adoptMark(name string, est servable, m sessionMark) error {
 	}
 	return s.withEstimator(name, est, func() error {
 		if s.persist != nil {
-			if err := s.persist.logIngest(name, m.Session, m.Seq, 0, nil); err != nil {
+			if err := s.persist.logIngest(ctx, name, m.Session, m.Seq, 0, nil); err != nil {
 				return err
 			}
 		}
@@ -300,7 +303,7 @@ func (s *Server) adoptMark(name string, est servable, m sessionMark) error {
 // the mark. Returns the applied record count, or deduped=true when the
 // batch is at-or-below the watermark (already durable - the caller acks
 // it again).
-func (s *Server) applyIngestBatch(name, session string, seq, count uint64, records []byte) (applied int, deduped bool, err error) {
+func (s *Server) applyIngestBatch(ctx context.Context, name, session string, seq, count uint64, records []byte) (applied int, deduped bool, err error) {
 	est, ok := s.lookup(name)
 	if !ok {
 		return 0, false, fmt.Errorf("%w: %q", errNotFoundLocal, name)
@@ -340,7 +343,7 @@ func (s *Server) applyIngestBatch(name, session string, seq, count uint64, recor
 			}
 		}
 		if s.persist != nil {
-			if lerr := s.persist.logIngest(name, session, seq, len(recs), records); lerr != nil {
+			if lerr := s.persist.logIngest(ctx, name, session, seq, len(recs), records); lerr != nil {
 				return lerr
 			}
 		}
@@ -387,7 +390,9 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 	if err := rw.Flush(); err != nil {
 		return
 	}
-	s.serveStream(conn, rw)
+	// The handler (and so ServeHTTP's root span) lives for the whole
+	// stream; per-batch child spans hang off this context.
+	s.serveStream(r.Context(), conn, rw)
 }
 
 // streamConn bundles one hijacked stream connection with its write
@@ -418,9 +423,10 @@ func (sc *streamConn) fail(code ingest.ErrorCode, format string, args ...any) {
 // acks each batch after its WAL commit. Processing is sequential per
 // connection - ordering within a session is the protocol's contract -
 // while cross-stream concurrency rides the WAL group commit.
-func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
+func (s *Server) serveStream(ctx context.Context, conn net.Conn, rw *bufio.ReadWriter) {
 	sc := &streamConn{conn: conn, rw: rw}
 
+	helloStart := time.Now()
 	conn.SetReadDeadline(time.Now().Add(streamHelloTimeout))
 	ft, body, err := ingest.ReadFrame(rw.Reader)
 	if err != nil || ft != ingest.FrameHello {
@@ -458,6 +464,9 @@ func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 	if sc.writeFrame(ack) != nil {
 		return
 	}
+	s.tracer.RecordSpan(ctx, "ingest.hello", helloStart, time.Since(helloStart), nil,
+		trace.Attr{K: "session", V: hello.Session},
+		trace.Attr{K: "estimator", V: key})
 
 	for {
 		conn.SetReadDeadline(time.Now().Add(streamIdleTimeout))
@@ -475,26 +484,53 @@ func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 			return
 		}
 		start := time.Now()
+		bctx, sp := s.tracer.Start(ctx, "ingest.batch")
+		sp.SetAttr("session", hello.Session)
+		sp.SetAttr("seq", strconv.FormatUint(batch.Seq, 10))
+		sp.SetAttr("records", strconv.FormatUint(batch.Count, 10))
 		if a := s.admit; a != nil {
 			release, waited, ok := a.acquireStreamBatch(streamStallLimit)
 			if waited {
 				s.metrics.ingestStalled(tenant)
 			}
 			if !ok {
+				sp.Fail("admission stalled past " + streamStallLimit.String())
+				sp.End()
 				sc.fail(ingest.CodeOverloaded, "admission stalled past %s", streamStallLimit)
 				return
 			}
-			err = s.ingestOneBatch(key, hello.Session, clustered, batch)
+			err = s.ingestOneBatch(bctx, key, hello.Session, clustered, batch)
 			release()
 		} else {
-			err = s.ingestOneBatch(key, hello.Session, clustered, batch)
+			err = s.ingestOneBatch(bctx, key, hello.Session, clustered, batch)
+		}
+		d := time.Since(start)
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		traceID := sp.TraceID()
+		sp.End()
+		if s.slowLog.Enabled(d) {
+			op := trace.SlowOp{
+				Op:       "ingest.batch",
+				Tenant:   tenant,
+				Endpoint: "/v1/ingest",
+				Duration: d,
+			}
+			if !traceID.IsZero() {
+				op.TraceID = traceID.String()
+			}
+			if err != nil {
+				op.Err = err.Error()
+			}
+			s.slowLog.Observe(op)
 		}
 		if err != nil {
 			code, msg := streamErrorFor(err)
 			sc.fail(code, "%s", msg)
 			return
 		}
-		s.metrics.observeIngestAck(tenant, time.Since(start))
+		s.metrics.observeIngestAck(tenant, d)
 		if sc.writeFrame(ingest.AppendAck(nil, batch.Seq)) != nil {
 			return
 		}
@@ -503,15 +539,15 @@ func (s *Server) serveStream(conn net.Conn, rw *bufio.ReadWriter) {
 
 // ingestOneBatch applies one stream batch locally or through cluster
 // routing, recording the batch metrics.
-func (s *Server) ingestOneBatch(key, session string, clustered bool, batch ingest.Batch) error {
+func (s *Server) ingestOneBatch(ctx context.Context, key, session string, clustered bool, batch ingest.Batch) error {
 	tenant := s.streamTenant(key)
 	var applied int
 	var deduped bool
 	var err error
 	if clustered {
-		applied, deduped, err = s.cluster.routeIngest(key, session, batch)
+		applied, deduped, err = s.cluster.routeIngest(ctx, key, session, batch)
 	} else {
-		applied, deduped, err = s.applyIngestBatch(key, session, batch.Seq, batch.Count, batch.Records)
+		applied, deduped, err = s.applyIngestBatch(ctx, key, session, batch.Seq, batch.Count, batch.Records)
 	}
 	if err != nil {
 		return err
@@ -580,7 +616,7 @@ func (s *Server) handleShardIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	applied, deduped, err := s.applyIngestBatch(name, session, seq, count, records)
+	applied, deduped, err := s.applyIngestBatch(r.Context(), name, session, seq, count, records)
 	if err != nil {
 		writeIngestError(w, err)
 		return
@@ -636,7 +672,7 @@ func (s *Server) handleIngestMarks(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad session in mark")
 			return
 		}
-		if err := s.adoptMark(name, est, m); err != nil {
+		if err := s.adoptMark(r.Context(), name, est, m); err != nil {
 			var lf *logFailure
 			if errors.As(err, &lf) {
 				writeError(w, http.StatusInternalServerError, "%v", err)
@@ -689,7 +725,7 @@ func updateRecords(req *updateRequest) ([]spatial.UpdateRecord, error) {
 // the same key a durable no-op that still answers 200 (with Deduped
 // set). Keys are single-use by construction; reusing one replays the
 // first request's acknowledgement, not its effect.
-func (s *Server) serveIdempotentUpdate(w http.ResponseWriter, name, key string, req *updateRequest) {
+func (s *Server) serveIdempotentUpdate(ctx context.Context, w http.ResponseWriter, name, key string, req *updateRequest) {
 	if !validRequestID(key) {
 		writeError(w, http.StatusBadRequest, "Idempotency-Key must be 1-64 log-safe characters")
 		return
@@ -711,10 +747,10 @@ func (s *Server) serveIdempotentUpdate(w http.ResponseWriter, name, key string, 
 	var applied int
 	var deduped bool
 	if s.cluster != nil && !cluster.IsShardName(name) {
-		applied, deduped, err = s.cluster.routeIngest(name, session,
+		applied, deduped, err = s.cluster.routeIngest(ctx, name, session,
 			ingest.Batch{Seq: 1, Count: uint64(len(recs)), Records: enc})
 	} else {
-		applied, deduped, err = s.applyIngestBatch(name, session, 1, uint64(len(recs)), enc)
+		applied, deduped, err = s.applyIngestBatch(ctx, name, session, 1, uint64(len(recs)), enc)
 	}
 	if err != nil {
 		writeIngestError(w, err)

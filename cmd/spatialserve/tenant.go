@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -272,13 +273,13 @@ type tenantInfoResponse struct {
 
 // setTenantLocal installs a tenant config locally, logging it first when
 // persistence is on (binding-class change: exclusive gate).
-func (s *Server) setTenantLocal(tenant string, cfg TenantConfig) error {
+func (s *Server) setTenantLocal(ctx context.Context, tenant string, cfg TenantConfig) error {
 	if gate := s.mutGate(); gate != nil {
 		gate.Lock()
 		defer gate.Unlock()
 	}
 	if s.persist != nil {
-		if err := s.persist.logTenant(walOpTenantPut, tenant, cfg); err != nil {
+		if err := s.persist.logTenant(ctx, walOpTenantPut, tenant, cfg); err != nil {
 			return err
 		}
 	}
@@ -288,7 +289,7 @@ func (s *Server) setTenantLocal(tenant string, cfg TenantConfig) error {
 
 // deleteTenantLocal removes a tenant config locally (logged), reporting
 // whether it existed.
-func (s *Server) deleteTenantLocal(tenant string) (bool, error) {
+func (s *Server) deleteTenantLocal(ctx context.Context, tenant string) (bool, error) {
 	if gate := s.mutGate(); gate != nil {
 		gate.Lock()
 		defer gate.Unlock()
@@ -297,7 +298,7 @@ func (s *Server) deleteTenantLocal(tenant string) (bool, error) {
 		return false, nil
 	}
 	if s.persist != nil {
-		if err := s.persist.logTenant(walOpTenantDelete, tenant, TenantConfig{}); err != nil {
+		if err := s.persist.logTenant(ctx, walOpTenantDelete, tenant, TenantConfig{}); err != nil {
 			return true, err
 		}
 	}
@@ -333,7 +334,7 @@ func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "config": cfg})
 		return
 	}
-	if err := s.setTenantLocal(tenant, cfg); err != nil {
+	if err := s.setTenantLocal(r.Context(), tenant, cfg); err != nil {
 		writeError(w, http.StatusInternalServerError, "logging tenant config: %v", err)
 		return
 	}
@@ -429,7 +430,7 @@ func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "tenant %q still holds estimators (%d words); delete them first", tenant, used)
 		return
 	}
-	found, err := s.deleteTenantLocal(tenant)
+	found, err := s.deleteTenantLocal(r.Context(), tenant)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "logging tenant delete: %v", err)
 		return

@@ -16,7 +16,7 @@ import (
 )
 
 // auditedDirs are the packages whose exported surface must be documented.
-var auditedDirs = []string{".", "geo", "internal/wal", "internal/cluster", "internal/metrics", "internal/ingest", "ingestclient", "cmd/spatialserve"}
+var auditedDirs = []string{".", "geo", "internal/wal", "internal/cluster", "internal/metrics", "internal/ingest", "internal/trace", "ingestclient", "cmd/spatialserve"}
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {
 	for _, dir := range auditedDirs {

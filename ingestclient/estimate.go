@@ -73,6 +73,13 @@ type EstimateOptions struct {
 	// AllowPartial accepts a degraded answer covering only the reachable
 	// partitions instead of an error when part of the cluster is down.
 	AllowPartial bool
+	// RequestID, when set, is sent as the X-Request-Id header so the
+	// server's logs and slow-op records carry the caller's op identity.
+	RequestID string
+	// Traceparent, when set, is sent as the W3C traceparent header so the
+	// server's spans join the caller's trace and the answer can be
+	// cross-referenced in /admin/trace.
+	Traceparent string
 }
 
 // EstimateClient issues estimate reads against one spatialserve base URL
@@ -109,7 +116,9 @@ func (c *EstimateClient) estimatePath(estimator string, allowPartial bool) strin
 
 // post issues one estimate POST and decodes the response into out,
 // turning non-200 statuses into errors carrying the server's message.
-func (c *EstimateClient) post(ctx context.Context, url string, body any, out any) error {
+// rid and traceparent, when non-empty, ride along as the X-Request-Id
+// and traceparent headers.
+func (c *EstimateClient) post(ctx context.Context, url string, body any, out any, rid, traceparent string) error {
 	enc, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -119,6 +128,12 @@ func (c *EstimateClient) post(ctx context.Context, url string, body any, out any
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -144,7 +159,8 @@ type estimateWireRequest struct {
 func (c *EstimateClient) Estimate(ctx context.Context, estimator string, opts EstimateOptions) (*Estimate, error) {
 	var out Estimate
 	err := c.post(ctx, c.estimatePath(estimator, opts.AllowPartial),
-		estimateWireRequest{Query: opts.Query, Extended: opts.Extended}, &out)
+		estimateWireRequest{Query: opts.Query, Extended: opts.Extended}, &out,
+		opts.RequestID, opts.Traceparent)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +174,7 @@ func (c *EstimateClient) Estimate(ctx context.Context, estimator string, opts Es
 func (c *EstimateClient) EstimateBatch(ctx context.Context, estimator string, queries [][][2]uint64, allowPartial bool) (*BatchEstimates, error) {
 	var out BatchEstimates
 	err := c.post(ctx, c.estimatePath(estimator, allowPartial),
-		estimateWireRequest{Queries: queries}, &out)
+		estimateWireRequest{Queries: queries}, &out, "", "")
 	if err != nil {
 		return nil, err
 	}

@@ -64,11 +64,25 @@ type metric interface {
 // sampleSet carries the rendered values for one series: plain value for
 // counters/gauges, bucket counts + sum + count for histograms.
 type sampleSet struct {
-	value   float64
-	isHisto bool
-	buckets []uint64 // cumulative, aligned with family.buckets, +Inf appended
-	sum     float64
-	count   uint64
+	value     float64
+	isHisto   bool
+	buckets   []uint64 // cumulative, aligned with family.buckets, +Inf appended
+	sum       float64
+	count     uint64
+	exemplars []*Exemplar // per bucket (non-cumulative), nil entries skipped
+}
+
+// An Exemplar links one bucket of a histogram series to the trace that
+// produced a recent observation in it. Rendered as a companion
+// `<name>_exemplar` gauge family (classic text format has no native
+// exemplar syntax, and the companion block stays Lint-clean) whose
+// series carry the histogram's labels plus `le` and `trace_id`, with
+// the observed value as the sample.
+type Exemplar struct {
+	// TraceID is the hex trace ID behind the observation.
+	TraceID string
+	// Value is the observed value (same unit as the histogram).
+	Value float64
 }
 
 // NewRegistry returns an empty registry.
@@ -169,7 +183,11 @@ type HistogramVec struct{ fam *family }
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	f := v.fam
 	return f.lookup(labelValues, func() metric {
-		return &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		return &Histogram{
+			bounds:    f.buckets,
+			counts:    make([]atomic.Uint64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
+		}
 	}).(*Histogram)
 }
 
@@ -223,10 +241,11 @@ func (g *Gauge) sample() sampleSet { return sampleSet{value: g.Value()} }
 
 // A Histogram accumulates observations into fixed cumulative buckets.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Uint64 // len(bounds)+1; last = +Inf
-	sumBits atomic.Uint64
-	count   atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last = +Inf
+	sumBits   atomic.Uint64
+	count     atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last-write-wins
 }
 
 // Observe records one observation.
@@ -245,15 +264,44 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one observation and pins it as the exemplar
+// for the bucket it lands in (last write wins). traceID links the
+// bucket straight to a retained trace; callers should pass only IDs
+// that are actually retrievable. One atomic pointer store beyond
+// Observe's cost.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 func (h *Histogram) sample() sampleSet {
 	s := sampleSet{isHisto: true, buckets: make([]uint64, len(h.counts))}
 	var cum uint64
+	var anyEx bool
 	for i := range h.counts {
 		cum += h.counts[i].Load()
 		s.buckets[i] = cum
+		if h.exemplars[i].Load() != nil {
+			anyEx = true
+		}
+	}
+	if anyEx {
+		s.exemplars = make([]*Exemplar, len(h.exemplars))
+		for i := range h.exemplars {
+			s.exemplars[i] = h.exemplars[i].Load()
+		}
 	}
 	s.count = h.count.Load()
 	s.sum = math.Float64frombits(h.sumBits.Load())
@@ -290,6 +338,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				sams[i] = f.series[k].sample()
 			}
 			f.mu.RUnlock()
+			var exB strings.Builder
 			for i, k := range keys {
 				values := splitKey(k, len(f.labels))
 				s := sams[i]
@@ -303,9 +352,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 						le = formatFloat(f.buckets[bi])
 					}
 					writeSample(&b, f.name+"_bucket", append(f.labels, "le"), append(values, le), "", float64(cum))
+					if ex := exemplarAt(s.exemplars, bi); ex != nil {
+						writeSample(&exB, f.name+"_exemplar",
+							append(f.labels, "le", "trace_id"),
+							append(values, le, ex.TraceID), "", ex.Value)
+					}
 				}
 				writeSample(&b, f.name+"_sum", f.labels, values, "", s.sum)
 				writeSample(&b, f.name+"_count", f.labels, values, "", float64(s.count))
+			}
+			if exB.Len() > 0 {
+				// Companion exemplar family: classic text format only,
+				// so exemplars are their own gauge block (see Exemplar).
+				fmt.Fprintf(&b, "# HELP %s_exemplar Trace-linked recent observation per %s bucket.\n", f.name, f.name)
+				fmt.Fprintf(&b, "# TYPE %s_exemplar gauge\n", f.name)
+				b.WriteString(exB.String())
 			}
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
@@ -313,6 +374,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// exemplarAt returns the exemplar pinned at bucket bi, nil for series
+// without exemplars.
+func exemplarAt(exes []*Exemplar, bi int) *Exemplar {
+	if bi >= len(exes) {
+		return nil
+	}
+	return exes[bi]
 }
 
 // writeSample renders one `name{labels} value` line.

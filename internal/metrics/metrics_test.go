@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"strings"
 	"sync"
 	"testing"
@@ -180,5 +181,55 @@ func TestHasSeries(t *testing.T) {
 	}
 	if HasSeries(page, "b") || HasSeries(page, "h_b") {
 		t.Error("HasSeries matched absent series")
+	}
+}
+
+// TestHistogramExemplars checks ObserveExemplar pins the trace to the
+// right bucket, the companion _exemplar gauge family renders with its
+// own HELP/TYPE, and the whole exposition stays Lint-clean.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	hv := r.Histogram("req_seconds", "Request latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	h := hv.With("update")
+	h.Observe(0.005) // no exemplar
+	h.ObserveExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveExemplar(5, "deadbeefdeadbeefdeadbeefdeadbeef") // +Inf bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("exposition with exemplars fails lint: %v\n%s", err, out)
+	}
+	if !HasSeries([]byte(out), "req_seconds_exemplar") {
+		t.Fatalf("no req_seconds_exemplar series in:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE req_seconds_exemplar gauge",
+		`req_seconds_exemplar{endpoint="update",le="0.1",trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05`,
+		`req_seconds_exemplar{endpoint="update",le="+Inf",trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0.01",trace_id`) {
+		t.Error("bucket without exemplar observations grew an exemplar series")
+	}
+	// Exemplar counts fold into the ordinary histogram samples.
+	if !strings.Contains(out, `req_seconds_count{endpoint="update"} 3`) {
+		t.Errorf("ObserveExemplar did not count as an observation:\n%s", out)
+	}
+	// Histograms with no exemplars emit no companion block.
+	r2 := NewRegistry()
+	r2.Histogram("quiet_seconds", "No exemplars.", nil).With().Observe(0.5)
+	buf.Reset()
+	if err := r2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "_exemplar") {
+		t.Errorf("exemplar block rendered without exemplars:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceparentRoundTrip checks Format/Parse are inverses and hostile
+// header shapes are rejected.
+func TestTraceparentRoundTrip(t *testing.T) {
+	id, sp := NewTraceID(), NewSpanID()
+	h := Traceparent(id, sp)
+	gotID, gotSp, ok := ParseTraceparent(h)
+	if !ok || gotID != id || gotSp != sp {
+		t.Fatalf("round trip %q -> %v %v ok=%v", h, gotID, gotSp, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00",
+		"00-zz-11-01",
+		"00-00000000000000000000000000000000-1111111111111111-01", // zero trace
+		"00-11111111111111111111111111111111-0000000000000000-01", // zero span
+		strings.ReplaceAll(h, "-", "_"),
+		h[:40],
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted hostile input", bad)
+		}
+	}
+}
+
+// TestSpanTreeSingleTrace builds a three-span tree through contexts and
+// checks the retained segment has the right parent links and attrs.
+func TestSpanTreeSingleTrace(t *testing.T) {
+	tr := New(Options{Node: "n0", SampleRate: 1})
+	ctx, root := tr.Start(context.Background(), "http update")
+	root.SetAttr("tenant", "acme")
+	root.SetAttr("endpoint", "update")
+	cctx, child := tr.Start(ctx, "shard.update")
+	_, grand := tr.Start(cctx, "wal.append")
+	grand.End()
+	child.End()
+	if !root.End() {
+		t.Fatal("completing root at SampleRate=1 must retain the trace")
+	}
+	segs := tr.Segments(root.TraceID())
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	seg := segs[0]
+	if len(seg.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(seg.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range seg.Spans {
+		byName[s.Name] = s
+		if s.TraceID != root.TraceID().String() {
+			t.Errorf("span %s has trace %s, want %s", s.Name, s.TraceID, root.TraceID())
+		}
+		if s.Node != "n0" {
+			t.Errorf("span %s node = %q, want n0", s.Name, s.Node)
+		}
+	}
+	if byName["http update"].ParentID != "" {
+		t.Errorf("root has parent %q", byName["http update"].ParentID)
+	}
+	if byName["shard.update"].ParentID != byName["http update"].SpanID {
+		t.Error("child not parented to root")
+	}
+	if byName["wal.append"].ParentID != byName["shard.update"].SpanID {
+		t.Error("grandchild not parented to child")
+	}
+	if byName["http update"].Attr("tenant") != "acme" {
+		t.Error("root tenant attr lost")
+	}
+}
+
+// TestRemoteParentStitching checks the traceparent receive path: a span
+// started under ContextWithRemote joins the remote trace as a child.
+func TestRemoteParentStitching(t *testing.T) {
+	tr := New(Options{Node: "n1", SampleRate: 1})
+	id, parent := NewTraceID(), NewSpanID()
+	ctx := ContextWithRemote(context.Background(), id, parent)
+	_, sp := tr.Start(ctx, "http shard-update")
+	if sp.TraceID() != id {
+		t.Fatalf("span trace %v, want remote %v", sp.TraceID(), id)
+	}
+	sp.End()
+	segs := tr.Segments(id)
+	if len(segs) != 1 || len(segs[0].Spans) != 1 {
+		t.Fatalf("segments = %+v, want one single-span segment", segs)
+	}
+	if got := segs[0].Spans[0].ParentID; got != parent.String() {
+		t.Fatalf("parent = %q, want %q", got, parent)
+	}
+}
+
+// TestTailRetention checks the tail-based sampling contract: errored
+// and slow traces are always kept, fast clean traces obey the rate.
+func TestTailRetention(t *testing.T) {
+	tr := New(Options{SlowThreshold: 50 * time.Millisecond, SampleRate: 1e-9})
+	// Fast and clean at a vanishing sample rate: practically never kept.
+	for i := 0; i < 100; i++ {
+		_, sp := tr.Start(context.Background(), "fast")
+		sp.End()
+	}
+	if got := len(tr.List(Filter{Limit: 1000})); got > 2 {
+		t.Fatalf("retained %d fast traces at rate 1e-9", got)
+	}
+	// Errored: always kept.
+	_, sp := tr.Start(context.Background(), "broken")
+	sp.SetError(errors.New("boom"))
+	if !sp.End() {
+		t.Fatal("errored trace was not retained")
+	}
+	// Slow: always kept. RecordSpan with a long duration simulates it
+	// without sleeping.
+	tr.RecordSpan(context.Background(), "glacial", time.Now(), time.Second, nil)
+	list := tr.List(Filter{Limit: 10})
+	var reasons []string
+	for _, s := range list {
+		reasons = append(reasons, s.Reason)
+	}
+	if len(list) < 2 || reasons[0] != "slow" || reasons[1] != "error" {
+		t.Fatalf("retained = %v, want [slow error ...]", reasons)
+	}
+	if st := tr.Stats(); st.Retained < 2 || st.Completed < 102 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTailRetentionUnderLoad hammers the tracer from many goroutines
+// with a mix of fast, slow and errored traces and asserts every slow
+// and errored trace survives into the ring.
+func TestTailRetentionUnderLoad(t *testing.T) {
+	tr := New(Options{RingSize: 4096, SlowThreshold: 10 * time.Millisecond, SampleRate: -1})
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	want := map[string]string{} // trace id -> expected reason
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, sp := tr.Start(context.Background(), "op")
+				_, child := tr.Start(ctx, "child")
+				child.End()
+				switch i % 3 {
+				case 0: // fast, clean: must NOT be retained at rate 0
+					sp.End()
+				case 1: // errored
+					sp.SetError(errors.New("x"))
+					mu.Lock()
+					want[sp.TraceID().String()] = "error"
+					mu.Unlock()
+					sp.End()
+				default: // slow, via an attached long span
+					tr.RecordSpan(ctx, "slowpart", time.Now(), 50*time.Millisecond, nil)
+					mu.Lock()
+					want[sp.TraceID().String()] = "slow"
+					mu.Unlock()
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := map[string]string{}
+	for _, s := range tr.List(Filter{Limit: 10000}) {
+		got[s.TraceID] = s.Reason
+	}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d traces, want exactly %d (slow+errored only)", len(got), len(want))
+	}
+	for id, reason := range want {
+		if got[id] != reason {
+			t.Fatalf("trace %s retained as %q, want %q", id, got[id], reason)
+		}
+	}
+}
+
+// TestListFilters checks tenant/endpoint/min-duration/error filtering.
+func TestListFilters(t *testing.T) {
+	tr := New(Options{SampleRate: 1})
+	mk := func(tenant, endpoint string, d time.Duration, fail bool) {
+		_, sp := tr.Start(context.Background(), "http "+endpoint)
+		sp.SetAttr("tenant", tenant)
+		sp.SetAttr("endpoint", endpoint)
+		if fail {
+			sp.Fail("status 500")
+		}
+		tr.RecordSpan(ContextWith(context.Background(), sp), "pad", time.Now(), d, nil)
+		sp.End()
+	}
+	mk("acme", "update", time.Millisecond, false)
+	mk("acme", "estimate", 400*time.Millisecond, false)
+	mk("globex", "update", time.Millisecond, true)
+	if got := len(tr.List(Filter{Tenant: "acme"})); got != 2 {
+		t.Errorf("tenant filter: %d, want 2", got)
+	}
+	if got := len(tr.List(Filter{Endpoint: "update"})); got != 2 {
+		t.Errorf("endpoint filter: %d, want 2", got)
+	}
+	if got := len(tr.List(Filter{MinDuration: 100 * time.Millisecond})); got != 1 {
+		t.Errorf("min-duration filter: %d, want 1", got)
+	}
+	if got := len(tr.List(Filter{ErrorOnly: true})); got != 1 {
+		t.Errorf("error filter: %d, want 1", got)
+	}
+	if got := len(tr.List(Filter{Tenant: "acme", Endpoint: "estimate"})); got != 1 {
+		t.Errorf("combined filter: %d, want 1", got)
+	}
+}
+
+// TestSpanBoundsAndNilSafety checks the per-trace span bound, the
+// active-trace bound, and that nil tracers/spans are no-ops.
+func TestSpanBoundsAndNilSafety(t *testing.T) {
+	tr := New(Options{SampleRate: 1, MaxSpansPerTrace: 4, MaxActiveTraces: 2})
+	ctx, root := tr.Start(context.Background(), "root")
+	for i := 0; i < 10; i++ {
+		_, c := tr.Start(ctx, "c")
+		c.End()
+	}
+	root.End()
+	segs := tr.Segments(root.TraceID())
+	if len(segs) != 1 || len(segs[0].Spans) != 4 || segs[0].DroppedSpans != 7 {
+		t.Fatalf("segment bound: %+v", segs)
+	}
+
+	// Exhaust the active-trace bound; the overflow trace is dropped but
+	// its span stays usable.
+	_, a := tr.Start(context.Background(), "a")
+	_, b := tr.Start(context.Background(), "b")
+	_, c := tr.Start(context.Background(), "c")
+	c.SetAttr("k", "v")
+	if c.End() {
+		t.Error("span over the active bound must not be retained")
+	}
+	a.End()
+	b.End()
+	if tr.Stats().DroppedTraces != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Stats().DroppedTraces)
+	}
+
+	var nilTr *Tracer
+	nctx, nsp := nilTr.Start(context.Background(), "x")
+	nsp.SetAttr("a", "b")
+	nsp.SetError(errors.New("x"))
+	nsp.End()
+	nilTr.RecordSpan(nctx, "y", time.Now(), time.Second, nil)
+	if nilTr.List(Filter{}) != nil || nilTr.Segments(TraceID{}) != nil {
+		t.Error("nil tracer must return nil results")
+	}
+}
+
+// TestRingEviction checks the completed-trace ring keeps only the most
+// recent RingSize traces.
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{RingSize: 8, SampleRate: 1})
+	var last string
+	for i := 0; i < 20; i++ {
+		_, sp := tr.Start(context.Background(), "op")
+		last = sp.TraceID().String()
+		sp.End()
+	}
+	list := tr.List(Filter{Limit: 100})
+	if len(list) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(list))
+	}
+	if list[0].TraceID != last {
+		t.Fatalf("newest-first order broken: got %s, want %s", list[0].TraceID, last)
+	}
+}
+
+// TestSlowOpLogger checks the threshold gate, JSON-lines shape, and
+// runtime re-tuning.
+func TestSlowOpLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowOpLogger(&buf, 100*time.Millisecond, "n2")
+	if l.Observe(SlowOp{Op: "fast", Duration: time.Millisecond}) {
+		t.Fatal("sub-threshold op was logged")
+	}
+	if !l.Observe(SlowOp{Op: "slow", Duration: time.Second, Tenant: "acme", Status: 200, TraceID: "abc"}) {
+		t.Fatal("slow op was not logged")
+	}
+	l.SetThreshold(time.Nanosecond)
+	if !l.Observe(SlowOp{Op: "now-slow", Duration: time.Millisecond}) {
+		t.Fatal("re-tuned threshold not applied")
+	}
+	l.SetThreshold(0)
+	if l.Observe(SlowOp{Op: "disabled", Duration: time.Hour}) {
+		t.Fatal("threshold 0 must disable logging")
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var op SlowOp
+	if err := json.Unmarshal(lines[0], &op); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if op.Op != "slow" || op.Tenant != "acme" || op.Node != "n2" || op.TraceID != "abc" || op.Time.IsZero() {
+		t.Fatalf("logged %+v", op)
+	}
+	var nilL *SlowOpLogger
+	if nilL.Observe(SlowOp{Duration: time.Hour}) || nilL.Enabled(time.Hour) || nilL.Threshold() != 0 {
+		t.Fatal("nil logger must be inert")
+	}
+	nilL.SetThreshold(time.Second) // must not panic
+}

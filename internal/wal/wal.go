@@ -116,6 +116,12 @@ type Options struct {
 	// Observability hook: it runs on the append hot path between batches,
 	// so it must be fast and must not call back into the WAL.
 	OnCommit func(CommitStats)
+	// OnCommitSpan, when set, is called beside OnCommit with the batch's
+	// wall-clock window (start is taken just before the segment write).
+	// Tracing hook: the server turns each group commit into a span so
+	// slow fsyncs surface in retained traces. Same constraints as
+	// OnCommit: fast, no calls back into the WAL.
+	OnCommitSpan func(start time.Time, stats CommitStats)
 }
 
 // CommitStats describes one group commit for the Options.OnCommit
@@ -327,14 +333,20 @@ func (w *WAL) flushLoop() {
 			err = w.sync(f)
 			synced = time.Since(syncStart)
 		}
-		if w.opts.OnCommit != nil {
-			w.opts.OnCommit(CommitStats{
+		if w.opts.OnCommit != nil || w.opts.OnCommitSpan != nil {
+			st := CommitStats{
 				Records:       len(waiters),
 				Bytes:         len(buf),
 				WriteDuration: wrote,
 				SyncDuration:  synced,
 				Err:           err,
-			})
+			}
+			if w.opts.OnCommit != nil {
+				w.opts.OnCommit(st)
+			}
+			if w.opts.OnCommitSpan != nil {
+				w.opts.OnCommitSpan(start, st)
+			}
 		}
 
 		w.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func collect(t *testing.T, dir string, from Pos) (recs [][]byte, poss []Pos) {
@@ -558,5 +559,55 @@ func TestReadFromSeesDrainedAppends(t *testing.T) {
 	}
 	if seen != 100 {
 		t.Fatalf("saw %d records, want all 100 acknowledged ones", seen)
+	}
+}
+
+// TestOnCommitSpanHook checks the tracing hook fires beside OnCommit
+// with a start time bracketing the reported write/sync work and the
+// same batch statistics.
+func TestOnCommitSpanHook(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var commits []CommitStats
+	var spans []CommitStats
+	var starts []bool
+	w, err := Open(Options{
+		Dir:      dir,
+		OnCommit: func(st CommitStats) { mu.Lock(); commits = append(commits, st); mu.Unlock() },
+		OnCommitSpan: func(start time.Time, st CommitStats) {
+			mu.Lock()
+			spans = append(spans, st)
+			starts = append(starts, !start.IsZero() && time.Since(start) >= st.WriteDuration)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte("span-hook")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(spans) == 0 || len(spans) != len(commits) {
+		t.Fatalf("span hook fired %d times, OnCommit %d", len(spans), len(commits))
+	}
+	var recs int
+	for i, st := range spans {
+		if st != commits[i] {
+			t.Fatalf("span stats %+v != commit stats %+v", st, commits[i])
+		}
+		if !starts[i] {
+			t.Fatalf("span %d start does not bracket its write duration", i)
+		}
+		recs += st.Records
+	}
+	if recs != 10 {
+		t.Fatalf("span hooks covered %d records, want 10", recs)
 	}
 }

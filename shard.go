@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/geo"
 )
@@ -63,6 +64,25 @@ var viewCacheHits, viewCacheMisses atomic.Uint64
 // Exposed for observability endpoints; both counters are monotone.
 func ViewCacheStats() (hits, misses uint64) {
 	return viewCacheHits.Load(), viewCacheMisses.Load()
+}
+
+// viewRebuildObserver, when set, is called after every view-cache
+// rebuild (a miss that folded the shards) with the fold's start time and
+// duration. See SetViewRebuildObserver.
+var viewRebuildObserver atomic.Pointer[func(start time.Time, d time.Duration)]
+
+// SetViewRebuildObserver registers fn to observe every epoch view-cache
+// rebuild, process-wide: fn receives the fold's wall-clock start and
+// duration after the rebuilt view is published. Servers use it to turn
+// rebuild cost into trace spans. fn must be fast and must not call back
+// into the estimator; nil unregisters. Safe for concurrent use with
+// reads, though typically set once at startup.
+func SetViewRebuildObserver(fn func(start time.Time, d time.Duration)) {
+	if fn == nil {
+		viewRebuildObserver.Store(nil)
+		return
+	}
+	viewRebuildObserver.Store(&fn)
 }
 
 // ingestShards picks the shard count for a new estimator.
@@ -291,6 +311,7 @@ func (ss *shardedState[T]) currentView(mk func() T, merge func(dst, src T) error
 		return v, nil
 	}
 	viewCacheMisses.Add(1)
+	foldStart := time.Now()
 	v := &cachedView[T]{state: mk(), foldSeq: ss.buildSeq.Add(1)}
 	for i := range ss.shards {
 		sh := &ss.shards[i]
@@ -303,6 +324,9 @@ func (ss *shardedState[T]) currentView(mk func() T, merge func(dst, src T) error
 		}
 	}
 	ss.cache.Store(v)
+	if fn := viewRebuildObserver.Load(); fn != nil {
+		(*fn)(foldStart, time.Since(foldStart))
+	}
 	return v, nil
 }
 
